@@ -1,0 +1,77 @@
+package lvf2
+
+import (
+	"lvf2/internal/cells"
+	"lvf2/internal/circuits"
+	"lvf2/internal/spice"
+)
+
+// Characterisation support: the synthetic standard-cell library and
+// variation-aware electrical model that substitute for the paper's
+// TSMC 22nm + HSPICE Monte-Carlo flow.
+
+// CellType is one of the 25 standard combinational cell types.
+type CellType = cells.CellType
+
+// CellArc is one concrete timing arc of a cell.
+type CellArc = cells.Arc
+
+// CharConfig controls a Monte-Carlo characterisation run.
+type CharConfig = cells.CharConfig
+
+// TimingDistribution is one characterised (arc, slew, load, kind) sample
+// set.
+type TimingDistribution = cells.Distribution
+
+// SlewLoadGrid is the 8×8 characterisation grid.
+type SlewLoadGrid = cells.Grid
+
+// DistKind distinguishes delay from transition distributions.
+type DistKind = cells.Kind
+
+// The two characterised quantities.
+const (
+	DelayKind      = cells.Delay
+	TransitionKind = cells.Transition
+)
+
+// Corner is the PVT corner and variation magnitudes of the electrical
+// model.
+type Corner = spice.Corner
+
+// CircuitPath is a benchmark critical path for SSTA validation.
+type CircuitPath = circuits.Path
+
+// StandardCells returns the 25-type library with the paper's arc counts.
+func StandardCells() []CellType { return cells.Library() }
+
+// CellByName finds a cell type in the library.
+func CellByName(name string) (CellType, bool) { return cells.CellByName(name) }
+
+// DefaultGrid returns the paper's 8×8 slew–load grid.
+func DefaultGrid() SlewLoadGrid { return cells.DefaultGrid() }
+
+// TTCorner returns the paper's evaluation corner (0.8 V, 25 °C,
+// TTGlobal_LocalMC).
+func TTCorner() Corner { return spice.TTCorner() }
+
+// CharacterizeArc Monte-Carlo-characterises one arc over the grid,
+// returning a delay and a transition distribution per visited point.
+func CharacterizeArc(cfg CharConfig, arc CellArc) []TimingDistribution {
+	return cells.CharacterizeArc(cfg, arc)
+}
+
+// CarryAdder16 builds the ≈30-FO4 critical path of a 16-bit ripple-carry
+// adder (the paper's first path benchmark).
+func CarryAdder16(corner Corner) CircuitPath { return circuits.CarryAdder16(corner) }
+
+// HTree6 builds the ≈95-FO4 six-stage H-tree clock path (the paper's
+// second path benchmark).
+func HTree6(corner Corner) CircuitPath { return circuits.HTree6(corner) }
+
+// FO4Chain builds a uniform fanout-of-4 inverter chain with a controlled
+// degree of bimodality (biasSigma = 0 is maximally bimodal).
+func FO4Chain(n int, biasSigma float64) CircuitPath { return circuits.FO4Chain(n, biasSigma) }
+
+// FO4Delay returns the library's fanout-of-4 inverter delay at the corner.
+func FO4Delay(corner Corner) float64 { return circuits.FO4Delay(corner) }

@@ -1,0 +1,170 @@
+// Command libgen characterises the synthetic standard-cell library by
+// Monte-Carlo simulation and emits a Liberty (.lib) file with classic LVF
+// and, optionally, the paper's LVF² attributes.
+//
+// Usage:
+//
+//	libgen -cells INV,NAND2 -arcs 1 -samples 5000 -format lvf2 -o out.lib
+//	libgen -cells all -arcs 2 -stride 4 -format lvf -o classic.lib
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lvf2/internal/cells"
+	"lvf2/internal/core"
+	"lvf2/internal/fit"
+	"lvf2/internal/liberty"
+	"lvf2/internal/spice"
+)
+
+func main() {
+	var (
+		cellList = flag.String("cells", "INV,NAND2", `comma-separated cell types, or "all"`)
+		arcs     = flag.Int("arcs", 1, "arcs to characterise per cell type")
+		samples  = flag.Int("samples", 4000, "MC samples per distribution")
+		stride   = flag.Int("stride", 1, "grid stride (1 = full 8x8)")
+		format   = flag.String("format", "lvf2", "output format: lvf | lvf2")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	if *format != "lvf" && *format != "lvf2" {
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	var types []cells.CellType
+	if *cellList == "all" {
+		types = cells.Library()
+	} else {
+		for _, name := range strings.Split(*cellList, ",") {
+			ct, ok := cells.CellByName(strings.TrimSpace(name))
+			if !ok {
+				fatal(fmt.Errorf("unknown cell %q", name))
+			}
+			types = append(types, ct)
+		}
+	}
+
+	grid := cells.DefaultGrid()
+	corner := spice.TTCorner()
+	lib := liberty.NewLibrary(liberty.LibraryHeaderOptions{
+		Name:        "lvf2_synth22",
+		Voltage:     corner.VDD,
+		TempC:       corner.TempC,
+		ProcessName: "synthetic22-TTGlobal_LocalMC",
+	}, "delay_template_8x8", grid.Slews, grid.Loads)
+
+	charCfg := cells.CharConfig{Samples: *samples, Seed: *seed, GridStride: *stride}
+	for _, ct := range types {
+		pins := inputPins(ct.Inputs)
+		outPin := liberty.AddCell(lib, ct.Name, pins, ct.Base.CapIn, "ZN", "")
+		// Every input pin needs at least one timing arc or downstream STA
+		// paths would silently truncate, so characterise max(arcs, inputs).
+		arcList := ct.Arcs()
+		want := *arcs
+		if want < len(pins) {
+			want = len(pins)
+		}
+		if want > 0 && len(arcList) > want {
+			arcList = arcList[:want]
+		}
+		for _, arc := range arcList {
+			timing := liberty.AddTiming(outPin, pins[arc.Index%len(pins)], "positive_unate")
+			if err := emitArc(timing, charCfg, grid, arc, *format == "lvf2"); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "libgen: characterised %s (%d arcs)\n", ct.Name, len(arcList))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := liberty.WriteLibrary(w, lib); err != nil {
+		fatal(err)
+	}
+}
+
+// emitArc characterises one arc and appends cell_rise/rise_transition
+// tables (the synthetic model is edge-symmetric, so one polarity is
+// emitted per arc).
+func emitArc(timing *liberty.Group, cfg cells.CharConfig, grid cells.Grid, arc cells.Arc, lvf2 bool) error {
+	rows := len(grid.Slews) / cfg.GridStride
+	cols := len(grid.Loads) / cfg.GridStride
+	if len(grid.Slews)%cfg.GridStride != 0 {
+		rows++
+	}
+	if len(grid.Loads)%cfg.GridStride != 0 {
+		cols++
+	}
+	idx1 := make([]float64, 0, rows)
+	idx2 := make([]float64, 0, cols)
+	for i := 0; i < len(grid.Slews); i += cfg.GridStride {
+		idx1 = append(idx1, grid.Slews[i])
+	}
+	for j := 0; j < len(grid.Loads); j += cfg.GridStride {
+		idx2 = append(idx2, grid.Loads[j])
+	}
+	mk := func() ([][]float64, [][]core.Model) {
+		nom := make([][]float64, len(idx1))
+		mods := make([][]core.Model, len(idx1))
+		for i := range nom {
+			nom[i] = make([]float64, len(idx2))
+			mods[i] = make([]core.Model, len(idx2))
+		}
+		return nom, mods
+	}
+	nomD, modD := mk()
+	nomT, modT := mk()
+
+	for _, d := range cells.CharacterizeArc(cfg, arc) {
+		i := d.SlewIdx / cfg.GridStride
+		j := d.LoadIdx / cfg.GridStride
+		var m core.Model
+		var err error
+		if lvf2 {
+			m, err = core.FitModel(d.Samples, fit.Options{})
+		} else {
+			m, err = core.FitLVFModel(d.Samples)
+		}
+		if err != nil {
+			return fmt.Errorf("fit %s (%d,%d): %w", d.Arc.Label, i, j, err)
+		}
+		if d.Kind == cells.Delay {
+			nomD[i][j], modD[i][j] = d.NomDelay, m
+		} else {
+			nomT[i][j], modT[i][j] = d.NomDelay, m
+		}
+	}
+	liberty.TimingModelFromFits("cell_rise", idx1, idx2, nomD, modD).
+		AppendTo(timing, "delay_template_8x8", lvf2)
+	liberty.TimingModelFromFits("rise_transition", idx1, idx2, nomT, modT).
+		AppendTo(timing, "delay_template_8x8", lvf2)
+	return nil
+}
+
+func inputPins(n int) []string {
+	names := []string{"A", "B", "C", "D", "E", "F"}
+	if n > len(names) {
+		n = len(names)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return names[:n]
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "libgen: %v\n", err)
+	os.Exit(1)
+}

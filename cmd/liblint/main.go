@@ -1,0 +1,45 @@
+// Command liblint checks a Liberty (.lib) file for the structural and
+// statistical problems that silently corrupt SSTA: mismatched table
+// shapes, weights outside [0,1], negative sigmas, out-of-range skewness,
+// missing directions/arcs, and dangling template references.
+//
+// Usage:
+//
+//	liblint file.lib [file2.lib ...]
+//
+// Exit status: 0 clean, 1 errors found, 2 usage/parse failure.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lvf2/internal/liberty"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: liblint file.lib [...]")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range os.Args[1:] {
+		g, err := liberty.ParseFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "liblint: %s: %v\n", path, err)
+			exit = 2
+			continue
+		}
+		issues := liberty.Lint(g)
+		for _, is := range issues {
+			fmt.Printf("%s: %s\n", path, is)
+		}
+		if liberty.HasErrors(issues) && exit == 0 {
+			exit = 1
+		}
+		if len(issues) == 0 {
+			fmt.Printf("%s: clean\n", path)
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,193 @@
+// Command lvf2fit fits the four statistical timing models (LVF², Norm²,
+// LESN, LVF) to a sample file — one floating-point value per line — and
+// reports parameters, fit quality and the paper's evaluation metrics.
+//
+// Usage:
+//
+//	lvf2fit -in delays.txt
+//	lvf2fit -in delays.txt -model lvf2 -polish
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"lvf2/internal/binning"
+	"lvf2/internal/fit"
+	"lvf2/internal/stats"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input sample file (default stdin)")
+		model  = flag.String("model", "all", "model to fit: lvf|norm2|lesn|lvf2|all")
+		polish = flag.Bool("polish", false, "enable MLE polish for LVF2")
+		autok  = flag.Int("autok", 0, "select component count 1..k by BIC and report it")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	xs, err := readSamples(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(xs) == 0 {
+		fatal(fmt.Errorf("no samples"))
+	}
+
+	emp := stats.NewEmpirical(xs)
+	sm := emp.Moments()
+	fmt.Printf("samples: %d  mean: %.6g  std: %.6g  skew: %.4f  kurt: %.4f\n\n",
+		sm.N, sm.Mean, sm.Std(), sm.Skewness, sm.Kurtosis)
+
+	models, err := selectModels(*model)
+	if err != nil {
+		fatal(err)
+	}
+	opts := fit.Options{Polish: *polish}
+
+	if *autok > 0 {
+		res, err := fit.FitAutoK(xs, *autok, fit.BIC, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("BIC component selection (1..%d): k = %d  scores %v\n\n", *autok, res.K, res.Scores)
+	}
+
+	var baseline *binning.Metrics
+	if br, err := fit.Fit(fit.ModelLVF, xs, opts); err == nil {
+		m := binning.Evaluate(br.Dist, emp)
+		baseline = &m
+	}
+
+	for _, mk := range models {
+		res, err := fit.Fit(mk, xs, opts)
+		if err != nil {
+			fmt.Printf("%-6s fit failed: %v\n", mk, err)
+			continue
+		}
+		met := binning.Evaluate(res.Dist, emp)
+		gof := stats.ChiSquareGOF(res.Dist, xs, 40, fitParamCount(mk))
+		ksp := stats.KSPValue(emp.KSDistance(res.Dist), len(xs))
+		fmt.Printf("%-6s loglik %.2f  binErr %.5f  3σ-yieldErr %.5f  cdfRMSE %.5f  χ²p %.3g  KSp %.3g",
+			mk, res.LogLik, met.BinErr, met.YieldErr, met.CDFRMSE, gof.PValue, ksp)
+		if baseline != nil && mk != fit.ModelLVF {
+			fmt.Printf("  (vs LVF: %.2fx bin, %.2fx yield)",
+				binning.Cap(binning.ErrorReduction(baseline.BinErr, met.BinErr), 999),
+				binning.Cap(binning.ErrorReduction(baseline.YieldErr, met.YieldErr), 999))
+		}
+		fmt.Println()
+		printParams(mk, xs, opts)
+	}
+}
+
+func printParams(mk fit.Model, xs []float64, opts fit.Options) {
+	switch mk {
+	case fit.ModelLVF2:
+		r, err := fit.FitLVF2(xs, opts)
+		if err != nil {
+			return
+		}
+		m1, s1, g1 := r.C1.Moments()
+		m2, s2, g2 := r.C2.Moments()
+		fmt.Printf("        λ=%.4f  θ1=(μ %.6g, σ %.6g, γ %.4f)  θ2=(μ %.6g, σ %.6g, γ %.4f)\n",
+			r.Lambda, m1, s1, g1, m2, s2, g2)
+	case fit.ModelNorm2:
+		r, err := fit.FitNorm2Params(xs, opts)
+		if err != nil {
+			return
+		}
+		fmt.Printf("        λ=%.4f  N1=(μ %.6g, σ %.6g)  N2=(μ %.6g, σ %.6g)\n",
+			r.Lambda, r.C1.Mu, r.C1.Sigma, r.C2.Mu, r.C2.Sigma)
+	case fit.ModelLVF:
+		r, err := fit.FitLVF(xs)
+		if err != nil {
+			return
+		}
+		sn := r.Dist.(stats.SkewNormal)
+		m, s, g := sn.Moments()
+		fmt.Printf("        θ=(μ %.6g, σ %.6g, γ %.4f)  [ξ %.6g, ω %.6g, α %.4f]\n",
+			m, s, g, sn.Xi, sn.Omega, sn.Alpha)
+	case fit.ModelLESN:
+		r, err := fit.FitLESN(xs, opts)
+		if err != nil {
+			return
+		}
+		l := r.Dist.(stats.LogESN)
+		fmt.Printf("        log-space ESN: ξ %.6g, ω %.6g, α %.4f, τ %.4f\n",
+			l.W.Xi, l.W.Omega, l.W.Alpha, l.W.Tau)
+	}
+}
+
+// fitParamCount is the dof penalty per model for the chi-square test.
+func fitParamCount(m fit.Model) int {
+	switch m {
+	case fit.ModelLVF:
+		return 3
+	case fit.ModelNorm2:
+		return 5
+	case fit.ModelLESN:
+		return 4
+	case fit.ModelLVF2:
+		return 7
+	case fit.ModelLN:
+		return 2
+	case fit.ModelLSN:
+		return 3
+	}
+	return 3
+}
+
+func selectModels(s string) ([]fit.Model, error) {
+	switch strings.ToLower(s) {
+	case "all":
+		return fit.AllModels, nil
+	case "lvf":
+		return []fit.Model{fit.ModelLVF}, nil
+	case "norm2":
+		return []fit.Model{fit.ModelNorm2}, nil
+	case "lesn":
+		return []fit.Model{fit.ModelLESN}, nil
+	case "lvf2":
+		return []fit.Model{fit.ModelLVF2}, nil
+	}
+	return nil, fmt.Errorf("unknown model %q", s)
+}
+
+func readSamples(r io.Reader) ([]float64, error) {
+	var xs []float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, fld := range strings.Fields(strings.ReplaceAll(line, ",", " ")) {
+			v, err := strconv.ParseFloat(fld, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q: %w", fld, err)
+			}
+			xs = append(xs, v)
+		}
+	}
+	return xs, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lvf2fit: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"lvf2/internal/fit"
+)
+
+func TestReadSamples(t *testing.T) {
+	in := `# comment
+1.5
+2.5, 3.5
+ 4.5	5.5
+
+# trailing comment
+6.5`
+	xs, err := readSamples(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2.5, 3.5, 4.5, 5.5, 6.5}
+	if len(xs) != len(want) {
+		t.Fatalf("got %v", xs)
+	}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Errorf("xs[%d] = %v want %v", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestReadSamplesBadValue(t *testing.T) {
+	if _, err := readSamples(strings.NewReader("1.0\nbanana\n")); err == nil {
+		t.Error("bad value accepted")
+	}
+}
+
+func TestSelectModels(t *testing.T) {
+	all, err := selectModels("all")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("all: %v %v", all, err)
+	}
+	one, err := selectModels("LVF2")
+	if err != nil || len(one) != 1 || one[0] != fit.ModelLVF2 {
+		t.Fatalf("lvf2: %v %v", one, err)
+	}
+	for _, name := range []string{"lvf", "norm2", "lesn"} {
+		if _, err := selectModels(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := selectModels("bogus"); err == nil {
+		t.Error("bogus model accepted")
+	}
+}

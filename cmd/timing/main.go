@@ -1,0 +1,121 @@
+// Command timing runs block-based statistical static timing analysis on a
+// gate-level Verilog netlist against a Liberty library with LVF and/or
+// LVF² attributes — the end-user SSTA flow of the paper.
+//
+// Usage:
+//
+//	timing -lib synth.lib -netlist design.v
+//	timing -lib synth.lib -builtin rca16         # built-in benchmark netlists
+//	timing -lib synth.lib -builtin chain -n 12 -cell INV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"lvf2/internal/fit"
+	"lvf2/internal/liberty"
+	"lvf2/internal/netlist"
+	"lvf2/internal/sta"
+	"lvf2/internal/stats"
+)
+
+func main() {
+	var (
+		libPath  = flag.String("lib", "", "Liberty library file (required)")
+		nlPath   = flag.String("netlist", "", "structural Verilog netlist")
+		builtin  = flag.String("builtin", "", "built-in netlist: chain | rca16 | buftree")
+		n        = flag.Int("n", 8, "stage count for -builtin chain / tree depth")
+		cellName = flag.String("cell", "INV", "cell type for -builtin chain")
+		slew     = flag.Float64("slew", 0.01, "primary input slew, ns")
+		allNets  = flag.Bool("all", false, "print every net, not just primary outputs")
+		showPath = flag.Bool("path", false, "print the nominal critical path")
+	)
+	flag.Parse()
+
+	if *libPath == "" {
+		fatal(fmt.Errorf("-lib is required"))
+	}
+	group, err := liberty.ParseFile(*libPath)
+	if err != nil {
+		fatal(err)
+	}
+	lib, err := liberty.LoadLibrary(group)
+	if err != nil {
+		fatal(err)
+	}
+
+	var mod *netlist.Module
+	switch {
+	case *nlPath != "":
+		b, err := os.ReadFile(*nlPath)
+		if err != nil {
+			fatal(err)
+		}
+		if mod, err = netlist.Parse(string(b)); err != nil {
+			fatal(err)
+		}
+	case *builtin == "chain":
+		mod = netlist.Chain("chain", *cellName, *n)
+	case *builtin == "rca16":
+		mod = netlist.RippleCarryAdder(16)
+	case *builtin == "buftree":
+		mod = netlist.BufferTree(*n)
+	default:
+		fatal(fmt.Errorf("provide -netlist or -builtin {chain|rca16|buftree}"))
+	}
+
+	res, err := sta.Run(lib, mod, sta.Options{InputSlew: *slew})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("module %s: %d instances, critical output %q\n\n",
+		mod.Name, len(mod.Instances), res.CriticalOutput)
+	if *showPath {
+		fmt.Println("critical path:")
+		for _, step := range res.CriticalPath(res.CriticalOutput) {
+			inst := step.Instance
+			if inst == "" {
+				inst = "(primary input)"
+			}
+			fmt.Printf("  %-12s %-16s arrival %.5f ns\n", step.Net, inst, step.Arrival)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("%-12s %10s %10s | %22s | %22s\n", "net", "nominal", "slew",
+		"LVF  (mean σ q99.87)", "LVF2 (mean σ q99.87)")
+	nets := mod.Outputs()
+	if *allNets {
+		nets = mod.Nets()
+	}
+	sort.Strings(nets)
+	for _, net := range nets {
+		a, ok := res.Arrivals[net]
+		if !ok {
+			continue
+		}
+		row := fmt.Sprintf("%-12s %10.5f %10.5f |", net, a.Nominal, a.Slew)
+		for _, fam := range []fit.Model{fit.ModelLVF, fit.ModelLVF2} {
+			v := a.Vars[fam]
+			if v == nil {
+				row += fmt.Sprintf(" %22s |", "-")
+				continue
+			}
+			d := v.Dist()
+			q := stats.Quantile(d, 0.9987) // μ+3σ-equivalent yield point
+			row += fmt.Sprintf(" %7.5f %7.5f %7.5f |", d.Mean(),
+				math.Sqrt(d.Variance()), q)
+		}
+		fmt.Println(row)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "timing: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,156 @@
+package lvf2_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lvf2"
+)
+
+// bimodal draws a deterministic two-regime delay population (ns).
+func bimodal(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		if rng.Float64() < 0.7 {
+			xs[i] = 0.100 + 0.004*rng.NormFloat64()
+		} else {
+			xs[i] = 0.130 + 0.004*rng.NormFloat64()
+		}
+	}
+	return xs
+}
+
+// ExampleFit fits the LVF² model to a bimodal Monte-Carlo population and
+// prints the mixture weight.
+func ExampleFit() {
+	samples := bimodal(20000)
+	model, err := lvf2.Fit(samples, lvf2.FitOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("two components: %v\n", !model.IsLVF())
+	fmt.Printf("λ ≈ %.1f\n", model.Lambda)
+	// Output:
+	// two components: true
+	// λ ≈ 0.3
+}
+
+// ExampleFromLVF shows the eq. (10) backward-compatibility rule: a plain
+// LVF moments vector is a valid LVF² model with λ = 0.
+func ExampleFromLVF() {
+	m := lvf2.FromLVF(lvf2.Theta{Mean: 0.1, Sigma: 0.005, Skew: 0.3})
+	fmt.Println(m.IsLVF(), m.Lambda)
+	// Output: true 0
+}
+
+// ExampleSigmaBoundaries bins a fitted distribution into the paper's
+// eight speed bins.
+func ExampleSigmaBoundaries() {
+	m := lvf2.FromLVF(lvf2.Theta{Mean: 1.0, Sigma: 0.1})
+	probs := lvf2.BinProbabilities(m.Dist(), lvf2.SigmaBoundaries(1.0, 0.1))
+	fmt.Printf("bins: %d, innermost ≈ %.3f\n", len(probs), probs[3])
+	// Output: bins: 8, innermost ≈ 0.341
+}
+
+// ExampleErrorReduction computes the eq. (12) normalisation used
+// throughout the paper's tables.
+func ExampleErrorReduction() {
+	fmt.Printf("%.0fx\n", lvf2.ErrorReduction(0.08, 0.01))
+	// Output: 8x
+}
+
+// ExampleParseLiberty parses a Liberty fragment and reads a timing model
+// back out of it.
+func ExampleParseLiberty() {
+	lib, err := lvf2.ParseLiberty(`library (demo) {
+	  cell (INV) {
+	    pin (ZN) {
+	      direction : output;
+	      timing () {
+	        related_pin : "A";
+	        cell_rise (tpl) { index_1("0.01"); index_2("0.002"); values ("0.10"); }
+	        ocv_std_dev_cell_rise (tpl) { values ("0.008"); }
+	      }
+	    }
+	  }
+	}`)
+	if err != nil {
+		panic(err)
+	}
+	cell, _ := lib.Group("cell")
+	pin, _ := cell.Group("pin")
+	timing, _ := pin.Group("timing")
+	tt, err := lvf2.ExtractTimingTables(timing, "cell_rise")
+	if err != nil {
+		panic(err)
+	}
+	m, _ := tt.ModelAt(0, 0)
+	fmt.Printf("λ=%v mean=%.2f σ=%.3f\n", m.Lambda, m.Theta1.Mean, m.Theta1.Sigma)
+	// Output: λ=0 mean=0.10 σ=0.008
+}
+
+// ExampleNewTimingVar demonstrates the SSTA sum operator: variances of
+// independent stages add exactly.
+func ExampleNewTimingVar() {
+	v, err := lvf2.NewTimingVar(lvf2.KindLVF2, bimodal(8000), lvf2.FitOptions{})
+	if err != nil {
+		panic(err)
+	}
+	sum, err := v.Sum(v)
+	if err != nil {
+		panic(err)
+	}
+	ratio := sum.Dist().Variance() / v.Dist().Variance()
+	fmt.Printf("variance ratio after self-sum: %.1f\n", ratio)
+	// Output: variance ratio after self-sum: 2.0
+}
+
+// ExampleBerryEsseenBound evaluates Theorem 1's O(1/√n) convergence bound.
+func ExampleBerryEsseenBound() {
+	rho := 1.6
+	fmt.Printf("n=4: %.3f  n=16: %.3f\n",
+		lvf2.BerryEsseenBound(rho, 4), lvf2.BerryEsseenBound(rho, 16))
+	// Output: n=4: 0.380  n=16: 0.190
+}
+
+// ExampleRunSTA runs netlist-level statistical timing against a
+// hand-written constant-table library.
+func ExampleRunSTA() {
+	lib, err := lvf2.ParseLiberty(`library (demo) {
+	  cell (INV) {
+	    pin (A) { direction : input; capacitance : 0.001; }
+	    pin (ZN) {
+	      direction : output;
+	      timing () {
+	        related_pin : "A";
+	        cell_rise (tpl) {
+	          index_1("0.001, 1"); index_2("0.0001, 1");
+	          values ("0.1, 0.1", "0.1, 0.1");
+	        }
+	        ocv_std_dev_cell_rise (tpl) {
+	          index_1("0.001, 1"); index_2("0.0001, 1");
+	          values ("0.01, 0.01", "0.01, 0.01");
+	        }
+	      }
+	    }
+	  }
+	}`)
+	if err != nil {
+		panic(err)
+	}
+	sem, err := lvf2.LoadSemanticLibrary(lib)
+	if err != nil {
+		panic(err)
+	}
+	mod := lvf2.ChainNetlist("c", "INV", 4)
+	res, err := lvf2.RunSTA(sem, mod, lvf2.STAOptions{})
+	if err != nil {
+		panic(err)
+	}
+	a := res.Critical()
+	d := a.Vars[lvf2.KindLVF].Dist()
+	fmt.Printf("nominal %.1f ns, σ %.2f ns\n", a.Nominal, math.Sqrt(d.Variance()))
+	// Output: nominal 0.4 ns, σ 0.02 ns
+}

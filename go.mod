@@ -1,0 +1,3 @@
+module lvf2
+
+go 1.22

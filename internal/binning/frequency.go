@@ -1,0 +1,91 @@
+package binning
+
+import (
+	"math"
+	"sort"
+
+	"lvf2/internal/stats"
+)
+
+// Frequency-domain speed binning: manufacturing test sorts chips by the
+// highest permissible operating frequency f_max = 1/t_crit (§1). These
+// helpers map a delay distribution into frequency bins, which is how the
+// bins of Fig. 2 are actually labelled on a datasheet.
+
+// FrequencyBoundaries converts ascending delay thresholds into ascending
+// frequency thresholds (f = 1/t reverses the order). Non-positive delay
+// thresholds are rejected by returning nil.
+func FrequencyBoundaries(delayBounds Boundaries) Boundaries {
+	out := make(Boundaries, 0, len(delayBounds))
+	for _, t := range delayBounds {
+		if t <= 0 {
+			return nil
+		}
+		out = append(out, 1/t)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// FrequencyBinProbabilities bins a delay distribution by frequency:
+// P(f ≤ F) = P(t ≥ 1/F) = 1 − P(t < 1/F). freqBounds must be ascending.
+// The returned slice has len(freqBounds)+1 entries, slowest bin first.
+func FrequencyBinProbabilities(delayDist stats.Dist, freqBounds Boundaries) []float64 {
+	cdfF := func(f float64) float64 {
+		if f <= 0 {
+			return 0
+		}
+		return 1 - delayDist.CDF(1/f)
+	}
+	return Probabilities(cdfF, freqBounds)
+}
+
+// BinIndexForDelay returns which delay bin (0-based) a measured delay
+// falls into for the given ascending boundaries.
+func BinIndexForDelay(bounds Boundaries, t float64) int {
+	i := sort.SearchFloat64s(bounds, t)
+	// SearchFloat64s returns the first boundary >= t. A delay exactly on a
+	// boundary belongs to the upper bin (eq. 1 puts T_{i-1} in bin i via
+	// the non-strict P(t ≤ T_{i-1}) term).
+	if i < len(bounds) && bounds[i] == t {
+		return i + 1
+	}
+	return i
+}
+
+// BinCounts histograms measured delays into bins (manufacturing-test
+// view of eq. 1).
+func BinCounts(bounds Boundaries, delays []float64) []int {
+	counts := make([]int, len(bounds)+1)
+	for _, t := range delays {
+		counts[BinIndexForDelay(bounds, t)]++
+	}
+	return counts
+}
+
+// MeanFrequency returns E[1/t] of a delay distribution by quadrature over
+// mean ± 10σ (truncated at a small positive floor).
+func MeanFrequency(delayDist stats.Dist) float64 {
+	m, s := delayDist.Mean(), stats.Std(delayDist)
+	lo := m - 10*s
+	if lo <= 1e-12 {
+		lo = 1e-12
+	}
+	hi := m + 10*s
+	const n = 400
+	h := (hi - lo) / n
+	var sum float64
+	for i := 0; i <= n; i++ {
+		x := lo + float64(i)*h
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5
+		}
+		sum += w * delayDist.PDF(x) / x
+	}
+	v := sum * h
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,143 @@
+package binning
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lvf2/internal/stats"
+)
+
+func TestFrequencyBoundaries(t *testing.T) {
+	fb := FrequencyBoundaries(Boundaries{0.5, 1.0, 2.0})
+	want := []float64{0.5, 1.0, 2.0}
+	if len(fb) != 3 {
+		t.Fatalf("len %d", len(fb))
+	}
+	for i := range want {
+		if math.Abs(fb[i]-want[i]) > 1e-12 {
+			t.Errorf("fb[%d] = %v want %v", i, fb[i], want[i])
+		}
+	}
+	if FrequencyBoundaries(Boundaries{-1, 1}) != nil {
+		t.Error("non-positive delay threshold accepted")
+	}
+}
+
+func TestFrequencyBinProbabilitiesConsistentWithDelayBins(t *testing.T) {
+	// For a delay distribution and thresholds T1 < T2, the frequency bins
+	// at 1/T2 < 1/T1 contain the same mass in reverse order.
+	d := stats.Normal{Mu: 1.0, Sigma: 0.05}
+	db := Boundaries{0.9, 1.0, 1.1}
+	delayProbs := DistProbabilities(d, db)
+	fb := FrequencyBoundaries(db)
+	freqProbs := FrequencyBinProbabilities(d, fb)
+	if len(freqProbs) != len(delayProbs) {
+		t.Fatalf("lengths %d vs %d", len(freqProbs), len(delayProbs))
+	}
+	for i := range delayProbs {
+		j := len(delayProbs) - 1 - i
+		if math.Abs(delayProbs[i]-freqProbs[j]) > 1e-9 {
+			t.Errorf("delay bin %d (%v) != freq bin %d (%v)", i, delayProbs[i], j, freqProbs[j])
+		}
+	}
+	var sum float64
+	for _, p := range freqProbs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("freq probs sum %v", sum)
+	}
+}
+
+func TestBinCountsMatchEmpiricalProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := stats.Normal{Mu: 0, Sigma: 1}
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = d.Sample(rng)
+	}
+	b := SigmaBoundaries(0, 1)
+	counts := BinCounts(b, xs)
+	emp := EmpiricalProbabilities(stats.NewEmpirical(xs), b)
+	var tot int
+	for _, c := range counts {
+		tot += c
+	}
+	if tot != len(xs) {
+		t.Fatalf("counts sum %d", tot)
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)/float64(len(xs))-emp[i]) > 1e-9 {
+			t.Errorf("bin %d: count frac %v vs empirical %v", i, float64(c)/float64(len(xs)), emp[i])
+		}
+	}
+}
+
+func TestBinIndexForDelayBoundaryTies(t *testing.T) {
+	b := Boundaries{1, 2, 3}
+	cases := []struct {
+		t    float64
+		want int
+	}{
+		{0.5, 0}, {1, 1}, {1.5, 1}, {2, 2}, {2.5, 2}, {3, 3}, {9, 3},
+	}
+	for _, c := range cases {
+		if got := BinIndexForDelay(b, c.t); got != c.want {
+			t.Errorf("BinIndexForDelay(%v) = %d want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestMeanFrequencyInverseRelation(t *testing.T) {
+	// For a tight distribution, E[1/t] ≈ 1/E[t] with a Jensen correction
+	// upward.
+	d := stats.Normal{Mu: 2.0, Sigma: 0.02}
+	mf := MeanFrequency(d)
+	if mf < 0.5 || mf > 0.502 {
+		t.Errorf("mean frequency %v want ≈0.5", mf)
+	}
+	if mf < 1/d.Mean() {
+		t.Errorf("Jensen: E[1/t]=%v must be ≥ 1/E[t]=%v", mf, 1/d.Mean())
+	}
+}
+
+func TestOptimizeBoundariesTwoBins(t *testing.T) {
+	// Two bins, price 1 for fast (t < T) and 0 for slow: revenue = CDF(T),
+	// maximised by pushing T arbitrarily high — but with price {0, 1}
+	// (slow bin pays) the optimum pushes T low. Use three bins with an
+	// interior sweet spot instead: prices {0, 1, 0} mean revenue is the
+	// mass between the two boundaries, maximised by brackets around the
+	// bulk of the distribution.
+	d := stats.Normal{Mu: 1.0, Sigma: 0.1}
+	b, rev := OptimizeBoundaries(d, []float64{0, 1, 0})
+	if len(b) != 2 || b[0] >= b[1] {
+		t.Fatalf("boundaries %v", b)
+	}
+	// Captures nearly all the mass.
+	if rev < 0.95 {
+		t.Errorf("optimal revenue %v (boundaries %v)", rev, b)
+	}
+	// Boundaries straddle the mean.
+	if b[0] > 1.0 || b[1] < 1.0 {
+		t.Errorf("boundaries %v should straddle the mean", b)
+	}
+}
+
+func TestOptimizeBoundariesBeatsSigmaConvention(t *testing.T) {
+	// Asymmetric prices make the μ±kσ convention suboptimal.
+	d := stats.SNFromMoments(1.0, 0.08, 0.8)
+	prices := []float64{0, 10, 9, 8, 6, 4, 2, 0}
+	ref := SigmaBoundaries(1.0, 0.08)
+	gain := RevenueGain(d, prices, ref)
+	if gain < 1 {
+		t.Errorf("optimal boundaries should not lose to the σ convention: gain %v", gain)
+	}
+}
+
+func TestOptimizeBoundariesDegenerate(t *testing.T) {
+	d := stats.Normal{Mu: 1, Sigma: 0.1}
+	if b, _ := OptimizeBoundaries(d, []float64{5}); b != nil {
+		t.Error("single price has no boundaries")
+	}
+}

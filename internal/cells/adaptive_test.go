@@ -1,0 +1,121 @@
+package cells
+
+import (
+	"sort"
+	"testing"
+
+	"lvf2/internal/stats"
+)
+
+func adaptiveArc() Arc {
+	// An arc whose confrontation diagonal crosses the grid interior so
+	// both bimodal and unimodal points exist.
+	ct, _ := CellByName("NAND2")
+	arc := ct.Arcs()[0]
+	arc.Elec.DiagOffset = 0
+	arc.Elec.ModeGap = 0.25
+	return arc
+}
+
+func TestPlanAdaptiveBudgetAccounting(t *testing.T) {
+	cfg := AdaptiveConfig{
+		CharConfig:   CharConfig{Samples: 1000, Seed: 3, GridStride: 2},
+		PilotSamples: 300,
+		TotalBudget:  16 * 1000,
+	}
+	plan := PlanAdaptive(cfg, adaptiveArc())
+	if len(plan) != 16 {
+		t.Fatalf("plan covers %d points, want 16", len(plan))
+	}
+	var total int
+	for _, a := range plan {
+		if a.Samples < 300 {
+			t.Fatalf("allocation %d below floor", a.Samples)
+		}
+		total += a.Samples
+	}
+	// Rounding slack only.
+	if total < 15500 || total > 16500 {
+		t.Errorf("total allocation %d vs budget %d", total, cfg.TotalBudget)
+	}
+}
+
+func TestAdaptiveConcentratesOnBimodalPoints(t *testing.T) {
+	cfg := AdaptiveConfig{
+		CharConfig:   CharConfig{Samples: 1500, Seed: 5, GridStride: 2},
+		PilotSamples: 400,
+	}
+	arc := adaptiveArc()
+	dists, plan := AdaptiveCharacterizeArc(cfg, arc)
+	if len(dists) != 2*len(plan) {
+		t.Fatalf("%d distributions for %d points", len(dists), len(plan))
+	}
+	// Ground truth: score every point from a large independent sample and
+	// verify the allocation ranks agree — the top-half ground-truth
+	// scorers must receive a larger average budget than the bottom half.
+	truthScore := map[[2]int]float64{}
+	big := CharConfig{Samples: 4000, Seed: 77, GridStride: 2}
+	for _, d := range CharacterizeArc(big, arc) {
+		if d.Kind == Delay {
+			truthScore[[2]int{d.SlewIdx, d.LoadIdx}] = bimodalityScore(stats.Moments(d.Samples))
+		}
+	}
+	type pt struct {
+		score float64
+		alloc int
+	}
+	pts := make([]pt, 0, len(plan))
+	for _, a := range plan {
+		pts = append(pts, pt{score: truthScore[[2]int{a.SlewIdx, a.LoadIdx}], alloc: a.Samples})
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].score > pts[b].score })
+	half := len(pts) / 2
+	var top, bottom float64
+	for i, p := range pts {
+		if i < half {
+			top += float64(p.alloc)
+		} else {
+			bottom += float64(p.alloc)
+		}
+	}
+	top /= float64(half)
+	bottom /= float64(len(pts) - half)
+	if pts[0].score < 0.1 {
+		t.Skipf("no strongly non-Gaussian point on this subgrid (best score %v)", pts[0].score)
+	}
+	if top <= bottom {
+		t.Errorf("top-half ground-truth scorers got %v samples on average, bottom half %v — no concentration", top, bottom)
+	}
+}
+
+func TestAdaptiveDeterministic(t *testing.T) {
+	cfg := AdaptiveConfig{
+		CharConfig:   CharConfig{Samples: 600, Seed: 9, GridStride: 4},
+		PilotSamples: 200,
+	}
+	arc := adaptiveArc()
+	_, p1 := AdaptiveCharacterizeArc(cfg, arc)
+	_, p2 := AdaptiveCharacterizeArc(cfg, arc)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("adaptive plan not deterministic")
+		}
+	}
+}
+
+func TestBimodalityScore(t *testing.T) {
+	// Gaussian: kurt 3, skew 0 → b = 1/3 < 5/9 → floor score.
+	g := stats.SampleMoments{Kurtosis: 3}
+	if s := bimodalityScore(g); s > 0.05 {
+		t.Errorf("gaussian score %v", s)
+	}
+	// Hard two-point mixture: kurt 1, skew 0 → b = 1 → high score.
+	b := stats.SampleMoments{Kurtosis: 1}
+	if s := bimodalityScore(b); s < 0.4 {
+		t.Errorf("bimodal score %v", s)
+	}
+	// Degenerate kurtosis guard.
+	if s := bimodalityScore(stats.SampleMoments{}); s != 1 {
+		t.Errorf("degenerate score %v", s)
+	}
+}

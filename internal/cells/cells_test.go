@@ -1,0 +1,148 @@
+package cells
+
+import (
+	"testing"
+
+	"lvf2/internal/stats"
+)
+
+func TestLibraryMatchesTable2(t *testing.T) {
+	lib := Library()
+	if len(lib) != 25 {
+		t.Fatalf("want 25 cell types, got %d", len(lib))
+	}
+	wantArcs := map[string]int{
+		"INV": 24, "BUFF": 21, "NAND2": 57, "NAND3": 39, "NAND4": 28,
+		"AND2": 20, "AND3": 22, "AND4": 11, "NOR2": 14, "NOR3": 13,
+		"NOR4": 25, "OR2": 17, "OR3": 12, "OR4": 23, "XOR2": 32,
+		"XOR3": 49, "XOR4": 74, "XNOR2": 30, "XNOR3": 48, "XNOR4": 45,
+		"MUX2": 31, "MUX3": 40, "MUX4": 40, "FA": 25, "HA": 7,
+	}
+	var total int
+	for _, c := range lib {
+		w, ok := wantArcs[c.Name]
+		if !ok {
+			t.Errorf("unexpected cell %s", c.Name)
+			continue
+		}
+		if c.ArcCount != w {
+			t.Errorf("%s: %d arcs, want %d", c.Name, c.ArcCount, w)
+		}
+		total += c.ArcCount
+	}
+	if total != 747 {
+		t.Errorf("total arcs %d, want 747 (Table 2)", total)
+	}
+}
+
+func TestCellByName(t *testing.T) {
+	c, ok := CellByName("NAND2")
+	if !ok || c.Name != "NAND2" || c.Base.StackN != 2 {
+		t.Errorf("NAND2 lookup: %+v ok=%v", c, ok)
+	}
+	if _, ok := CellByName("DFF"); ok {
+		t.Error("sequential cells must not exist in this library")
+	}
+}
+
+func TestDefaultGridShape(t *testing.T) {
+	g := DefaultGrid()
+	if len(g.Slews) != 8 || len(g.Loads) != 8 {
+		t.Fatalf("grid %dx%d, want 8x8", len(g.Slews), len(g.Loads))
+	}
+	for i := 1; i < 8; i++ {
+		if g.Slews[i] <= g.Slews[i-1] || g.Loads[i] <= g.Loads[i-1] {
+			t.Fatal("grid axes must be strictly increasing")
+		}
+	}
+}
+
+func TestArcsDeterministicAndDistinct(t *testing.T) {
+	c, _ := CellByName("NAND2")
+	a1 := c.Arcs()
+	a2 := c.Arcs()
+	if len(a1) != c.ArcCount {
+		t.Fatalf("arc count %d", len(a1))
+	}
+	for i := range a1 {
+		if a1[i].Elec != a2[i].Elec {
+			t.Fatal("arcs must be deterministic across calls")
+		}
+	}
+	// Different arcs must differ electrically.
+	if a1[0].Elec == a1[1].Elec {
+		t.Error("distinct arcs should have distinct electrical params")
+	}
+	// Arc labels are unique.
+	seen := map[string]bool{}
+	for _, a := range a1 {
+		if seen[a.Label] {
+			t.Fatalf("duplicate label %s", a.Label)
+		}
+		seen[a.Label] = true
+	}
+}
+
+func TestCharacterizeArcProducesBothKinds(t *testing.T) {
+	c, _ := CellByName("INV")
+	arc := c.Arcs()[0]
+	cfg := CharConfig{Samples: 400, GridStride: 4}
+	dists := CharacterizeArc(cfg, arc)
+	// 2×2 grid points × 2 kinds.
+	if len(dists) != 8 {
+		t.Fatalf("got %d distributions, want 8", len(dists))
+	}
+	var sawDelay, sawTrans bool
+	for _, d := range dists {
+		if len(d.Samples) != 400 {
+			t.Fatalf("sample count %d", len(d.Samples))
+		}
+		m := stats.Moments(d.Samples)
+		if m.Std() <= 0 || m.Mean <= 0 {
+			t.Fatalf("degenerate distribution at %d,%d kind %v", d.SlewIdx, d.LoadIdx, d.Kind)
+		}
+		if d.NomDelay <= 0 {
+			t.Fatalf("nominal value missing")
+		}
+		switch d.Kind {
+		case Delay:
+			sawDelay = true
+		case Transition:
+			sawTrans = true
+		}
+	}
+	if !sawDelay || !sawTrans {
+		t.Error("both kinds must be characterised")
+	}
+}
+
+func TestCharacterizeReproducible(t *testing.T) {
+	c, _ := CellByName("NOR2")
+	arc := c.Arcs()[3]
+	cfg := CharConfig{Samples: 200, GridStride: 8, Seed: 99}
+	d1 := CharacterizeArc(cfg, arc)
+	d2 := CharacterizeArc(cfg, arc)
+	for i := range d1 {
+		for j := range d1[i].Samples {
+			if d1[i].Samples[j] != d2[i].Samples[j] {
+				t.Fatal("characterisation must be reproducible for a fixed seed")
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Delay.String() != "Delay" || Transition.String() != "Transition" {
+		t.Error("kind names")
+	}
+}
+
+func TestCharConfigDefaults(t *testing.T) {
+	cfg := CharConfig{}.WithDefaults()
+	if cfg.Samples != 5000 || cfg.GridStride != 1 || len(cfg.Grid.Slews) != 8 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	if cfg.Corner.VDD != 0.8 {
+		t.Errorf("corner default VDD %v", cfg.Corner.VDD)
+	}
+}

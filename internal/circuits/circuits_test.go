@@ -1,0 +1,167 @@
+package circuits
+
+import (
+	"math"
+	"testing"
+
+	"lvf2/internal/spice"
+	"lvf2/internal/stats"
+)
+
+func TestFO4DelayPositiveAndStable(t *testing.T) {
+	c := spice.TTCorner()
+	d1 := FO4Delay(c)
+	d2 := FO4Delay(c)
+	if d1 <= 0 {
+		t.Fatalf("FO4 delay %v", d1)
+	}
+	if d1 != d2 {
+		t.Error("FO4 delay must be deterministic")
+	}
+	// Sanity range for the synthetic 22nm-like library: 10–60 ps.
+	if d1 < 0.010 || d1 > 0.060 {
+		t.Errorf("FO4 delay %v ns outside plausible window", d1)
+	}
+}
+
+func TestPiWireElmore(t *testing.T) {
+	w := PiWire{R: 1, C1: 0.1, C2: 0.2}
+	if got := w.ElmoreDelay(0.3); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Elmore %v", got)
+	}
+	if got := w.TotalCap(0.3); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("TotalCap %v", got)
+	}
+}
+
+func TestCarryAdderDepth(t *testing.T) {
+	c := spice.TTCorner()
+	p := CarryAdder16(c)
+	// XOR + 32 carry gates + XOR.
+	if len(p.Stages) != 34 {
+		t.Fatalf("adder stages %d, want 34", len(p.Stages))
+	}
+	depth := p.FO4Depth(c)
+	if depth < 20 || depth > 45 {
+		t.Errorf("adder depth %.1f FO4, want ≈30", depth)
+	}
+}
+
+func TestHTreeDepth(t *testing.T) {
+	c := spice.TTCorner()
+	p := HTree6(c)
+	if len(p.Stages) != 12 {
+		t.Fatalf("htree stages %d, want 12 (2 buffers × 6 levels)", len(p.Stages))
+	}
+	depth := p.FO4Depth(c)
+	if depth < 70 || depth > 125 {
+		t.Errorf("htree depth %.1f FO4, want ≈95", depth)
+	}
+}
+
+func TestHTreeDeeperThanAdder(t *testing.T) {
+	c := spice.TTCorner()
+	if HTree6(c).FO4Depth(c) <= CarryAdder16(c).FO4Depth(c) {
+		t.Error("H-tree must be deeper in FO4 than the adder (95 vs 30)")
+	}
+}
+
+func TestNominalProfileMonotoneAccumulation(t *testing.T) {
+	c := spice.TTCorner()
+	p := FO4Chain(8, 0)
+	delays, slews := p.NominalProfile(c)
+	if len(delays) != 8 || len(slews) != 8 {
+		t.Fatal("profile lengths")
+	}
+	for i, d := range delays {
+		if d <= 0 {
+			t.Fatalf("stage %d delay %v", i, d)
+		}
+	}
+	// A uniform chain's slew converges: late-stage slews stabilise.
+	if math.Abs(slews[7]-slews[6]) > 0.2*slews[6] {
+		t.Errorf("slew not settling: %v vs %v", slews[7], slews[6])
+	}
+}
+
+func TestMCStagesShapeAndBimodality(t *testing.T) {
+	c := spice.TTCorner()
+	p := FO4Chain(3, 0) // bias 0 ⇒ strongly bimodal stages
+	stages := p.MCStages(c, 3000, 42)
+	if len(stages) != 3 {
+		t.Fatal("stage count")
+	}
+	for _, s := range stages {
+		if len(s.Samples) != 3000 {
+			t.Fatal("sample count")
+		}
+		m := stats.Moments(s.Samples)
+		if m.Std() <= 0 {
+			t.Fatal("no variation")
+		}
+		// Mean within 25% of nominal.
+		if math.Abs(m.Mean-s.Nominal)/s.Nominal > 0.25 {
+			t.Errorf("stage mean %v vs nominal %v", m.Mean, s.Nominal)
+		}
+		// bias=0 chains sit at the confrontation point: platykurtic.
+		if m.Kurtosis > 2.9 {
+			t.Errorf("expected bimodal stage, kurtosis %v", m.Kurtosis)
+		}
+	}
+	// Off-confrontation chain is not bimodal.
+	far := FO4Chain(1, 4.0).MCStages(c, 3000, 42)
+	m := stats.Moments(far[0].Samples)
+	if m.Kurtosis < 2.7 {
+		t.Errorf("bias=4σ chain should be unimodal, kurtosis %v", m.Kurtosis)
+	}
+}
+
+func TestMCStagesDeterministic(t *testing.T) {
+	c := spice.TTCorner()
+	p := FO4Chain(2, 0.5)
+	a := p.MCStages(c, 500, 7)
+	b := p.MCStages(c, 500, 7)
+	for i := range a {
+		for j := range a[i].Samples {
+			if a[i].Samples[j] != b[i].Samples[j] {
+				t.Fatal("MCStages must be reproducible")
+			}
+		}
+	}
+	diff := p.MCStages(c, 500, 8)
+	if a[0].Samples[0] == diff[0].Samples[0] {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestStagesAreIndependent(t *testing.T) {
+	// Correlation between two stages' samples should be ≈0 (local
+	// variation regime).
+	c := spice.TTCorner()
+	p := FO4Chain(2, 0.5)
+	st := p.MCStages(c, 8000, 9)
+	a, b := st[0].Samples, st[1].Samples
+	ma := stats.Moments(a)
+	mb := stats.Moments(b)
+	var cov float64
+	for i := range a {
+		cov += (a[i] - ma.Mean) * (b[i] - mb.Mean)
+	}
+	cov /= float64(len(a))
+	rho := cov / (ma.Std() * mb.Std())
+	if math.Abs(rho) > 0.05 {
+		t.Errorf("stage correlation %v, want ~0", rho)
+	}
+}
+
+func TestWireIncreasesDelay(t *testing.T) {
+	c := spice.TTCorner()
+	noWire := PathStage{Elec: FO4Chain(1, 2).Stages[0].Elec, LoadPF: 0.004}
+	withWire := noWire
+	withWire.Wire = &PiWire{R: 0.8, C1: 0.05, C2: 0.05}
+	p1 := Path{Stages: []PathStage{noWire}}
+	p2 := Path{Stages: []PathStage{withWire}}
+	if p2.TotalNominal(c) <= p1.TotalNominal(c) {
+		t.Error("wire must add delay")
+	}
+}

@@ -1,0 +1,143 @@
+// Package core defines the LVF² statistical timing model — the paper's
+// primary contribution. A Model is the mixture of two weighted skew-normal
+// distributions of eq. (4), parameterised the way the Liberty Variation
+// Format parameterises distributions: by statistical-moment vectors
+// θ = (μ, σ, γ) rather than by Azzalini parameters, with the bijection g
+// of eq. (2) applied on demand.
+//
+// λ = 0 degenerates to the industry-standard LVF single skew-normal,
+// which is the backward-compatibility rule of eq. (10).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lvf2/internal/fit"
+	"lvf2/internal/stats"
+)
+
+// Theta is an LVF statistical-moments vector θ = (μ, σ, γ).
+type Theta struct {
+	Mean  float64 // μ
+	Sigma float64 // σ
+	Skew  float64 // γ
+}
+
+// SN converts θ to the corresponding skew-normal via the bijection g.
+func (t Theta) SN() stats.SkewNormal {
+	return stats.SNFromMoments(t.Mean, t.Sigma, t.Skew)
+}
+
+// ThetaOf extracts the moments vector of a skew-normal.
+func ThetaOf(sn stats.SkewNormal) Theta {
+	m, sd, g := sn.Moments()
+	return Theta{Mean: m, Sigma: sd, Skew: g}
+}
+
+// Model is the LVF² timing model of eq. (4):
+//
+//	f(x) = (1−λ)·f_LVF(x|θ₁) + λ·f_LVF(x|θ₂).
+//
+// Theta1 is the dominant component and the one that inherits the classic
+// LVF attributes in the Liberty encoding; λ ∈ [0, ½] by convention.
+type Model struct {
+	Lambda float64
+	Theta1 Theta
+	Theta2 Theta
+}
+
+// FromLVF lifts a plain LVF moments vector into LVF² (λ = 0; eq. 10).
+func FromLVF(t Theta) Model {
+	return Model{Lambda: 0, Theta1: t}
+}
+
+// IsLVF reports whether the model degenerates to single-component LVF.
+func (m Model) IsLVF() bool { return m.Lambda < 1e-9 }
+
+// Validate checks parameter sanity.
+func (m Model) Validate() error {
+	if m.Lambda < 0 || m.Lambda > 1 || math.IsNaN(m.Lambda) {
+		return fmt.Errorf("core: weight λ=%v out of [0,1]", m.Lambda)
+	}
+	if m.Theta1.Sigma < 0 || (!m.IsLVF() && m.Theta2.Sigma < 0) {
+		return errors.New("core: negative sigma")
+	}
+	return nil
+}
+
+// Dist returns the model's distribution: a single skew-normal when λ = 0,
+// otherwise the two-component mixture.
+func (m Model) Dist() stats.Dist {
+	if m.IsLVF() {
+		return m.Theta1.SN()
+	}
+	mix, err := stats.NewMixture(
+		[]float64{1 - m.Lambda, m.Lambda},
+		[]stats.Dist{m.Theta1.SN(), m.Theta2.SN()})
+	if err != nil {
+		// Only reachable with invalid λ; degrade to the dominant component.
+		return m.Theta1.SN()
+	}
+	return mix
+}
+
+// PDF evaluates eq. (4) at x.
+func (m Model) PDF(x float64) float64 { return m.Dist().PDF(x) }
+
+// CDF evaluates the mixture CDF at x.
+func (m Model) CDF(x float64) float64 { return m.Dist().CDF(x) }
+
+// Mean returns the mixture mean (1−λ)μ₁ + λμ₂.
+func (m Model) Mean() float64 {
+	return (1-m.Lambda)*m.Theta1.Mean + m.Lambda*m.Theta2.Mean
+}
+
+// Moments returns the first four moments of the full mixture.
+func (m Model) Moments() stats.SampleMoments {
+	return stats.DistMoments(m.Dist())
+}
+
+// FitOptions re-exports the fitting options.
+type FitOptions = fit.Options
+
+// FitModel fits LVF² to samples by the EM algorithm of §3.2 and converts
+// the result to the moments parameterisation.
+func FitModel(xs []float64, o FitOptions) (Model, error) {
+	r, err := fit.FitLVF2(xs, o)
+	if err != nil {
+		return Model{}, err
+	}
+	return FromFitResult(r), nil
+}
+
+// FromFitResult converts a fitted skew-normal mixture to a Model.
+func FromFitResult(r fit.LVF2Result) Model {
+	m := Model{
+		Lambda: r.Lambda,
+		Theta1: ThetaOf(r.C1),
+	}
+	if !r.IsDegenerate() {
+		m.Theta2 = ThetaOf(r.C2)
+	}
+	return m
+}
+
+// ToFitResult converts back to the skew-normal parameterisation.
+func (m Model) ToFitResult() fit.LVF2Result {
+	return fit.LVF2Result{
+		Lambda: m.Lambda,
+		C1:     m.Theta1.SN(),
+		C2:     m.Theta2.SN(),
+	}
+}
+
+// FitLVFModel fits the plain LVF baseline (single SN moment match).
+func FitLVFModel(xs []float64) (Model, error) {
+	r, err := fit.FitLVF(xs)
+	if err != nil {
+		return Model{}, err
+	}
+	return FromLVF(ThetaOf(r.Dist.(stats.SkewNormal))), nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lvf2/internal/fit"
+	"lvf2/internal/stats"
+)
+
+// MixModel is the k-component generalisation of the LVF² Model, following
+// §3.3's remark that the library format extends to more components "by
+// following similar attribute naming conventions". Component 1 is the
+// dominant, LVF-inherited one; Weights[i] is the weight of component i+2
+// (so a MixModel with no Weights is plain LVF, and one Weight reproduces
+// the two-component Model exactly).
+type MixModel struct {
+	Theta1  Theta
+	Weights []float64 // weights λ₂, λ₃, … of the extra components
+	Thetas  []Theta   // their moments vectors
+}
+
+// K returns the total component count.
+func (m MixModel) K() int { return 1 + len(m.Weights) }
+
+// Lambda1 returns the implied weight of component 1: 1 − Σλᵢ.
+func (m MixModel) Lambda1() float64 {
+	w := 1.0
+	for _, l := range m.Weights {
+		w -= l
+	}
+	return w
+}
+
+// Validate checks the weight simplex and parameter sanity.
+func (m MixModel) Validate() error {
+	if len(m.Weights) != len(m.Thetas) {
+		return errors.New("core: mix model weights/thetas length mismatch")
+	}
+	var sum float64
+	for i, l := range m.Weights {
+		if l < 0 || l > 1 || math.IsNaN(l) {
+			return fmt.Errorf("core: component %d weight %v out of [0,1]", i+2, l)
+		}
+		if m.Thetas[i].Sigma < 0 {
+			return fmt.Errorf("core: component %d has negative sigma", i+2)
+		}
+		sum += l
+	}
+	if sum > 1+1e-9 {
+		return fmt.Errorf("core: extra component weights sum to %v > 1", sum)
+	}
+	if m.Theta1.Sigma < 0 {
+		return errors.New("core: component 1 has negative sigma")
+	}
+	return nil
+}
+
+// Dist returns the mixture distribution.
+func (m MixModel) Dist() stats.Dist {
+	if len(m.Weights) == 0 {
+		return m.Theta1.SN()
+	}
+	ws := make([]float64, 0, m.K())
+	ds := make([]stats.Dist, 0, m.K())
+	ws = append(ws, m.Lambda1())
+	ds = append(ds, m.Theta1.SN())
+	for i, l := range m.Weights {
+		ws = append(ws, l)
+		ds = append(ds, m.Thetas[i].SN())
+	}
+	mix, err := stats.NewMixture(ws, ds)
+	if err != nil {
+		return m.Theta1.SN()
+	}
+	return mix
+}
+
+// TwoComponent converts a k=2 MixModel to the paper's Model type.
+func (m MixModel) TwoComponent() (Model, bool) {
+	if len(m.Weights) == 0 {
+		return FromLVF(m.Theta1), true
+	}
+	if len(m.Weights) != 1 {
+		return Model{}, false
+	}
+	return Model{Lambda: m.Weights[0], Theta1: m.Theta1, Theta2: m.Thetas[0]}, true
+}
+
+// FitMixModel fits a k-component skew-normal mixture (k ≥ 1) by EM and
+// converts to the moments parameterisation.
+func FitMixModel(xs []float64, k int, o FitOptions) (MixModel, error) {
+	r, err := fit.FitSNMixK(xs, k, o)
+	if err != nil {
+		return MixModel{}, err
+	}
+	m := MixModel{Theta1: ThetaOf(r.Comps[0])}
+	for i := 1; i < len(r.Comps); i++ {
+		m.Weights = append(m.Weights, r.Weights[i])
+		m.Thetas = append(m.Thetas, ThetaOf(r.Comps[i]))
+	}
+	return m, nil
+}

@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"lvf2/internal/cells"
+	"lvf2/internal/circuits"
+	"lvf2/internal/fit"
+	"lvf2/internal/spice"
+)
+
+// Small configs keep these integration tests fast; the bench harness and
+// cmd/exptables run the larger versions.
+func smallCfg() Config {
+	return Config{Samples: 6000, Seed: 42}.WithDefaults()
+}
+
+func TestTable1ShapeAndOrdering(t *testing.T) {
+	rows := Table1(smallCfg())
+	if len(rows) != 5 {
+		t.Fatalf("want 5 scenario rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		// LVF is its own baseline: reduction exactly 1.
+		if r.BinReduction[fit.ModelLVF] != 1 {
+			t.Errorf("%s: LVF self-reduction %v", r.Scenario.Name, r.BinReduction[fit.ModelLVF])
+		}
+		// The paper's headline: LVF2 beats the LVF baseline on every
+		// scenario.
+		if r.BinReduction[fit.ModelLVF2] <= 1 {
+			t.Errorf("%s: LVF2 reduction %v should exceed 1",
+				r.Scenario.Name, r.BinReduction[fit.ModelLVF2])
+		}
+		// On the skew-critical scenarios the gap to the skewless Norm² is
+		// structural, not noise: sharp edges need the skewness parameter
+		// ("skewness is an indispensable parameter", §4.1).
+		switch r.Scenario.Name {
+		case "2 Peaks", "Multi-Peaks":
+			if r.BinReduction[fit.ModelLVF2] <= r.BinReduction[fit.ModelNorm2] {
+				t.Errorf("%s: LVF2 %v must beat Norm2 %v", r.Scenario.Name,
+					r.BinReduction[fit.ModelLVF2], r.BinReduction[fit.ModelNorm2])
+			}
+		}
+	}
+	// Aggregate leadership: averaged over the five scenarios LVF2 is the
+	// strongest model (per-scenario ratios on well-fitted shapes are
+	// sampling-noise-dominated at reduced sample counts, so the remaining
+	// rows are asserted in aggregate).
+	avg := func(m fit.Model) float64 {
+		var s float64
+		for _, r := range rows {
+			s += r.BinReduction[m]
+		}
+		return s / float64(len(rows))
+	}
+	for _, m := range []fit.Model{fit.ModelNorm2, fit.ModelLESN} {
+		if avg(fit.ModelLVF2) <= avg(m) {
+			t.Errorf("aggregate: LVF2 %v should lead %v %v", avg(fit.ModelLVF2), m, avg(m))
+		}
+	}
+	text := RenderTable1(rows)
+	for _, name := range []string{"2 Peaks", "Multi-Peaks", "Saddle", "Minor Saddle", "Kurtosis"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("rendered table missing %q", name)
+		}
+	}
+}
+
+func TestFig3CSVWellFormed(t *testing.T) {
+	rows := Table1(smallCfg())
+	csv := Fig3CSV(rows, 50)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	// header + 5 scenarios × 50 points
+	if len(lines) != 1+5*50 {
+		t.Fatalf("csv lines %d", len(lines))
+	}
+	if lines[0] != "scenario,x,golden,lvf2,norm2,lesn,lvf" {
+		t.Errorf("header %q", lines[0])
+	}
+	if got := strings.Count(lines[1], ","); got != 6 {
+		t.Errorf("data line has %d commas", got)
+	}
+}
+
+func TestTable2ReducedRun(t *testing.T) {
+	cfg := Table2Config{
+		Config:      Config{Samples: 1200, Seed: 7},
+		ArcsPerType: 1,
+		GridStride:  8, // single grid point per arc
+	}
+	rows := Table2(cfg)
+	if len(rows) != 25 {
+		t.Fatalf("want 25 rows, got %d", len(rows))
+	}
+	db, tb, dy, ty := Table2Averages(rows)
+	// Shape expectations from the paper: LVF2 average reductions > 1 in
+	// all four metrics; LVF pinned at 1.
+	for name, m := range map[string]map[fit.Model]float64{
+		"delay binning": db, "transition binning": tb,
+		"delay yield": dy, "transition yield": ty,
+	} {
+		if m[fit.ModelLVF2] <= 1 {
+			t.Errorf("%s: LVF2 average %v should exceed 1", name, m[fit.ModelLVF2])
+		}
+		if m[fit.ModelLVF] != 1 {
+			t.Errorf("%s: LVF baseline %v != 1", name, m[fit.ModelLVF])
+		}
+	}
+	text := RenderTable2(rows)
+	if !strings.Contains(text, "Average") || !strings.Contains(text, "NAND2") {
+		t.Error("rendered Table 2 incomplete")
+	}
+}
+
+func TestFig4DiagonalPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid characterisation")
+	}
+	res, err := Fig4(Fig4Config{Config: Config{Samples: 1500, Seed: 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellName != "NAND2" {
+		t.Errorf("default cell %s", res.CellName)
+	}
+	if len(res.DelayRed) != 8 || len(res.DelayRed[0]) != 8 {
+		t.Fatal("heat map shape")
+	}
+	// The multi-Gaussian phenomenon organises along a diagonal: the best
+	// diagonal band must outscore the rest of the grid.
+	if s := DiagonalScore(res.DelayRed); s <= 0 {
+		t.Errorf("delay diagonal score %v, want > 0", s)
+	}
+	text := RenderFig4(res)
+	if !strings.Contains(text, "Delay") || !strings.Contains(text, "Transition") {
+		t.Error("rendered Fig 4 incomplete")
+	}
+}
+
+func TestFig4Errors(t *testing.T) {
+	if _, err := Fig4(Fig4Config{CellName: "NOPE"}); err == nil {
+		t.Error("unknown cell accepted")
+	}
+	if _, err := Fig4(Fig4Config{ArcIndex: 9999}); err == nil {
+		t.Error("bad arc index accepted")
+	}
+}
+
+func TestFig5ChainConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("path SSTA")
+	}
+	corner := spice.TTCorner()
+	path := circuits.FO4Chain(10, 0) // strongly bimodal stages
+	res, err := Fig5(Config{Samples: 3000, Seed: 13}, path, corner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 10 {
+		t.Fatalf("points %d", len(res.Points))
+	}
+	first := res.Points[0].Reduction[fit.ModelLVF2]
+	last := res.Points[len(res.Points)-1].Reduction[fit.ModelLVF2]
+	if first <= 1.5 {
+		t.Errorf("first-stage LVF2 reduction %v too small for bimodal stages", first)
+	}
+	// CLT: the advantage decays along the chain.
+	if last >= first {
+		t.Errorf("no convergence: first %v last %v", first, last)
+	}
+	// FO4 positions increase monotonically.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].FO4 <= res.Points[i-1].FO4 {
+			t.Fatal("FO4 axis not monotone")
+		}
+	}
+	text := RenderFig5(res)
+	if !strings.Contains(text, "fo4-chain-10") {
+		t.Error("rendered Fig 5 missing path name")
+	}
+	// ReductionAtFO4 endpoints.
+	if got := res.ReductionAtFO4(fit.ModelLVF2, 0); got != first {
+		t.Errorf("ReductionAtFO4(0) = %v want %v", got, first)
+	}
+	if got := res.ReductionAtFO4(fit.ModelLVF2, 1e9); got != last {
+		t.Errorf("ReductionAtFO4(inf) = %v want %v", got, last)
+	}
+}
+
+func TestDiagonalScoreDegenerate(t *testing.T) {
+	if DiagonalScore(nil) != 0 {
+		t.Error("nil map")
+	}
+	// Uniform grid: no diagonal advantage.
+	m := make([][]float64, 4)
+	for i := range m {
+		m[i] = []float64{2, 2, 2, 2}
+	}
+	if s := DiagonalScore(m); s != 0 {
+		t.Errorf("uniform grid score %v", s)
+	}
+}
+
+func TestPaperScaleConfig(t *testing.T) {
+	c := PaperScale()
+	if c.Samples != 50000 {
+		t.Errorf("paper scale samples %d", c.Samples)
+	}
+}
+
+func TestCLTConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chain propagation")
+	}
+	res, err := CLT(Config{Samples: 4000, Seed: 17}, 12, spice.TTCorner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 12 {
+		t.Fatalf("points %d", len(res.Points))
+	}
+	if res.Rho <= 1 {
+		t.Errorf("rho %v implausibly small", res.Rho)
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	// Theorem 1: the sup distance respects the bound at every n and
+	// decays with depth.
+	for _, p := range res.Points {
+		if p.SupDist > p.BEBound {
+			t.Errorf("n=%d: sup distance %v exceeds Berry-Esseen bound %v", p.N, p.SupDist, p.BEBound)
+		}
+	}
+	if last.SupDist >= first.SupDist {
+		t.Errorf("no convergence: sup %v -> %v", first.SupDist, last.SupDist)
+	}
+	// The LVF2 advantage decays alongside.
+	if last.LVF2Gain >= first.LVF2Gain {
+		t.Errorf("LVF2 gain should decay: %v -> %v", first.LVF2Gain, last.LVF2Gain)
+	}
+	text := RenderCLT(res)
+	if !strings.Contains(text, "Theorem 1") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestCLTErrors(t *testing.T) {
+	if _, err := CLT(Config{Samples: 500}, 1, spice.TTCorner()); err == nil {
+		t.Error("nStages < 2 accepted")
+	}
+}
+
+func TestVSweepShape(t *testing.T) {
+	res, err := VSweep(Config{Samples: 2500, Seed: 19}, []float64{0.8, 0.6, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points %d", len(res.Points))
+	}
+	// Dropping VDD towards threshold increases skewness (the long tail
+	// the LN/LSN/LESN generation of models targets).
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.Skew <= first.Skew {
+		t.Errorf("skewness should grow towards threshold: %v -> %v", first.Skew, last.Skew)
+	}
+	for _, p := range res.Points {
+		if p.Reduction[fit.ModelLVF] != 1 {
+			t.Errorf("VDD %v: LVF baseline %v", p.VDD, p.Reduction[fit.ModelLVF])
+		}
+		if p.Reduction[fit.ModelLVF2] <= 0 {
+			t.Errorf("VDD %v: missing LVF2 reduction", p.VDD)
+		}
+	}
+	if !strings.Contains(RenderVSweep(res), "Supply sweep") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigureSVGs(t *testing.T) {
+	rows := Table1(Config{Samples: 1500, Seed: 23})
+	svgs := Fig3SVGs(rows, 60)
+	if len(svgs) != 5 {
+		t.Fatalf("fig3 svgs: %d", len(svgs))
+	}
+	for slug, svg := range svgs {
+		if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "polyline") {
+			t.Errorf("%s: malformed svg", slug)
+		}
+	}
+	f4 := Fig4Result{
+		Grid:     cellsDefaultGrid(),
+		CellName: "NAND2",
+		DelayRed: unitGrid(8), TransRed: unitGrid(8),
+	}
+	d, tr := Fig4SVGs(f4)
+	if !strings.Contains(d, "Fig 4(a)") || !strings.Contains(tr, "Fig 4(b)") {
+		t.Error("fig4 titles")
+	}
+	f5 := Fig5Result{PathName: "demo", Points: []Fig5Point{
+		{FO4: 1, Reduction: map[fit.Model]float64{fit.ModelLVF2: 10, fit.ModelNorm2: 5, fit.ModelLESN: 1, fit.ModelLVF: 1}},
+		{FO4: 2, Reduction: map[fit.Model]float64{fit.ModelLVF2: 5, fit.ModelNorm2: 3, fit.ModelLESN: 1, fit.ModelLVF: 1}},
+	}}
+	if svg := Fig5SVG(f5); !strings.Contains(svg, "Fig 5: demo") {
+		t.Error("fig5 title")
+	}
+}
+
+func unitGrid(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = 1 + float64(i+j)
+		}
+	}
+	return m
+}
+
+func cellsDefaultGrid() cells.Grid { return cells.DefaultGrid() }
+
+func TestSortRowsLikePaper(t *testing.T) {
+	rows := []CellTypeResult{{Cell: "HA"}, {Cell: "INV"}, {Cell: "NAND2"}}
+	SortRowsLikePaper(rows)
+	if rows[0].Cell != "INV" || rows[2].Cell != "HA" {
+		t.Errorf("order: %v %v %v", rows[0].Cell, rows[1].Cell, rows[2].Cell)
+	}
+}
+
+func TestTable2AveragesEmptyRowsSafe(t *testing.T) {
+	rows := []CellTypeResult{
+		{Cell: "A", DelayBin: map[fit.Model]float64{fit.ModelLVF2: 2}},
+		{Cell: "B", DelayBin: map[fit.Model]float64{fit.ModelLVF2: 4}},
+	}
+	db, _, _, _ := Table2Averages(rows)
+	if db[fit.ModelLVF2] != 3 {
+		t.Errorf("average %v", db[fit.ModelLVF2])
+	}
+}

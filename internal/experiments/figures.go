@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lvf2/internal/binning"
+	"lvf2/internal/cells"
+	"lvf2/internal/circuits"
+	"lvf2/internal/fit"
+	"lvf2/internal/spice"
+	"lvf2/internal/ssta"
+)
+
+// ------------------------------------------------------------------ Fig 4
+
+// Fig4Config selects the cell/arc of the accuracy-pattern study.
+type Fig4Config struct {
+	Config
+	CellName string // default NAND2, as in the paper
+	ArcIndex int
+}
+
+// Fig4Result holds the per-grid-point CDF-RMSE reduction of LVF² vs LVF
+// for delay and transition — the two heat maps of Fig. 4.
+type Fig4Result struct {
+	Grid     cells.Grid
+	CellName string
+	DelayRed [][]float64 // [slew][load]
+	TransRed [][]float64
+}
+
+// Fig4 characterises one arc over the full 8×8 grid and scores LVF²'s
+// CDF-RMSE reduction at every point.
+func Fig4(cfg Fig4Config) (Fig4Result, error) {
+	cfg.Config = cfg.Config.WithDefaults()
+	if cfg.CellName == "" {
+		cfg.CellName = "NAND2"
+	}
+	ct, ok := cells.CellByName(cfg.CellName)
+	if !ok {
+		return Fig4Result{}, fmt.Errorf("experiments: unknown cell %q", cfg.CellName)
+	}
+	arcs := ct.Arcs()
+	if cfg.ArcIndex < 0 || cfg.ArcIndex >= len(arcs) {
+		return Fig4Result{}, fmt.Errorf("experiments: arc index %d out of range", cfg.ArcIndex)
+	}
+	grid := cells.DefaultGrid()
+	res := Fig4Result{Grid: grid, CellName: cfg.CellName}
+	res.DelayRed = make([][]float64, len(grid.Slews))
+	res.TransRed = make([][]float64, len(grid.Slews))
+	for i := range res.DelayRed {
+		res.DelayRed[i] = make([]float64, len(grid.Loads))
+		res.TransRed[i] = make([]float64, len(grid.Loads))
+	}
+	charCfg := cells.CharConfig{Samples: cfg.Samples, Seed: cfg.Seed, GridStride: 1}
+	for _, d := range cells.CharacterizeArc(charCfg, arcs[cfg.ArcIndex]) {
+		evals, _ := EvaluateAll(d.Samples, cfg.FitOpts)
+		lvf := evals[fit.ModelLVF]
+		lvf2 := evals[fit.ModelLVF2]
+		if lvf.Err != nil || lvf2.Err != nil {
+			continue
+		}
+		red := cfg.reduction(lvf2.Metrics.CDFRMSE, lvf.Metrics.CDFRMSE)
+		if d.Kind == cells.Delay {
+			res.DelayRed[d.SlewIdx][d.LoadIdx] = red
+		} else {
+			res.TransRed[d.SlewIdx][d.LoadIdx] = red
+		}
+	}
+	return res, nil
+}
+
+// RenderFig4 draws the two heat maps as text grids (loads down, slews
+// across, matching the paper's axes).
+func RenderFig4(r Fig4Result) string {
+	var b strings.Builder
+	draw := func(title string, m [][]float64) {
+		fmt.Fprintf(&b, "%s — LVF2 CDF-RMSE reduction (x) by slew (cols) and load (rows)\n", title)
+		b.WriteString("        ")
+		for i := range r.Grid.Slews {
+			fmt.Fprintf(&b, "   sw%d", i+1)
+		}
+		b.WriteString("\n")
+		for j := range r.Grid.Loads {
+			fmt.Fprintf(&b, "cap%d %7.5f:", j+1, r.Grid.Loads[j])
+			for i := range r.Grid.Slews {
+				fmt.Fprintf(&b, " %5.1f", m[i][j])
+			}
+			b.WriteString("\n")
+		}
+	}
+	draw(fmt.Sprintf("(a) %s Delay", r.CellName), r.DelayRed)
+	draw(fmt.Sprintf("(b) %s Transition", r.CellName), r.TransRed)
+	return b.String()
+}
+
+// DiagonalScore quantifies the Fig. 4 claim that multi-Gaussian strength
+// organises along slew–load diagonals: it returns the mean reduction on
+// the best diagonal band (i−j = const) minus the mean off that band.
+// A positive score confirms the diagonal pattern.
+func DiagonalScore(m [][]float64) float64 {
+	n := len(m)
+	if n == 0 {
+		return 0
+	}
+	bestDiag, bestMean := 0, -1.0
+	for d := -(n - 1); d < n; d++ {
+		var sum float64
+		var cnt int
+		for i := 0; i < n; i++ {
+			j := i - d
+			if j >= 0 && j < len(m[i]) {
+				sum += m[i][j]
+				cnt++
+			}
+		}
+		if cnt >= 3 && sum/float64(cnt) > bestMean {
+			bestMean = sum / float64(cnt)
+			bestDiag = d
+		}
+	}
+	var off float64
+	var offCnt int
+	for i := range m {
+		for j := range m[i] {
+			if i-j != bestDiag {
+				off += m[i][j]
+				offCnt++
+			}
+		}
+	}
+	if offCnt == 0 {
+		return 0
+	}
+	return bestMean - off/float64(offCnt)
+}
+
+// ------------------------------------------------------------------ Fig 5
+
+// Fig5Point is one x-position of Fig. 5: the path prefix depth in FO4 and
+// each model's binning error reduction vs LVF at that depth.
+type Fig5Point struct {
+	Label     string
+	FO4       float64
+	Reduction map[fit.Model]float64
+}
+
+// Fig5Result is one curve set (one benchmark circuit).
+type Fig5Result struct {
+	PathName string
+	FO4Delay float64
+	Points   []Fig5Point
+}
+
+// Fig5 runs block-based SSTA along a benchmark path and scores every
+// prefix against the MC golden accumulation. With Repeats > 1 the
+// per-point reductions are averaged across independent seeds — deep in a
+// path both LVF and LVF² errors are tiny, so a single-seed ratio is
+// noise-dominated.
+func Fig5(cfg Config, path circuits.Path, corner spice.Corner) (Fig5Result, error) {
+	cfg = cfg.WithDefaults()
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	fo4 := circuits.FO4Delay(corner)
+	out := Fig5Result{PathName: path.Name, FO4Delay: fo4}
+	for rep := 0; rep < repeats; rep++ {
+		stages := path.MCStages(corner, cfg.Samples, cfg.Seed+uint64(rep)*60013)
+		results, err := ssta.PropagateChain(stages, fit.AllModels, cfg.FitOpts)
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		for si, r := range results {
+			baseVar, ok := r.Vars[fit.ModelLVF]
+			if !ok {
+				continue
+			}
+			if rep == 0 {
+				out.Points = append(out.Points, Fig5Point{
+					Label:     r.Stage.Label,
+					FO4:       r.CumNominal / fo4,
+					Reduction: make(map[fit.Model]float64, len(fit.AllModels)),
+				})
+			}
+			base := binning.Evaluate(baseVar.Dist(), r.Golden)
+			for _, m := range fit.AllModels {
+				v, ok := r.Vars[m]
+				if !ok {
+					continue
+				}
+				met := binning.Evaluate(v.Dist(), r.Golden)
+				out.Points[si].Reduction[m] += cfg.reduction(met.BinErr, base.BinErr) / float64(repeats)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderFig5 prints the per-depth reduction series.
+func RenderFig5(r Fig5Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 5: Binning Error Reduction along %s (FO4 delay = %.4f ns)\n", r.PathName, r.FO4Delay)
+	fmt.Fprintf(&b, "%-14s %7s %8s %8s %8s %8s\n", "Stage", "FO4", "LVF2", "Norm2", "LESN", "LVF")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-14s %7.1f %8.2f %8.2f %8.2f %8.2f\n", p.Label, p.FO4,
+			p.Reduction[fit.ModelLVF2], p.Reduction[fit.ModelNorm2],
+			p.Reduction[fit.ModelLESN], p.Reduction[fit.ModelLVF])
+	}
+	return b.String()
+}
+
+// ReductionAtFO4 interpolates a model's reduction at the given FO4 depth
+// (nearest point at or past the depth; the paper quotes values "at 8-FO4"
+// and "at the last cell").
+func (r Fig5Result) ReductionAtFO4(m fit.Model, fo4 float64) float64 {
+	for _, p := range r.Points {
+		if p.FO4 >= fo4 {
+			return p.Reduction[m]
+		}
+	}
+	if len(r.Points) == 0 {
+		return 0
+	}
+	return r.Points[len(r.Points)-1].Reduction[m]
+}

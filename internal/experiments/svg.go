@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lvf2/internal/fit"
+	"lvf2/internal/plot"
+)
+
+// SVG renderers: turn the experiment results into standalone figures
+// mirroring the paper's panels.
+
+// Fig3SVGs renders one PDF-comparison chart per scenario, keyed by a
+// filename-safe scenario slug.
+func Fig3SVGs(rows []ScenarioResult, points int) map[string]string {
+	if points <= 1 {
+		points = 240
+	}
+	out := make(map[string]string, len(rows))
+	for _, r := range rows {
+		lo := r.Golden.QuantileValue(0.001)
+		hi := r.Golden.QuantileValue(0.999)
+		span := hi - lo
+		lo -= 0.08 * span
+		hi += 0.08 * span
+		step := (hi - lo) / float64(points-1)
+		xs := make([]float64, points)
+		for i := range xs {
+			xs[i] = lo + float64(i)*step
+		}
+		mk := func(f func(float64) float64) []float64 {
+			ys := make([]float64, points)
+			for i, x := range xs {
+				ys[i] = f(x)
+			}
+			return ys
+		}
+		chart := plot.LineChart{
+			Title:  "Fig 3: " + r.Scenario.Name,
+			XLabel: "delay (ns)",
+			YLabel: "probability density",
+			Series: []plot.Series{
+				{Name: "golden", X: xs, Y: mk(r.Golden.PDF), Color: "#999999"},
+			},
+		}
+		for _, m := range []fit.Model{fit.ModelLVF2, fit.ModelNorm2, fit.ModelLESN, fit.ModelLVF} {
+			e, ok := r.Evals[m]
+			if !ok || e.Err != nil || e.Dist == nil {
+				continue
+			}
+			chart.Series = append(chart.Series, plot.Series{
+				Name: m.String(), X: xs, Y: mk(e.Dist.PDF),
+				Dashed: m == fit.ModelLVF,
+			})
+		}
+		slug := strings.ToLower(strings.ReplaceAll(r.Scenario.Name, " ", "_"))
+		out[slug] = chart.SVG()
+	}
+	return out
+}
+
+// Fig4SVGs renders the two heat maps of Fig. 4.
+func Fig4SVGs(r Fig4Result) (delay, trans string) {
+	xt := make([]string, len(r.Grid.Slews))
+	for i := range xt {
+		xt[i] = fmt.Sprintf("sw%d", i+1)
+	}
+	yt := make([]string, len(r.Grid.Loads))
+	for j := range yt {
+		yt[j] = fmt.Sprintf("cap%d", j+1)
+	}
+	// Values[row=load][col=slew], as the paper draws it.
+	mk := func(m [][]float64, title string) string {
+		vals := make([][]float64, len(r.Grid.Loads))
+		for j := range vals {
+			vals[j] = make([]float64, len(r.Grid.Slews))
+			for i := range r.Grid.Slews {
+				vals[j][i] = m[i][j]
+			}
+		}
+		return plot.Heatmap{
+			Title: title, XLabel: "input slew", YLabel: "output load",
+			XTicks: xt, YTicks: yt, Values: vals,
+		}.SVG()
+	}
+	return mk(r.DelayRed, fmt.Sprintf("Fig 4(a): %s delay, LVF2 CDF-RMSE reduction (x)", r.CellName)),
+		mk(r.TransRed, fmt.Sprintf("Fig 4(b): %s transition, LVF2 CDF-RMSE reduction (x)", r.CellName))
+}
+
+// Fig5SVG renders one path's reduction curves on a log axis.
+func Fig5SVG(r Fig5Result) string {
+	chart := plot.LineChart{
+		Title:  "Fig 5: " + r.PathName,
+		XLabel: "path depth (FO4)",
+		YLabel: "binning error reduction (x)",
+		LogY:   true,
+	}
+	for _, m := range []fit.Model{fit.ModelLVF2, fit.ModelNorm2, fit.ModelLESN, fit.ModelLVF} {
+		xs := make([]float64, len(r.Points))
+		ys := make([]float64, len(r.Points))
+		for i, p := range r.Points {
+			xs[i] = p.FO4
+			ys[i] = p.Reduction[m]
+		}
+		chart.Series = append(chart.Series, plot.Series{
+			Name: m.String(), X: xs, Y: ys, Dashed: m == fit.ModelLVF,
+		})
+	}
+	return chart.SVG()
+}

@@ -1,0 +1,79 @@
+package fit
+
+import (
+	"math"
+)
+
+// Automatic component-count selection: the paper's §3.4 asks "when to
+// switch from LVF² to the compatible LVF in order to save storage space
+// and computational time"; the standard statistical answer is an
+// information criterion. FitAutoK fits k = 1..maxK skew-normal mixtures
+// and keeps the k with the best BIC (or AIC), so unimodal points store a
+// plain-LVF entry and genuinely multi-Gaussian points pay for their
+// extra components only when the data supports them.
+
+// Criterion selects the model-selection penalty.
+type Criterion int
+
+// Model-selection criteria.
+const (
+	// BIC is the Bayesian information criterion k·ln(n) − 2·lnL
+	// (consistent: picks the true k as n → ∞).
+	BIC Criterion = iota
+	// AIC is Akaike's 2·k − 2·lnL (efficient, less conservative).
+	AIC
+)
+
+// paramCount returns the free-parameter count of a k-component SN
+// mixture: 3 per component plus k−1 weights.
+func paramCount(k int) int { return 3*k + (k - 1) }
+
+// Score computes the criterion value (lower is better).
+func (c Criterion) Score(logLik float64, k, n int) float64 {
+	p := float64(paramCount(k))
+	switch c {
+	case AIC:
+		return 2*p - 2*logLik
+	default:
+		return p*math.Log(float64(n)) - 2*logLik
+	}
+}
+
+// AutoKResult is the selected mixture plus the per-k audit trail.
+type AutoKResult struct {
+	Best      SNMixResult
+	K         int
+	Criterion Criterion
+	// Scores[k-1] is the criterion value for the k-component fit
+	// (NaN if that fit failed).
+	Scores []float64
+}
+
+// FitAutoK fits k = 1..maxK and selects by the criterion.
+func FitAutoK(xs []float64, maxK int, crit Criterion, o Options) (AutoKResult, error) {
+	if maxK < 1 {
+		maxK = 1
+	}
+	out := AutoKResult{Criterion: crit, Scores: make([]float64, maxK)}
+	bestScore := math.Inf(1)
+	var lastErr error
+	for k := 1; k <= maxK; k++ {
+		r, err := FitSNMixK(xs, k, o)
+		if err != nil {
+			out.Scores[k-1] = math.NaN()
+			lastErr = err
+			continue
+		}
+		s := crit.Score(r.LogLik, k, len(xs))
+		out.Scores[k-1] = s
+		if s < bestScore {
+			bestScore = s
+			out.Best = r
+			out.K = k
+		}
+	}
+	if out.K == 0 {
+		return out, lastErr
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"lvf2/internal/stats"
+)
+
+func TestFitAutoKPicksOneForUnimodal(t *testing.T) {
+	truth := stats.SNFromMoments(0.1, 0.01, 0.4)
+	xs := sampleDist(truth, 8000, 41)
+	res, err := FitAutoK(xs, 3, BIC, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Errorf("BIC picked k=%d on unimodal data (scores %v)", res.K, res.Scores)
+	}
+}
+
+func TestFitAutoKPicksTwoForBimodal(t *testing.T) {
+	truth, _ := stats.NewMixture(
+		[]float64{0.6, 0.4},
+		[]stats.Dist{
+			stats.SNFromMoments(0.10, 0.004, 0.4),
+			stats.SNFromMoments(0.13, 0.004, 0.3),
+		})
+	xs := sampleDist(truth, 8000, 42)
+	res, err := FitAutoK(xs, 3, BIC, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Errorf("BIC picked k=%d on bimodal data (scores %v)", res.K, res.Scores)
+	}
+}
+
+func TestFitAutoKPicksThreeForTrimodal(t *testing.T) {
+	truth, _ := stats.NewMixture(
+		[]float64{0.4, 0.35, 0.25},
+		[]stats.Dist{
+			stats.SNFromMoments(0.10, 0.003, 0.3),
+			stats.SNFromMoments(0.125, 0.003, 0.3),
+			stats.SNFromMoments(0.15, 0.004, 0.2),
+		})
+	xs := sampleDist(truth, 12000, 43)
+	res, err := FitAutoK(xs, 4, BIC, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 3 {
+		t.Errorf("BIC picked k=%d on trimodal data (scores %v)", res.K, res.Scores)
+	}
+}
+
+func TestCriterionScores(t *testing.T) {
+	// Same loglik: BIC penalises more than AIC for n > e².
+	b := BIC.Score(-100, 2, 10000)
+	a := AIC.Score(-100, 2, 10000)
+	if b <= a {
+		t.Errorf("BIC %v should exceed AIC %v at large n", b, a)
+	}
+	if paramCount(1) != 3 || paramCount(2) != 7 || paramCount(3) != 11 {
+		t.Error("parameter counts")
+	}
+}
+
+func TestFitAutoKErrorPath(t *testing.T) {
+	if _, err := FitAutoK([]float64{1, 2, 3}, 3, BIC, Options{}); err == nil {
+		t.Error("insufficient data accepted")
+	}
+	// Partial failure: n = 7 supports k=1 only (k≥2 needs 4k samples);
+	// Best must be the surviving k=1.
+	xs := sampleDist(stats.Normal{Mu: 1, Sigma: 0.1}, 7, 44)
+	res, err := FitAutoK(xs, 3, AIC, Options{})
+	if err != nil {
+		t.Fatalf("k=1 should succeed: %v", err)
+	}
+	if res.K != 1 {
+		t.Errorf("picked %d", res.K)
+	}
+	if !math.IsNaN(res.Scores[1]) || !math.IsNaN(res.Scores[2]) {
+		t.Error("failed k should have NaN score")
+	}
+}

@@ -1,0 +1,248 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lvf2/internal/stats"
+)
+
+func sampleDist(d stats.Sampler, n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Sample(rng)
+	}
+	return xs
+}
+
+func TestFitLVFRecoversSN(t *testing.T) {
+	truth := stats.SkewNormal{Xi: 1, Omega: 0.2, Alpha: 4}
+	xs := sampleDist(truth, 50000, 1)
+	r, err := FitLVF(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := r.Dist.(stats.SkewNormal)
+	tm, tsd, tg := truth.Moments()
+	fm, fsd, fg := sn.Moments()
+	if math.Abs(tm-fm) > 0.005 || math.Abs(tsd-fsd) > 0.005 || math.Abs(tg-fg) > 0.08 {
+		t.Errorf("moments: truth (%v,%v,%v) fit (%v,%v,%v)", tm, tsd, tg, fm, fsd, fg)
+	}
+}
+
+func TestFitLVFNotEnoughData(t *testing.T) {
+	if _, err := FitLVF([]float64{1, 2}); err != ErrNotEnoughData {
+		t.Errorf("want ErrNotEnoughData, got %v", err)
+	}
+}
+
+func TestFitNormal(t *testing.T) {
+	truth := stats.Normal{Mu: -3, Sigma: 0.5}
+	xs := sampleDist(truth, 20000, 2)
+	r, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := r.Dist.(stats.Normal)
+	if math.Abs(n.Mu+3) > 0.02 || math.Abs(n.Sigma-0.5) > 0.02 {
+		t.Errorf("fit %+v", n)
+	}
+}
+
+func TestFitNorm2RecoversBimodal(t *testing.T) {
+	truth, _ := stats.NewMixture(
+		[]float64{0.7, 0.3},
+		[]stats.Dist{
+			stats.Normal{Mu: 0, Sigma: 0.5},
+			stats.Normal{Mu: 4, Sigma: 0.3},
+		})
+	xs := sampleDist(truth, 30000, 3)
+	r, err := FitNorm2Params(xs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λ convention: component 1 dominant.
+	if r.Lambda > 0.5 {
+		t.Errorf("lambda convention violated: %v", r.Lambda)
+	}
+	if math.Abs(r.Lambda-0.3) > 0.03 {
+		t.Errorf("lambda %v want 0.3", r.Lambda)
+	}
+	if math.Abs(r.C1.Mu) > 0.1 || math.Abs(r.C2.Mu-4) > 0.1 {
+		t.Errorf("means %v %v", r.C1.Mu, r.C2.Mu)
+	}
+	if math.Abs(r.C1.Sigma-0.5) > 0.05 || math.Abs(r.C2.Sigma-0.3) > 0.05 {
+		t.Errorf("sigmas %v %v", r.C1.Sigma, r.C2.Sigma)
+	}
+}
+
+func TestFitNorm2UnimodalCollapsesGracefully(t *testing.T) {
+	truth := stats.Normal{Mu: 1, Sigma: 1}
+	xs := sampleDist(truth, 20000, 4)
+	r, err := FitNorm2(xs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mixture must still describe the data at least as well as a
+	// single Gaussian (EM never underfits the one-component solution by
+	// much).
+	single, _ := FitNormal(xs)
+	if r.LogLik < single.LogLik-10 {
+		t.Errorf("mixture loglik %v much worse than single %v", r.LogLik, single.LogLik)
+	}
+}
+
+func TestFitLVF2RecoversSkewedBimodal(t *testing.T) {
+	c1 := stats.SkewNormal{Xi: 0, Omega: 0.4, Alpha: 3}
+	c2 := stats.SkewNormal{Xi: 3, Omega: 0.3, Alpha: -2}
+	truth, _ := stats.NewMixture([]float64{0.65, 0.35}, []stats.Dist{c1, c2})
+	xs := sampleDist(truth, 30000, 5)
+	r, err := FitLVF2(xs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lambda > 0.5 {
+		t.Errorf("lambda convention violated: %v", r.Lambda)
+	}
+	if math.Abs(r.Lambda-0.35) > 0.04 {
+		t.Errorf("lambda %v want 0.35", r.Lambda)
+	}
+	// Check mixture CDF against truth at several quantiles.
+	d := r.Dist()
+	for _, x := range []float64{0.2, 0.6, 1.5, 2.8, 3.4} {
+		if diff := math.Abs(d.CDF(x) - truth.CDF(x)); diff > 0.01 {
+			t.Errorf("CDF mismatch at %v: %v", x, diff)
+		}
+	}
+}
+
+func TestFitLVF2BeatsLVFOnBimodal(t *testing.T) {
+	c1 := stats.SkewNormal{Xi: 0, Omega: 0.3, Alpha: 2}
+	c2 := stats.SkewNormal{Xi: 2.5, Omega: 0.25, Alpha: 2}
+	truth, _ := stats.NewMixture([]float64{0.6, 0.4}, []stats.Dist{c1, c2})
+	xs := sampleDist(truth, 20000, 6)
+	r2, err := FitLVF2(xs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := FitLVF(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.LogLik <= r1.LogLik {
+		t.Errorf("LVF2 loglik %v should beat LVF %v on bimodal data", r2.LogLik, r1.LogLik)
+	}
+}
+
+func TestFitLVF2BackwardCompatibleOnPureSN(t *testing.T) {
+	truth := stats.SkewNormal{Xi: 1, Omega: 0.2, Alpha: 3}
+	xs := sampleDist(truth, 20000, 7)
+	r, err := FitLVF2(xs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On single-SN data the mixture must still match the truth closely.
+	d := r.Dist()
+	for _, p := range []float64{0.05, 0.5, 0.95} {
+		xt := truth.Quantile(p)
+		if diff := math.Abs(d.CDF(xt) - p); diff > 0.01 {
+			t.Errorf("quantile %v: CDF diff %v", p, diff)
+		}
+	}
+}
+
+func TestFitLVF2PolishImprovesOrKeepsLogLik(t *testing.T) {
+	c1 := stats.SkewNormal{Xi: 0, Omega: 0.5, Alpha: 1}
+	c2 := stats.SkewNormal{Xi: 1.8, Omega: 0.4, Alpha: -3}
+	truth, _ := stats.NewMixture([]float64{0.55, 0.45}, []stats.Dist{c1, c2})
+	xs := sampleDist(truth, 4000, 8)
+	plain, err := FitLVF2(xs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	polished, err := FitLVF2(xs, Options{Polish: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polished.LogLik < plain.LogLik-1e-9 {
+		t.Errorf("polish degraded loglik: %v < %v", polished.LogLik, plain.LogLik)
+	}
+}
+
+func TestFitLESNRecoversLognormal(t *testing.T) {
+	truth := stats.LogESN{W: stats.ExtendedSkewNormal{Xi: -2, Omega: 0.25, Alpha: 0, Tau: 0}}
+	xs := sampleDist(truth, 40000, 9)
+	r, err := FitLESN(xs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stats.Moments(xs)
+	got := stats.DistMoments(r.Dist)
+	if math.Abs(got.Mean-want.Mean)/want.Mean > 0.01 {
+		t.Errorf("mean %v want %v", got.Mean, want.Mean)
+	}
+	if math.Abs(got.Std()-want.Std())/want.Std() > 0.05 {
+		t.Errorf("std %v want %v", got.Std(), want.Std())
+	}
+	if math.Abs(got.Skewness-want.Skewness) > 0.1 {
+		t.Errorf("skew %v want %v", got.Skewness, want.Skewness)
+	}
+}
+
+func TestFitLESNRejectsNonPositive(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i) - 50
+	}
+	if _, err := FitLESN(xs, Options{}); err != ErrNonPositive {
+		t.Errorf("want ErrNonPositive, got %v", err)
+	}
+}
+
+func TestFitDispatch(t *testing.T) {
+	truth := stats.SkewNormal{Xi: 1, Omega: 0.1, Alpha: 1}
+	xs := sampleDist(truth, 5000, 10)
+	for _, m := range AllModels {
+		r, err := Fit(m, xs, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if r.Model != m {
+			t.Errorf("model tag %v want %v", r.Model, m)
+		}
+		if r.Dist == nil {
+			t.Errorf("%v: nil dist", m)
+		}
+		// Every fitted model should put its mean near the sample mean.
+		sm := stats.Moments(xs)
+		if math.Abs(r.Dist.Mean()-sm.Mean) > 0.05*sm.Std()+0.02 {
+			t.Errorf("%v: mean %v vs sample %v", m, r.Dist.Mean(), sm.Mean)
+		}
+	}
+	if _, err := Fit(Model(99), xs, Options{}); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	cases := map[Model]string{
+		ModelLVF: "LVF", ModelNorm2: "Norm2", ModelLESN: "LESN", ModelLVF2: "LVF2",
+		Model(42): "Model(42)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("String(%d) = %q want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestFitInsufficientData(t *testing.T) {
+	short := []float64{1, 2, 3}
+	for _, m := range []Model{ModelNorm2, ModelLVF2, ModelLESN} {
+		if _, err := Fit(m, short, Options{}); err == nil {
+			t.Errorf("%v: expected error on short data", m)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package fit
+
+import "sort"
+
+// KMeans1D clusters one-dimensional data into k groups with Lloyd's
+// algorithm. Initial centres are placed at the (i+0.5)/k sample quantiles,
+// which is deterministic and well-suited to the bimodal timing data the
+// LVF² initialisation targets. It returns the cluster assignment per point
+// and the final centres (sorted ascending).
+func KMeans1D(xs []float64, k, maxIter int) (assign []int, centers []float64) {
+	n := len(xs)
+	if n == 0 || k <= 0 {
+		return nil, nil
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	centers = make([]float64, k)
+	for i := range centers {
+		q := (float64(i) + 0.5) / float64(k)
+		centers[i] = sorted[int(q*float64(n-1))]
+	}
+
+	assign = make([]int, n)
+	counts := make([]int, k)
+	sums := make([]float64, k)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, x := range xs {
+			best, bestD := 0, absf(x-centers[0])
+			for c := 1; c < k; c++ {
+				if d := absf(x - centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		for c := range counts {
+			counts[c], sums[c] = 0, 0
+		}
+		for i, x := range xs {
+			counts[assign[i]]++
+			sums[assign[i]] += x
+		}
+		for c := range centers {
+			if counts[c] > 0 {
+				centers[c] = sums[c] / float64(counts[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	// Renumber clusters so centres are ascending (stable identity for the
+	// "first"/"second" component convention).
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return centers[order[a]] < centers[order[b]] })
+	remap := make([]int, k)
+	sortedCenters := make([]float64, k)
+	for newIdx, oldIdx := range order {
+		remap[oldIdx] = newIdx
+		sortedCenters[newIdx] = centers[oldIdx]
+	}
+	for i := range assign {
+		assign[i] = remap[assign[i]]
+	}
+	return assign, sortedCenters
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,69 @@
+package fit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKMeans1DTwoClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs []float64
+	for i := 0; i < 500; i++ {
+		xs = append(xs, rng.NormFloat64()*0.1)
+	}
+	for i := 0; i < 300; i++ {
+		xs = append(xs, 5+rng.NormFloat64()*0.1)
+	}
+	assign, centers := KMeans1D(xs, 2, 100)
+	if len(centers) != 2 {
+		t.Fatalf("centers: %v", centers)
+	}
+	if centers[0] > centers[1] {
+		t.Errorf("centers not sorted: %v", centers)
+	}
+	if centers[0] < -0.5 || centers[0] > 0.5 || centers[1] < 4.5 || centers[1] > 5.5 {
+		t.Errorf("centers off: %v", centers)
+	}
+	// All points near 0 in cluster 0, near 5 in cluster 1.
+	for i, x := range xs {
+		want := 0
+		if x > 2.5 {
+			want = 1
+		}
+		if assign[i] != want {
+			t.Fatalf("point %v assigned to %d", x, assign[i])
+		}
+	}
+}
+
+func TestKMeans1DDegenerate(t *testing.T) {
+	if a, c := KMeans1D(nil, 2, 10); a != nil || c != nil {
+		t.Error("empty input")
+	}
+	// k > n collapses to k = n.
+	a, c := KMeans1D([]float64{1, 2}, 5, 10)
+	if len(c) != 2 || len(a) != 2 {
+		t.Errorf("k>n: %v %v", a, c)
+	}
+	// Constant data: must terminate with valid assignments.
+	a, c = KMeans1D([]float64{3, 3, 3, 3}, 2, 10)
+	if len(a) != 4 || len(c) != 2 {
+		t.Errorf("constant data: %v %v", a, c)
+	}
+}
+
+func TestKMeans1DSingleCluster(t *testing.T) {
+	xs := []float64{1, 1.1, 0.9, 1.05, 0.95}
+	assign, centers := KMeans1D(xs, 1, 10)
+	if len(centers) != 1 {
+		t.Fatalf("centers %v", centers)
+	}
+	for _, a := range assign {
+		if a != 0 {
+			t.Fatal("all points must be in cluster 0")
+		}
+	}
+	if centers[0] < 0.9 || centers[0] > 1.1 {
+		t.Errorf("center %v", centers[0])
+	}
+}

@@ -1,0 +1,94 @@
+package fit
+
+import (
+	"errors"
+	"math"
+
+	"lvf2/internal/opt"
+	"lvf2/internal/stats"
+)
+
+// FitLESN fits the log-extended-skew-normal comparator model by matching
+// the first four sample moments — mean, standard deviation, skewness and
+// kurtosis — following the kurtosis-matching approach of Jin et al.
+// (TCAS-II 2022). The match is found by Nelder–Mead over
+// (ξ, log ω, α, τ) of W = log X, initialised from a lognormal moment fit.
+// Data must be strictly positive.
+func FitLESN(xs []float64, o Options) (Result, error) {
+	o = o.withDefaults()
+	if len(xs) < 8 {
+		return Result{}, ErrNotEnoughData
+	}
+	for _, x := range xs {
+		if x <= 0 {
+			return Result{}, ErrNonPositive
+		}
+	}
+	target := stats.Moments(xs)
+	l, err := MatchLESNMoments(target)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Model:  ModelLESN,
+		Dist:   l,
+		LogLik: LogLikelihood(l, xs),
+	}, nil
+}
+
+// MatchLESNMoments finds the LESN whose first four moments match the
+// target as closely as possible. It is used both by FitLESN (target =
+// sample moments) and by SSTA propagation (target = cumulant-summed
+// moments of a path prefix). The target mean must be positive.
+func MatchLESNMoments(target stats.SampleMoments) (stats.LogESN, error) {
+	if target.Mean <= 0 || target.Variance <= 0 {
+		return stats.LogESN{}, errors.New("fit: LESN moment match needs positive mean and variance")
+	}
+	// Lognormal moment-match initialisation:
+	// ω² = ln(1 + σ²/μ²), ξ = ln μ − ω²/2.
+	cv2 := target.Variance / (target.Mean * target.Mean)
+	w2 := math.Log(1 + cv2)
+	xi0 := math.Log(target.Mean) - 0.5*w2
+	alpha0 := 1.0
+	if target.Skewness < math.Sqrt(cv2)*(3+cv2) { // below lognormal skew ⇒ pull left
+		alpha0 = -1
+	}
+	x0 := []float64{xi0, 0.5 * math.Log(w2), alpha0, 0}
+
+	tm, tsd := target.Mean, math.Sqrt(target.Variance)
+	loss := func(p []float64) float64 {
+		if math.Abs(p[2]) > 50 || math.Abs(p[3]) > 6 || p[1] > 50 || p[1] < -50 {
+			return math.Inf(1)
+		}
+		l := stats.LogESN{W: stats.ExtendedSkewNormal{
+			Xi: p[0], Omega: math.Exp(p[1]), Alpha: p[2], Tau: p[3],
+		}}
+		m := l.Mean()
+		v := l.Variance()
+		if math.IsNaN(m) || math.IsNaN(v) || v <= 0 {
+			return math.Inf(1)
+		}
+		sk := l.Skewness()
+		ku := l.ExcessKurtosis() + 3
+		if math.IsNaN(sk) || math.IsNaN(ku) {
+			return math.Inf(1)
+		}
+		em := (m - tm) / tsd
+		es := (math.Sqrt(v) - tsd) / tsd
+		eg := sk - target.Skewness
+		ek := ku - target.Kurtosis
+		// Kurtosis is down-weighted: it is the noisiest sample moment.
+		return em*em + es*es + eg*eg + 0.25*ek*ek
+	}
+	best, val := opt.NelderMead(loss, x0, opt.NelderMeadOptions{
+		MaxIter: 300 * len(x0),
+		TolF:    1e-12,
+		TolX:    1e-10,
+	})
+	if math.IsInf(val, 1) {
+		return stats.LogESN{}, errors.New("fit: LESN moment match did not find a feasible point")
+	}
+	return stats.LogESN{W: stats.ExtendedSkewNormal{
+		Xi: best[0], Omega: math.Exp(best[1]), Alpha: best[2], Tau: best[3],
+	}}, nil
+}

@@ -1,0 +1,95 @@
+package fit
+
+import (
+	"math"
+
+	"lvf2/internal/opt"
+	"lvf2/internal/stats"
+)
+
+// Log-normal and log-skew-normal fitting — the earlier-generation delay
+// models the paper's related work cites (Keller 2014 [5], Balef 2016 [6]).
+// Both are special cases of the LogESN family (α = τ = 0 and τ = 0
+// respectively), so the fitted distributions reuse stats.LogESN.
+
+// FitLN fits a log-normal by closed-form moment matching:
+// ω² = ln(1 + σ²/μ²), ξ = ln μ − ω²/2. Data must be positive.
+func FitLN(xs []float64) (Result, error) {
+	if len(xs) < 3 {
+		return Result{}, ErrNotEnoughData
+	}
+	for _, x := range xs {
+		if x <= 0 {
+			return Result{}, ErrNonPositive
+		}
+	}
+	m := stats.Moments(xs)
+	cv2 := m.Variance / (m.Mean * m.Mean)
+	w2 := math.Log(1 + cv2)
+	l := stats.LogESN{W: stats.ExtendedSkewNormal{
+		Xi:    math.Log(m.Mean) - 0.5*w2,
+		Omega: math.Sqrt(w2),
+	}}
+	return Result{Model: ModelLN, Dist: l, LogLik: LogLikelihood(l, xs)}, nil
+}
+
+// FitLSN fits a log-skew-normal by matching the first three sample
+// moments (mean, σ, skewness) with Nelder–Mead over (ξ, log ω, α),
+// initialised from the log-normal fit.
+func FitLSN(xs []float64, o Options) (Result, error) {
+	o = o.withDefaults()
+	if len(xs) < 8 {
+		return Result{}, ErrNotEnoughData
+	}
+	for _, x := range xs {
+		if x <= 0 {
+			return Result{}, ErrNonPositive
+		}
+	}
+	target := stats.Moments(xs)
+	ln, err := FitLN(xs)
+	if err != nil {
+		return Result{}, err
+	}
+	w0 := ln.Dist.(stats.LogESN).W
+
+	tm, tsd := target.Mean, target.Std()
+	loss := func(p []float64) float64 {
+		if math.Abs(p[2]) > 50 || p[1] > 50 || p[1] < -50 {
+			return math.Inf(1)
+		}
+		l := stats.LogESN{W: stats.ExtendedSkewNormal{
+			Xi: p[0], Omega: math.Exp(p[1]), Alpha: p[2],
+		}}
+		m := l.Mean()
+		v := l.Variance()
+		if math.IsNaN(m) || v <= 0 || math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		sk := l.Skewness()
+		if math.IsNaN(sk) {
+			return math.Inf(1)
+		}
+		em := (m - tm) / tsd
+		es := (math.Sqrt(v) - tsd) / tsd
+		eg := sk - target.Skewness
+		return em*em + es*es + eg*eg
+	}
+	x0 := []float64{w0.Xi, math.Log(math.Max(w0.Omega, 1e-12)), 0.5}
+	if target.Skewness < math.Sqrt(target.Variance)/target.Mean*(3+target.Variance/(target.Mean*target.Mean)) {
+		x0[2] = -0.5
+	}
+	best, val := opt.NelderMead(loss, x0, opt.NelderMeadOptions{
+		MaxIter: 250 * len(x0),
+		TolF:    1e-12,
+		TolX:    1e-10,
+	})
+	if math.IsInf(val, 1) {
+		// Fall back to the log-normal.
+		return Result{Model: ModelLSN, Dist: ln.Dist, LogLik: ln.LogLik}, nil
+	}
+	l := stats.LogESN{W: stats.ExtendedSkewNormal{
+		Xi: best[0], Omega: math.Exp(best[1]), Alpha: best[2],
+	}}
+	return Result{Model: ModelLSN, Dist: l, LogLik: LogLikelihood(l, xs)}, nil
+}

@@ -1,0 +1,93 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"lvf2/internal/stats"
+)
+
+func TestFitLNClosedForm(t *testing.T) {
+	truth := stats.LogESN{W: stats.ExtendedSkewNormal{Xi: -2, Omega: 0.3}}
+	xs := sampleDist(truth, 30000, 21)
+	r, err := FitLN(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := r.Dist.(stats.LogESN)
+	if math.Abs(l.W.Xi+2) > 0.01 || math.Abs(l.W.Omega-0.3) > 0.01 {
+		t.Errorf("LN params ξ=%v ω=%v", l.W.Xi, l.W.Omega)
+	}
+	if l.W.Alpha != 0 || l.W.Tau != 0 {
+		t.Error("LN must have α = τ = 0")
+	}
+	// Moment match is exact for mean and variance.
+	m := stats.Moments(xs)
+	if math.Abs(l.Mean()-m.Mean)/m.Mean > 1e-9 {
+		t.Errorf("LN mean %v want %v", l.Mean(), m.Mean)
+	}
+	if math.Abs(l.Variance()-m.Variance)/m.Variance > 1e-9 {
+		t.Errorf("LN var %v want %v", l.Variance(), m.Variance)
+	}
+}
+
+func TestFitLSNMatchesThreeMoments(t *testing.T) {
+	truth := stats.LogESN{W: stats.ExtendedSkewNormal{Xi: -2.2, Omega: 0.2, Alpha: 2}}
+	xs := sampleDist(truth, 30000, 22)
+	r, err := FitLSN(xs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stats.Moments(xs)
+	got := stats.DistMoments(r.Dist)
+	if math.Abs(got.Mean-want.Mean)/want.Mean > 0.005 {
+		t.Errorf("mean %v want %v", got.Mean, want.Mean)
+	}
+	if math.Abs(got.Std()-want.Std())/want.Std() > 0.02 {
+		t.Errorf("std %v want %v", got.Std(), want.Std())
+	}
+	if math.Abs(got.Skewness-want.Skewness) > 0.05 {
+		t.Errorf("skew %v want %v", got.Skewness, want.Skewness)
+	}
+	// LSN (3 free moments) should beat LN (2) on skewed data in loglik.
+	ln, err := FitLN(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LogLik < ln.LogLik-1 {
+		t.Errorf("LSN loglik %v below LN %v", r.LogLik, ln.LogLik)
+	}
+}
+
+func TestLNLSNRejectNonPositive(t *testing.T) {
+	xs := []float64{1, 2, -1, 3, 4, 5, 6, 7, 8}
+	if _, err := FitLN(xs); err != ErrNonPositive {
+		t.Errorf("FitLN: %v", err)
+	}
+	if _, err := FitLSN(xs, Options{}); err != ErrNonPositive {
+		t.Errorf("FitLSN: %v", err)
+	}
+	if _, err := FitLN([]float64{1}); err != ErrNotEnoughData {
+		t.Errorf("FitLN short: %v", err)
+	}
+}
+
+func TestExtendedModelsDispatch(t *testing.T) {
+	truth := stats.SNFromMoments(0.1, 0.008, 0.4)
+	xs := sampleDist(truth, 4000, 23)
+	if len(ExtendedModels) != 6 {
+		t.Fatalf("extended set size %d", len(ExtendedModels))
+	}
+	for _, m := range ExtendedModels {
+		r, err := Fit(m, xs, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if math.Abs(r.Dist.Mean()-0.1) > 0.005 {
+			t.Errorf("%v mean %v", m, r.Dist.Mean())
+		}
+	}
+	if ModelLN.String() != "LN" || ModelLSN.String() != "LSN" {
+		t.Error("names")
+	}
+}

@@ -1,0 +1,37 @@
+package fit
+
+import (
+	"math"
+
+	"lvf2/internal/stats"
+)
+
+func logf(x float64) float64 { return math.Log(x) }
+
+// FitLVF fits the industry-standard LVF model — a single skew-normal —
+// by the method of moments: the sample (mean, σ, skewness) vector θ maps
+// to SN parameters Θ through the bijection g of eq. (2). Skewness outside
+// the SN-attainable range is clamped.
+func FitLVF(xs []float64) (Result, error) {
+	if len(xs) < 3 {
+		return Result{}, ErrNotEnoughData
+	}
+	m := stats.Moments(xs)
+	sn := stats.SNFromMoments(m.Mean, m.Std(), m.Skewness)
+	return Result{
+		Model:  ModelLVF,
+		Dist:   sn,
+		LogLik: LogLikelihood(sn, xs),
+	}, nil
+}
+
+// FitNormal fits a plain Gaussian (used in tests and as an SSTA
+// degenerate case).
+func FitNormal(xs []float64) (Result, error) {
+	if len(xs) < 2 {
+		return Result{}, ErrNotEnoughData
+	}
+	m := stats.Moments(xs)
+	n := stats.Normal{Mu: m.Mean, Sigma: m.Std()}
+	return Result{Model: ModelLVF, Dist: n, LogLik: LogLikelihood(n, xs)}, nil
+}

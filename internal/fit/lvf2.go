@@ -1,0 +1,449 @@
+package fit
+
+import (
+	"math"
+	"sort"
+
+	"lvf2/internal/opt"
+	"lvf2/internal/stats"
+)
+
+// LVF2Result holds the fitted LVF² parameters of eq. (4):
+// f(x) = (1−λ)·SN(x|θ₁) + λ·SN(x|θ₂). By convention component 1 is the
+// dominant one (λ ≤ 0.5), which is also the component that inherits the
+// classic LVF attributes in the Liberty encoding (§3.3).
+type LVF2Result struct {
+	Lambda float64
+	C1, C2 stats.SkewNormal
+	LogLik float64
+	Iters  int
+}
+
+// Dist returns the fitted mixture.
+func (r LVF2Result) Dist() stats.Mixture {
+	m, _ := stats.NewMixture(
+		[]float64{1 - r.Lambda, r.Lambda},
+		[]stats.Dist{r.C1, r.C2})
+	return m
+}
+
+// Result converts to the generic fit result.
+func (r LVF2Result) Result() Result {
+	return Result{Model: ModelLVF2, Dist: r.Dist(), LogLik: r.LogLik, Iters: r.Iters}
+}
+
+// IsDegenerate reports whether the fit collapsed to a single component
+// (λ ≈ 0), i.e. the distribution is adequately described by plain LVF —
+// the storage-saving switch §3.4 discusses.
+func (r LVF2Result) IsDegenerate() bool { return r.Lambda < 1e-6 }
+
+// FitLVF2 fits the paper's LVF² model by EM (§3.2):
+//
+//  1. Initialise by K-means (k=2) clustering and per-cluster method of
+//     moments. Because the K-means location split is a poor start for
+//     same-centre scale mixtures (the paper's Kurtosis scenario), two
+//     additional deterministic starts are tried — a centre-vs-tails scale
+//     split and a dominant-vs-upper-tail split — and the EM run with the
+//     best final log-likelihood wins.
+//  2. E-step: posterior responsibilities (eq. 6).
+//  3. M-step: weighted method of moments per component — the exact M-step
+//     for a skew-normal mixture has no closed form, so the expected
+//     complete-data log-likelihood (eq. 7-9) is maximised approximately by
+//     matching each component's three weighted sample moments through the
+//     bijection g of eq. (2). With Options.Polish a Nelder–Mead ascent on
+//     the true log-likelihood (eq. 5) refines all seven parameters.
+func FitLVF2(xs []float64, o Options) (LVF2Result, error) {
+	o = o.withDefaults()
+	n := len(xs)
+	if n < 8 {
+		return LVF2Result{}, ErrNotEnoughData
+	}
+	all := stats.Moments(xs)
+	sdFloor := math.Max(all.Std()*1e-3, 1e-300)
+
+	inits := lvf2Inits(xs, all, sdFloor)
+	best := LVF2Result{LogLik: math.Inf(-1)}
+	bestInit := LVF2Result{LogLik: math.Inf(-1)}
+	// Each start gets a bounded iteration budget: the winner is refined by
+	// ECM below, so deep EM tails are wasted work.
+	oStart := o
+	if oStart.MaxIter > 60 {
+		oStart.MaxIter = 60
+	}
+	for _, init := range inits {
+		r := runLVF2EM(xs, init, oStart, sdFloor)
+		if r.LogLik > best.LogLik {
+			best = r
+		}
+		// Score the raw initialisation too: the moment M-step can drift
+		// away from a good start when a component's weighted skewness
+		// exceeds the SN-attainable range (sharp-edged peaks).
+		raw := LVF2Result{Lambda: init.lambda, C1: init.c1, C2: init.c2}
+		raw.LogLik = mixLogLik(xs, raw.Lambda, raw.C1, raw.C2)
+		if raw.LogLik > bestInit.LogLik {
+			bestInit = raw
+		}
+	}
+	// ECM: proper weighted-MLE M-steps. A full rescue run from the best
+	// raw initialisation is only needed when the moment-EM shows drift
+	// symptoms — a component clamped at the skewness boundary, or a final
+	// log-likelihood barely above (or below) an unconverged start. The
+	// cheap single polish round always runs.
+	clamped := math.Abs(best.C1.Skewness()) > 0.98 || math.Abs(best.C2.Skewness()) > 0.98
+	if clamped || best.LogLik < bestInit.LogLik+float64(n)*1e-3 {
+		if ecm := ecmRefine(xs, bestInit, 3); ecm.LogLik > best.LogLik {
+			best = ecm
+		}
+	}
+	best = ecmRefine(xs, best, 1)
+	best.normalise()
+	if o.Polish {
+		best = polishLVF2(xs, best, o)
+	}
+	return best, nil
+}
+
+// ecmRefine runs `rounds` of expectation–conditional-maximisation: the
+// E-step of eq. (6) followed by an exact weighted maximum-likelihood
+// update of each skew-normal component (Nelder–Mead over (ξ, log ω, α),
+// warm-started at the current parameters). The result is kept only if the
+// final log-likelihood improves on the input.
+func ecmRefine(xs []float64, r LVF2Result, rounds int) LVF2Result {
+	if r.IsDegenerate() || r.Lambda > 1-1e-6 || r.C1.Omega <= 0 || r.C2.Omega <= 0 {
+		return r
+	}
+	n := len(xs)
+	lambda, c1, c2 := r.Lambda, r.C1, r.C2
+	resp := make([]float64, n)
+	w1s := make([]float64, n)
+	for round := 0; round < rounds; round++ {
+		var w2 float64
+		for i, x := range xs {
+			p1 := (1 - lambda) * c1.PDF(x)
+			p2 := lambda * c2.PDF(x)
+			tot := p1 + p2
+			if tot < 1e-300 {
+				tot = 1e-300
+				p2 = 0
+			}
+			resp[i] = p2 / tot
+			w1s[i] = 1 - resp[i]
+			w2 += resp[i]
+		}
+		lambda = w2 / float64(n)
+		if lambda < 1e-9 || lambda > 1-1e-9 {
+			return r
+		}
+		c1 = weightedSNMLE(xs, w1s, c1)
+		c2 = weightedSNMLE(xs, resp, c2)
+	}
+	ll := mixLogLik(xs, lambda, c1, c2)
+	if ll <= r.LogLik {
+		return r
+	}
+	return LVF2Result{Lambda: lambda, C1: c1, C2: c2, LogLik: ll, Iters: r.Iters}
+}
+
+// mixLogLik evaluates eq. (5) for a two-component skew-normal mixture.
+func mixLogLik(xs []float64, lambda float64, c1, c2 stats.SkewNormal) float64 {
+	var ll float64
+	for _, x := range xs {
+		t := (1-lambda)*c1.PDF(x) + lambda*c2.PDF(x)
+		if t < 1e-300 {
+			t = 1e-300
+		}
+		ll += math.Log(t)
+	}
+	return ll
+}
+
+// weightedSNMLE maximises Σ wᵢ log f_SN(xᵢ) over (ξ, log ω, α) from a warm
+// start. For very large samples the objective is evaluated on a strided
+// subsample (the optimum of the subsampled likelihood is statistically
+// indistinguishable at this precision, and the final model is re-scored
+// on the full data by the caller).
+func weightedSNMLE(xs, ws []float64, init stats.SkewNormal) stats.SkewNormal {
+	if init.Omega <= 0 {
+		return init
+	}
+	const maxObjPoints = 6000
+	if len(xs) > maxObjPoints {
+		stride := (len(xs) + maxObjPoints - 1) / maxObjPoints
+		var sx, sw []float64
+		for i := 0; i < len(xs); i += stride {
+			sx = append(sx, xs[i])
+			sw = append(sw, ws[i])
+		}
+		xs, ws = sx, sw
+	}
+	// Analytic negative log-likelihood: with z = (x−ξ)/ω,
+	// −log f = log ω + z²/2 − log Φ(αz) + const, which avoids the Exp of
+	// the density and one Log per point in the Nelder–Mead hot loop.
+	neg := func(p []float64) float64 {
+		if math.Abs(p[2]) > 80 || p[1] > 50 || p[1] < -80 {
+			return math.Inf(1)
+		}
+		xi, logOmega, alpha := p[0], p[1], p[2]
+		invOmega := math.Exp(-logOmega)
+		var s, wsum float64
+		for i, x := range xs {
+			w := ws[i]
+			if w <= 1e-12 {
+				continue
+			}
+			z := (x - xi) * invOmega
+			phi := stats.StdNormCDF(alpha * z)
+			if phi < 1e-300 {
+				phi = 1e-300
+			}
+			s += w * (0.5*z*z - math.Log(phi))
+			wsum += w
+		}
+		return s + wsum*logOmega
+	}
+	x0 := []float64{init.Xi, math.Log(init.Omega), init.Alpha}
+	best, nll := opt.NelderMead(neg, x0, opt.NelderMeadOptions{
+		MaxIter: 100,
+		TolF:    1e-7,
+		TolX:    1e-8,
+	})
+	if math.IsInf(nll, 1) {
+		return init
+	}
+	return stats.SkewNormal{Xi: best[0], Omega: math.Exp(best[1]), Alpha: best[2]}
+}
+
+// lvf2Init is one EM starting point.
+type lvf2Init struct {
+	lambda float64
+	c1, c2 stats.SkewNormal
+}
+
+// lvf2Inits builds the deterministic multi-start set.
+func lvf2Inits(xs []float64, all stats.SampleMoments, sdFloor float64) []lvf2Init {
+	var inits []lvf2Init
+
+	// 1. K-means location split (§3.2's initialisation).
+	assign, _ := KMeans1D(xs, 2, 50)
+	lam, c1, c2 := snInitFromClusters(xs, assign, all, sdFloor)
+	inits = append(inits, lvf2Init{lam, c1, c2})
+
+	// 2. Scale split: centre 70% vs tails — the right start for
+	// same-centre different-σ mixtures (Kurtosis scenario).
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	med := sorted[len(sorted)/2]
+	var inner, outer []float64
+	cut := 1.0 * all.Std()
+	for _, x := range xs {
+		if math.Abs(x-med) <= cut {
+			inner = append(inner, x)
+		} else {
+			outer = append(outer, x)
+		}
+	}
+	if len(inner) >= 8 && len(outer) >= 8 {
+		mi, mo := stats.Moments(inner), stats.Moments(outer)
+		// Widen the tail component: its subset sd underestimates the
+		// generating component's sd.
+		inits = append(inits, lvf2Init{
+			lambda: float64(len(outer)) / float64(len(xs)),
+			c1:     snFromMomentsFloored(mi, sdFloor),
+			c2:     stats.SNFromMoments(mo.Mean, mo.Std()*1.5, 0),
+		})
+	}
+
+	// 3. Dominant-vs-upper-tail split (Minor Saddle shapes): lower 80%
+	// against the top 20%.
+	q80 := sorted[int(0.8*float64(len(sorted)-1))]
+	var lo, hi []float64
+	for _, x := range xs {
+		if x <= q80 {
+			lo = append(lo, x)
+		} else {
+			hi = append(hi, x)
+		}
+	}
+	if len(lo) >= 8 && len(hi) >= 8 {
+		ml, mh := stats.Moments(lo), stats.Moments(hi)
+		inits = append(inits, lvf2Init{
+			lambda: 0.2,
+			c1:     snFromMomentsFloored(ml, sdFloor),
+			c2:     stats.SNFromMoments(mh.Mean, mh.Std()*1.5, 0),
+		})
+	}
+
+	// 4. The converged Norm² solution with zero skews: the SN mixture
+	// family strictly contains the Gaussian mixture, so starting from the
+	// best Gaussian fit guarantees LVF² does not trail Norm² merely for
+	// optimisation reasons.
+	if g, err := FitNorm2Params(xs, Options{}); err == nil && g.Lambda > 1e-9 {
+		inits = append(inits, lvf2Init{
+			lambda: g.Lambda,
+			c1:     stats.SkewNormal{Xi: g.C1.Mu, Omega: g.C1.Sigma},
+			c2:     stats.SkewNormal{Xi: g.C2.Mu, Omega: g.C2.Sigma},
+		})
+	}
+	return inits
+}
+
+// runLVF2EM runs the EM loop from one starting point.
+func runLVF2EM(xs []float64, init lvf2Init, o Options, sdFloor float64) LVF2Result {
+	n := len(xs)
+	lambda, c1, c2 := init.lambda, init.c1, init.c2
+
+	resp := make([]float64, n)
+	w1s := make([]float64, n)
+	var iters int
+	for iters = 0; iters < o.MaxIter; iters++ {
+		// E-step (eq. 6): responsibility of component 2 per point.
+		// (Convergence is tested on the parameters, not the
+		// log-likelihood, which keeps math.Log out of the hot loop.)
+		for i, x := range xs {
+			p1 := (1 - lambda) * c1.PDF(x)
+			p2 := lambda * c2.PDF(x)
+			tot := p1 + p2
+			if tot < 1e-300 {
+				p2 = 0
+				tot = 1e-300
+			}
+			resp[i] = p2 / tot
+		}
+
+		// M-step: weighted method of moments per component.
+		var w2 float64
+		for _, r := range resp {
+			w2 += r
+		}
+		newLambda := w2 / float64(n)
+		if newLambda < 1e-9 || newLambda > 1-1e-9 {
+			lambda = clamp01eps(newLambda)
+			break
+		}
+		for i, r := range resp {
+			w1s[i] = 1 - r
+		}
+		m1 := stats.WeightedMoments(xs, w1s)
+		m2 := stats.WeightedMoments(xs, resp)
+		newC1 := snFromMomentsFloored(m1, sdFloor)
+		newC2 := snFromMomentsFloored(m2, sdFloor)
+
+		// sdFloor is 1e-3 of the overall sample sd, so pTol is 1e-5 of the
+		// data scale — below the ECM polish resolution downstream.
+		pTol := sdFloor * 1e-2
+		converged := iters > 0 &&
+			math.Abs(newLambda-lambda) < 1e-6 &&
+			math.Abs(newC1.Xi-c1.Xi) < pTol &&
+			math.Abs(newC2.Xi-c2.Xi) < pTol &&
+			math.Abs(newC1.Omega-c1.Omega) < pTol &&
+			math.Abs(newC2.Omega-c2.Omega) < pTol
+		lambda, c1, c2 = newLambda, newC1, newC2
+		if converged {
+			break
+		}
+	}
+
+	return LVF2Result{
+		Lambda: lambda, C1: c1, C2: c2,
+		LogLik: mixLogLik(xs, lambda, c1, c2),
+		Iters:  iters,
+	}
+}
+
+func (r *LVF2Result) normalise() {
+	if r.Lambda > 0.5 {
+		r.Lambda = 1 - r.Lambda
+		r.C1, r.C2 = r.C2, r.C1
+	}
+}
+
+func snFromMomentsFloored(m stats.SampleMoments, sdFloor float64) stats.SkewNormal {
+	sd := m.Std()
+	if sd < sdFloor {
+		sd = sdFloor
+	}
+	return stats.SNFromMoments(m.Mean, sd, m.Skewness)
+}
+
+func snInitFromClusters(xs []float64, assign []int, all stats.SampleMoments, sdFloor float64) (lambda float64, c1, c2 stats.SkewNormal) {
+	var g1, g2 []float64
+	for i, x := range xs {
+		if assign[i] == 0 {
+			g1 = append(g1, x)
+		} else {
+			g2 = append(g2, x)
+		}
+	}
+	if len(g1) < 4 || len(g2) < 4 {
+		sd := all.Std()
+		c1 = stats.SNFromMoments(all.Mean-0.5*sd, sd, 0)
+		c2 = stats.SNFromMoments(all.Mean+0.5*sd, sd, 0)
+		return 0.5, c1, c2
+	}
+	m1 := stats.Moments(g1)
+	m2 := stats.Moments(g2)
+	return float64(len(g2)) / float64(len(xs)),
+		snFromMomentsFloored(m1, sdFloor),
+		snFromMomentsFloored(m2, sdFloor)
+}
+
+// polishLVF2 refines the EM solution with a bounded Nelder–Mead ascent on
+// the exact log-likelihood (eq. 5) over the parameter vector
+// (logit λ, ξ₁, log ω₁, α₁, ξ₂, log ω₂, α₂).
+func polishLVF2(xs []float64, r LVF2Result, o Options) LVF2Result {
+	if r.IsDegenerate() || r.C1.Omega <= 0 || r.C2.Omega <= 0 {
+		return r
+	}
+	x0 := []float64{
+		logit(r.Lambda),
+		r.C1.Xi, math.Log(r.C1.Omega), r.C1.Alpha,
+		r.C2.Xi, math.Log(r.C2.Omega), r.C2.Alpha,
+	}
+	neg := func(p []float64) float64 {
+		lam := sigmoid(p[0])
+		if lam < 1e-9 || lam > 1-1e-9 || math.Abs(p[3]) > 60 || math.Abs(p[6]) > 60 {
+			return math.Inf(1)
+		}
+		c1 := stats.SkewNormal{Xi: p[1], Omega: math.Exp(p[2]), Alpha: p[3]}
+		c2 := stats.SkewNormal{Xi: p[4], Omega: math.Exp(p[5]), Alpha: p[6]}
+		var ll float64
+		for _, x := range xs {
+			t := (1-lam)*c1.PDF(x) + lam*c2.PDF(x)
+			if t < 1e-300 {
+				t = 1e-300
+			}
+			ll += math.Log(t)
+		}
+		return -ll
+	}
+	best, nll := opt.NelderMead(neg, x0, opt.NelderMeadOptions{
+		MaxIter: 150 * len(x0),
+		TolF:    1e-8,
+		TolX:    1e-8,
+	})
+	if -nll <= r.LogLik {
+		return r
+	}
+	out := LVF2Result{
+		Lambda: sigmoid(best[0]),
+		C1:     stats.SkewNormal{Xi: best[1], Omega: math.Exp(best[2]), Alpha: best[3]},
+		C2:     stats.SkewNormal{Xi: best[4], Omega: math.Exp(best[5]), Alpha: best[6]},
+		LogLik: -nll,
+		Iters:  r.Iters,
+	}
+	out.normalise()
+	return out
+}
+
+func logit(p float64) float64 {
+	if p <= 0 {
+		return -30
+	}
+	if p >= 1 {
+		return 30
+	}
+	return math.Log(p / (1 - p))
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

@@ -1,0 +1,142 @@
+package fit
+
+import (
+	"math"
+
+	"lvf2/internal/stats"
+)
+
+// Norm2Result holds the fitted parameters of the Norm² comparator model:
+// a two-component Gaussian mixture (λ is the weight of the second
+// component, matching the paper's convention for LVF²).
+type Norm2Result struct {
+	Lambda float64
+	C1, C2 stats.Normal
+	LogLik float64
+	Iters  int
+}
+
+// Dist returns the fitted mixture as a stats.Dist.
+func (r Norm2Result) Dist() stats.Mixture {
+	m, _ := stats.NewMixture(
+		[]float64{1 - r.Lambda, r.Lambda},
+		[]stats.Dist{r.C1, r.C2})
+	return m
+}
+
+// FitNorm2 fits the Norm² model with classical EM (closed-form M-step).
+// Initialisation uses deterministic quantile-seeded K-means, matching the
+// LVF² initialisation so the two mixtures differ only in component family.
+func FitNorm2(xs []float64, o Options) (Result, error) {
+	r, err := FitNorm2Params(xs, o)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Model: ModelNorm2, Dist: r.Dist(), LogLik: r.LogLik, Iters: r.Iters}, nil
+}
+
+// FitNorm2Params is FitNorm2 exposing the fitted mixture parameters.
+func FitNorm2Params(xs []float64, o Options) (Norm2Result, error) {
+	o = o.withDefaults()
+	n := len(xs)
+	if n < 8 {
+		return Norm2Result{}, ErrNotEnoughData
+	}
+	all := stats.Moments(xs)
+	varFloor := math.Max(all.Variance*1e-6, 1e-300)
+
+	// K-means + per-cluster moments initialisation.
+	assign, _ := KMeans1D(xs, 2, 50)
+	lambda, c1, c2 := normInitFromClusters(xs, assign, all, varFloor)
+
+	resp := make([]float64, n) // responsibility of component 2
+	prevLL := math.Inf(-1)
+	var iters int
+	for iters = 0; iters < o.MaxIter; iters++ {
+		// E-step (eq. 6 adapted): posterior of component 2.
+		var ll float64
+		for i, x := range xs {
+			p1 := (1 - lambda) * c1.PDF(x)
+			p2 := lambda * c2.PDF(x)
+			tot := p1 + p2
+			if tot < 1e-300 {
+				tot = 1e-300
+				p2 = 0
+			}
+			resp[i] = p2 / tot
+			ll += math.Log(tot)
+		}
+		if iters > 0 && math.Abs(ll-prevLL) <= o.Tol*(1+math.Abs(prevLL)) {
+			prevLL = ll
+			break
+		}
+		prevLL = ll
+
+		// M-step: closed-form weighted Gaussian updates.
+		var w2 float64
+		for _, r := range resp {
+			w2 += r
+		}
+		lambda = w2 / float64(n)
+		if lambda < 1e-9 || lambda > 1-1e-9 {
+			// Collapsed to a single component.
+			lambda = clamp01eps(lambda)
+			break
+		}
+		w1s := make([]float64, n)
+		for i, r := range resp {
+			w1s[i] = 1 - r
+		}
+		m1 := stats.WeightedMoments(xs, w1s)
+		m2 := stats.WeightedMoments(xs, resp)
+		c1 = stats.Normal{Mu: m1.Mean, Sigma: math.Sqrt(math.Max(m1.Variance, varFloor))}
+		c2 = stats.Normal{Mu: m2.Mean, Sigma: math.Sqrt(math.Max(m2.Variance, varFloor))}
+	}
+
+	r := Norm2Result{Lambda: lambda, C1: c1, C2: c2, LogLik: prevLL, Iters: iters}
+	r.normalise()
+	return r, nil
+}
+
+// normalise enforces the convention that component 1 is dominant
+// (λ ≤ 0.5), mirroring the Liberty backward-compatibility rule where the
+// first component is the LVF-inherited one.
+func (r *Norm2Result) normalise() {
+	if r.Lambda > 0.5 {
+		r.Lambda = 1 - r.Lambda
+		r.C1, r.C2 = r.C2, r.C1
+	}
+}
+
+func normInitFromClusters(xs []float64, assign []int, all stats.SampleMoments, varFloor float64) (lambda float64, c1, c2 stats.Normal) {
+	var g1, g2 []float64
+	for i, x := range xs {
+		if assign[i] == 0 {
+			g1 = append(g1, x)
+		} else {
+			g2 = append(g2, x)
+		}
+	}
+	if len(g1) < 4 || len(g2) < 4 {
+		// Degenerate clustering: perturb the global fit.
+		sd := all.Std()
+		c1 = stats.Normal{Mu: all.Mean - 0.5*sd, Sigma: sd}
+		c2 = stats.Normal{Mu: all.Mean + 0.5*sd, Sigma: sd}
+		return 0.5, c1, c2
+	}
+	m1 := stats.Moments(g1)
+	m2 := stats.Moments(g2)
+	c1 = stats.Normal{Mu: m1.Mean, Sigma: math.Sqrt(math.Max(m1.Variance, varFloor))}
+	c2 = stats.Normal{Mu: m2.Mean, Sigma: math.Sqrt(math.Max(m2.Variance, varFloor))}
+	return float64(len(g2)) / float64(len(xs)), c1, c2
+}
+
+func clamp01eps(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,138 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lvf2/internal/stats"
+)
+
+// Property: FitLVF reproduces the first three sample moments exactly
+// (method of moments) whenever the sample skewness is SN-attainable.
+func TestFitLVFMomentMatchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sn := stats.SNFromMoments(0.1+r.Float64(), 0.005+0.05*r.Float64(), 1.6*(r.Float64()-0.5))
+		xs := make([]float64, 500)
+		for i := range xs {
+			xs[i] = sn.Sample(r)
+		}
+		res, err := FitLVF(xs)
+		if err != nil {
+			return false
+		}
+		got := res.Dist.(stats.SkewNormal)
+		want := stats.Moments(xs)
+		m, sd, g := got.Moments()
+		if math.Abs(m-want.Mean) > 1e-9*(1+math.Abs(want.Mean)) {
+			return false
+		}
+		if math.Abs(sd-want.Std()) > 1e-9*(1+want.Std()) {
+			return false
+		}
+		// Skewness matches unless it was clamped.
+		if math.Abs(want.Skewness) < stats.MaxSNSkewness && math.Abs(g-want.Skewness) > 1e-5 {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(101))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the LVF² fit always achieves at least the single-SN
+// log-likelihood (the mixture family contains it) up to a small numeric
+// slack.
+func TestLVF2AtLeastAsGoodAsLVFProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Random mixture data.
+		mix, err := stats.NewMixture(
+			[]float64{0.6, 0.4},
+			[]stats.Dist{
+				stats.SNFromMoments(0.1, 0.004+0.01*r.Float64(), r.Float64()-0.5),
+				stats.SNFromMoments(0.1+0.05*r.Float64(), 0.004+0.01*r.Float64(), r.Float64()-0.5),
+			})
+		if err != nil {
+			return false
+		}
+		xs := make([]float64, 600)
+		for i := range xs {
+			xs[i] = mix.Sample(r)
+		}
+		r2, err := FitLVF2(xs, Options{})
+		if err != nil {
+			return false
+		}
+		r1, err := FitLVF(xs)
+		if err != nil {
+			return false
+		}
+		return r2.LogLik >= r1.LogLik-1.0
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(103))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the fitted λ respects the dominance convention and the
+// mixture mean matches the sample mean closely.
+func TestLVF2ConventionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 400)
+		for i := range xs {
+			if r.Float64() < 0.3 {
+				xs[i] = 0.13 + 0.004*r.NormFloat64()
+			} else {
+				xs[i] = 0.10 + 0.005*r.NormFloat64()
+			}
+		}
+		res, err := FitLVF2(xs, Options{})
+		if err != nil {
+			return false
+		}
+		if res.Lambda < 0 || res.Lambda > 0.5+1e-9 {
+			return false
+		}
+		want := stats.Moments(xs).Mean
+		got := res.Dist().Mean()
+		return math.Abs(got-want) < 0.02*want
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(107))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchLESNMomentsErrors(t *testing.T) {
+	if _, err := MatchLESNMoments(stats.SampleMoments{Mean: -1, Variance: 1}); err == nil {
+		t.Error("negative mean accepted")
+	}
+	if _, err := MatchLESNMoments(stats.SampleMoments{Mean: 1, Variance: 0}); err == nil {
+		t.Error("zero variance accepted")
+	}
+}
+
+func TestMatchLESNMomentsRecoversTarget(t *testing.T) {
+	target := stats.SampleMoments{Mean: 0.2, Variance: 0.0004, Skewness: 0.6, Kurtosis: 3.8}
+	l, err := MatchLESNMoments(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stats.DistMoments(l)
+	if math.Abs(got.Mean-target.Mean)/target.Mean > 0.01 {
+		t.Errorf("mean %v want %v", got.Mean, target.Mean)
+	}
+	if math.Abs(got.Std()-math.Sqrt(target.Variance))/math.Sqrt(target.Variance) > 0.02 {
+		t.Errorf("std %v want %v", got.Std(), math.Sqrt(target.Variance))
+	}
+	if math.Abs(got.Skewness-target.Skewness) > 0.05 {
+		t.Errorf("skew %v want %v", got.Skewness, target.Skewness)
+	}
+}

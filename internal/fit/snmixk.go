@@ -1,0 +1,216 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"lvf2/internal/stats"
+)
+
+// K-component skew-normal mixtures: the paper's §3.3 notes that the LVF²
+// library format "can easily be extended to support more components by
+// following similar attribute naming conventions". This file provides the
+// fitting side of that extension — EM over k weighted skew-normals with
+// K-means initialisation, a weighted method-of-moments M-step and an ECM
+// weighted-MLE polish, generalising FitLVF2 (which remains the paper's
+// k=2 special case).
+
+// SNMixResult is a fitted k-component skew-normal mixture. Weights are
+// sorted descending so component 1 is always the dominant one.
+type SNMixResult struct {
+	Weights []float64
+	Comps   []stats.SkewNormal
+	LogLik  float64
+	Iters   int
+}
+
+// Dist returns the fitted mixture.
+func (r SNMixResult) Dist() stats.Mixture {
+	ds := make([]stats.Dist, len(r.Comps))
+	for i, c := range r.Comps {
+		ds[i] = c
+	}
+	m, _ := stats.NewMixture(r.Weights, ds)
+	return m
+}
+
+// K returns the component count.
+func (r SNMixResult) K() int { return len(r.Comps) }
+
+// FitSNMixK fits a k-component skew-normal mixture by EM. k must be at
+// least 1; k=1 reduces to the LVF moment fit followed by an MLE polish.
+func FitSNMixK(xs []float64, k int, o Options) (SNMixResult, error) {
+	o = o.withDefaults()
+	n := len(xs)
+	if k < 1 {
+		return SNMixResult{}, fmt.Errorf("fit: component count %d < 1", k)
+	}
+	if n < 4*k {
+		return SNMixResult{}, ErrNotEnoughData
+	}
+	// k = 2 is the paper's LVF² case, which has the full multi-start +
+	// ECM rescue machinery; reuse it rather than the generic EM below.
+	if k == 2 && n >= 8 {
+		r2, err := FitLVF2(xs, o)
+		if err != nil {
+			return SNMixResult{}, err
+		}
+		r := SNMixResult{
+			Weights: []float64{1 - r2.Lambda, r2.Lambda},
+			Comps:   []stats.SkewNormal{r2.C1, r2.C2},
+			LogLik:  r2.LogLik,
+			Iters:   r2.Iters,
+		}
+		r.sortByWeight()
+		return r, nil
+	}
+	all := stats.Moments(xs)
+	sdFloor := math.Max(all.Std()*1e-3, 1e-300)
+
+	// K-means initialisation with per-cluster moments.
+	assign, _ := KMeans1D(xs, k, 50)
+	weights := make([]float64, k)
+	comps := make([]stats.SkewNormal, k)
+	groups := make([][]float64, k)
+	for i, x := range xs {
+		groups[assign[i]] = append(groups[assign[i]], x)
+	}
+	for c := 0; c < k; c++ {
+		if len(groups[c]) < 4 {
+			// Degenerate cluster: seed from the global fit, shifted.
+			comps[c] = stats.SNFromMoments(
+				all.Mean+(float64(c)-float64(k-1)/2)*all.Std(), all.Std(), 0)
+			weights[c] = 1 / float64(k)
+			continue
+		}
+		m := stats.Moments(groups[c])
+		comps[c] = snFromMomentsFloored(m, sdFloor)
+		weights[c] = float64(len(groups[c])) / float64(n)
+	}
+	normalizeWeights(weights)
+
+	// EM with moment M-step.
+	resp := make([][]float64, k)
+	for c := range resp {
+		resp[c] = make([]float64, n)
+	}
+	wbuf := make([]float64, k)
+	var iters int
+	for iters = 0; iters < o.MaxIter; iters++ {
+		// E-step.
+		for i, x := range xs {
+			var tot float64
+			for c := 0; c < k; c++ {
+				p := weights[c] * comps[c].PDF(x)
+				resp[c][i] = p
+				tot += p
+			}
+			if tot < 1e-300 {
+				tot = 1e-300
+			}
+			for c := 0; c < k; c++ {
+				resp[c][i] /= tot
+			}
+		}
+		// M-step.
+		moved := false
+		for c := 0; c < k; c++ {
+			var w float64
+			for _, r := range resp[c] {
+				w += r
+			}
+			wbuf[c] = w / float64(n)
+			if wbuf[c] < 1e-9 {
+				continue
+			}
+			m := stats.WeightedMoments(xs, resp[c])
+			nc := snFromMomentsFloored(m, sdFloor)
+			if math.Abs(nc.Xi-comps[c].Xi) > sdFloor*1e-2 ||
+				math.Abs(nc.Omega-comps[c].Omega) > sdFloor*1e-2 {
+				moved = true
+			}
+			comps[c] = nc
+		}
+		copy(weights, wbuf)
+		normalizeWeights(weights)
+		if !moved && iters > 0 {
+			break
+		}
+	}
+
+	// ECM polish: rounds of (E-step, exact weighted MLE per component),
+	// accepted only if the full-data likelihood improves (the MLE
+	// objective may be evaluated on a subsample for large n).
+	r := SNMixResult{Weights: weights, Comps: comps, Iters: iters}
+	r.LogLik = LogLikelihood(r.Dist(), xs)
+	for round := 0; round < 2; round++ {
+		polished := SNMixResult{
+			Weights: append([]float64(nil), r.Weights...),
+			Comps:   append([]stats.SkewNormal(nil), r.Comps...),
+			Iters:   r.Iters,
+		}
+		// E-step under the current best parameters.
+		for i, x := range xs {
+			var tot float64
+			for c := 0; c < k; c++ {
+				p := polished.Weights[c] * polished.Comps[c].PDF(x)
+				resp[c][i] = p
+				tot += p
+			}
+			if tot < 1e-300 {
+				tot = 1e-300
+			}
+			for c := 0; c < k; c++ {
+				resp[c][i] /= tot
+			}
+		}
+		for c := 0; c < k; c++ {
+			var w float64
+			for _, rr := range resp[c] {
+				w += rr
+			}
+			polished.Weights[c] = w / float64(n)
+			if polished.Weights[c] > 1e-6 {
+				polished.Comps[c] = weightedSNMLE(xs, resp[c], polished.Comps[c])
+			}
+		}
+		normalizeWeights(polished.Weights)
+		polished.LogLik = LogLikelihood(polished.Dist(), xs)
+		if polished.LogLik <= r.LogLik {
+			break
+		}
+		r = polished
+	}
+	r.sortByWeight()
+	return r, nil
+}
+
+func normalizeWeights(ws []float64) {
+	var s float64
+	for _, w := range ws {
+		s += w
+	}
+	if s <= 0 {
+		for i := range ws {
+			ws[i] = 1 / float64(len(ws))
+		}
+		return
+	}
+	for i := range ws {
+		ws[i] /= s
+	}
+}
+
+// sortByWeight orders components by descending weight (dominant first,
+// matching the LVF² convention that component 1 inherits the LVF tables).
+func (r *SNMixResult) sortByWeight() {
+	for i := 1; i < len(r.Weights); i++ {
+		w, c := r.Weights[i], r.Comps[i]
+		j := i - 1
+		for j >= 0 && r.Weights[j] < w {
+			r.Weights[j+1], r.Comps[j+1] = r.Weights[j], r.Comps[j]
+			j--
+		}
+		r.Weights[j+1], r.Comps[j+1] = w, c
+	}
+}

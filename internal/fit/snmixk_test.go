@@ -1,0 +1,116 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"lvf2/internal/stats"
+)
+
+func TestFitSNMixKRecoversThreeComponents(t *testing.T) {
+	truth, _ := stats.NewMixture(
+		[]float64{0.5, 0.3, 0.2},
+		[]stats.Dist{
+			stats.SNFromMoments(0.10, 0.004, 0.4),
+			stats.SNFromMoments(0.13, 0.004, 0.3),
+			stats.SNFromMoments(0.16, 0.005, 0.2),
+		})
+	xs := sampleDist(truth, 30000, 11)
+	r, err := FitSNMixK(xs, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K() != 3 {
+		t.Fatalf("K = %d", r.K())
+	}
+	// Dominant-first ordering.
+	if !(r.Weights[0] >= r.Weights[1] && r.Weights[1] >= r.Weights[2]) {
+		t.Errorf("weights not sorted: %v", r.Weights)
+	}
+	if math.Abs(r.Weights[0]-0.5) > 0.05 {
+		t.Errorf("w0 %v want ~0.5", r.Weights[0])
+	}
+	// Mixture CDF tracks the truth closely.
+	d := r.Dist()
+	for _, x := range []float64{0.095, 0.115, 0.135, 0.155, 0.17} {
+		if diff := math.Abs(d.CDF(x) - truth.CDF(x)); diff > 0.015 {
+			t.Errorf("CDF diff %v at %v", diff, x)
+		}
+	}
+}
+
+func TestFitSNMixK3BeatsK2OnThreePeaks(t *testing.T) {
+	truth, _ := stats.NewMixture(
+		[]float64{0.45, 0.35, 0.20},
+		[]stats.Dist{
+			stats.SNFromMoments(0.10, 0.003, 0.6),
+			stats.SNFromMoments(0.125, 0.003, 0.6),
+			stats.SNFromMoments(0.15, 0.004, 0.4),
+		})
+	xs := sampleDist(truth, 20000, 12)
+	r3, err := FitSNMixK(xs, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := FitLVF2(xs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.LogLik <= r2.LogLik {
+		t.Errorf("k=3 loglik %v should beat k=2 %v on 3-peak data", r3.LogLik, r2.LogLik)
+	}
+}
+
+func TestFitSNMixK1MatchesLVFClosely(t *testing.T) {
+	truth := stats.SNFromMoments(0.1, 0.01, 0.5)
+	xs := sampleDist(truth, 15000, 13)
+	r1, err := FitSNMixK(xs, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvf, err := FitLVF(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1 (MLE) should be at least as good as the moment match.
+	if r1.LogLik < lvf.LogLik-1 {
+		t.Errorf("k=1 loglik %v far below LVF %v", r1.LogLik, lvf.LogLik)
+	}
+	if math.Abs(r1.Dist().Mean()-0.1) > 0.001 {
+		t.Errorf("mean %v", r1.Dist().Mean())
+	}
+}
+
+func TestFitSNMixKErrors(t *testing.T) {
+	xs := sampleDist(stats.Normal{Mu: 1, Sigma: 1}, 10, 14)
+	if _, err := FitSNMixK(xs, 0, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := FitSNMixK(xs, 5, Options{}); err == nil {
+		t.Error("n < 4k accepted")
+	}
+}
+
+func TestFitSNMixKWeightsNormalised(t *testing.T) {
+	truth, _ := stats.NewMixture(
+		[]float64{0.8, 0.2},
+		[]stats.Dist{
+			stats.Normal{Mu: 0, Sigma: 1},
+			stats.Normal{Mu: 5, Sigma: 0.5},
+		})
+	xs := sampleDist(truth, 5000, 15)
+	r, err := FitSNMixK(xs, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s float64
+	for _, w := range r.Weights {
+		if w < 0 {
+			t.Fatalf("negative weight %v", w)
+		}
+		s += w
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("weights sum %v", s)
+	}
+}

@@ -1,0 +1,150 @@
+package liberty
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Attr is a Liberty attribute. Simple attributes have the form
+// `name : value ;`; complex attributes have `name (v1, v2, ...) ;`.
+type Attr struct {
+	Name     string
+	Simple   bool
+	Value    string   // simple attribute value
+	Values   []string // complex attribute arguments
+	Quoted   bool     // simple value was quoted
+	QuoteAll bool     // complex values are emitted quoted (e.g. values(...))
+}
+
+// Group is a Liberty group statement: `name (args) { ... }`.
+type Group struct {
+	Name   string
+	Args   []string
+	Attrs  []Attr
+	Groups []*Group
+}
+
+// AddSimple appends a simple attribute.
+func (g *Group) AddSimple(name, value string) {
+	g.Attrs = append(g.Attrs, Attr{Name: name, Simple: true, Value: value})
+}
+
+// AddSimpleQuoted appends a simple attribute with a quoted value.
+func (g *Group) AddSimpleQuoted(name, value string) {
+	g.Attrs = append(g.Attrs, Attr{Name: name, Simple: true, Value: value, Quoted: true})
+}
+
+// AddComplex appends a complex attribute with quoted arguments.
+func (g *Group) AddComplex(name string, values ...string) {
+	g.Attrs = append(g.Attrs, Attr{Name: name, Values: values, QuoteAll: true})
+}
+
+// AddGroup appends and returns a nested group.
+func (g *Group) AddGroup(name string, args ...string) *Group {
+	child := &Group{Name: name, Args: args}
+	g.Groups = append(g.Groups, child)
+	return child
+}
+
+// Attr returns the first attribute with the given name.
+func (g *Group) Attr(name string) (Attr, bool) {
+	for _, a := range g.Attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// SimpleValue returns the value of a simple attribute, or "" if absent.
+func (g *Group) SimpleValue(name string) string {
+	if a, ok := g.Attr(name); ok && a.Simple {
+		return a.Value
+	}
+	return ""
+}
+
+// Group returns the first nested group with the given name.
+func (g *Group) Group(name string) (*Group, bool) {
+	for _, c := range g.Groups {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// GroupsNamed returns all nested groups with the given name.
+func (g *Group) GroupsNamed(name string) []*Group {
+	var out []*Group
+	for _, c := range g.Groups {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Write serialises the group as Liberty text.
+func (g *Group) Write(w io.Writer) error {
+	return g.write(w, 0)
+}
+
+// String returns the Liberty text of the group.
+func (g *Group) String() string {
+	var b strings.Builder
+	if err := g.write(&b, 0); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+func (g *Group) write(w io.Writer, depth int) error {
+	ind := strings.Repeat("  ", depth)
+	if _, err := fmt.Fprintf(w, "%s%s (%s) {\n", ind, g.Name, strings.Join(g.Args, ", ")); err != nil {
+		return err
+	}
+	inner := ind + "  "
+	for _, a := range g.Attrs {
+		var err error
+		if a.Simple {
+			if a.Quoted {
+				_, err = fmt.Fprintf(w, "%s%s : \"%s\";\n", inner, a.Name, a.Value)
+			} else {
+				_, err = fmt.Fprintf(w, "%s%s : %s;\n", inner, a.Name, a.Value)
+			}
+		} else {
+			vals := make([]string, len(a.Values))
+			for i, v := range a.Values {
+				if a.QuoteAll {
+					vals[i] = "\"" + v + "\""
+				} else {
+					vals[i] = v
+				}
+			}
+			sep := ", "
+			if a.Name == "values" && len(vals) > 1 {
+				// Emit one row per line, Liberty-style, with continuations.
+				_, err = fmt.Fprintf(w, "%s%s ( \\\n%s%s%s );\n",
+					inner, a.Name, inner+"  ",
+					strings.Join(vals, ", \\\n"+inner+"  "), " \\\n"+inner)
+				if err != nil {
+					return err
+				}
+				continue
+			}
+			_, err = fmt.Fprintf(w, "%s%s (%s);\n", inner, a.Name, strings.Join(vals, sep))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	for _, c := range g.Groups {
+		if err := c.write(w, depth+1); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s}\n", ind)
+	return err
+}

@@ -1,0 +1,186 @@
+// Package liberty implements a Liberty (.lib) file parser and writer with
+// support for the classic LVF on-chip-variation attributes and the seven
+// new LVF² attributes of the paper's §3.3. The subset implemented is the
+// structural core of the format — groups, simple and complex attributes,
+// lookup tables — which is everything statistical timing needs.
+package liberty
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tEOF tokenKind = iota
+	tIdent
+	tString
+	tLParen
+	tRParen
+	tLBrace
+	tRBrace
+	tColon
+	tSemi
+	tComma
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "EOF"
+	case tString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("liberty: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '\\' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == '\n' || l.src[l.pos+1] == '\r'):
+			// Line continuation.
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			if err := l.skipBlockComment(); err != nil {
+				return token{}, err
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLineComment()
+		default:
+			goto tokenStart
+		}
+	}
+	return token{kind: tEOF, line: l.line}, nil
+
+tokenStart:
+	start := l.line
+	switch c := l.src[l.pos]; c {
+	case '(':
+		l.pos++
+		return token{tLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tRParen, ")", start}, nil
+	case '{':
+		l.pos++
+		return token{tLBrace, "{", start}, nil
+	case '}':
+		l.pos++
+		return token{tRBrace, "}", start}, nil
+	case ':':
+		l.pos++
+		return token{tColon, ":", start}, nil
+	case ';':
+		l.pos++
+		return token{tSemi, ";", start}, nil
+	case ',':
+		l.pos++
+		return token{tComma, ",", start}, nil
+	case '"':
+		return l.lexString()
+	default:
+		if isIdentChar(rune(c)) {
+			return l.lexIdent()
+		}
+		return token{}, l.errorf("unexpected character %q", c)
+	}
+}
+
+func (l *lexer) skipBlockComment() error {
+	l.pos += 2
+	for l.pos+1 < len(l.src) {
+		if l.src[l.pos] == '\n' {
+			l.line++
+		}
+		if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+			l.pos += 2
+			return nil
+		}
+		l.pos++
+	}
+	return l.errorf("unterminated block comment")
+}
+
+func (l *lexer) skipLineComment() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.line
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{tString, b.String(), start}, nil
+		case '\\':
+			// Escaped newline inside a string (common in `values` rows):
+			// swallow the backslash and the newline.
+			if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '\n' || l.src[l.pos+1] == '\r') {
+				l.pos += 2
+				l.line++
+				continue
+			}
+			b.WriteByte(c)
+			l.pos++
+		case '\n':
+			l.line++
+			b.WriteByte(c)
+			l.pos++
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errorf("unterminated string")
+}
+
+// isIdentChar accepts Liberty bare-word characters: identifiers, numbers
+// (with exponent and sign), units and dotted names.
+func isIdentChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		strings.ContainsRune("_.+-*!&|'[]<>=%$", r)
+}
+
+func (l *lexer) lexIdent() (token, error) {
+	start := l.line
+	begin := l.pos
+	for l.pos < len(l.src) && isIdentChar(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return token{tIdent, l.src[begin:l.pos], start}, nil
+}

@@ -1,0 +1,179 @@
+package liberty
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lint: structural and statistical sanity checks over a parsed library.
+// Characterisation flows produce large generated .lib files; these checks
+// catch the mistakes that silently corrupt downstream SSTA — mismatched
+// table shapes, weights outside [0, 1], negative sigmas, skewness beyond
+// the SN-representable range, missing arcs, and dangling templates.
+
+// LintIssue is one finding.
+type LintIssue struct {
+	Severity string // "error" or "warning"
+	Where    string // cell/pin/arc context
+	Message  string
+}
+
+func (i LintIssue) String() string {
+	return fmt.Sprintf("%s: %s: %s", i.Severity, i.Where, i.Message)
+}
+
+// Lint checks a parsed library group and returns all findings (empty =
+// clean). It never fails on unknown constructs — Liberty is huge and this
+// library only models a subset — but everything it does understand is
+// verified.
+func Lint(g *Group) []LintIssue {
+	var issues []LintIssue
+	add := func(sev, where, format string, args ...any) {
+		issues = append(issues, LintIssue{Severity: sev, Where: where, Message: fmt.Sprintf(format, args...)})
+	}
+	if g.Name != "library" {
+		add("error", g.Name, "top-level group is %q, want library", g.Name)
+		return issues
+	}
+
+	templates := map[string]bool{}
+	for _, tpl := range g.GroupsNamed("lu_table_template") {
+		if len(tpl.Args) == 0 {
+			add("error", "lu_table_template", "template without a name")
+			continue
+		}
+		templates[tpl.Args[0]] = true
+	}
+
+	for _, cg := range g.GroupsNamed("cell") {
+		if len(cg.Args) == 0 {
+			add("error", "cell", "cell without a name")
+			continue
+		}
+		cellName := cg.Args[0]
+		hasOutput := false
+		for _, pg := range cg.GroupsNamed("pin") {
+			if len(pg.Args) == 0 {
+				add("error", cellName, "pin without a name")
+				continue
+			}
+			pinName := pg.Args[0]
+			where := cellName + "/" + pinName
+			dir := pg.SimpleValue("direction")
+			switch dir {
+			case "input", "output", "inout", "internal":
+			case "":
+				add("warning", where, "pin has no direction")
+			default:
+				add("error", where, "unknown direction %q", dir)
+			}
+			if dir == "output" {
+				hasOutput = true
+			}
+			for _, tg := range pg.GroupsNamed("timing") {
+				lintTiming(tg, where, templates, add)
+			}
+		}
+		if !hasOutput {
+			add("warning", cellName, "cell has no output pin")
+		}
+	}
+	return issues
+}
+
+func lintTiming(tg *Group, where string, templates map[string]bool, add func(sev, where, format string, args ...any)) {
+	rel := tg.SimpleValue("related_pin")
+	if rel == "" {
+		add("warning", where, "timing group without related_pin")
+	} else {
+		where = where + " (from " + rel + ")"
+	}
+	sawNominal := false
+	for _, base := range BaseNames {
+		if _, ok := tg.Group(base); !ok {
+			continue
+		}
+		sawNominal = true
+		tm, err := ExtractTimingModel(tg, base)
+		if err != nil {
+			add("error", where, "%s: %v", base, err)
+			continue
+		}
+		lintTables(tm, where, add)
+	}
+	if !sawNominal {
+		add("warning", where, "timing group has no delay/transition tables")
+	}
+	// Template references must exist.
+	for _, child := range tg.Groups {
+		if len(child.Args) == 1 && strings.Contains(child.Name, "_") {
+			if len(templates) > 0 && !templates[child.Args[0]] {
+				add("warning", where, "%s references unknown template %q", child.Name, child.Args[0])
+			}
+		}
+	}
+}
+
+func lintTables(tm *TimingModel, where string, add func(sev, where, format string, args ...any)) {
+	// Shape from the value matrix itself: index vectors are optional when
+	// a template supplies them.
+	rows := len(tm.Nominal.Values)
+	cols := 0
+	if rows > 0 {
+		cols = len(tm.Nominal.Values[0])
+	}
+	checkShape := func(t *Table, name string) {
+		if t == nil {
+			return
+		}
+		if len(t.Values) != rows || (rows > 0 && len(t.Values[0]) != cols) {
+			add("error", where, "%s/%s is %dx%d, nominal is %dx%d",
+				tm.Base, name, len(t.Values), len(t.Values[0]), rows, cols)
+		}
+	}
+	checkShape(tm.MeanShift, "ocv_mean_shift")
+	checkShape(tm.StdDev, "ocv_std_dev")
+	checkShape(tm.Skewness, "ocv_skewness")
+	checkShape(tm.Weight2, "ocv_weight2")
+	checkShape(tm.StdDev2, "ocv_std_dev2")
+
+	inRange := func(t *Table, name string, lo, hi float64) {
+		if t == nil {
+			return
+		}
+		for i, row := range t.Values {
+			for j, v := range row {
+				if v < lo || v > hi {
+					add("error", where, "%s/%s[%d][%d] = %v outside [%g, %g]",
+						tm.Base, name, i, j, v, lo, hi)
+				}
+			}
+		}
+	}
+	inRange(tm.Weight2, "ocv_weight2", 0, 1)
+	inRange(tm.StdDev, "ocv_std_dev", 0, 1e9)
+	inRange(tm.StdDev1, "ocv_std_dev1", 0, 1e9)
+	inRange(tm.StdDev2, "ocv_std_dev2", 0, 1e9)
+	inRange(tm.Skewness, "ocv_skewness", -1, 1)
+	inRange(tm.Skewness1, "ocv_skewness1", -1, 1)
+	inRange(tm.Skewness2, "ocv_skewness2", -1, 1)
+
+	// Nominal timing values should be positive.
+	for i, row := range tm.Nominal.Values {
+		for j, v := range row {
+			if v <= 0 {
+				add("warning", where, "%s nominal[%d][%d] = %v is not positive", tm.Base, i, j, v)
+			}
+		}
+	}
+}
+
+// HasErrors reports whether any finding is severity "error".
+func HasErrors(issues []LintIssue) bool {
+	for _, i := range issues {
+		if i.Severity == "error" {
+			return true
+		}
+	}
+	return false
+}

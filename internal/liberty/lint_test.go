@@ -1,0 +1,108 @@
+package liberty
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintCleanLibrary(t *testing.T) {
+	g, err := Parse(tinyLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issues := Lint(g)
+	if HasErrors(issues) {
+		t.Errorf("clean library has errors: %v", issues)
+	}
+}
+
+func TestLintFindsProblems(t *testing.T) {
+	src := `library (bad) {
+	  lu_table_template (tpl) { index_1 ("1, 2"); }
+	  cell (X) {
+	    pin (A) { direction : sideways; }
+	    pin (ZN) {
+	      direction : output;
+	      timing () {
+	        related_pin : "A";
+	        cell_rise (nosuchtpl) {
+	          index_1 ("1, 2");
+	          index_2 ("1, 2");
+	          values ("0.1, -0.2", "0.3, 0.4");
+	        }
+	        ocv_weight2_cell_rise (tpl) {
+	          values ("1.5, 0.2", "0.3, 0.4");
+	        }
+	        ocv_std_dev_cell_rise (tpl) {
+	          values ("-0.01, 0.02", "0.03, 0.04");
+	        }
+	      }
+	    }
+	  }
+	  cell (NOOUT) {
+	    pin (B) { direction : input; }
+	  }
+	}`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issues := Lint(g)
+	if !HasErrors(issues) {
+		t.Fatal("broken library passed lint")
+	}
+	text := make([]string, len(issues))
+	for i, is := range issues {
+		text[i] = is.String()
+	}
+	all := strings.Join(text, "\n")
+	for _, want := range []string{
+		"unknown direction",      // pin A
+		"ocv_weight2",            // 1.5 out of [0,1]
+		"ocv_std_dev",            // negative sigma
+		"not positive",           // negative nominal
+		"unknown template",       // nosuchtpl
+		"cell has no output pin", // NOOUT
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("missing finding %q in:\n%s", want, all)
+		}
+	}
+}
+
+func TestLintRejectsNonLibrary(t *testing.T) {
+	g, _ := Parse(`cell (x) { }`)
+	issues := Lint(g)
+	if !HasErrors(issues) {
+		t.Error("non-library top group passed")
+	}
+}
+
+func TestLintShapeMismatch(t *testing.T) {
+	src := `library (b) {
+	  cell (X) {
+	    pin (ZN) {
+	      direction : output;
+	      timing () {
+	        related_pin : "A";
+	        cell_rise (tpl) { values ("0.1, 0.2", "0.3, 0.4"); }
+	        ocv_std_dev_cell_rise (tpl) { values ("0.01"); }
+	      }
+	    }
+	  }
+	}`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issues := Lint(g)
+	found := false
+	for _, is := range issues {
+		if strings.Contains(is.Message, "nominal is 2x2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("shape mismatch not reported: %v", issues)
+	}
+}

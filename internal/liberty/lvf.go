@@ -1,0 +1,254 @@
+package liberty
+
+import (
+	"fmt"
+
+	"lvf2/internal/core"
+	"lvf2/internal/stats"
+)
+
+// BaseNames are the four timing quantities an LVF/LVF² timing group
+// characterises. Each gets its own nominal LUT plus OCV attribute sets.
+var BaseNames = []string{"cell_rise", "cell_fall", "rise_transition", "fall_transition"}
+
+// LVF attribute names for a base quantity (§2.2), e.g. for cell_rise:
+// ocv_mean_shift_cell_rise, ocv_std_dev_cell_rise, ocv_skewness_cell_rise.
+func lvfAttr(prefix, base string) string { return "ocv_" + prefix + "_" + base }
+
+// LVF² attribute names (§3.3). Note: the paper's text spells the first one
+// "ocv_mean_shfit1_*" — an obvious typo we correct to "ocv_mean_shift1_*";
+// the parser accepts both spellings for compatibility with the paper.
+func lvf2Attr(prefix string, comp int, base string) string {
+	return fmt.Sprintf("ocv_%s%d_%s", prefix, comp, base)
+}
+
+// TimingModel binds all the statistical tables of one base quantity within
+// one timing() group. Nil pointers mean "attribute absent"; the §3.3
+// default/inheritance rules are applied by ModelAt.
+type TimingModel struct {
+	Base    string
+	Nominal Table
+
+	// Classic LVF moment tables (offsets from nominal for the mean).
+	MeanShift *Table
+	StdDev    *Table
+	Skewness  *Table
+
+	// LVF² component-1 tables; absent tables inherit the LVF ones.
+	MeanShift1 *Table
+	StdDev1    *Table
+	Skewness1  *Table
+
+	// LVF² second component: weight λ and its moments.
+	Weight2    *Table
+	MeanShift2 *Table
+	StdDev2    *Table
+	Skewness2  *Table
+}
+
+// HasLVF reports whether classic LVF moment tables are present.
+func (tm *TimingModel) HasLVF() bool {
+	return tm.MeanShift != nil && tm.StdDev != nil
+}
+
+// HasLVF2 reports whether any LVF² attribute is present.
+func (tm *TimingModel) HasLVF2() bool {
+	return tm.Weight2 != nil || tm.MeanShift1 != nil || tm.StdDev1 != nil ||
+		tm.Skewness1 != nil || tm.MeanShift2 != nil || tm.StdDev2 != nil ||
+		tm.Skewness2 != nil
+}
+
+func tableAt(t *Table, i, j int) (float64, bool) {
+	if t == nil || i >= len(t.Values) || j >= len(t.Values[i]) {
+		return 0, false
+	}
+	return t.Values[i][j], true
+}
+
+// ModelAt assembles the LVF² model of one slew–load point, applying the
+// backward-compatibility defaults of §3.3:
+//
+//   - mean₁ defaults to nominal + ocv_mean_shift (classic LVF);
+//   - σ₁/γ₁ default to the classic std-dev/skewness tables;
+//   - λ defaults to zero (pure LVF, eq. 10);
+//   - the second component is only consulted when λ > 0.
+func (tm *TimingModel) ModelAt(i, j int) (core.Model, error) {
+	if i >= tm.Nominal.Rows() || j >= tm.Nominal.Cols() {
+		return core.Model{}, fmt.Errorf("liberty: index (%d,%d) outside %dx%d table for %s",
+			i, j, tm.Nominal.Rows(), tm.Nominal.Cols(), tm.Base)
+	}
+	nominal := tm.Nominal.At(i, j)
+
+	var m core.Model
+	// Component 1 with inheritance.
+	shift, ok := tableAt(tm.MeanShift1, i, j)
+	if !ok {
+		shift, _ = tableAt(tm.MeanShift, i, j)
+	}
+	sd, ok := tableAt(tm.StdDev1, i, j)
+	if !ok {
+		sd, _ = tableAt(tm.StdDev, i, j)
+	}
+	skew, ok := tableAt(tm.Skewness1, i, j)
+	if !ok {
+		skew, _ = tableAt(tm.Skewness, i, j)
+	}
+	m.Theta1 = core.Theta{Mean: nominal + shift, Sigma: sd, Skew: skew}
+
+	if lam, ok := tableAt(tm.Weight2, i, j); ok && lam > 0 {
+		m.Lambda = lam
+		shift2, _ := tableAt(tm.MeanShift2, i, j)
+		sd2, _ := tableAt(tm.StdDev2, i, j)
+		skew2, _ := tableAt(tm.Skewness2, i, j)
+		m.Theta2 = core.Theta{Mean: nominal + shift2, Sigma: sd2, Skew: skew2}
+	}
+	if err := m.Validate(); err != nil {
+		return core.Model{}, fmt.Errorf("liberty: %s at (%d,%d): %w", tm.Base, i, j, err)
+	}
+	return m, nil
+}
+
+// ExtractTimingModel pulls the tables for one base quantity out of a
+// timing() group. Returns an error if the nominal table is missing.
+func ExtractTimingModel(timing *Group, base string) (*TimingModel, error) {
+	nomG, ok := timing.Group(base)
+	if !ok {
+		return nil, fmt.Errorf("liberty: timing group has no %s table", base)
+	}
+	nominal, err := TableFromGroup(nomG)
+	if err != nil {
+		return nil, err
+	}
+	tm := &TimingModel{Base: base, Nominal: nominal}
+
+	grab := func(name string) (*Table, error) {
+		g, ok := timing.Group(name)
+		if !ok {
+			return nil, nil
+		}
+		t, err := TableFromGroup(g)
+		if err != nil {
+			return nil, err
+		}
+		return &t, nil
+	}
+	type slot struct {
+		dst  **Table
+		name string
+	}
+	slots := []slot{
+		{&tm.MeanShift, lvfAttr("mean_shift", base)},
+		{&tm.StdDev, lvfAttr("std_dev", base)},
+		{&tm.Skewness, lvfAttr("skewness", base)},
+		{&tm.MeanShift1, lvf2Attr("mean_shift", 1, base)},
+		{&tm.StdDev1, lvf2Attr("std_dev", 1, base)},
+		{&tm.Skewness1, lvf2Attr("skewness", 1, base)},
+		{&tm.Weight2, lvf2Attr("weight", 2, base)},
+		{&tm.MeanShift2, lvf2Attr("mean_shift", 2, base)},
+		{&tm.StdDev2, lvf2Attr("std_dev", 2, base)},
+		{&tm.Skewness2, lvf2Attr("skewness", 2, base)},
+	}
+	for _, s := range slots {
+		t, err := grab(s.name)
+		if err != nil {
+			return nil, err
+		}
+		*s.dst = t
+	}
+	// Accept the paper's misspelled attribute as an alias.
+	if tm.MeanShift1 == nil {
+		if t, err := grab("ocv_mean_shfit1_" + base); err == nil && t != nil {
+			tm.MeanShift1 = t
+		}
+	}
+	return tm, nil
+}
+
+// AppendTo emits the timing model's tables into a timing() group. When
+// emitLVF2 is false only the nominal and classic LVF tables are written,
+// producing a library older tools read unchanged; with emitLVF2 the seven
+// §3.3 attributes are added for points where λ > 0.
+func (tm *TimingModel) AppendTo(timing *Group, template string, emitLVF2 bool) {
+	tm.Nominal.AppendToGroup(timing, tm.Base, template)
+	emit := func(t *Table, name string) {
+		if t != nil {
+			t.AppendToGroup(timing, name, template)
+		}
+	}
+	emit(tm.MeanShift, lvfAttr("mean_shift", tm.Base))
+	emit(tm.StdDev, lvfAttr("std_dev", tm.Base))
+	emit(tm.Skewness, lvfAttr("skewness", tm.Base))
+	if !emitLVF2 {
+		return
+	}
+	emit(tm.MeanShift1, lvf2Attr("mean_shift", 1, tm.Base))
+	emit(tm.StdDev1, lvf2Attr("std_dev", 1, tm.Base))
+	emit(tm.Skewness1, lvf2Attr("skewness", 1, tm.Base))
+	emit(tm.Weight2, lvf2Attr("weight", 2, tm.Base))
+	emit(tm.MeanShift2, lvf2Attr("mean_shift", 2, tm.Base))
+	emit(tm.StdDev2, lvf2Attr("std_dev", 2, tm.Base))
+	emit(tm.Skewness2, lvf2Attr("skewness", 2, tm.Base))
+}
+
+// TimingModelFromFits builds the full table set from a grid of fitted
+// LVF² models (models[i][j] for index point (i,j)) and the matching grid
+// of nominal values. Classic LVF tables are always populated (from the
+// dominant component, keeping old tools working); LVF² tables are
+// populated whenever any grid point has λ > 0.
+func TimingModelFromFits(base string, index1, index2 []float64, nominal [][]float64, models [][]core.Model) *TimingModel {
+	rows, cols := len(index1), len(index2)
+	tm := &TimingModel{Base: base, Nominal: Table{Index1: index1, Index2: index2, Values: nominal}}
+	newT := func() *Table {
+		t := NewTable(index1, index2)
+		return &t
+	}
+	tm.MeanShift, tm.StdDev, tm.Skewness = newT(), newT(), newT()
+
+	anyLVF2 := false
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if !models[i][j].IsLVF() {
+				anyLVF2 = true
+			}
+		}
+	}
+	if anyLVF2 {
+		tm.MeanShift1, tm.StdDev1, tm.Skewness1 = newT(), newT(), newT()
+		tm.Weight2, tm.MeanShift2, tm.StdDev2, tm.Skewness2 = newT(), newT(), newT(), newT()
+	}
+
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m := models[i][j]
+			nom := nominal[i][j]
+			// Classic LVF view: overall mixture moments keep old tools
+			// accurate to three moments even for bimodal points. The
+			// skewness attribute is defined as an SN skewness (eq. 2-3),
+			// so mixture skews beyond the SN-attainable range are clamped
+			// — exactly what a legacy reader would do anyway.
+			mom := m.Moments()
+			skew := mom.Skewness
+			if skew > stats.MaxSNSkewness {
+				skew = stats.MaxSNSkewness
+			} else if skew < -stats.MaxSNSkewness {
+				skew = -stats.MaxSNSkewness
+			}
+			tm.MeanShift.Set(i, j, mom.Mean-nom)
+			tm.StdDev.Set(i, j, mom.Std())
+			tm.Skewness.Set(i, j, skew)
+			if !anyLVF2 {
+				continue
+			}
+			tm.MeanShift1.Set(i, j, m.Theta1.Mean-nom)
+			tm.StdDev1.Set(i, j, m.Theta1.Sigma)
+			tm.Skewness1.Set(i, j, m.Theta1.Skew)
+			tm.Weight2.Set(i, j, m.Lambda)
+			if !m.IsLVF() {
+				tm.MeanShift2.Set(i, j, m.Theta2.Mean-nom)
+				tm.StdDev2.Set(i, j, m.Theta2.Sigma)
+				tm.Skewness2.Set(i, j, m.Theta2.Skew)
+			}
+		}
+	}
+	return tm
+}

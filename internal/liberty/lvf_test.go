@@ -1,0 +1,229 @@
+package liberty
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lvf2/internal/core"
+)
+
+// buildFixtureModels returns a 2×2 grid of models: three plain-LVF points
+// and one genuinely bimodal point.
+func buildFixtureModels() (index1, index2 []float64, nominal [][]float64, models [][]core.Model) {
+	index1 = []float64{0.01, 0.1}
+	index2 = []float64{0.002, 0.02}
+	nominal = [][]float64{{0.10, 0.20}, {0.15, 0.30}}
+	mk := func(mean, sd, skew float64) core.Model {
+		return core.FromLVF(core.Theta{Mean: mean, Sigma: sd, Skew: skew})
+	}
+	models = [][]core.Model{
+		{mk(0.102, 0.004, 0.3), mk(0.205, 0.006, 0.2)},
+		{mk(0.153, 0.005, 0.4), {
+			Lambda: 0.3,
+			Theta1: core.Theta{Mean: 0.295, Sigma: 0.006, Skew: 0.25},
+			Theta2: core.Theta{Mean: 0.330, Sigma: 0.008, Skew: -0.10},
+		}},
+	}
+	return
+}
+
+func TestTimingModelFromFitsAndBack(t *testing.T) {
+	i1, i2, nom, models := buildFixtureModels()
+	tm := TimingModelFromFits("cell_rise", i1, i2, nom, models)
+	if !tm.HasLVF() || !tm.HasLVF2() {
+		t.Fatal("expected both LVF and LVF2 tables")
+	}
+	// Plain point: λ = 0, component 1 = model.
+	m, err := tm.ModelAt(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsLVF() {
+		t.Error("point (0,0) should be λ=0")
+	}
+	if math.Abs(m.Theta1.Mean-0.102) > 1e-9 {
+		t.Errorf("mean1 %v", m.Theta1.Mean)
+	}
+	// Bimodal point round-trips both components.
+	m, err = tm.ModelAt(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Lambda-0.3) > 1e-12 {
+		t.Errorf("lambda %v", m.Lambda)
+	}
+	if math.Abs(m.Theta2.Mean-0.330) > 1e-9 || math.Abs(m.Theta2.Sigma-0.008) > 1e-12 {
+		t.Errorf("theta2 %+v", m.Theta2)
+	}
+	// Classic LVF tables at the bimodal point carry mixture moments, not
+	// component-1 moments.
+	wantMean := 0.7*0.295 + 0.3*0.330
+	if got := tm.Nominal.At(1, 1) + tm.MeanShift.At(1, 1); math.Abs(got-wantMean) > 1e-9 {
+		t.Errorf("LVF mean at bimodal point %v want %v", got, wantMean)
+	}
+	// Out-of-range access errors.
+	if _, err := tm.ModelAt(5, 0); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestLibraryRoundTripWithLVF2(t *testing.T) {
+	i1, i2, nom, models := buildFixtureModels()
+	tm := TimingModelFromFits("cell_rise", i1, i2, nom, models)
+
+	lib := NewLibrary(LibraryHeaderOptions{
+		Name: "lvf2demo", Voltage: 0.8, TempC: 25, ProcessName: "synthetic22",
+	}, "tpl2x2", i1, i2)
+	out := AddCell(lib, "NAND2", []string{"A", "B"}, 0.0011, "ZN", "!(A & B)")
+	timing := AddTiming(out, "A", "negative_unate")
+	tm.AppendTo(timing, "tpl2x2", true)
+
+	var sb strings.Builder
+	if err := WriteLibrary(&sb, lib); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse of generated library failed: %v\n%s", err, text)
+	}
+	cell, _ := parsed.Group("cell")
+	var timingG *Group
+	for _, pin := range cell.GroupsNamed("pin") {
+		if tg, ok := pin.Group("timing"); ok {
+			timingG = tg
+		}
+	}
+	if timingG == nil {
+		t.Fatal("timing group lost in round trip")
+	}
+	tm2, err := ExtractTimingModel(timingG, "cell_rise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			a, err := tm.ModelAt(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := tm2.ModelAt(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(a.Lambda-b.Lambda) > 1e-7 ||
+				math.Abs(a.Theta1.Mean-b.Theta1.Mean) > 1e-7 ||
+				math.Abs(a.Theta1.Sigma-b.Theta1.Sigma) > 1e-7 ||
+				math.Abs(a.Theta2.Mean-b.Theta2.Mean) > 1e-7 {
+				t.Errorf("(%d,%d): %+v != %+v", i, j, a, b)
+			}
+		}
+	}
+}
+
+// Backward compatibility (eq. 10): a classic LVF-only library parsed by
+// the LVF²-capable extractor yields λ=0 models identical to the LVF view.
+func TestLVFOnlyLibraryReadsAsLVF2(t *testing.T) {
+	i1, i2, nom, _ := buildFixtureModels()
+	mkLVF := func(mean, sd, skew float64) core.Model {
+		return core.FromLVF(core.Theta{Mean: mean, Sigma: sd, Skew: skew})
+	}
+	models := [][]core.Model{
+		{mkLVF(0.102, 0.004, 0.3), mkLVF(0.205, 0.006, 0.2)},
+		{mkLVF(0.153, 0.005, 0.4), mkLVF(0.305, 0.007, 0.1)},
+	}
+	tm := TimingModelFromFits("cell_fall", i1, i2, nom, models)
+	if tm.HasLVF2() {
+		t.Fatal("pure LVF fits must not create LVF2 tables")
+	}
+	lib := NewLibrary(LibraryHeaderOptions{Name: "lvfonly"}, "tpl", i1, i2)
+	pin := AddCell(lib, "INV", []string{"A"}, 0.0009, "ZN", "!A")
+	timing := AddTiming(pin, "A", "negative_unate")
+	tm.AppendTo(timing, "tpl", false)
+
+	parsed, err := Parse(lib.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, _ := parsed.Group("cell")
+	var timingG *Group
+	for _, p := range cell.GroupsNamed("pin") {
+		if tg, ok := p.Group("timing"); ok {
+			timingG = tg
+		}
+	}
+	tm2, err := ExtractTimingModel(timingG, "cell_fall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm2.HasLVF2() {
+		t.Error("LVF-only library must not expose LVF2 tables")
+	}
+	m, err := tm2.ModelAt(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsLVF() {
+		t.Error("λ must default to 0 (eq. 10)")
+	}
+	if math.Abs(m.Theta1.Mean-0.153) > 1e-7 || math.Abs(m.Theta1.Skew-0.4) > 1e-6 {
+		t.Errorf("LVF θ: %+v", m.Theta1)
+	}
+}
+
+// The paper spells the first LVF² attribute "ocv_mean_shfit1"; the parser
+// accepts that spelling as an alias.
+func TestPaperTypoAlias(t *testing.T) {
+	src := `timing () {
+	  related_pin : "A";
+	  cell_rise (tpl) { index_1("1"); index_2("1"); values ("0.1"); }
+	  ocv_std_dev_cell_rise (tpl) { values ("0.01"); }
+	  ocv_mean_shfit1_cell_rise (tpl) { values ("0.005"); }
+	}`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := ExtractTimingModel(g, "cell_rise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.MeanShift1 == nil {
+		t.Fatal("typo alias not recognised")
+	}
+	m, err := tm.ModelAt(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Theta1.Mean-0.105) > 1e-12 {
+		t.Errorf("mean1 with alias shift: %v", m.Theta1.Mean)
+	}
+	// σ inherits from the classic LVF table.
+	if math.Abs(m.Theta1.Sigma-0.01) > 1e-12 {
+		t.Errorf("σ inheritance: %v", m.Theta1.Sigma)
+	}
+}
+
+func TestExtractTimingModelMissingNominal(t *testing.T) {
+	g, _ := Parse(`timing () { related_pin : "A"; }`)
+	if _, err := ExtractTimingModel(g, "cell_rise"); err == nil {
+		t.Error("missing nominal table accepted")
+	}
+}
+
+func TestModelAtValidatesLambda(t *testing.T) {
+	i1 := []float64{1}
+	i2 := []float64{1}
+	tm := &TimingModel{
+		Base:    "cell_rise",
+		Nominal: Table{Index1: i1, Index2: i2, Values: [][]float64{{0.1}}},
+	}
+	w := NewTable(i1, i2)
+	w.Set(0, 0, 1.5) // invalid weight
+	tm.Weight2 = &w
+	if _, err := tm.ModelAt(0, 0); err == nil {
+		t.Error("λ > 1 accepted")
+	}
+}

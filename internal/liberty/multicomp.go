@@ -1,0 +1,207 @@
+package liberty
+
+import (
+	"fmt"
+
+	"lvf2/internal/core"
+)
+
+// k-component Liberty binding: §3.3 notes the LVF² attribute set extends
+// to more Gaussian components "by following similar attribute naming
+// conventions" — ocv_weight3_cell_rise, ocv_mean_shift3_cell_rise, and so
+// on. This file reads and writes that generalised form. Component 1
+// always inherits the classic LVF tables; components 2..k carry explicit
+// weight/mean-shift/std-dev/skewness tables.
+
+// ComponentTables holds the four tables of one extra mixture component.
+type ComponentTables struct {
+	Index     int // component index (2, 3, ...)
+	Weight    *Table
+	MeanShift *Table
+	StdDev    *Table
+	Skewness  *Table
+}
+
+// MultiTimingModel binds a base quantity with an arbitrary component
+// count.
+type MultiTimingModel struct {
+	Base    string
+	Nominal Table
+
+	// Component 1 (classic LVF / LVF² component-1 tables with
+	// inheritance, as in TimingModel).
+	MeanShift1 *Table
+	StdDev1    *Table
+	Skewness1  *Table
+
+	Extras []ComponentTables // components 2..k in index order
+}
+
+// K returns the total component count.
+func (mm *MultiTimingModel) K() int { return 1 + len(mm.Extras) }
+
+// ExtractMultiTimingModel reads the generalised attribute set from a
+// timing group, scanning component indices upward until one is absent.
+func ExtractMultiTimingModel(timing *Group, base string) (*MultiTimingModel, error) {
+	nomG, ok := timing.Group(base)
+	if !ok {
+		return nil, fmt.Errorf("liberty: timing group has no %s table", base)
+	}
+	nominal, err := TableFromGroup(nomG)
+	if err != nil {
+		return nil, err
+	}
+	mm := &MultiTimingModel{Base: base, Nominal: nominal}
+
+	grab := func(name string) (*Table, error) {
+		g, ok := timing.Group(name)
+		if !ok {
+			return nil, nil
+		}
+		t, err := TableFromGroup(g)
+		if err != nil {
+			return nil, err
+		}
+		return &t, nil
+	}
+	// Component 1: explicit *1 tables override the classic LVF tables.
+	for _, s := range []struct {
+		dst      **Table
+		explicit string
+		classic  string
+	}{
+		{&mm.MeanShift1, lvf2Attr("mean_shift", 1, base), lvfAttr("mean_shift", base)},
+		{&mm.StdDev1, lvf2Attr("std_dev", 1, base), lvfAttr("std_dev", base)},
+		{&mm.Skewness1, lvf2Attr("skewness", 1, base), lvfAttr("skewness", base)},
+	} {
+		t, err := grab(s.explicit)
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			if t, err = grab(s.classic); err != nil {
+				return nil, err
+			}
+		}
+		*s.dst = t
+	}
+	for idx := 2; ; idx++ {
+		w, err := grab(lvf2Attr("weight", idx, base))
+		if err != nil {
+			return nil, err
+		}
+		if w == nil {
+			break
+		}
+		ct := ComponentTables{Index: idx, Weight: w}
+		if ct.MeanShift, err = grab(lvf2Attr("mean_shift", idx, base)); err != nil {
+			return nil, err
+		}
+		if ct.StdDev, err = grab(lvf2Attr("std_dev", idx, base)); err != nil {
+			return nil, err
+		}
+		if ct.Skewness, err = grab(lvf2Attr("skewness", idx, base)); err != nil {
+			return nil, err
+		}
+		mm.Extras = append(mm.Extras, ct)
+	}
+	return mm, nil
+}
+
+// ModelAt assembles the k-component model at a grid point.
+func (mm *MultiTimingModel) ModelAt(i, j int) (core.MixModel, error) {
+	if i >= mm.Nominal.Rows() || j >= mm.Nominal.Cols() {
+		return core.MixModel{}, fmt.Errorf("liberty: index (%d,%d) outside %dx%d table for %s",
+			i, j, mm.Nominal.Rows(), mm.Nominal.Cols(), mm.Base)
+	}
+	nominal := mm.Nominal.At(i, j)
+	var m core.MixModel
+	shift, _ := tableAt(mm.MeanShift1, i, j)
+	sd, _ := tableAt(mm.StdDev1, i, j)
+	skew, _ := tableAt(mm.Skewness1, i, j)
+	m.Theta1 = core.Theta{Mean: nominal + shift, Sigma: sd, Skew: skew}
+	for _, ct := range mm.Extras {
+		lam, ok := tableAt(ct.Weight, i, j)
+		if !ok || lam <= 0 {
+			continue
+		}
+		s2, _ := tableAt(ct.MeanShift, i, j)
+		sd2, _ := tableAt(ct.StdDev, i, j)
+		g2, _ := tableAt(ct.Skewness, i, j)
+		m.Weights = append(m.Weights, lam)
+		m.Thetas = append(m.Thetas, core.Theta{Mean: nominal + s2, Sigma: sd2, Skew: g2})
+	}
+	if err := m.Validate(); err != nil {
+		return core.MixModel{}, fmt.Errorf("liberty: %s at (%d,%d): %w", mm.Base, i, j, err)
+	}
+	return m, nil
+}
+
+// MultiTimingModelFromFits builds the generalised table set from a grid of
+// k-component fits. All grid points must have the same component count k;
+// points fitted with fewer effective components carry zero weights.
+func MultiTimingModelFromFits(base string, index1, index2 []float64, nominal [][]float64, models [][]core.MixModel) (*MultiTimingModel, error) {
+	rows, cols := len(index1), len(index2)
+	maxK := 1
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if k := models[i][j].K(); k > maxK {
+				maxK = k
+			}
+		}
+	}
+	mm := &MultiTimingModel{
+		Base:    base,
+		Nominal: Table{Index1: index1, Index2: index2, Values: nominal},
+	}
+	newT := func() *Table {
+		t := NewTable(index1, index2)
+		return &t
+	}
+	mm.MeanShift1, mm.StdDev1, mm.Skewness1 = newT(), newT(), newT()
+	for idx := 2; idx <= maxK; idx++ {
+		mm.Extras = append(mm.Extras, ComponentTables{
+			Index: idx, Weight: newT(), MeanShift: newT(), StdDev: newT(), Skewness: newT(),
+		})
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m := models[i][j]
+			if err := m.Validate(); err != nil {
+				return nil, fmt.Errorf("liberty: model at (%d,%d): %w", i, j, err)
+			}
+			nom := nominal[i][j]
+			mm.MeanShift1.Set(i, j, m.Theta1.Mean-nom)
+			mm.StdDev1.Set(i, j, m.Theta1.Sigma)
+			mm.Skewness1.Set(i, j, m.Theta1.Skew)
+			for c, ct := range mm.Extras {
+				if c < len(m.Weights) {
+					ct.Weight.Set(i, j, m.Weights[c])
+					ct.MeanShift.Set(i, j, m.Thetas[c].Mean-nom)
+					ct.StdDev.Set(i, j, m.Thetas[c].Sigma)
+					ct.Skewness.Set(i, j, m.Thetas[c].Skew)
+				}
+			}
+		}
+	}
+	return mm, nil
+}
+
+// AppendTo emits the generalised attribute set into a timing group.
+func (mm *MultiTimingModel) AppendTo(timing *Group, template string) {
+	mm.Nominal.AppendToGroup(timing, mm.Base, template)
+	emit := func(t *Table, name string) {
+		if t != nil {
+			t.AppendToGroup(timing, name, template)
+		}
+	}
+	emit(mm.MeanShift1, lvf2Attr("mean_shift", 1, mm.Base))
+	emit(mm.StdDev1, lvf2Attr("std_dev", 1, mm.Base))
+	emit(mm.Skewness1, lvf2Attr("skewness", 1, mm.Base))
+	for _, ct := range mm.Extras {
+		emit(ct.Weight, lvf2Attr("weight", ct.Index, mm.Base))
+		emit(ct.MeanShift, lvf2Attr("mean_shift", ct.Index, mm.Base))
+		emit(ct.StdDev, lvf2Attr("std_dev", ct.Index, mm.Base))
+		emit(ct.Skewness, lvf2Attr("skewness", ct.Index, mm.Base))
+	}
+}

@@ -1,0 +1,171 @@
+package liberty
+
+import (
+	"math"
+	"testing"
+
+	"lvf2/internal/core"
+)
+
+func threeCompFixture() (i1, i2 []float64, nom [][]float64, models [][]core.MixModel) {
+	i1 = []float64{0.01, 0.1}
+	i2 = []float64{0.002}
+	nom = [][]float64{{0.10}, {0.20}}
+	models = [][]core.MixModel{
+		{{
+			Theta1:  core.Theta{Mean: 0.101, Sigma: 0.004, Skew: 0.3},
+			Weights: []float64{0.25, 0.15},
+			Thetas: []core.Theta{
+				{Mean: 0.130, Sigma: 0.005, Skew: 0.2},
+				{Mean: 0.150, Sigma: 0.006, Skew: -0.1},
+			},
+		}},
+		{{
+			// Pure LVF point.
+			Theta1: core.Theta{Mean: 0.203, Sigma: 0.006, Skew: 0.4},
+		}},
+	}
+	return
+}
+
+func TestMultiCompRoundTrip(t *testing.T) {
+	i1, i2, nom, models := threeCompFixture()
+	mm, err := MultiTimingModelFromFits("cell_rise", i1, i2, nom, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.K() != 3 {
+		t.Fatalf("K = %d want 3", mm.K())
+	}
+	timing := &Group{Name: "timing"}
+	mm.AppendTo(timing, "tpl")
+
+	parsed, err := Parse(timing.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm2, err := ExtractMultiTimingModel(parsed, "cell_rise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm2.K() != 3 {
+		t.Fatalf("re-extracted K = %d", mm2.K())
+	}
+	// 3-component point round-trips.
+	m, err := mm2.ModelAt(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 3 {
+		t.Fatalf("point (0,0) K = %d", m.K())
+	}
+	if math.Abs(m.Weights[0]-0.25) > 1e-7 || math.Abs(m.Weights[1]-0.15) > 1e-7 {
+		t.Errorf("weights %v", m.Weights)
+	}
+	if math.Abs(m.Thetas[1].Mean-0.150) > 1e-7 {
+		t.Errorf("theta3 mean %v", m.Thetas[1].Mean)
+	}
+	if math.Abs(m.Lambda1()-0.6) > 1e-7 {
+		t.Errorf("lambda1 %v", m.Lambda1())
+	}
+	// LVF point reads back as single component (zero extra weights drop).
+	m, err = mm2.ModelAt(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 1 {
+		t.Errorf("LVF point K = %d", m.K())
+	}
+	if math.Abs(m.Theta1.Mean-0.203) > 1e-7 {
+		t.Errorf("LVF mean %v", m.Theta1.Mean)
+	}
+}
+
+func TestMultiCompClassicInheritance(t *testing.T) {
+	// A classic LVF-only timing group reads as a 1-component multi-model.
+	src := `timing () {
+	  cell_rise (tpl) { index_1("1"); index_2("1"); values ("0.1"); }
+	  ocv_mean_shift_cell_rise (tpl) { values ("0.004"); }
+	  ocv_std_dev_cell_rise (tpl) { values ("0.01"); }
+	  ocv_skewness_cell_rise (tpl) { values ("0.3"); }
+	}`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := ExtractMultiTimingModel(g, "cell_rise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.K() != 1 {
+		t.Fatalf("K = %d", mm.K())
+	}
+	m, err := mm.ModelAt(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Theta1.Mean-0.104) > 1e-12 || math.Abs(m.Theta1.Sigma-0.01) > 1e-12 {
+		t.Errorf("inherited θ1: %+v", m.Theta1)
+	}
+}
+
+func TestMultiCompValidation(t *testing.T) {
+	bad := core.MixModel{
+		Theta1:  core.Theta{Mean: 1, Sigma: 0.1},
+		Weights: []float64{0.7, 0.6}, // sum > 1
+		Thetas:  []core.Theta{{Mean: 1, Sigma: 0.1}, {Mean: 1, Sigma: 0.1}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("weight simplex violation accepted")
+	}
+	mismatch := core.MixModel{Weights: []float64{0.2}}
+	if err := mismatch.Validate(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	neg := core.MixModel{Theta1: core.Theta{Sigma: -1}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	// ModelAt out of range.
+	i1, i2, nom, models := threeCompFixture()
+	mm, _ := MultiTimingModelFromFits("cell_rise", i1, i2, nom, models)
+	if _, err := mm.ModelAt(9, 9); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	// FromFits validates inputs.
+	models[0][0].Weights = []float64{1.4}
+	models[0][0].Thetas = models[0][0].Thetas[:1]
+	if _, err := MultiTimingModelFromFits("cell_rise", i1, i2, nom, models); err == nil {
+		t.Error("invalid model grid accepted")
+	}
+}
+
+func TestMixModelDistAndTwoComponent(t *testing.T) {
+	m := core.MixModel{
+		Theta1:  core.Theta{Mean: 0.1, Sigma: 0.01, Skew: 0},
+		Weights: []float64{0.3},
+		Thetas:  []core.Theta{{Mean: 0.15, Sigma: 0.01, Skew: 0}},
+	}
+	d := m.Dist()
+	want := 0.7*0.1 + 0.3*0.15
+	if math.Abs(d.Mean()-want) > 1e-9 {
+		t.Errorf("mix mean %v want %v", d.Mean(), want)
+	}
+	two, ok := m.TwoComponent()
+	if !ok || math.Abs(two.Lambda-0.3) > 1e-12 {
+		t.Errorf("TwoComponent: %+v ok=%v", two, ok)
+	}
+	three := core.MixModel{
+		Theta1:  core.Theta{Mean: 0.1, Sigma: 0.01},
+		Weights: []float64{0.2, 0.1},
+		Thetas:  []core.Theta{{Mean: 0.12, Sigma: 0.01}, {Mean: 0.14, Sigma: 0.01}},
+	}
+	if _, ok := three.TwoComponent(); ok {
+		t.Error("3-component model converted to 2")
+	}
+	lvfOnly := core.MixModel{Theta1: core.Theta{Mean: 0.2, Sigma: 0.02}}
+	two, ok = lvfOnly.TwoComponent()
+	if !ok || !two.IsLVF() {
+		t.Error("1-component conversion failed")
+	}
+}

@@ -1,0 +1,183 @@
+package liberty
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Parse reads Liberty text and returns the top-level group (usually
+// `library`).
+func Parse(src string) (*Group, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	g, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tEOF {
+		return nil, fmt.Errorf("liberty: line %d: trailing content after top-level group: %s", p.tok.line, p.tok)
+	}
+	return g, nil
+}
+
+// ParseReader parses Liberty text from r.
+func ParseReader(r io.Reader) (*Group, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("liberty: read: %w", err)
+	}
+	return Parse(string(b))
+}
+
+// ParseFile parses a .lib file from disk.
+func ParseFile(path string) (*Group, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("liberty: %w", err)
+	}
+	return Parse(string(b))
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if p.tok.kind != k {
+		return token{}, fmt.Errorf("liberty: line %d: expected %s, got %s", p.tok.line, what, p.tok)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// parseGroup parses `name ( args ) { body }` with the name token current.
+func (p *parser) parseGroup() (*Group, error) {
+	name, err := p.expect(tIdent, "group name")
+	if err != nil {
+		return nil, err
+	}
+	args, _, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	g := &Group{Name: name.text, Args: args}
+	for p.tok.kind != tRBrace {
+		if p.tok.kind == tEOF {
+			return nil, fmt.Errorf("liberty: unexpected EOF in group %q", g.Name)
+		}
+		if err := p.parseStatement(g); err != nil {
+			return nil, err
+		}
+	}
+	return g, p.advance() // consume '}'
+}
+
+// parseArgs parses `( a, b, ... )`, allowing empty parens. quoted reports
+// whether any argument was a quoted string, so emission can preserve the
+// original quoting style (essential for `values` rows).
+func (p *parser) parseArgs() (args []string, quoted bool, err error) {
+	if _, err := p.expect(tLParen, "'('"); err != nil {
+		return nil, false, err
+	}
+	for p.tok.kind != tRParen {
+		switch p.tok.kind {
+		case tIdent, tString:
+			if p.tok.kind == tString {
+				quoted = true
+			}
+			args = append(args, p.tok.text)
+			if err := p.advance(); err != nil {
+				return nil, false, err
+			}
+		case tComma:
+			if err := p.advance(); err != nil {
+				return nil, false, err
+			}
+		default:
+			return nil, false, fmt.Errorf("liberty: line %d: unexpected %s in argument list", p.tok.line, p.tok)
+		}
+	}
+	return args, quoted, p.advance() // consume ')'
+}
+
+// parseStatement parses one body statement into g: a simple attribute, a
+// complex attribute, or a nested group.
+func (p *parser) parseStatement(g *Group) error {
+	name, err := p.expect(tIdent, "attribute or group name")
+	if err != nil {
+		return err
+	}
+	switch p.tok.kind {
+	case tColon:
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tIdent && p.tok.kind != tString {
+			return fmt.Errorf("liberty: line %d: expected value after %q:, got %s", p.tok.line, name.text, p.tok)
+		}
+		g.Attrs = append(g.Attrs, Attr{
+			Name: name.text, Simple: true,
+			Value: p.tok.text, Quoted: p.tok.kind == tString,
+		})
+		if err := p.advance(); err != nil {
+			return err
+		}
+		// Trailing semicolon is formally required; tolerate its absence
+		// before '}' as many generators do.
+		if p.tok.kind == tSemi {
+			return p.advance()
+		}
+		return nil
+	case tLParen:
+		args, quoted, err := p.parseArgs()
+		if err != nil {
+			return err
+		}
+		switch p.tok.kind {
+		case tLBrace:
+			// Nested group: re-parse with collected pieces.
+			if err := p.advance(); err != nil {
+				return err
+			}
+			child := &Group{Name: name.text, Args: args}
+			for p.tok.kind != tRBrace {
+				if p.tok.kind == tEOF {
+					return fmt.Errorf("liberty: unexpected EOF in group %q", child.Name)
+				}
+				if err := p.parseStatement(child); err != nil {
+					return err
+				}
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+			g.Groups = append(g.Groups, child)
+			return nil
+		case tSemi:
+			g.Attrs = append(g.Attrs, Attr{Name: name.text, Values: args, QuoteAll: quoted})
+			return p.advance()
+		default:
+			// Complex attribute without the formally required semicolon.
+			g.Attrs = append(g.Attrs, Attr{Name: name.text, Values: args, QuoteAll: quoted})
+			return nil
+		}
+	default:
+		return fmt.Errorf("liberty: line %d: expected ':' or '(' after %q, got %s", p.tok.line, name.text, p.tok)
+	}
+}

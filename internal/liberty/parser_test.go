@@ -1,0 +1,240 @@
+package liberty
+
+import (
+	"strings"
+	"testing"
+)
+
+const tinyLib = `
+/* comment */
+library (demo) {
+  delay_model : table_lookup;
+  time_unit : "1ns";
+  // line comment
+  lu_table_template (tpl2x2) {
+    variable_1 : input_net_transition;
+    variable_2 : total_output_net_capacitance;
+    index_1 ("0.01, 0.1");
+    index_2 ("0.002, 0.02");
+  }
+  cell (INV) {
+    area : 1.2;
+    pin (A) { direction : input; capacitance : 0.0009; }
+    pin (ZN) {
+      direction : output;
+      function : "!A";
+      timing () {
+        related_pin : "A";
+        timing_sense : negative_unate;
+        cell_rise (tpl2x2) {
+          index_1 ("0.01, 0.1");
+          index_2 ("0.002, 0.02");
+          values ("0.10, 0.20", \
+                  "0.15, 0.30");
+        }
+      }
+    }
+  }
+}
+`
+
+func TestParseTinyLibrary(t *testing.T) {
+	lib, err := Parse(tinyLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Name != "library" || len(lib.Args) != 1 || lib.Args[0] != "demo" {
+		t.Fatalf("library header: %s %v", lib.Name, lib.Args)
+	}
+	if got := lib.SimpleValue("delay_model"); got != "table_lookup" {
+		t.Errorf("delay_model = %q", got)
+	}
+	if got := lib.SimpleValue("time_unit"); got != "1ns" {
+		t.Errorf("time_unit = %q", got)
+	}
+	cell, ok := lib.Group("cell")
+	if !ok || cell.Args[0] != "INV" {
+		t.Fatal("cell INV missing")
+	}
+	pins := cell.GroupsNamed("pin")
+	if len(pins) != 2 {
+		t.Fatalf("want 2 pins, got %d", len(pins))
+	}
+	out := pins[1]
+	timing, ok := out.Group("timing")
+	if !ok {
+		t.Fatal("timing group missing")
+	}
+	if got := timing.SimpleValue("related_pin"); got != "A" {
+		t.Errorf("related_pin %q", got)
+	}
+	cr, ok := timing.Group("cell_rise")
+	if !ok {
+		t.Fatal("cell_rise missing")
+	}
+	tab, err := TableFromGroup(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 2 || tab.Cols() != 2 {
+		t.Fatalf("table %dx%d", tab.Rows(), tab.Cols())
+	}
+	if tab.At(1, 1) != 0.30 {
+		t.Errorf("values[1][1] = %v", tab.At(1, 1))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unterminated group", `library (x) { cell (y) { }`},
+		{"missing value", `library (x) { foo : ; }`},
+		{"garbage", `library (x) { @@@ }`},
+		{"unterminated string", `library (x) { a : "bc }`},
+		{"unterminated comment", `library (x) { /* }`},
+		{"trailing content", "library (x) { }\ncell (y) { }"},
+		{"bad arg list", `library (x) { t ( { ) ; }`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestParseToleratesMissingSemis(t *testing.T) {
+	src := `library (x) { a : 1
+  t (b) }`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatalf("lenient parse failed: %v", err)
+	}
+	if g.SimpleValue("a") != "1" {
+		t.Error("attr a lost")
+	}
+	if a, ok := g.Attr("t"); !ok || len(a.Values) != 1 || a.Values[0] != "b" {
+		t.Error("complex attr t lost")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	lib, err := Parse(tinyLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := lib.String()
+	again, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse of emitted text failed: %v\n%s", err, text)
+	}
+	if again.String() != text {
+		t.Error("serialisation is not a fixed point after one round trip")
+	}
+}
+
+func TestParseReaderAndFile(t *testing.T) {
+	if _, err := ParseReader(strings.NewReader(tinyLib)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseFile("/nonexistent/file.lib"); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	// Ragged rows rejected.
+	src := `timing () { cell_rise (tpl) { values ("1, 2", "3"); } }`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, _ := g.Group("cell_rise")
+	if _, err := TableFromGroup(cr); err == nil {
+		t.Error("ragged table accepted")
+	}
+	// Missing values attribute rejected.
+	src2 := `timing () { cell_rise (tpl) { index_1 ("1"); } }`
+	g2, _ := Parse(src2)
+	cr2, _ := g2.Group("cell_rise")
+	if _, err := TableFromGroup(cr2); err == nil {
+		t.Error("missing values accepted")
+	}
+	// Flat single-row values reshaped by index lengths.
+	src3 := `timing () { cell_rise (tpl) {
+	    index_1 ("1, 2");
+	    index_2 ("10, 20, 30");
+	    values ("1, 2, 3, 4, 5, 6");
+	} }`
+	g3, _ := Parse(src3)
+	cr3, _ := g3.Group("cell_rise")
+	tab, err := TableFromGroup(cr3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 2 || tab.Cols() != 3 || tab.At(1, 0) != 4 {
+		t.Errorf("reshape failed: %+v", tab)
+	}
+	// Index/shape mismatch rejected.
+	src4 := `timing () { cell_rise (tpl) {
+	    index_1 ("1, 2, 3");
+	    values ("1, 2", "3, 4");
+	} }`
+	g4, _ := Parse(src4)
+	cr4, _ := g4.Group("cell_rise")
+	if _, err := TableFromGroup(cr4); err == nil {
+		t.Error("index_1 mismatch accepted")
+	}
+}
+
+func TestParseFloatListErrors(t *testing.T) {
+	if _, err := parseFloatList("1, banana, 3"); err == nil {
+		t.Error("bad number accepted")
+	}
+	vs, err := parseFloatList(" 1,2  3\n4 \\ 5")
+	if err != nil || len(vs) != 5 {
+		t.Errorf("mixed separators: %v %v", vs, err)
+	}
+}
+
+// Real libraries carry constructs this project does not model (define,
+// operating_conditions, bus groups); the parser must pass them through
+// structurally.
+func TestParseForeignConstructs(t *testing.T) {
+	src := `library (big) {
+	  define (my_attr, cell, string);
+	  operating_conditions (slow) { process : 1; temperature : 125; voltage : 0.72; }
+	  wire_load ("small") { resistance : 0.001; slope : 1.2; }
+	  cell (RAM) {
+	    my_attr : "hello";
+	    bus (D) {
+	      bus_type : bus8;
+	      pin (D[0]) { direction : input; }
+	    }
+	  }
+	}`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := g.Attr("define"); !ok || len(a.Values) != 3 {
+		t.Errorf("define lost: %+v", a)
+	}
+	oc, ok := g.Group("operating_conditions")
+	if !ok || oc.SimpleValue("temperature") != "125" {
+		t.Error("operating_conditions lost")
+	}
+	cell, _ := g.Group("cell")
+	if cell.SimpleValue("my_attr") != "hello" {
+		t.Error("custom attribute lost")
+	}
+	bus, ok := cell.Group("bus")
+	if !ok {
+		t.Fatal("bus group lost")
+	}
+	if _, ok := bus.Group("pin"); !ok {
+		t.Error("bus pin lost")
+	}
+	// Round trip.
+	if _, err := Parse(g.String()); err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+}

@@ -1,0 +1,101 @@
+package liberty
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lvf2/internal/core"
+)
+
+// Property: for any random grid of LVF² models, building the Liberty
+// tables, serialising, re-parsing and re-extracting reproduces every
+// model's parameters to printed precision.
+func TestLibertyModelRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		i1 := []float64{0.01, 0.05, 0.2}
+		i2 := []float64{0.001, 0.01}
+		nom := make([][]float64, len(i1))
+		models := make([][]core.Model, len(i1))
+		for i := range nom {
+			nom[i] = make([]float64, len(i2))
+			models[i] = make([]core.Model, len(i2))
+			for j := range nom[i] {
+				nom[i][j] = 0.05 + r.Float64()
+				m := core.Model{
+					Theta1: core.Theta{
+						Mean:  nom[i][j] + 0.02*r.NormFloat64(),
+						Sigma: 0.001 + 0.01*r.Float64(),
+						Skew:  1.8 * (r.Float64() - 0.5),
+					},
+				}
+				if r.Float64() < 0.5 {
+					m.Lambda = 0.01 + 0.49*r.Float64()
+					m.Theta2 = core.Theta{
+						Mean:  nom[i][j] + 0.05*r.NormFloat64(),
+						Sigma: 0.001 + 0.01*r.Float64(),
+						Skew:  1.8 * (r.Float64() - 0.5),
+					}
+				}
+				models[i][j] = m
+			}
+		}
+		tm := TimingModelFromFits("cell_fall", i1, i2, nom, models)
+		timing := &Group{Name: "timing"}
+		tm.AppendTo(timing, "tpl", true)
+		parsed, err := Parse(timing.String())
+		if err != nil {
+			t.Logf("parse: %v", err)
+			return false
+		}
+		tm2, err := ExtractTimingModel(parsed, "cell_fall")
+		if err != nil {
+			t.Logf("extract: %v", err)
+			return false
+		}
+		for i := range i1 {
+			for j := range i2 {
+				a, err1 := tm.ModelAt(i, j)
+				b, err2 := tm2.ModelAt(i, j)
+				if err1 != nil || err2 != nil {
+					t.Logf("ModelAt: %v %v", err1, err2)
+					return false
+				}
+				if math.Abs(a.Lambda-b.Lambda) > 1e-6 ||
+					math.Abs(a.Theta1.Mean-b.Theta1.Mean) > 1e-6 ||
+					math.Abs(a.Theta1.Sigma-b.Theta1.Sigma) > 1e-6 ||
+					math.Abs(a.Theta1.Skew-b.Theta1.Skew) > 1e-6 ||
+					math.Abs(a.Theta2.Mean-b.Theta2.Mean) > 1e-6 {
+					t.Logf("(%d,%d): %+v != %+v", i, j, a, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parsing arbitrary garbage never panics (it may error).
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", s, r)
+			}
+		}()
+		_, _ = Parse(s)
+		_, _ = Parse("library (x) { " + s + " }")
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(73))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,269 @@
+package liberty
+
+import (
+	"fmt"
+	"sort"
+
+	"lvf2/internal/core"
+)
+
+// Semantic layer: a typed view of a parsed Liberty library, the interface
+// an SSTA engine consumes. It resolves cells, pins and timing arcs, binds
+// the LVF/LVF² statistical tables of every arc, and provides bilinear LUT
+// interpolation so timing can be queried at arbitrary slew–load points —
+// not just table corners.
+
+// Library is the typed view of a `library` group.
+type Library struct {
+	Name  string
+	Cells map[string]*Cell
+	// Templates maps lu_table_template names to their default axes.
+	Templates map[string]Table
+}
+
+// Cell is a standard cell with pins.
+type Cell struct {
+	Name string
+	Pins map[string]*Pin
+	// Order preserves pin declaration order.
+	Order []string
+}
+
+// Pin is a cell pin with direction, capacitance and timing arcs (for
+// output pins).
+type Pin struct {
+	Name        string
+	Direction   string
+	Capacitance float64
+	Function    string
+	Timings     []*TimingArc
+}
+
+// TimingArc is one timing() group: the arc from RelatedPin to this pin,
+// with one TimingModel per characterised base quantity.
+type TimingArc struct {
+	RelatedPin string
+	Sense      string
+	Tables     map[string]*TimingModel // keyed by base name (cell_rise, ...)
+}
+
+// LoadLibrary converts a parsed `library` group into the typed view.
+func LoadLibrary(g *Group) (*Library, error) {
+	if g.Name != "library" {
+		return nil, fmt.Errorf("liberty: top-level group is %q, want library", g.Name)
+	}
+	name := ""
+	if len(g.Args) > 0 {
+		name = g.Args[0]
+	}
+	lib := &Library{
+		Name:      name,
+		Cells:     make(map[string]*Cell),
+		Templates: make(map[string]Table),
+	}
+	for _, tpl := range g.GroupsNamed("lu_table_template") {
+		if len(tpl.Args) == 0 {
+			continue
+		}
+		var t Table
+		if a, ok := tpl.Attr("index_1"); ok && len(a.Values) > 0 {
+			t.Index1, _ = parseFloatList(a.Values[0])
+		}
+		if a, ok := tpl.Attr("index_2"); ok && len(a.Values) > 0 {
+			t.Index2, _ = parseFloatList(a.Values[0])
+		}
+		lib.Templates[tpl.Args[0]] = t
+	}
+	for _, cg := range g.GroupsNamed("cell") {
+		if len(cg.Args) == 0 {
+			return nil, fmt.Errorf("liberty: cell group without a name")
+		}
+		cell, err := loadCell(cg, lib)
+		if err != nil {
+			return nil, err
+		}
+		lib.Cells[cell.Name] = cell
+	}
+	return lib, nil
+}
+
+func loadCell(cg *Group, lib *Library) (*Cell, error) {
+	cell := &Cell{Name: cg.Args[0], Pins: make(map[string]*Pin)}
+	for _, pg := range cg.GroupsNamed("pin") {
+		if len(pg.Args) == 0 {
+			return nil, fmt.Errorf("liberty: cell %s has an unnamed pin", cell.Name)
+		}
+		pin := &Pin{
+			Name:      pg.Args[0],
+			Direction: pg.SimpleValue("direction"),
+			Function:  pg.SimpleValue("function"),
+		}
+		if capStr := pg.SimpleValue("capacitance"); capStr != "" {
+			if vs, err := parseFloatList(capStr); err == nil && len(vs) == 1 {
+				pin.Capacitance = vs[0]
+			}
+		}
+		for _, tg := range pg.GroupsNamed("timing") {
+			arc := &TimingArc{
+				RelatedPin: tg.SimpleValue("related_pin"),
+				Sense:      tg.SimpleValue("timing_sense"),
+				Tables:     make(map[string]*TimingModel),
+			}
+			for _, base := range BaseNames {
+				if _, ok := tg.Group(base); !ok {
+					continue
+				}
+				tm, err := ExtractTimingModel(tg, base)
+				if err != nil {
+					return nil, fmt.Errorf("liberty: cell %s pin %s: %w", cell.Name, pin.Name, err)
+				}
+				// Backfill missing axes from the template argument.
+				if nomG, ok := tg.Group(base); ok && len(nomG.Args) > 0 {
+					if tpl, ok := lib.Templates[nomG.Args[0]]; ok {
+						if len(tm.Nominal.Index1) == 0 {
+							tm.Nominal.Index1 = tpl.Index1
+						}
+						if len(tm.Nominal.Index2) == 0 {
+							tm.Nominal.Index2 = tpl.Index2
+						}
+					}
+				}
+				arc.Tables[base] = tm
+			}
+			if len(arc.Tables) > 0 {
+				pin.Timings = append(pin.Timings, arc)
+			}
+		}
+		cell.Pins[pin.Name] = pin
+		cell.Order = append(cell.Order, pin.Name)
+	}
+	return cell, nil
+}
+
+// OutputPins returns the cell's output pins in declaration order.
+func (c *Cell) OutputPins() []*Pin {
+	var out []*Pin
+	for _, name := range c.Order {
+		if p := c.Pins[name]; p.Direction == "output" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ArcTo finds the timing arc from the given input pin on an output pin.
+func (p *Pin) ArcTo(relatedPin string) (*TimingArc, bool) {
+	for _, t := range p.Timings {
+		if t.RelatedPin == relatedPin {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// ------------------------------------------------------ LUT interpolation
+
+// interp1Weights locates x on a sorted axis, returning the bracketing
+// indices and the interpolation fraction (clamped at the table edges, the
+// standard Liberty extrapolation-free behaviour).
+func interp1Weights(axis []float64, x float64) (i0, i1 int, frac float64) {
+	n := len(axis)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	if n == 1 || x <= axis[0] {
+		return 0, 0, 0
+	}
+	if x >= axis[n-1] {
+		return n - 1, n - 1, 0
+	}
+	i := sort.SearchFloat64s(axis, x)
+	// axis[i-1] < x <= axis[i]
+	i0, i1 = i-1, i
+	frac = (x - axis[i0]) / (axis[i1] - axis[i0])
+	return
+}
+
+// InterpolateTable bilinearly interpolates a LUT at (x1, x2) over
+// (Index1, Index2), clamping outside the table range.
+func InterpolateTable(t Table, x1, x2 float64) float64 {
+	if len(t.Values) == 0 {
+		return 0
+	}
+	a0, a1, fa := interp1Weights(t.Index1, x1)
+	b0, b1, fb := interp1Weights(t.Index2, x2)
+	if a1 >= len(t.Values) {
+		a0, a1, fa = 0, 0, 0
+	}
+	v00 := t.Values[a0][b0]
+	v01 := t.Values[a0][b1]
+	v10 := t.Values[a1][b0]
+	v11 := t.Values[a1][b1]
+	return (1-fa)*((1-fb)*v00+fb*v01) + fa*((1-fb)*v10+fb*v11)
+}
+
+// interpTablePtr interpolates an optional table (0 when absent).
+func interpTablePtr(t *Table, x1, x2 float64) (float64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	return InterpolateTable(*t, x1, x2), true
+}
+
+// LVFAtPoint returns the classic-LVF view at an arbitrary (slew, load)
+// point: the single-SN moments vector a legacy (non-LVF²) tool would use,
+// built from the nominal and classic ocv_* tables only.
+func (tm *TimingModel) LVFAtPoint(slew, load float64) (core.Theta, error) {
+	if len(tm.Nominal.Values) == 0 {
+		return core.Theta{}, fmt.Errorf("liberty: %s has no nominal table", tm.Base)
+	}
+	nominal := InterpolateTable(tm.Nominal, slew, load)
+	shift, _ := interpTablePtr(tm.MeanShift, slew, load)
+	sd, _ := interpTablePtr(tm.StdDev, slew, load)
+	skew, _ := interpTablePtr(tm.Skewness, slew, load)
+	return core.Theta{Mean: nominal + shift, Sigma: sd, Skew: skew}, nil
+}
+
+// NominalAtPoint interpolates just the nominal LUT.
+func (tm *TimingModel) NominalAtPoint(slew, load float64) float64 {
+	return InterpolateTable(tm.Nominal, slew, load)
+}
+
+// ModelAtPoint assembles the LVF² model at an arbitrary (slew, load)
+// point by bilinearly interpolating every statistical table, with the
+// same §3.3 inheritance rules as ModelAt. This is what a block-based SSTA
+// engine calls while walking a netlist, where actual slews rarely land on
+// table corners.
+func (tm *TimingModel) ModelAtPoint(slew, load float64) (core.Model, error) {
+	if len(tm.Nominal.Values) == 0 {
+		return core.Model{}, fmt.Errorf("liberty: %s has no nominal table", tm.Base)
+	}
+	nominal := InterpolateTable(tm.Nominal, slew, load)
+
+	var m core.Model
+	shift, ok := interpTablePtr(tm.MeanShift1, slew, load)
+	if !ok {
+		shift, _ = interpTablePtr(tm.MeanShift, slew, load)
+	}
+	sd, ok := interpTablePtr(tm.StdDev1, slew, load)
+	if !ok {
+		sd, _ = interpTablePtr(tm.StdDev, slew, load)
+	}
+	skew, ok := interpTablePtr(tm.Skewness1, slew, load)
+	if !ok {
+		skew, _ = interpTablePtr(tm.Skewness, slew, load)
+	}
+	m.Theta1 = core.Theta{Mean: nominal + shift, Sigma: sd, Skew: skew}
+
+	if lam, ok := interpTablePtr(tm.Weight2, slew, load); ok && lam > 0 {
+		m.Lambda = lam
+		shift2, _ := interpTablePtr(tm.MeanShift2, slew, load)
+		sd2, _ := interpTablePtr(tm.StdDev2, slew, load)
+		skew2, _ := interpTablePtr(tm.Skewness2, slew, load)
+		m.Theta2 = core.Theta{Mean: nominal + shift2, Sigma: sd2, Skew: skew2}
+	}
+	if err := m.Validate(); err != nil {
+		return core.Model{}, fmt.Errorf("liberty: %s at (%g,%g): %w", tm.Base, slew, load, err)
+	}
+	return m, nil
+}

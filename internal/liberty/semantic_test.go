@@ -1,0 +1,202 @@
+package liberty
+
+import (
+	"math"
+	"testing"
+)
+
+const semanticLib = `
+library (semlib) {
+  delay_model : table_lookup;
+  lu_table_template (tpl2x2) {
+    variable_1 : input_net_transition;
+    variable_2 : total_output_net_capacitance;
+    index_1 ("0.01, 0.1");
+    index_2 ("0.002, 0.02");
+  }
+  cell (ND2) {
+    pin (A) { direction : input; capacitance : 0.0011; }
+    pin (B) { direction : input; capacitance : 0.0012; }
+    pin (ZN) {
+      direction : output;
+      function : "!(A & B)";
+      timing () {
+        related_pin : "A";
+        timing_sense : negative_unate;
+        cell_rise (tpl2x2) {
+          index_1 ("0.01, 0.1");
+          index_2 ("0.002, 0.02");
+          values ("0.10, 0.20", "0.30, 0.40");
+        }
+        ocv_std_dev_cell_rise (tpl2x2) {
+          index_1 ("0.01, 0.1");
+          index_2 ("0.002, 0.02");
+          values ("0.010, 0.012", "0.014, 0.016");
+        }
+        ocv_weight2_cell_rise (tpl2x2) {
+          index_1 ("0.01, 0.1");
+          index_2 ("0.002, 0.02");
+          values ("0.0, 0.2", "0.3, 0.4");
+        }
+        ocv_std_dev2_cell_rise (tpl2x2) {
+          index_1 ("0.01, 0.1");
+          index_2 ("0.002, 0.02");
+          values ("0.02, 0.02", "0.02, 0.02");
+        }
+      }
+      timing () {
+        related_pin : "B";
+        cell_rise (tpl2x2) {
+          values ("0.11, 0.21", "0.31, 0.41");
+        }
+      }
+    }
+  }
+}
+`
+
+func loadSemantic(t *testing.T) *Library {
+	t.Helper()
+	g, err := Parse(semanticLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := LoadLibrary(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestLoadLibraryStructure(t *testing.T) {
+	lib := loadSemantic(t)
+	if lib.Name != "semlib" {
+		t.Errorf("name %q", lib.Name)
+	}
+	cell, ok := lib.Cells["ND2"]
+	if !ok {
+		t.Fatal("ND2 missing")
+	}
+	if len(cell.Pins) != 3 {
+		t.Fatalf("pins %d", len(cell.Pins))
+	}
+	a := cell.Pins["A"]
+	if a.Direction != "input" || math.Abs(a.Capacitance-0.0011) > 1e-12 {
+		t.Errorf("pin A: %+v", a)
+	}
+	outs := cell.OutputPins()
+	if len(outs) != 1 || outs[0].Name != "ZN" {
+		t.Fatalf("output pins: %v", outs)
+	}
+	if outs[0].Function != "!(A & B)" {
+		t.Errorf("function %q", outs[0].Function)
+	}
+	if len(outs[0].Timings) != 2 {
+		t.Fatalf("timings %d", len(outs[0].Timings))
+	}
+	arcA, ok := outs[0].ArcTo("A")
+	if !ok || arcA.Sense != "negative_unate" {
+		t.Fatalf("arc A: %+v ok=%v", arcA, ok)
+	}
+	if _, ok := outs[0].ArcTo("C"); ok {
+		t.Error("phantom arc C")
+	}
+	// Arc B inherited its axes from the template.
+	arcB, _ := outs[0].ArcTo("B")
+	tmB := arcB.Tables["cell_rise"]
+	if len(tmB.Nominal.Index1) != 2 || tmB.Nominal.Index1[0] != 0.01 {
+		t.Errorf("template axis backfill failed: %+v", tmB.Nominal.Index1)
+	}
+}
+
+func TestLoadLibraryErrors(t *testing.T) {
+	g, _ := Parse(`cell (x) { }`)
+	if _, err := LoadLibrary(g); err == nil {
+		t.Error("non-library top group accepted")
+	}
+	g2, _ := Parse(`library (x) { cell () { } }`)
+	if _, err := LoadLibrary(g2); err == nil {
+		t.Error("unnamed cell accepted")
+	}
+	g3, _ := Parse(`library (x) { cell (c) { pin () { } } }`)
+	if _, err := LoadLibrary(g3); err == nil {
+		t.Error("unnamed pin accepted")
+	}
+}
+
+func TestInterpolateTableCornersAndCenter(t *testing.T) {
+	tab := Table{
+		Index1: []float64{0.01, 0.1},
+		Index2: []float64{0.002, 0.02},
+		Values: [][]float64{{0.10, 0.20}, {0.30, 0.40}},
+	}
+	// Exact corners.
+	cases := []struct{ x1, x2, want float64 }{
+		{0.01, 0.002, 0.10},
+		{0.01, 0.02, 0.20},
+		{0.1, 0.002, 0.30},
+		{0.1, 0.02, 0.40},
+		// Midpoint of both axes: average of 4 corners.
+		{0.055, 0.011, 0.25},
+		// Clamping outside the grid.
+		{0.001, 0.0001, 0.10},
+		{1.0, 1.0, 0.40},
+	}
+	for _, c := range cases {
+		if got := InterpolateTable(tab, c.x1, c.x2); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Interp(%v,%v) = %v want %v", c.x1, c.x2, got, c.want)
+		}
+	}
+}
+
+func TestInterpolateTableDegenerate(t *testing.T) {
+	if InterpolateTable(Table{}, 1, 1) != 0 {
+		t.Error("empty table should give 0")
+	}
+	one := Table{Index1: []float64{1}, Index2: []float64{1}, Values: [][]float64{{7}}}
+	if InterpolateTable(one, 5, 5) != 7 {
+		t.Error("1x1 table should clamp to its value")
+	}
+}
+
+func TestModelAtPointInterpolatesStatistics(t *testing.T) {
+	lib := loadSemantic(t)
+	arc, _ := lib.Cells["ND2"].OutputPins()[0].ArcTo("A")
+	tm := arc.Tables["cell_rise"]
+
+	// Corner (1,1): λ=0.4, σ1=0.016, nominal 0.40.
+	m, err := tm.ModelAtPoint(0.1, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Lambda-0.4) > 1e-12 || math.Abs(m.Theta1.Sigma-0.016) > 1e-12 {
+		t.Errorf("corner model: %+v", m)
+	}
+	if math.Abs(m.Theta1.Mean-0.40) > 1e-12 {
+		t.Errorf("corner mean: %v", m.Theta1.Mean)
+	}
+	// Midpoint: all tables bilinear — λ = mean of {0, .2, .3, .4} = 0.225.
+	m, err = tm.ModelAtPoint(0.055, 0.011)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Lambda-0.225) > 1e-12 {
+		t.Errorf("mid λ: %v", m.Lambda)
+	}
+	if math.Abs(m.Theta1.Mean-0.25) > 1e-12 {
+		t.Errorf("mid mean: %v", m.Theta1.Mean)
+	}
+	// λ=0 corner degenerates to LVF.
+	m, err = tm.ModelAtPoint(0.01, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsLVF() {
+		t.Errorf("λ=0 corner should be LVF: %+v", m)
+	}
+	// Missing nominal table errors.
+	var empty TimingModel
+	if _, err := empty.ModelAtPoint(0.01, 0.002); err == nil {
+		t.Error("empty model accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package liberty
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a Liberty lookup table: two index vectors and a matrix of
+// values indexed [index1][index2] (input slew × output load throughout
+// this project).
+type Table struct {
+	Index1 []float64
+	Index2 []float64
+	Values [][]float64
+}
+
+// NewTable allocates a zero-filled table over the given axes.
+func NewTable(index1, index2 []float64) Table {
+	v := make([][]float64, len(index1))
+	for i := range v {
+		v[i] = make([]float64, len(index2))
+	}
+	return Table{Index1: index1, Index2: index2, Values: v}
+}
+
+// At returns Values[i][j].
+func (t Table) At(i, j int) float64 { return t.Values[i][j] }
+
+// Set assigns Values[i][j].
+func (t *Table) Set(i, j int, v float64) { t.Values[i][j] = v }
+
+// Rows and Cols return the table dimensions.
+func (t Table) Rows() int { return len(t.Index1) }
+
+// Cols returns the second-axis length.
+func (t Table) Cols() int { return len(t.Index2) }
+
+// parseFloatList parses a Liberty number list: comma and/or whitespace
+// separated values within one string.
+func parseFloatList(s string) ([]float64, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '\\'
+	})
+	out := make([]float64, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("liberty: bad number %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// TableFromGroup extracts a lookup table from a group such as
+// `cell_rise (template) { index_1(...); index_2(...); values(...); }`.
+func TableFromGroup(g *Group) (Table, error) {
+	var t Table
+	var err error
+	if a, ok := g.Attr("index_1"); ok && len(a.Values) > 0 {
+		if t.Index1, err = parseFloatList(strings.Join(a.Values, ",")); err != nil {
+			return t, fmt.Errorf("%s index_1: %w", g.Name, err)
+		}
+	}
+	if a, ok := g.Attr("index_2"); ok && len(a.Values) > 0 {
+		if t.Index2, err = parseFloatList(strings.Join(a.Values, ",")); err != nil {
+			return t, fmt.Errorf("%s index_2: %w", g.Name, err)
+		}
+	}
+	a, ok := g.Attr("values")
+	if !ok {
+		return t, fmt.Errorf("liberty: group %q has no values attribute", g.Name)
+	}
+	rows := make([][]float64, 0, len(a.Values))
+	for _, rv := range a.Values {
+		row, err := parseFloatList(rv)
+		if err != nil {
+			return t, fmt.Errorf("%s values: %w", g.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	// A single flat row with index_1 and index_2 present is reshaped.
+	if len(rows) == 1 && len(t.Index1) > 1 && len(t.Index2) > 0 &&
+		len(rows[0]) == len(t.Index1)*len(t.Index2) {
+		flat := rows[0]
+		rows = make([][]float64, len(t.Index1))
+		for i := range rows {
+			rows[i] = flat[i*len(t.Index2) : (i+1)*len(t.Index2)]
+		}
+	}
+	t.Values = rows
+	if err := t.validate(g.Name); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+func (t Table) validate(name string) error {
+	if len(t.Values) == 0 {
+		return fmt.Errorf("liberty: table %q is empty", name)
+	}
+	w := len(t.Values[0])
+	for i, row := range t.Values {
+		if len(row) != w {
+			return fmt.Errorf("liberty: table %q row %d has %d values, want %d", name, i, len(row), w)
+		}
+	}
+	if len(t.Index1) > 0 && len(t.Index1) != len(t.Values) {
+		return fmt.Errorf("liberty: table %q: %d rows vs index_1 length %d", name, len(t.Values), len(t.Index1))
+	}
+	if len(t.Index2) > 0 && len(t.Index2) != w {
+		return fmt.Errorf("liberty: table %q: %d cols vs index_2 length %d", name, w, len(t.Index2))
+	}
+	return nil
+}
+
+// formatFloats renders a float list Liberty-style.
+func formatFloats(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatFloat(v, 'g', 8, 64)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// AppendToGroup emits the table as a child group of parent with the given
+// group name and template argument.
+func (t Table) AppendToGroup(parent *Group, name, template string) *Group {
+	g := parent.AddGroup(name, template)
+	if len(t.Index1) > 0 {
+		g.AddComplex("index_1", formatFloats(t.Index1))
+	}
+	if len(t.Index2) > 0 {
+		g.AddComplex("index_2", formatFloats(t.Index2))
+	}
+	rows := make([]string, len(t.Values))
+	for i, r := range t.Values {
+		rows[i] = formatFloats(r)
+	}
+	g.AddComplex("values", rows...)
+	return g
+}

@@ -1,0 +1,249 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"lvf2/internal/stats"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(2)
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	m := stats.Moments(xs)
+	if math.Abs(m.Mean) > 0.01 {
+		t.Errorf("norm mean %v", m.Mean)
+	}
+	if math.Abs(m.Std()-1) > 0.01 {
+		t.Errorf("norm std %v", m.Std())
+	}
+	if math.Abs(m.Skewness) > 0.03 {
+		t.Errorf("norm skew %v", m.Skewness)
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(4)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("split children should differ")
+	}
+}
+
+func TestLatinHypercubeStratification(t *testing.T) {
+	r := NewRNG(5)
+	n, d := 64, 3
+	pts := LatinHypercube(r, n, d)
+	if len(pts) != n || len(pts[0]) != d {
+		t.Fatalf("shape %dx%d", len(pts), len(pts[0]))
+	}
+	// Exactly one point per stratum per dimension.
+	for j := 0; j < d; j++ {
+		hit := make([]bool, n)
+		for i := 0; i < n; i++ {
+			u := pts[i][j]
+			if u < 0 || u >= 1 {
+				t.Fatalf("point out of unit cube: %v", u)
+			}
+			s := int(u * float64(n))
+			if hit[s] {
+				t.Fatalf("dim %d stratum %d hit twice", j, s)
+			}
+			hit[s] = true
+		}
+	}
+}
+
+func TestLatinHypercubeDegenerate(t *testing.T) {
+	if LatinHypercube(NewRNG(1), 0, 2) != nil {
+		t.Error("n=0 should return nil")
+	}
+	if LatinHypercube(NewRNG(1), 2, 0) != nil {
+		t.Error("d=0 should return nil")
+	}
+}
+
+func TestGaussianLHSMoments(t *testing.T) {
+	r := NewRNG(6)
+	pts := GaussianLHS(r, 20000, 2)
+	col := make([]float64, len(pts))
+	for i, row := range pts {
+		col[i] = row[0]
+	}
+	m := stats.Moments(col)
+	// LHS means converge much faster than IID; tolerance is still loose.
+	if math.Abs(m.Mean) > 0.005 {
+		t.Errorf("LHS gaussian mean %v", m.Mean)
+	}
+	if math.Abs(m.Std()-1) > 0.01 {
+		t.Errorf("LHS gaussian std %v", m.Std())
+	}
+}
+
+// LHS should reduce the variance of a mean estimator vs IID sampling.
+func TestLHSVarianceReduction(t *testing.T) {
+	const trials, n = 60, 256
+	est := func(sampler func(*RNG, int, int) [][]float64, seed uint64) float64 {
+		var vs []float64
+		for tr := 0; tr < trials; tr++ {
+			r := NewRNG(seed + uint64(tr))
+			pts := sampler(r, n, 1)
+			var s float64
+			for _, p := range pts {
+				s += p[0] * p[0] // estimate E[Z²] = 1
+			}
+			vs = append(vs, s/float64(n))
+		}
+		return stats.Moments(vs).Variance
+	}
+	vLHS := est(GaussianLHS, 100)
+	vIID := est(GaussianIID, 200)
+	if vLHS >= vIID {
+		t.Errorf("LHS variance %v should beat IID %v", vLHS, vIID)
+	}
+}
+
+func TestSobolFirstPoints(t *testing.T) {
+	// The 1-D Sobol (van der Corput) sequence in Gray-code order starts
+	// 1/2, 3/4, 1/4, 3/8, 7/8, ...
+	s := NewSobol(1)
+	want := []float64{0.5, 0.75, 0.25, 0.375, 0.875}
+	for i, w := range want {
+		got := s.Next()[0]
+		if math.Abs(got-w) > 1e-12 {
+			t.Errorf("point %d = %v want %v", i, got, w)
+		}
+	}
+}
+
+func TestSobolEquidistribution(t *testing.T) {
+	// First 2^k points of any Sobol dimension hit each dyadic interval of
+	// width 2^-k exactly once.
+	// The generator skips the origin (index 0 maps to −∞ under the normal
+	// quantile), so the equidistributed block is the origin plus the first
+	// 2^k − 1 returned points.
+	const k = 6
+	n := 1 << k
+	pts := SobolPoints(n-1, 4)
+	for d := 0; d < 4; d++ {
+		hit := make([]bool, n)
+		hit[0] = true // the skipped origin
+		for i := 0; i < n-1; i++ {
+			c := int(pts[i][d] * float64(n))
+			if c < 0 || c >= n || hit[c] {
+				t.Fatalf("dim %d: cell %d hit twice or out of range", d, c)
+			}
+			hit[c] = true
+		}
+	}
+}
+
+func TestSobolDimensionClamping(t *testing.T) {
+	if s := NewSobol(0); s.d != 1 {
+		t.Errorf("d=0 clamp: %d", s.d)
+	}
+	if s := NewSobol(100); s.d != len(sobolDims)+1 {
+		t.Errorf("d=100 clamp: %d", s.d)
+	}
+}
+
+func TestGaussianSobolMoments(t *testing.T) {
+	r := NewRNG(8)
+	pts := GaussianSobol(r, 4096, 3)
+	for d := 0; d < 3; d++ {
+		col := make([]float64, len(pts))
+		for i, row := range pts {
+			col[i] = row[d]
+		}
+		m := stats.Moments(col)
+		if math.Abs(m.Mean) > 0.01 {
+			t.Errorf("dim %d mean %v", d, m.Mean)
+		}
+		if math.Abs(m.Std()-1) > 0.02 {
+			t.Errorf("dim %d std %v", d, m.Std())
+		}
+	}
+}
+
+// QMC should beat IID MC variance on a smooth integrand.
+func TestSobolVarianceReduction(t *testing.T) {
+	const trials, n = 40, 256
+	est := func(qmc bool, seed uint64) float64 {
+		var vs []float64
+		for tr := 0; tr < trials; tr++ {
+			r := NewRNG(seed + uint64(tr))
+			var pts [][]float64
+			if qmc {
+				pts = GaussianSobol(r, n, 2)
+			} else {
+				pts = GaussianIID(r, n, 2)
+			}
+			var s float64
+			for _, p := range pts {
+				s += p[0]*p[0] + p[1]*p[1] // E = 2
+			}
+			vs = append(vs, s/float64(n))
+		}
+		return stats.Moments(vs).Variance
+	}
+	vQ := est(true, 500)
+	vI := est(false, 600)
+	if vQ >= vI {
+		t.Errorf("Sobol variance %v should beat IID %v", vQ, vI)
+	}
+}

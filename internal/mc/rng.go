@@ -1,0 +1,85 @@
+// Package mc implements the Monte-Carlo machinery that substitutes for
+// the paper's SPICE MC runs: a deterministic splittable RNG, Gaussian
+// variates, and Latin Hypercube Sampling (LHS) over the process-parameter
+// space. The paper generated 50k LHS samples per timing distribution; the
+// same sampler drives the synthetic electrical model in internal/spice.
+package mc
+
+import "math"
+
+// RNG is a small, fast, deterministic generator (SplitMix64 core). It
+// implements the stats.Source interface (Float64, NormFloat64) so the
+// distribution types can sample from it directly.
+type RNG struct {
+	state uint64
+	// Cached second Box-Muller variate.
+	hasGauss bool
+	gauss    float64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 advances the SplitMix64 state.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller, cached pair).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	var u, v float64
+	for {
+		u = r.Float64()
+		if u > 0 {
+			break
+		}
+	}
+	v = r.Float64()
+	radius := math.Sqrt(-2 * math.Log(u))
+	theta := 2 * math.Pi * v
+	r.gauss = radius * math.Sin(theta)
+	r.hasGauss = true
+	return radius * math.Cos(theta)
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("mc: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Split derives an independent child generator; useful for giving each
+// slew-load grid point its own reproducible stream.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,114 @@
+package netlist
+
+import "fmt"
+
+// Builders for the benchmark netlists used by the SSTA validation flow.
+
+// Chain builds an n-stage single-input-cell chain (e.g. INV or BUFF):
+// in -> u0 -> n0 -> u1 -> ... -> out.
+func Chain(name, cellType string, n int) *Module {
+	m := &Module{
+		Name: name,
+		Ports: []Port{
+			{Name: "in", Dir: Input},
+			{Name: "out", Dir: Output},
+		},
+	}
+	prev := "in"
+	for i := 0; i < n; i++ {
+		net := "out"
+		if i < n-1 {
+			net = fmt.Sprintf("n%d", i)
+			m.Wires = append(m.Wires, net)
+		}
+		m.Instances = append(m.Instances, Instance{
+			Name:     fmt.Sprintf("u%d", i),
+			Cell:     cellType,
+			Conns:    map[string]string{"A": prev, "ZN": net},
+			PinOrder: []string{"A", "ZN"},
+		})
+		prev = net
+	}
+	return m
+}
+
+// RippleCarryAdder builds the NAND2-decomposed carry chain of an n-bit
+// ripple-carry adder (the circuit behind Fig. 5's first benchmark):
+// per bit, g = NAND(aᵢ, bᵢ) and c' = NAND(g, NAND(p, c)). For timing
+// purposes the propagate signal is modelled by the bit inputs themselves.
+func RippleCarryAdder(bits int) *Module {
+	m := &Module{Name: fmt.Sprintf("rca%d", bits)}
+	m.Ports = append(m.Ports, Port{Name: "cin", Dir: Input})
+	for i := 0; i < bits; i++ {
+		m.Ports = append(m.Ports,
+			Port{Name: fmt.Sprintf("a%d", i), Dir: Input},
+			Port{Name: fmt.Sprintf("b%d", i), Dir: Input})
+	}
+	m.Ports = append(m.Ports, Port{Name: "cout", Dir: Output})
+
+	carry := "cin"
+	for i := 0; i < bits; i++ {
+		g := fmt.Sprintf("g%d", i)
+		t := fmt.Sprintf("t%d", i)
+		next := "cout"
+		if i < bits-1 {
+			next = fmt.Sprintf("c%d", i+1)
+			m.Wires = append(m.Wires, next)
+		}
+		m.Wires = append(m.Wires, g, t)
+		m.Instances = append(m.Instances,
+			Instance{
+				Name: fmt.Sprintf("u_g%d", i), Cell: "NAND2",
+				Conns:    map[string]string{"A": fmt.Sprintf("a%d", i), "B": fmt.Sprintf("b%d", i), "ZN": g},
+				PinOrder: []string{"A", "B", "ZN"},
+			},
+			Instance{
+				Name: fmt.Sprintf("u_t%d", i), Cell: "NAND2",
+				Conns:    map[string]string{"A": fmt.Sprintf("b%d", i), "B": carry, "ZN": t},
+				PinOrder: []string{"A", "B", "ZN"},
+			},
+			Instance{
+				Name: fmt.Sprintf("u_c%d", i), Cell: "NAND2",
+				Conns:    map[string]string{"A": g, "B": t, "ZN": next},
+				PinOrder: []string{"A", "B", "ZN"},
+			})
+		carry = next
+	}
+	return m
+}
+
+// BufferTree builds a balanced binary buffer tree of the given depth
+// (2^depth leaves), the netlist analogue of the H-tree benchmark.
+func BufferTree(depth int) *Module {
+	m := &Module{
+		Name:  fmt.Sprintf("buftree%d", depth),
+		Ports: []Port{{Name: "clk", Dir: Input}},
+	}
+	level := []string{"clk"}
+	id := 0
+	for d := 0; d < depth; d++ {
+		var next []string
+		for _, src := range level {
+			for c := 0; c < 2; c++ {
+				var net string
+				if d == depth-1 {
+					net = fmt.Sprintf("leaf%d", len(next))
+					m.Ports = append(m.Ports, Port{Name: net, Dir: Output})
+				} else {
+					net = fmt.Sprintf("n%d", id)
+					m.Wires = append(m.Wires, net)
+				}
+				m.Instances = append(m.Instances, Instance{
+					Name:     fmt.Sprintf("buf%d", id),
+					Cell:     "BUFF",
+					Conns:    map[string]string{"A": src, "ZN": net},
+					PinOrder: []string{"A", "ZN"},
+				})
+				id++
+				next = append(next, net)
+			}
+		}
+		level = next
+	}
+	return m
+}

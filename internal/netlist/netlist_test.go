@@ -1,0 +1,173 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoVerilog = `
+// two-gate demo
+module demo (a, b, y);
+  input a, b;
+  output y;
+  wire n1;
+  /* first gate */
+  NAND2 u1 (.A(a), .B(b), .ZN(n1));
+  INV u2 (.A(n1), .ZN(y));
+endmodule
+`
+
+func TestParseDemo(t *testing.T) {
+	m, err := Parse(demoVerilog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "demo" {
+		t.Errorf("name %q", m.Name)
+	}
+	if len(m.Ports) != 3 || m.Ports[0].Name != "a" || m.Ports[2].Dir != Output {
+		t.Fatalf("ports: %+v", m.Ports)
+	}
+	if len(m.Wires) != 1 || m.Wires[0] != "n1" {
+		t.Fatalf("wires: %v", m.Wires)
+	}
+	if len(m.Instances) != 2 {
+		t.Fatalf("instances: %d", len(m.Instances))
+	}
+	u1 := m.Instances[0]
+	if u1.Cell != "NAND2" || u1.Conns["ZN"] != "n1" || u1.Conns["A"] != "a" {
+		t.Errorf("u1: %+v", u1)
+	}
+	if got := m.Inputs(); len(got) != 2 {
+		t.Errorf("inputs %v", got)
+	}
+	if got := m.Outputs(); len(got) != 1 || got[0] != "y" {
+		t.Errorf("outputs %v", got)
+	}
+	nets := m.Nets()
+	if len(nets) != 4 {
+		t.Errorf("nets %v", nets)
+	}
+}
+
+func TestParseWriteRoundTrip(t *testing.T) {
+	m, err := Parse(demoVerilog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := m.String()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	if m2.String() != text {
+		t.Error("writer not a fixed point")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no module", `wire x;`},
+		{"missing endmodule", `module m (a); input a;`},
+		{"undeclared net", `module m (a); input a; INV u (.A(zz), .ZN(a)); endmodule`},
+		{"missing dir", `module m (a); wire b; endmodule`},
+		{"dup pin", `module m (a, y); input a; output y; INV u (.A(a), .A(a), .ZN(y)); endmodule`},
+		{"dup instance", `module m (a, y); input a; output y; INV u (.A(a), .ZN(y)); INV u (.A(a), .ZN(y)); endmodule`},
+		{"garbage char", `module m (a); input a; # endmodule`},
+		{"unterminated comment", `module m (a); /* input a; endmodule`},
+		{"trailing tokens", `module m (a); input a; endmodule extra`},
+		{"bad ident list", `module m (a); input ,; endmodule`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestChainBuilder(t *testing.T) {
+	m := Chain("c4", "INV", 4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Instances) != 4 || len(m.Wires) != 3 {
+		t.Fatalf("chain shape: %d inst %d wires", len(m.Instances), len(m.Wires))
+	}
+	// Connectivity: u0 input is "in", u3 output is "out".
+	if m.Instances[0].Conns["A"] != "in" || m.Instances[3].Conns["ZN"] != "out" {
+		t.Error("chain endpoints wrong")
+	}
+	// Round trip through the parser.
+	if _, err := Parse(m.String()); err != nil {
+		t.Fatalf("chain verilog invalid: %v", err)
+	}
+}
+
+func TestRippleCarryAdderBuilder(t *testing.T) {
+	m := RippleCarryAdder(4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 NAND2 per bit.
+	if len(m.Instances) != 12 {
+		t.Fatalf("instances %d", len(m.Instances))
+	}
+	if _, err := Parse(m.String()); err != nil {
+		t.Fatalf("rca verilog invalid: %v", err)
+	}
+	// Carry chain connectivity: u_c0 output feeds u_t1 input B.
+	var found bool
+	for _, inst := range m.Instances {
+		if inst.Name == "u_t1" && inst.Conns["B"] == "c1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("carry chain broken")
+	}
+}
+
+func TestBufferTreeBuilder(t *testing.T) {
+	m := BufferTree(3)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 + 4 + 8 buffers.
+	if len(m.Instances) != 14 {
+		t.Fatalf("instances %d", len(m.Instances))
+	}
+	// 8 leaves.
+	if got := len(m.Outputs()); got != 8 {
+		t.Fatalf("leaves %d", got)
+	}
+	if _, err := Parse(m.String()); err != nil {
+		t.Fatalf("tree verilog invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadStructures(t *testing.T) {
+	m := &Module{
+		Name:  "bad",
+		Ports: []Port{{Name: "a", Dir: Input}, {Name: "a", Dir: Output}},
+	}
+	if err := m.Validate(); err == nil {
+		t.Error("duplicate port accepted")
+	}
+	m2 := &Module{
+		Name:  "bad2",
+		Ports: []Port{{Name: "a", Dir: Input}},
+		Wires: []string{"a"},
+	}
+	if err := m2.Validate(); err == nil {
+		t.Error("wire redeclaring port accepted")
+	}
+}
+
+func TestPortDirString(t *testing.T) {
+	if Input.String() != "input" || Output.String() != "output" {
+		t.Error("dir names")
+	}
+	if !strings.Contains(Chain("x", "INV", 1).String(), "module x") {
+		t.Error("writer header")
+	}
+}

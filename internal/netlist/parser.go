@@ -1,0 +1,272 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads one structural Verilog module.
+func Parse(src string) (*Module, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &vparser{toks: toks}
+	m, err := p.parseModule()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.toks) {
+		return nil, fmt.Errorf("netlist: trailing tokens after endmodule: %q", p.toks[p.pos].text)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type vtoken struct {
+	text string
+	line int
+}
+
+func tokenize(src string) ([]vtoken, error) {
+	var toks []vtoken
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= len(src) {
+				return nil, fmt.Errorf("netlist: line %d: unterminated comment", line)
+			}
+			i += 2
+		case strings.ContainsRune("();,.", rune(c)):
+			toks = append(toks, vtoken{string(c), line})
+			i++
+		case isVIdent(rune(c)):
+			start := i
+			for i < len(src) && isVIdent(rune(src[i])) {
+				i++
+			}
+			toks = append(toks, vtoken{src[start:i], line})
+		default:
+			return nil, fmt.Errorf("netlist: line %d: unexpected character %q", line, c)
+		}
+	}
+	return toks, nil
+}
+
+func isVIdent(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$' || r == '\\' || r == '[' || r == ']'
+}
+
+type vparser struct {
+	toks []vtoken
+	pos  int
+}
+
+func (p *vparser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos].text
+}
+
+func (p *vparser) line() int {
+	if p.pos >= len(p.toks) {
+		if len(p.toks) > 0 {
+			return p.toks[len(p.toks)-1].line
+		}
+		return 0
+	}
+	return p.toks[p.pos].line
+}
+
+func (p *vparser) next() (string, error) {
+	if p.pos >= len(p.toks) {
+		return "", fmt.Errorf("netlist: unexpected end of input")
+	}
+	t := p.toks[p.pos].text
+	p.pos++
+	return t, nil
+}
+
+func (p *vparser) expect(want string) error {
+	got, err := p.next()
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("netlist: line %d: expected %q, got %q", p.line(), want, got)
+	}
+	return nil
+}
+
+// identList parses `a, b, c` terminated by `;` (consumed).
+func (p *vparser) identList() ([]string, error) {
+	var out []string
+	for {
+		id, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if id == ";" || id == "," || id == "(" || id == ")" {
+			return nil, fmt.Errorf("netlist: line %d: expected identifier, got %q", p.line(), id)
+		}
+		out = append(out, id)
+		sep, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if sep == ";" {
+			return out, nil
+		}
+		if sep != "," {
+			return nil, fmt.Errorf("netlist: line %d: expected ',' or ';', got %q", p.line(), sep)
+		}
+	}
+}
+
+func (p *vparser) parseModule() (*Module, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	// Header port list (directions resolved by the input/output decls).
+	var header []string
+	for p.peek() != ")" {
+		id, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if id == "," {
+			continue
+		}
+		header = append(header, id)
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	dirs := map[string]PortDir{}
+	for {
+		switch p.peek() {
+		case "endmodule":
+			p.pos++
+			// Assemble ports in header order.
+			for _, h := range header {
+				d, ok := dirs[h]
+				if !ok {
+					return nil, fmt.Errorf("netlist: port %q has no direction declaration", h)
+				}
+				m.Ports = append(m.Ports, Port{Name: h, Dir: d})
+			}
+			return m, nil
+		case "input", "output":
+			kw, _ := p.next()
+			ids, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			d := Input
+			if kw == "output" {
+				d = Output
+			}
+			for _, id := range ids {
+				dirs[id] = d
+			}
+		case "wire":
+			p.pos++
+			ids, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			m.Wires = append(m.Wires, ids...)
+		case "":
+			return nil, fmt.Errorf("netlist: missing endmodule")
+		default:
+			inst, err := p.parseInstance()
+			if err != nil {
+				return nil, err
+			}
+			m.Instances = append(m.Instances, *inst)
+		}
+	}
+}
+
+// parseInstance parses `CELL name (.PIN(net), ...);`.
+func (p *vparser) parseInstance() (*Instance, error) {
+	cell, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{Name: name, Cell: cell, Conns: map[string]string{}}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for p.peek() != ")" {
+		if p.peek() == "," {
+			p.pos++
+			continue
+		}
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		pin, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		net, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if _, dup := inst.Conns[pin]; dup {
+			return nil, fmt.Errorf("netlist: instance %q connects pin %s twice", name, pin)
+		}
+		inst.Conns[pin] = net
+		inst.PinOrder = append(inst.PinOrder, pin)
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return inst, p.expect(";")
+}

@@ -1,0 +1,59 @@
+package opt
+
+import "math"
+
+// Bisect finds a root of f in [a, b] assuming f(a) and f(b) bracket zero.
+// It returns the midpoint of the final bracket. If the endpoints do not
+// bracket a root, it returns NaN.
+func Bisect(f func(float64) float64, a, b float64, iters int) float64 {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a
+	}
+	if fb == 0 {
+		return b
+	}
+	if fa*fb > 0 || math.IsNaN(fa) || math.IsNaN(fb) {
+		return math.NaN()
+	}
+	if iters <= 0 {
+		iters = 100
+	}
+	for i := 0; i < iters; i++ {
+		m := 0.5 * (a + b)
+		fm := f(m)
+		if fm == 0 {
+			return m
+		}
+		if fa*fm < 0 {
+			b, fb = m, fm
+		} else {
+			a, fa = m, fm
+		}
+	}
+	_ = fb
+	return 0.5 * (a + b)
+}
+
+// GoldenSection minimises a unimodal scalar function on [a, b].
+func GoldenSection(f func(float64) float64, a, b float64, tol float64) float64 {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	const invPhi = 0.6180339887498949
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	return 0.5 * (a + b)
+}

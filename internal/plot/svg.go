@@ -1,0 +1,276 @@
+// Package plot renders the paper's figures as standalone SVG files using
+// only the standard library: multi-series line charts (Fig. 3 PDFs and
+// Fig. 5 reduction curves) and heat maps (Fig. 4 accuracy patterns).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one polyline of a line chart.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Color  string // CSS color; defaults from the palette by index
+	Dashed bool
+}
+
+// palette is a colour-blind-safe default cycle.
+var palette = []string{"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9"}
+
+// LineChart describes a chart.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // default 720
+	Height int // default 440
+	Series []Series
+	// LogY plots log10(y) (useful for error-reduction curves).
+	LogY bool
+}
+
+const chartMargin = 56.0
+
+// SVG renders the chart.
+func (c LineChart) SVG() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 440
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tr := func(y float64) float64 {
+		if c.LogY {
+			if y <= 0 {
+				return math.NaN()
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			x, y := s.X[i], tr(s.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// 5% y padding.
+	pad := 0.05 * (ymax - ymin)
+	ymin -= pad
+	ymax += pad
+
+	px := func(x float64) float64 {
+		return chartMargin + (x-xmin)/(xmax-xmin)*(float64(w)-2*chartMargin)
+	}
+	py := func(y float64) float64 {
+		return float64(h) - chartMargin - (y-ymin)/(ymax-ymin)*(float64(h)-2*chartMargin)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-size="15">%s</text>`+"\n", w/2, xmlEscape(c.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		chartMargin, float64(h)-chartMargin, float64(w)-chartMargin, float64(h)-chartMargin)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		chartMargin, chartMargin, chartMargin, float64(h)-chartMargin)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := xmin + float64(i)/4*(xmax-xmin)
+		fy := ymin + float64(i)/4*(ymax-ymin)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+			px(fx), float64(h)-chartMargin, px(fx), float64(h)-chartMargin+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			px(fx), float64(h)-chartMargin+18, fmtTick(fx))
+		label := fy
+		if c.LogY {
+			label = math.Pow(10, fy)
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+			chartMargin-5, py(fy), chartMargin, py(fy))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			chartMargin-8, py(fy)+4, fmtTick(label))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			w/2, h-12, xmlEscape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			h/2, h/2, xmlEscape(c.YLabel))
+	}
+	// Series.
+	for si, s := range c.Series {
+		color := s.Color
+		if color == "" {
+			color = palette[si%len(palette)]
+		}
+		var pts []string
+		for i := range s.X {
+			y := tr(s.Y[i])
+			if math.IsNaN(y) || math.IsNaN(s.X[i]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(y)))
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"%s/>`+"\n",
+			strings.Join(pts, " "), color, dash)
+		// Legend entry.
+		ly := chartMargin + float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"%s/>`+"\n",
+			float64(w)-chartMargin-110, ly, float64(w)-chartMargin-86, ly, color, dash)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">%s</text>`+"\n",
+			float64(w)-chartMargin-80, ly+4, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Heatmap describes a coloured grid (Fig. 4 style).
+type Heatmap struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// XTicks and YTicks label the columns and rows.
+	XTicks []string
+	YTicks []string
+	// Values[row][col]; rows render top to bottom.
+	Values [][]float64
+	Width  int
+	Height int
+}
+
+// SVG renders the heat map with a white→blue ramp and per-cell value
+// annotations.
+func (hm Heatmap) SVG() string {
+	rows := len(hm.Values)
+	if rows == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg"/>`
+	}
+	cols := len(hm.Values[0])
+	w, h := hm.Width, hm.Height
+	if w <= 0 {
+		w = 90 + cols*58
+	}
+	if h <= 0 {
+		h = 90 + rows*34
+	}
+	vmin, vmax := math.Inf(1), math.Inf(-1)
+	for _, row := range hm.Values {
+		for _, v := range row {
+			vmin, vmax = math.Min(vmin, v), math.Max(vmax, v)
+		}
+	}
+	if vmax == vmin {
+		vmax = vmin + 1
+	}
+	cellW := float64(w-90) / float64(cols)
+	cellH := float64(h-90) / float64(rows)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if hm.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-size="14">%s</text>`+"\n", w/2, xmlEscape(hm.Title))
+	}
+	for r := 0; r < rows; r++ {
+		for cIdx := 0; cIdx < cols; cIdx++ {
+			v := hm.Values[r][cIdx]
+			t := (v - vmin) / (vmax - vmin)
+			x := 70 + float64(cIdx)*cellW
+			y := 40 + float64(r)*cellH
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#ddd"/>`+"\n",
+				x, y, cellW, cellH, rampColor(t))
+			txt := "#000"
+			if t > 0.6 {
+				txt = "#fff"
+			}
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" fill="%s">%s</text>`+"\n",
+				x+cellW/2, y+cellH/2+4, txt, fmtTick(v))
+		}
+	}
+	for cIdx, tick := range hm.XTicks {
+		if cIdx >= cols {
+			break
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			70+(float64(cIdx)+0.5)*cellW, 40+float64(rows)*cellH+16, xmlEscape(tick))
+	}
+	for r, tick := range hm.YTicks {
+		if r >= rows {
+			break
+		}
+		fmt.Fprintf(&b, `<text x="64" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			40+(float64(r)+0.5)*cellH+4, xmlEscape(tick))
+	}
+	if hm.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n", w/2, h-8, xmlEscape(hm.XLabel))
+	}
+	if hm.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+			h/2, h/2, xmlEscape(hm.YLabel))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// rampColor maps t ∈ [0,1] onto a white→blue ramp.
+func rampColor(t float64) string {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	r := int(255 - t*(255-11))
+	g := int(255 - t*(255-79))
+	bl := int(255 - t*(255-158))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, bl)
+}
+
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a == 0:
+		return "0"
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.1f", v)
+	case a >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.1e", v)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

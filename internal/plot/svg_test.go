@@ -1,0 +1,112 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	c := LineChart{
+		Title:  "Fig 3 <demo> & test",
+		XLabel: "delay (ns)",
+		YLabel: "pdf",
+		Series: []Series{
+			{Name: "golden", X: []float64{0, 1, 2}, Y: []float64{0, 1, 0}},
+			{Name: "LVF2", X: []float64{0, 1, 2}, Y: []float64{0.1, 0.9, 0.1}, Dashed: true},
+		},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "polyline") {
+		t.Error("no polylines")
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("want 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+	// Title escaped.
+	if !strings.Contains(svg, "&lt;demo&gt; &amp; test") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Error("dashed series lost")
+	}
+}
+
+func TestLineChartLogY(t *testing.T) {
+	c := LineChart{
+		LogY: true,
+		Series: []Series{
+			{Name: "r", X: []float64{1, 2, 3}, Y: []float64{1, 10, 100}},
+		},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	// Log axis: tick labels are back-transformed to linear values, so the
+	// top label lands near 10^(2+5% padding) ≈ 126, far above the raw log
+	// value 2.1 a linear axis would show.
+	if !strings.Contains(svg, ">126<") {
+		t.Errorf("log tick labels missing:\n%s", svg)
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	svg := LineChart{}.SVG()
+	wellFormed(t, svg)
+	// NaN-only series must not emit NaN coordinates.
+	c := LineChart{Series: []Series{{Name: "n", X: []float64{math.NaN()}, Y: []float64{math.NaN()}}}}
+	if strings.Contains(c.SVG(), "NaN") {
+		t.Error("NaN leaked into SVG")
+	}
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	hm := Heatmap{
+		Title:  "Fig 4 (a)",
+		XTicks: []string{"sw1", "sw2"},
+		YTicks: []string{"cap1", "cap2", "cap3"},
+		Values: [][]float64{{1, 2}, {3, 4}, {5, 6.7}},
+	}
+	svg := hm.SVG()
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<rect"); got != 1+6 {
+		t.Errorf("want background + 6 cells, got %d rects", got)
+	}
+	if !strings.Contains(svg, "6.7") {
+		t.Error("cell annotation missing")
+	}
+	if !strings.Contains(svg, "cap3") {
+		t.Error("row tick missing")
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	wellFormed(t, Heatmap{}.SVG())
+}
+
+func TestRampColorBounds(t *testing.T) {
+	if rampColor(0) != "#ffffff" {
+		t.Errorf("t=0: %s", rampColor(0))
+	}
+	if rampColor(1) != "#0b4f9e" {
+		t.Errorf("t=1: %s", rampColor(1))
+	}
+	if rampColor(-5) != rampColor(0) || rampColor(5) != rampColor(1) {
+		t.Error("clamping")
+	}
+}

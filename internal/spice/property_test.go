@@ -1,0 +1,71 @@
+package spice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: delay and transition are positive and finite for any process
+// sample within ±5σ, any grid-range slew/load, and any library-range
+// electrical parameters.
+func TestEvalAlwaysPhysicalProperty(t *testing.T) {
+	c := TTCorner()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := Params{
+			VthN: 10 * (r.Float64() - 0.5),
+			VthP: 10 * (r.Float64() - 0.5),
+			Len:  10 * (r.Float64() - 0.5),
+			MobN: 10 * (r.Float64() - 0.5),
+			MobP: 10 * (r.Float64() - 0.5),
+			Env:  10 * (r.Float64() - 0.5),
+		}
+		e := CellElectrical{
+			Drive: 0.5 + 3*r.Float64(), CapIn: 0.001,
+			StackN: 1 + r.Intn(4), StackP: 1 + r.Intn(4),
+			ModeGap: 0.4 * r.Float64(), MixSens: 1.5 + r.Float64(),
+			DiagOffset: 4 * (r.Float64() - 0.5), TransGain: 1 + r.Float64(),
+		}
+		slew := 0.001 + r.Float64()
+		load := 0.0002 + r.Float64()
+		d, tr := e.Eval(c, p, slew, load)
+		// ±5σ mobility can make 1+σ·x slightly negative only beyond the
+		// tested range; within it everything must stay physical.
+		if math.Abs(p.MobN) < 5 && math.Abs(p.MobP) < 5 && math.Abs(p.Env) < 5 {
+			return d > 0 && tr > 0 && !math.IsInf(d, 0) && !math.IsInf(tr, 0) &&
+				!math.IsNaN(d) && !math.IsNaN(tr)
+		}
+		return !math.IsNaN(d) && !math.IsNaN(tr)
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(109))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the deterministic part of the delay is monotone in V_th
+// deviation when a single mechanism dominates.
+func TestVthMonotoneProperty(t *testing.T) {
+	c := TTCorner()
+	e := CellElectrical{
+		Drive: 1, CapIn: 0.001, StackN: 1, StackP: 1,
+		ModeGap: 0.1, MixSens: 2.2, DiagOffset: -6, TransGain: 1.5,
+	}
+	f := func(aRaw, bRaw float64) bool {
+		a := math.Mod(math.Abs(aRaw), 3)
+		b := math.Mod(math.Abs(bRaw), 3)
+		if a > b {
+			a, b = b, a
+		}
+		// DiagOffset −6 keeps mechanism A dominant: delay rises with VthN.
+		d1, _ := e.Eval(c, Params{VthN: a}, 0.02, 0.02)
+		d2, _ := e.Eval(c, Params{VthN: b}, 0.02, 0.02)
+		return d2 >= d1-1e-15
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(113))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"lvf2/internal/mc"
+	"lvf2/internal/stats"
+)
+
+func testCell() CellElectrical {
+	return CellElectrical{
+		Name: "TESTINV", Drive: 1, CapIn: 0.0009,
+		StackN: 1, StackP: 1,
+		ModeGap: 0.12, MixSens: 2.2, DiagOffset: 0, TransGain: 1.5,
+	}
+}
+
+func TestNominalEvalPositiveAndFinite(t *testing.T) {
+	c := TTCorner()
+	e := testCell()
+	for _, slew := range []float64{0.001, 0.03, 0.9} {
+		for _, load := range []float64{0.0002, 0.02, 0.9} {
+			d, tr := e.NominalEval(c, slew, load)
+			if !(d > 0) || !(tr > 0) || math.IsInf(d, 0) || math.IsInf(tr, 0) {
+				t.Fatalf("slew=%v load=%v: d=%v tr=%v", slew, load, d, tr)
+			}
+		}
+	}
+}
+
+func TestDelayMonotoneInLoad(t *testing.T) {
+	c := TTCorner()
+	e := testCell()
+	prev := 0.0
+	for _, load := range []float64{0.001, 0.01, 0.1, 0.5} {
+		d, _ := e.NominalEval(c, 0.03, load)
+		if d <= prev {
+			t.Fatalf("delay not increasing with load at %v: %v <= %v", load, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestDelayMonotoneInSlew(t *testing.T) {
+	c := TTCorner()
+	e := testCell()
+	prev := 0.0
+	for _, slew := range []float64{0.001, 0.01, 0.1, 0.5} {
+		d, _ := e.NominalEval(c, slew, 0.02)
+		if d <= prev {
+			t.Fatalf("delay not increasing with slew at %v", slew)
+		}
+		prev = d
+	}
+}
+
+func TestSlowerVthSlowsDelay(t *testing.T) {
+	c := TTCorner()
+	e := testCell()
+	// Pick a point deep in mechanism A (bias << 0) so the N threshold acts
+	// directly.
+	slew, load := 0.001, 0.9
+	d0, _ := e.Eval(c, Params{}, slew, load)
+	dUp, _ := e.Eval(c, Params{VthN: 2}, slew, load)
+	dDn, _ := e.Eval(c, Params{VthN: -2}, slew, load)
+	if !(dUp > d0 && d0 > dDn) {
+		t.Errorf("Vth ordering violated: %v %v %v", dDn, d0, dUp)
+	}
+}
+
+func TestStackRaisesNominalDelay(t *testing.T) {
+	c := TTCorner()
+	e1 := testCell()
+	e4 := testCell()
+	e4.StackN, e4.StackP = 4, 4
+	d1, _ := e1.NominalEval(c, 0.03, 0.02)
+	d4, _ := e4.NominalEval(c, 0.03, 0.02)
+	if d4 <= d1 {
+		t.Errorf("4-stack delay %v should exceed 1-stack %v", d4, d1)
+	}
+}
+
+func TestCharacterizeShapes(t *testing.T) {
+	c := TTCorner()
+	e := testCell()
+	rng := mc.NewRNG(1)
+	res := e.Characterize(c, rng, 2000, 0.03, 0.02)
+	if len(res.Delays) != 2000 || len(res.Transitions) != 2000 {
+		t.Fatal("sample counts")
+	}
+	md := stats.Moments(res.Delays)
+	mt := stats.Moments(res.Transitions)
+	if md.Std() <= 0 || mt.Std() <= 0 {
+		t.Fatal("no variation in MC output")
+	}
+	// Transitions are systematically longer than delays at this point.
+	if mt.Mean <= md.Mean {
+		t.Errorf("transition mean %v should exceed delay mean %v", mt.Mean, md.Mean)
+	}
+}
+
+// The regime switch must create genuine bimodality at the confrontation
+// point (bias ≈ 0) and much weaker bimodality off the diagonal.
+func TestRegimeSwitchCreatesBimodality(t *testing.T) {
+	c := TTCorner()
+	e := testCell()
+	e.ModeGap = 0.22
+	rng := mc.NewRNG(2)
+	// On-diagonal: slew/load chosen so bias = 0.
+	on := e.Characterize(c, rng.Split(), 6000, 0.03, 0.02)
+	// Off-diagonal by two decades of load.
+	off := e.Characterize(c, rng.Split(), 6000, 0.03, 0.9)
+
+	kurtOn := stats.Moments(on.Delays)
+	kurtOff := stats.Moments(off.Delays)
+	// A 50/50 mixture of separated modes has kurtosis well below 3
+	// (platykurtic); a single regime stays near 3.
+	if kurtOn.Kurtosis >= kurtOff.Kurtosis {
+		t.Errorf("on-diagonal kurtosis %v should be below off-diagonal %v",
+			kurtOn.Kurtosis, kurtOff.Kurtosis)
+	}
+	// Bimodality ⇒ relative spread (coefficient of variation) inflates at
+	// the confrontation point.
+	cvOn := kurtOn.Std() / kurtOn.Mean
+	cvOff := kurtOff.Std() / kurtOff.Mean
+	if cvOn <= cvOff {
+		t.Errorf("on-diagonal CV %v should exceed off-diagonal CV %v", cvOn, cvOff)
+	}
+}
+
+func TestParamsFromVector(t *testing.T) {
+	p := ParamsFromVector([]float64{1, 2, 3, 4, 5, 6})
+	if p.VthN != 1 || p.VthP != 2 || p.Len != 3 || p.MobN != 4 || p.MobP != 5 || p.Env != 6 {
+		t.Errorf("mapping wrong: %+v", p)
+	}
+	short := ParamsFromVector([]float64{1})
+	if short.VthN != 1 || short.VthP != 0 {
+		t.Errorf("short vector: %+v", short)
+	}
+}
+
+func TestSampleParamsCount(t *testing.T) {
+	ps := SampleParams(mc.NewRNG(3), 100)
+	if len(ps) != 100 {
+		t.Fatalf("count %d", len(ps))
+	}
+	var mean float64
+	for _, p := range ps {
+		mean += p.VthN
+	}
+	mean /= 100
+	if math.Abs(mean) > 0.2 {
+		t.Errorf("VthN mean %v too far from 0", mean)
+	}
+}
+
+func TestScenariosShapes(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) != 5 {
+		t.Fatalf("want 5 scenarios, got %d", len(scs))
+	}
+	names := map[string]bool{}
+	for _, s := range scs {
+		names[s.Name] = true
+		// Ground truth must be a proper distribution.
+		if s.Dist.Mean() <= 0 {
+			t.Errorf("%s: non-positive mean", s.Name)
+		}
+		xs := s.GoldenSamples(mc.NewRNG(4), 5000)
+		m := stats.Moments(xs)
+		if math.Abs(m.Mean-s.Dist.Mean()) > 0.01*s.Dist.Mean()+0.002 {
+			t.Errorf("%s: sample mean %v vs dist %v", s.Name, m.Mean, s.Dist.Mean())
+		}
+	}
+	for _, want := range []string{"2 Peaks", "Multi-Peaks", "Saddle", "Minor Saddle", "Kurtosis"} {
+		if !names[want] {
+			t.Errorf("missing scenario %q", want)
+		}
+	}
+}
+
+// The Kurtosis scenario must actually be leptokurtic; the 2 Peaks scenario
+// must be strongly bimodal (platykurtic).
+func TestScenarioShapeProperties(t *testing.T) {
+	for _, s := range Scenarios() {
+		xs := s.GoldenSamples(mc.NewRNG(5), 40000)
+		m := stats.Moments(xs)
+		switch s.Name {
+		case "Kurtosis":
+			if m.Kurtosis < 3.3 {
+				t.Errorf("Kurtosis scenario kurtosis %v, want > 3.3", m.Kurtosis)
+			}
+		case "2 Peaks":
+			if m.Kurtosis > 2.5 {
+				t.Errorf("2 Peaks kurtosis %v, want platykurtic (< 2.5)", m.Kurtosis)
+			}
+		}
+	}
+}
+
+func TestCharacterizeWithSamplers(t *testing.T) {
+	c := TTCorner()
+	e := testCell()
+	means := map[Sampler]float64{}
+	for _, s := range []Sampler{SamplerLHS, SamplerSobol, SamplerIID} {
+		res := e.CharacterizeWith(c, mc.NewRNG(7), 2000, 0.02, 0.02, s)
+		if len(res.Delays) != 2000 {
+			t.Fatalf("sampler %v: %d samples", s, len(res.Delays))
+		}
+		m := stats.Moments(res.Delays)
+		if m.Std() <= 0 || m.Mean <= 0 {
+			t.Fatalf("sampler %v: degenerate output", s)
+		}
+		means[s] = m.Mean
+	}
+	// All samplers estimate the same distribution: means agree within MC
+	// noise.
+	if math.Abs(means[SamplerSobol]-means[SamplerLHS])/means[SamplerLHS] > 0.02 {
+		t.Errorf("sampler means diverge: %v", means)
+	}
+	// The default wrapper is LHS.
+	def := e.Characterize(c, mc.NewRNG(7), 2000, 0.02, 0.02)
+	lhs := e.CharacterizeWith(c, mc.NewRNG(7), 2000, 0.02, 0.02, SamplerLHS)
+	for i := range def.Delays {
+		if def.Delays[i] != lhs.Delays[i] {
+			t.Fatal("Characterize must default to LHS")
+		}
+	}
+}

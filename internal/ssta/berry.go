@@ -1,0 +1,44 @@
+package ssta
+
+import "math"
+
+// BerryEsseenConstant is the best published universal constant C for the
+// Berry–Esseen inequality (Shevtsova 2011).
+const BerryEsseenConstant = 0.4748
+
+// BerryEsseenBound evaluates Theorem 1: for the standardised sum of n iid
+// variables with third absolute standardised moment rho, the sup-distance
+// between the sum's CDF and the standard normal CDF is at most C·ρ/√n.
+// This is the O(1/√n) convergence rate that erodes LVF²'s advantage with
+// logic depth (§3.4, Corollary 2).
+func BerryEsseenBound(rho float64, n int) float64 {
+	if n <= 0 || rho < 0 {
+		return math.NaN()
+	}
+	return BerryEsseenConstant * rho / math.Sqrt(float64(n))
+}
+
+// AbsThirdStandardizedMoment estimates ρ = E[|X−μ|³]/σ³ from samples.
+func AbsThirdStandardizedMoment(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var m2, a3 float64
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+		a3 += math.Abs(d * d * d)
+	}
+	m2 /= float64(n)
+	a3 /= float64(n)
+	if m2 <= 0 {
+		return math.NaN()
+	}
+	return a3 / math.Pow(m2, 1.5)
+}

@@ -1,0 +1,182 @@
+package ssta
+
+import (
+	"fmt"
+	"sort"
+
+	"lvf2/internal/fit"
+	"lvf2/internal/stats"
+)
+
+// Graph is a timing DAG for block-based SSTA: edges carry stage-delay
+// samples, nodes take the statistical maximum of incoming arrivals
+// (Devgan & Kashyap block-based propagation). It generalises
+// PropagateChain to reconvergent structures such as the adder's carry and
+// sum paths.
+type Graph struct {
+	nodes map[string][]edge
+	order []string // node insertion order for deterministic iteration
+}
+
+type edge struct {
+	from    string
+	samples []float64
+}
+
+// NewGraph returns an empty timing graph.
+func NewGraph() *Graph {
+	return &Graph{nodes: make(map[string][]edge)}
+}
+
+// AddNode declares a node (sources have no incoming edges).
+func (g *Graph) AddNode(name string) {
+	if _, ok := g.nodes[name]; !ok {
+		g.nodes[name] = nil
+		g.order = append(g.order, name)
+	}
+}
+
+// AddEdge adds a timing arc from -> to with the given MC delay samples.
+func (g *Graph) AddEdge(from, to string, samples []float64) {
+	g.AddNode(from)
+	g.AddNode(to)
+	g.nodes[to] = append(g.nodes[to], edge{from: from, samples: samples})
+}
+
+// topoSort returns a topological order or an error on cycles.
+func (g *Graph) topoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.nodes))
+	for _, n := range g.order {
+		indeg[n] = len(g.nodes[n])
+	}
+	var queue []string
+	for _, n := range g.order {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	succs := make(map[string][]string)
+	for _, n := range g.order {
+		for _, e := range g.nodes[n] {
+			succs[e.from] = append(succs[e.from], n)
+		}
+	}
+	var out []string
+	for len(queue) > 0 {
+		sort.Strings(queue) // deterministic
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, n)
+		for _, s := range succs[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(out) != len(g.nodes) {
+		return nil, fmt.Errorf("ssta: timing graph has a cycle")
+	}
+	return out, nil
+}
+
+// ArrivalResult is the arrival-time distribution at one node.
+type ArrivalResult struct {
+	Golden *stats.Empirical
+	Vars   map[fit.Model]Var
+	// Criticality maps each predecessor node to the fraction of Monte
+	// Carlo samples in which its path sets this node's arrival — the
+	// statistical criticality of each fan-in (1.0 at single-input nodes).
+	Criticality map[string]float64
+}
+
+// Propagate computes arrival times at every node: golden by per-sample
+// max/sum, models by their Sum/Max algebra. All edges must carry the same
+// sample count.
+func (g *Graph) Propagate(families []fit.Model, o fit.Options) (map[string]ArrivalResult, error) {
+	order, err := g.topoSort()
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	for _, node := range order {
+		for _, e := range g.nodes[node] {
+			if n == 0 {
+				n = len(e.samples)
+			} else if len(e.samples) != n {
+				return nil, fmt.Errorf("ssta: edge into %q has %d samples, want %d", node, len(e.samples), n)
+			}
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("ssta: graph has no edges")
+	}
+
+	goldenArr := make(map[string][]float64)
+	varArr := make(map[string]map[fit.Model]Var)
+	out := make(map[string]ArrivalResult)
+
+	for _, node := range order {
+		in := g.nodes[node]
+		if len(in) == 0 {
+			// Source: arrival 0 (represented by nil, treated as zero).
+			goldenArr[node] = nil
+			varArr[node] = nil
+			continue
+		}
+		// Golden: per-sample max over incoming (pred arrival + edge delay),
+		// tracking which fan-in wins each sample (criticality).
+		acc := make([]float64, n)
+		winner := make([]int, n)
+		for k, e := range in {
+			pred := goldenArr[e.from]
+			for i := 0; i < n; i++ {
+				v := e.samples[i]
+				if pred != nil {
+					v += pred[i]
+				}
+				if k == 0 || v > acc[i] {
+					acc[i] = v
+					winner[i] = k
+				}
+			}
+		}
+		goldenArr[node] = acc
+		crit := make(map[string]float64, len(in))
+		for _, w := range winner {
+			crit[in[w].from] += 1 / float64(n)
+		}
+
+		// Models: fit each edge, add the predecessor arrival, max across.
+		vars := make(map[fit.Model]Var, len(families))
+		for _, fam := range families {
+			var merged Var
+			for _, e := range in {
+				ev, err := VarFromSamples(fam, e.samples, o)
+				if err != nil {
+					return nil, fmt.Errorf("ssta: fit edge %s->%s (%v): %w", e.from, node, fam, err)
+				}
+				if pv := varArr[e.from]; pv != nil {
+					if prev, ok := pv[fam]; ok {
+						if ev, err = prev.Sum(ev); err != nil {
+							return nil, err
+						}
+					}
+				}
+				if merged == nil {
+					merged = ev
+				} else if merged, err = merged.Max(ev); err != nil {
+					return nil, err
+				}
+			}
+			vars[fam] = merged
+		}
+		varArr[node] = vars
+		out[node] = ArrivalResult{
+			Golden:      stats.NewEmpirical(acc),
+			Vars:        vars,
+			Criticality: crit,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package ssta
+
+import (
+	"math"
+
+	"lvf2/internal/stats"
+)
+
+// MaxMoments computes the first four moments of max(A, B) for independent
+// A, B by numeric quadrature of the max density
+//
+//	f_max(x) = f_A(x)·F_B(x) + F_A(x)·f_B(x)
+//
+// over the union of both supports (each truncated at ±10σ).
+func MaxMoments(a, b stats.Dist) stats.SampleMoments {
+	sa, sb := stats.Std(a), stats.Std(b)
+	lo := math.Min(a.Mean()-10*sa, b.Mean()-10*sb)
+	hi := math.Max(a.Mean()+10*sa, b.Mean()+10*sb)
+	pdf := func(x float64) float64 {
+		return a.PDF(x)*b.CDF(x) + a.CDF(x)*b.PDF(x)
+	}
+	moment := func(f func(float64) float64) float64 {
+		return quadrature(f, lo, hi)
+	}
+	m1 := moment(func(x float64) float64 { return x * pdf(x) })
+	m2 := moment(func(x float64) float64 { d := x - m1; return d * d * pdf(x) })
+	m3 := moment(func(x float64) float64 { d := x - m1; return d * d * d * pdf(x) })
+	m4 := moment(func(x float64) float64 { d := x - m1; return d * d * d * d * pdf(x) })
+	sm := stats.SampleMoments{Mean: m1, Variance: m2}
+	if m2 > 0 {
+		sm.Skewness = m3 / math.Pow(m2, 1.5)
+		sm.Kurtosis = m4 / (m2 * m2)
+	} else {
+		sm.Kurtosis = 3
+	}
+	return sm
+}
+
+// quadrature integrates f over [lo, hi] with 48 composite Simpson panels —
+// sufficient for the smooth max densities handled here.
+func quadrature(f func(float64) float64, lo, hi float64) float64 {
+	const n = 192 // must be even
+	h := (hi - lo) / n
+	sum := f(lo) + f(hi)
+	for i := 1; i < n; i++ {
+		x := lo + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// ClarkMax returns the Clark (1961) closed-form mean and variance of
+// max(A, B) for jointly Gaussian A, B with correlation rho — the classical
+// block-based SSTA max of Devgan & Kashyap. Provided for reference and as
+// a fast path for Gaussian variables; the generic quadrature above handles
+// the non-Gaussian families.
+func ClarkMax(mu1, var1, mu2, var2, rho float64) (mean, variance float64) {
+	a2 := var1 + var2 - 2*rho*math.Sqrt(var1*var2)
+	if a2 <= 0 {
+		// Perfectly correlated equal-variance inputs: max is the larger.
+		if mu1 >= mu2 {
+			return mu1, var1
+		}
+		return mu2, var2
+	}
+	a := math.Sqrt(a2)
+	alpha := (mu1 - mu2) / a
+	phi := stats.StdNormPDF(alpha)
+	Phi := stats.StdNormCDF(alpha)
+	mean = mu1*Phi + mu2*(1-Phi) + a*phi
+	ex2 := (var1+mu1*mu1)*Phi + (var2+mu2*mu2)*(1-Phi) + (mu1+mu2)*a*phi
+	variance = ex2 - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}

@@ -1,0 +1,95 @@
+package ssta
+
+import (
+	"fmt"
+
+	"lvf2/internal/fit"
+	"lvf2/internal/stats"
+)
+
+// Stage is one element of a timing path: the Monte-Carlo samples of its
+// delay (independent across stages under local variation) plus its
+// nominal delay for FO4 bookkeeping.
+type Stage struct {
+	Label   string
+	Samples []float64
+	Nominal float64
+}
+
+// StageResult reports the state after accumulating a stage: the golden
+// empirical distribution of the path prefix and each model's propagated
+// variable.
+type StageResult struct {
+	Stage         Stage
+	CumNominal    float64
+	Golden        *stats.Empirical
+	Vars          map[fit.Model]Var
+	PropagateErrs map[fit.Model]error
+}
+
+// PropagateChain runs block-based SSTA along a chain of stages for the
+// given model families:
+//
+//   - golden: sample-level accumulation (the MC reference of §4.4);
+//   - models: each stage's samples are fitted into the family, then the
+//     family's Sum operator folds the stage into the path variable.
+//
+// All stages must carry the same number of samples.
+func PropagateChain(stages []Stage, families []fit.Model, o fit.Options) ([]StageResult, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("ssta: empty chain")
+	}
+	n := len(stages[0].Samples)
+	for _, s := range stages {
+		if len(s.Samples) != n {
+			return nil, fmt.Errorf("ssta: stage %q has %d samples, want %d", s.Label, len(s.Samples), n)
+		}
+	}
+	cum := make([]float64, n)
+	acc := make(map[fit.Model]Var, len(families))
+	dead := make(map[fit.Model]error, len(families))
+	results := make([]StageResult, 0, len(stages))
+	var cumNom float64
+
+	for _, st := range stages {
+		for i, v := range st.Samples {
+			cum[i] += v
+		}
+		cumNom += st.Nominal
+
+		stageVars := make(map[fit.Model]Var, len(families))
+		errs := make(map[fit.Model]error, len(families))
+		for _, fam := range families {
+			if err, isDead := dead[fam]; isDead {
+				errs[fam] = err
+				continue
+			}
+			sv, err := VarFromSamples(fam, st.Samples, o)
+			if err != nil {
+				dead[fam] = fmt.Errorf("ssta: fit stage %q: %w", st.Label, err)
+				errs[fam] = dead[fam]
+				continue
+			}
+			if prev, ok := acc[fam]; ok {
+				next, err := prev.Sum(sv)
+				if err != nil {
+					dead[fam] = fmt.Errorf("ssta: sum at stage %q: %w", st.Label, err)
+					errs[fam] = dead[fam]
+					continue
+				}
+				acc[fam] = next
+			} else {
+				acc[fam] = sv
+			}
+			stageVars[fam] = acc[fam]
+		}
+		results = append(results, StageResult{
+			Stage:         st,
+			CumNominal:    cumNom,
+			Golden:        stats.NewEmpirical(cum),
+			Vars:          stageVars,
+			PropagateErrs: errs,
+		})
+	}
+	return results, nil
+}

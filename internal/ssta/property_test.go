@@ -1,0 +1,141 @@
+package ssta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lvf2/internal/stats"
+)
+
+func randSNMix(r *rand.Rand) SNMixVar {
+	w := 0.05 + 0.45*r.Float64()
+	return SNMixVar{
+		Weights: []float64{1 - w, w},
+		Comps: []stats.SkewNormal{
+			stats.SNFromMoments(0.05+0.2*r.Float64(), 0.002+0.01*r.Float64(), 1.6*(r.Float64()-0.5)),
+			stats.SNFromMoments(0.05+0.2*r.Float64(), 0.002+0.01*r.Float64(), 1.6*(r.Float64()-0.5)),
+		},
+		MaxComps: 2,
+	}
+}
+
+// Property: Sum preserves mean and variance exactly (independent sums add
+// both), even through the 4→2 component reduction.
+func TestSumPreservesMeanVarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSNMix(r), randSNMix(r)
+		s, err := a.Sum(b)
+		if err != nil {
+			return false
+		}
+		da, db, ds := a.Dist(), b.Dist(), s.Dist()
+		wantMean := da.Mean() + db.Mean()
+		wantVar := da.Variance() + db.Variance()
+		return math.Abs(ds.Mean()-wantMean) < 1e-9*(1+math.Abs(wantMean)) &&
+			math.Abs(ds.Variance()-wantVar) < 1e-9*(1+wantVar)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(79))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sum is commutative in distribution (mean/var/skew of a+b
+// equals b+a).
+func TestSumCommutativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSNMix(r), randSNMix(r)
+		ab, err1 := a.Sum(b)
+		ba, err2 := b.Sum(a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		ma := stats.DistMoments(ab.Dist())
+		mb := stats.DistMoments(ba.Dist())
+		return math.Abs(ma.Mean-mb.Mean) < 1e-9 &&
+			math.Abs(ma.Variance-mb.Variance) < 1e-12 &&
+			math.Abs(ma.Skewness-mb.Skewness) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(83))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: max(A, B) stochastically dominates both A and B — its mean is
+// at least each input's mean, and its CDF lies below both.
+func TestMaxDominatesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := SNVar{SN: stats.SNFromMoments(0.1+0.1*r.Float64(), 0.002+0.008*r.Float64(), 1.2*(r.Float64()-0.5))}
+		b := SNVar{SN: stats.SNFromMoments(0.1+0.1*r.Float64(), 0.002+0.008*r.Float64(), 1.2*(r.Float64()-0.5))}
+		mx, err := a.Max(b)
+		if err != nil {
+			return false
+		}
+		d := mx.Dist()
+		if d.Mean() < a.SN.Mean()-1e-9 || d.Mean() < b.SN.Mean()-1e-9 {
+			return false
+		}
+		// Spot-check CDF dominance at the inputs' quartiles — but only when
+		// the exact max skewness is SN-attainable: beyond the clamp the
+		// 3-moment refit cannot represent the shape and CDF dominance is
+		// not guaranteed by construction.
+		if m := MaxMoments(a.SN, b.SN); math.Abs(m.Skewness) < stats.MaxSNSkewness {
+			for _, p := range []float64{0.25, 0.5, 0.75} {
+				x := a.SN.Quantile(p)
+				if d.CDF(x) > a.SN.CDF(x)+0.05 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(89))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Gaussian-mixture reduction keeps weights normalised and
+// components finite.
+func TestGMixSumWellFormedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() GMixVar {
+			w := 0.05 + 0.9*r.Float64()
+			return GMixVar{
+				Weights: []float64{w, 1 - w},
+				Comps: []stats.Normal{
+					{Mu: r.NormFloat64(), Sigma: 0.1 + r.Float64()},
+					{Mu: r.NormFloat64(), Sigma: 0.1 + r.Float64()},
+				},
+				MaxComps: 2,
+			}
+		}
+		s, err := mk().Sum(mk())
+		if err != nil {
+			return false
+		}
+		g := s.(GMixVar)
+		var tot float64
+		for i, w := range g.Weights {
+			if w < 0 || math.IsNaN(w) {
+				return false
+			}
+			if g.Comps[i].Sigma <= 0 || math.IsNaN(g.Comps[i].Mu) {
+				return false
+			}
+			tot += w
+		}
+		return math.Abs(tot-1) < 1e-12 && len(g.Comps) <= 2
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(97))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+package ssta
+
+import (
+	"math"
+
+	"lvf2/internal/stats"
+)
+
+// Component-count reduction for the mixture timing variables: after a
+// pairwise Sum/Max a 2×2 mixture has four components; the paper's LVF²
+// library format stores exactly two, so we merge back down with a
+// moment-preserving merge (the merged component matches the pooled first
+// three moments of its parents). The pairing is chosen greedily by merging
+// the two components with the closest means — the natural choice for the
+// delay mixtures here, where components are separated along the delay
+// axis.
+
+// compMoments describes a weighted component by its first three moments.
+type compMoments struct {
+	w    float64
+	mean float64
+	vr   float64
+	mu3  float64 // third central moment
+}
+
+// pool merges two weighted moment triples exactly.
+func pool(a, b compMoments) compMoments {
+	w := a.w + b.w
+	if w <= 0 {
+		return compMoments{}
+	}
+	fa, fb := a.w/w, b.w/w
+	mean := fa*a.mean + fb*b.mean
+	da, db := a.mean-mean, b.mean-mean
+	vr := fa*(a.vr+da*da) + fb*(b.vr+db*db)
+	// Third central moment of the pooled mixture about the pooled mean:
+	// E[(X−m)³] = Σ fᵢ(μ3ᵢ + 3dᵢσᵢ² + dᵢ³).
+	mu3 := fa*(a.mu3+3*da*a.vr+da*da*da) + fb*(b.mu3+3*db*b.vr+db*db*db)
+	return compMoments{w: w, mean: mean, vr: vr, mu3: mu3}
+}
+
+// reduceMoments merges components until at most k remain, always merging
+// the pair with the smallest absolute mean distance.
+func reduceMoments(cs []compMoments, k int) []compMoments {
+	for len(cs) > k {
+		bi, bj := 0, 1
+		best := math.Inf(1)
+		for i := 0; i < len(cs); i++ {
+			for j := i + 1; j < len(cs); j++ {
+				if d := math.Abs(cs[i].mean - cs[j].mean); d < best {
+					best, bi, bj = d, i, j
+				}
+			}
+		}
+		merged := pool(cs[bi], cs[bj])
+		out := make([]compMoments, 0, len(cs)-1)
+		for i, c := range cs {
+			if i != bi && i != bj {
+				out = append(out, c)
+			}
+		}
+		cs = append(out, merged)
+	}
+	return cs
+}
+
+// dropNegligible removes components whose weight is numerically zero.
+func dropNegligible(cs []compMoments) []compMoments {
+	out := cs[:0]
+	for _, c := range cs {
+		if c.w > 1e-12 {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return cs[:1]
+	}
+	return out
+}
+
+// reduceGaussians reduces a Gaussian mixture to at most k components.
+// Gaussian components carry no third moment (it is zero); the merged
+// component keeps the pooled mean/variance.
+func reduceGaussians(ws []float64, comps []stats.Normal, k int) ([]float64, []stats.Normal) {
+	cs := make([]compMoments, len(ws))
+	for i := range ws {
+		cs[i] = compMoments{w: ws[i], mean: comps[i].Mu, vr: comps[i].Sigma * comps[i].Sigma}
+	}
+	cs = reduceMoments(dropNegligible(cs), k)
+	outW := make([]float64, len(cs))
+	outC := make([]stats.Normal, len(cs))
+	var tot float64
+	for _, c := range cs {
+		tot += c.w
+	}
+	for i, c := range cs {
+		outW[i] = c.w / tot
+		outC[i] = stats.Normal{Mu: c.mean, Sigma: math.Sqrt(math.Max(c.vr, 0))}
+	}
+	return outW, outC
+}
+
+// reduceSkewNormals reduces a skew-normal mixture to at most k components,
+// preserving each merged component's first three pooled moments.
+func reduceSkewNormals(ws []float64, comps []stats.SkewNormal, k int) ([]float64, []stats.SkewNormal) {
+	cs := make([]compMoments, len(ws))
+	for i := range ws {
+		m, sd, g := comps[i].Moments()
+		cs[i] = compMoments{w: ws[i], mean: m, vr: sd * sd, mu3: g * sd * sd * sd}
+	}
+	cs = reduceMoments(dropNegligible(cs), k)
+	outW := make([]float64, len(cs))
+	outC := make([]stats.SkewNormal, len(cs))
+	var tot float64
+	for _, c := range cs {
+		tot += c.w
+	}
+	for i, c := range cs {
+		outW[i] = c.w / tot
+		sd := math.Sqrt(math.Max(c.vr, 0))
+		var g float64
+		if sd > 0 {
+			g = c.mu3 / (sd * sd * sd)
+		}
+		outC[i] = stats.SNFromMoments(c.mean, sd, g)
+	}
+	return outW, outC
+}

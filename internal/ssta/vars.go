@@ -1,0 +1,303 @@
+// Package ssta implements block-based statistical static timing analysis
+// over the four timing models. Each model family gets a timing-variable
+// type closed under the two SSTA operators:
+//
+//   - Sum (independent stage delays accumulate): cumulants of independent
+//     sums add, so LVF adds three cumulants and refits a skew-normal,
+//     LESN adds four and refits by moment matching, and the mixture models
+//     convolve component-pairwise and then reduce back to two components
+//     with a moment-preserving merge.
+//   - Max (path convergence): for independent arrivals the density of the
+//     maximum is f_A·F_B + F_A·f_B; its moments are integrated numerically
+//     and the family is refitted (component-pairwise for mixtures). A
+//     Clark-style Gaussian closed form is provided for reference.
+//
+// The package also exposes the Berry–Esseen bound of Theorem 1, which
+// quantifies the O(1/√n) convergence of accumulated delay to a Gaussian —
+// the reason LVF²'s advantage decays with logic depth (§3.4).
+package ssta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lvf2/internal/fit"
+	"lvf2/internal/stats"
+)
+
+// Var is a statistical timing variable closed under Sum and Max.
+type Var interface {
+	// Dist returns the distribution this variable currently represents.
+	Dist() stats.Dist
+	// Sum returns the distribution of this + other (independent). The
+	// other variable must be of the same concrete family.
+	Sum(other Var) (Var, error)
+	// Max returns the distribution of max(this, other) (independent).
+	Max(other Var) (Var, error)
+}
+
+// errFamilyMismatch is returned when mixing variable families.
+var errFamilyMismatch = errors.New("ssta: operands belong to different model families")
+
+// ---------------------------------------------------------------- SNVar
+
+// SNVar is the LVF timing variable: a single skew-normal.
+type SNVar struct {
+	SN stats.SkewNormal
+}
+
+// Dist returns the skew-normal.
+func (v SNVar) Dist() stats.Dist { return v.SN }
+
+// Sum adds the first three cumulants (exact) and refits a skew-normal;
+// the skewness clamp makes the refit lossy only beyond the SN range.
+func (v SNVar) Sum(other Var) (Var, error) {
+	o, ok := other.(SNVar)
+	if !ok {
+		return nil, errFamilyMismatch
+	}
+	a1, a2, a3 := v.SN.Cumulants()
+	b1, b2, b3 := o.SN.Cumulants()
+	return SNVar{SN: stats.SNFromCumulants(a1+b1, a2+b2, a3+b3)}, nil
+}
+
+// Max computes the exact moments of max(A, B) by quadrature and refits.
+func (v SNVar) Max(other Var) (Var, error) {
+	o, ok := other.(SNVar)
+	if !ok {
+		return nil, errFamilyMismatch
+	}
+	m := MaxMoments(v.SN, o.SN)
+	return SNVar{SN: stats.SNFromMoments(m.Mean, m.Std(), m.Skewness)}, nil
+}
+
+// ------------------------------------------------------------- GMixVar
+
+// GMixVar is the Norm² timing variable: a Gaussian mixture with at most
+// MaxComps components (2 in the paper's model).
+type GMixVar struct {
+	Weights  []float64
+	Comps    []stats.Normal
+	MaxComps int
+}
+
+// Dist returns the Gaussian mixture.
+func (v GMixVar) Dist() stats.Dist {
+	ds := make([]stats.Dist, len(v.Comps))
+	for i, c := range v.Comps {
+		ds[i] = c
+	}
+	m, err := stats.NewMixture(v.Weights, ds)
+	if err != nil {
+		// Unreachable for variables built by this package.
+		return stats.Normal{}
+	}
+	return m
+}
+
+func (v GMixVar) maxComps() int {
+	if v.MaxComps <= 0 {
+		return 2
+	}
+	return v.MaxComps
+}
+
+// Sum convolves component-pairwise (Gaussian + Gaussian is exactly
+// Gaussian) and reduces the component count back to MaxComps.
+func (v GMixVar) Sum(other Var) (Var, error) {
+	o, ok := other.(GMixVar)
+	if !ok {
+		return nil, errFamilyMismatch
+	}
+	var ws []float64
+	var cs []stats.Normal
+	for i, wa := range v.Weights {
+		for j, wb := range o.Weights {
+			ws = append(ws, wa*wb)
+			cs = append(cs, stats.Normal{
+				Mu:    v.Comps[i].Mu + o.Comps[j].Mu,
+				Sigma: math.Hypot(v.Comps[i].Sigma, o.Comps[j].Sigma),
+			})
+		}
+	}
+	ws, cs = reduceGaussians(ws, cs, v.maxComps())
+	return GMixVar{Weights: ws, Comps: cs, MaxComps: v.maxComps()}, nil
+}
+
+// Max applies the pairwise-max identity for mixtures of independent
+// variables and refits each pairwise max as a Gaussian by moment match.
+func (v GMixVar) Max(other Var) (Var, error) {
+	o, ok := other.(GMixVar)
+	if !ok {
+		return nil, errFamilyMismatch
+	}
+	var ws []float64
+	var cs []stats.Normal
+	for i, wa := range v.Weights {
+		for j, wb := range o.Weights {
+			m := MaxMoments(v.Comps[i], o.Comps[j])
+			ws = append(ws, wa*wb)
+			cs = append(cs, stats.Normal{Mu: m.Mean, Sigma: m.Std()})
+		}
+	}
+	ws, cs = reduceGaussians(ws, cs, v.maxComps())
+	return GMixVar{Weights: ws, Comps: cs, MaxComps: v.maxComps()}, nil
+}
+
+// ------------------------------------------------------------ SNMixVar
+
+// SNMixVar is the LVF² timing variable: a skew-normal mixture with at
+// most MaxComps components (2 in the paper's model).
+type SNMixVar struct {
+	Weights  []float64
+	Comps    []stats.SkewNormal
+	MaxComps int
+}
+
+// Dist returns the skew-normal mixture.
+func (v SNMixVar) Dist() stats.Dist {
+	ds := make([]stats.Dist, len(v.Comps))
+	for i, c := range v.Comps {
+		ds[i] = c
+	}
+	m, err := stats.NewMixture(v.Weights, ds)
+	if err != nil {
+		return stats.SkewNormal{}
+	}
+	return m
+}
+
+func (v SNMixVar) maxComps() int {
+	if v.MaxComps <= 0 {
+		return 2
+	}
+	return v.MaxComps
+}
+
+// Sum convolves component-pairwise via cumulant addition (exact through
+// the third cumulant) and reduces back to MaxComps components.
+func (v SNMixVar) Sum(other Var) (Var, error) {
+	o, ok := other.(SNMixVar)
+	if !ok {
+		return nil, errFamilyMismatch
+	}
+	var ws []float64
+	var cs []stats.SkewNormal
+	for i, wa := range v.Weights {
+		for j, wb := range o.Weights {
+			a1, a2, a3 := v.Comps[i].Cumulants()
+			b1, b2, b3 := o.Comps[j].Cumulants()
+			ws = append(ws, wa*wb)
+			cs = append(cs, stats.SNFromCumulants(a1+b1, a2+b2, a3+b3))
+		}
+	}
+	ws, cs = reduceSkewNormals(ws, cs, v.maxComps())
+	return SNMixVar{Weights: ws, Comps: cs, MaxComps: v.maxComps()}, nil
+}
+
+// Max uses the pairwise-max identity and refits each pairwise max as a
+// skew-normal from its exact moments.
+func (v SNMixVar) Max(other Var) (Var, error) {
+	o, ok := other.(SNMixVar)
+	if !ok {
+		return nil, errFamilyMismatch
+	}
+	var ws []float64
+	var cs []stats.SkewNormal
+	for i, wa := range v.Weights {
+		for j, wb := range o.Weights {
+			m := MaxMoments(v.Comps[i], o.Comps[j])
+			ws = append(ws, wa*wb)
+			cs = append(cs, stats.SNFromMoments(m.Mean, m.Std(), m.Skewness))
+		}
+	}
+	ws, cs = reduceSkewNormals(ws, cs, v.maxComps())
+	return SNMixVar{Weights: ws, Comps: cs, MaxComps: v.maxComps()}, nil
+}
+
+// ------------------------------------------------------------- LESNVar
+
+// LESNVar is the LESN timing variable. Sums add all four cumulants (the
+// model was designed to match kurtosis) and refit by moment matching.
+type LESNVar struct {
+	L stats.LogESN
+}
+
+// Dist returns the LESN distribution.
+func (v LESNVar) Dist() stats.Dist { return v.L }
+
+// Sum adds four cumulants and refits an LESN to the summed moments.
+func (v LESNVar) Sum(other Var) (Var, error) {
+	o, ok := other.(LESNVar)
+	if !ok {
+		return nil, errFamilyMismatch
+	}
+	a := stats.DistMoments(v.L)
+	b := stats.DistMoments(o.L)
+	a1, a2, a3, a4 := a.Cumulants4()
+	b1, b2, b3, b4 := b.Cumulants4()
+	target := stats.MomentsFromCumulants(a1+b1, a2+b2, a3+b3, a4+b4)
+	l, err := fit.MatchLESNMoments(target)
+	if err != nil {
+		return nil, fmt.Errorf("ssta: LESN sum refit: %w", err)
+	}
+	return LESNVar{L: l}, nil
+}
+
+// Max computes max moments by quadrature and refits an LESN.
+func (v LESNVar) Max(other Var) (Var, error) {
+	o, ok := other.(LESNVar)
+	if !ok {
+		return nil, errFamilyMismatch
+	}
+	m := MaxMoments(v.L, o.L)
+	l, err := fit.MatchLESNMoments(m)
+	if err != nil {
+		return nil, fmt.Errorf("ssta: LESN max refit: %w", err)
+	}
+	return LESNVar{L: l}, nil
+}
+
+// ---------------------------------------------------------- constructors
+
+// VarFromSamples fits the given model family to stage samples and wraps
+// the fit as a timing variable.
+func VarFromSamples(family fit.Model, xs []float64, o fit.Options) (Var, error) {
+	switch family {
+	case fit.ModelLVF:
+		r, err := fit.FitLVF(xs)
+		if err != nil {
+			return nil, err
+		}
+		return SNVar{SN: r.Dist.(stats.SkewNormal)}, nil
+	case fit.ModelNorm2:
+		r, err := fit.FitNorm2Params(xs, o)
+		if err != nil {
+			return nil, err
+		}
+		return GMixVar{
+			Weights:  []float64{1 - r.Lambda, r.Lambda},
+			Comps:    []stats.Normal{r.C1, r.C2},
+			MaxComps: 2,
+		}, nil
+	case fit.ModelLVF2:
+		r, err := fit.FitLVF2(xs, o)
+		if err != nil {
+			return nil, err
+		}
+		return SNMixVar{
+			Weights:  []float64{1 - r.Lambda, r.Lambda},
+			Comps:    []stats.SkewNormal{r.C1, r.C2},
+			MaxComps: 2,
+		}, nil
+	case fit.ModelLESN:
+		r, err := fit.FitLESN(xs, o)
+		if err != nil {
+			return nil, err
+		}
+		return LESNVar{L: r.Dist.(stats.LogESN)}, nil
+	default:
+		return nil, fmt.Errorf("ssta: unknown model family %v", family)
+	}
+}

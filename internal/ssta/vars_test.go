@@ -1,0 +1,226 @@
+package ssta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lvf2/internal/fit"
+	"lvf2/internal/stats"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSNVarSumCumulantsExact(t *testing.T) {
+	a := SNVar{SN: stats.SNFromMoments(1, 0.1, 0.4)}
+	b := SNVar{SN: stats.SNFromMoments(2, 0.2, -0.2)}
+	s, err := a.Sum(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := s.(SNVar).SN
+	m, sd, g := sn.Moments()
+	if !almostEqual(m, 3, 1e-9) {
+		t.Errorf("sum mean %v", m)
+	}
+	wantVar := 0.1*0.1 + 0.2*0.2
+	if !almostEqual(sd*sd, wantVar, 1e-9) {
+		t.Errorf("sum var %v want %v", sd*sd, wantVar)
+	}
+	wantK3 := 0.4*math.Pow(0.1, 3) - 0.2*math.Pow(0.2, 3)
+	if !almostEqual(g*sd*sd*sd, wantK3, 1e-9) {
+		t.Errorf("sum k3 %v want %v", g*sd*sd*sd, wantK3)
+	}
+}
+
+func TestSumFamilyMismatch(t *testing.T) {
+	a := SNVar{SN: stats.SNFromMoments(1, 0.1, 0)}
+	b := GMixVar{Weights: []float64{1}, Comps: []stats.Normal{{Mu: 1, Sigma: 1}}}
+	if _, err := a.Sum(b); err == nil {
+		t.Error("family mismatch accepted in SNVar.Sum")
+	}
+	if _, err := b.Sum(a); err == nil {
+		t.Error("family mismatch accepted in GMixVar.Sum")
+	}
+	if _, err := a.Max(b); err == nil {
+		t.Error("family mismatch accepted in SNVar.Max")
+	}
+	l := LESNVar{L: stats.LogESN{W: stats.ExtendedSkewNormal{Xi: 0, Omega: 0.1, Alpha: 0, Tau: 0}}}
+	if _, err := l.Sum(a); err == nil {
+		t.Error("family mismatch accepted in LESNVar.Sum")
+	}
+	sm := SNMixVar{Weights: []float64{1}, Comps: []stats.SkewNormal{stats.SNFromMoments(1, 0.1, 0)}}
+	if _, err := sm.Sum(a); err == nil {
+		t.Error("family mismatch accepted in SNMixVar.Sum")
+	}
+}
+
+func TestGMixVarSumExactForGaussians(t *testing.T) {
+	// Sum of two single Gaussians must be the exact Gaussian sum.
+	a := GMixVar{Weights: []float64{1}, Comps: []stats.Normal{{Mu: 1, Sigma: 0.3}}}
+	b := GMixVar{Weights: []float64{1}, Comps: []stats.Normal{{Mu: 2, Sigma: 0.4}}}
+	s, err := a.Sum(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Dist()
+	if !almostEqual(d.Mean(), 3, 1e-12) {
+		t.Errorf("mean %v", d.Mean())
+	}
+	if !almostEqual(d.Variance(), 0.25, 1e-12) {
+		t.Errorf("var %v", d.Variance())
+	}
+}
+
+func TestGMixVarSumReducesTo2(t *testing.T) {
+	a := GMixVar{
+		Weights: []float64{0.5, 0.5},
+		Comps:   []stats.Normal{{Mu: 0, Sigma: 0.1}, {Mu: 1, Sigma: 0.1}},
+	}
+	s, err := a.Sum(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.(GMixVar)
+	if len(g.Comps) != 2 {
+		t.Fatalf("reduced to %d comps, want 2", len(g.Comps))
+	}
+	// Mean/variance of the reduced mixture must match the exact 3-peak
+	// result (mean 1, var = 0.02 + cross-term 0.5).
+	d := s.Dist()
+	if !almostEqual(d.Mean(), 1, 1e-12) {
+		t.Errorf("mean %v", d.Mean())
+	}
+	exactVar := 0.02 + 0.5 // Σwσ² + spread of {0,1,1,2} around 1 = 0.5
+	if !almostEqual(d.Variance(), exactVar, 1e-9) {
+		t.Errorf("var %v want %v", d.Variance(), exactVar)
+	}
+}
+
+func TestSNMixVarSumAgainstMonteCarlo(t *testing.T) {
+	mk := func(ws []float64, comps ...stats.SkewNormal) SNMixVar {
+		return SNMixVar{Weights: ws, Comps: comps, MaxComps: 2}
+	}
+	a := mk([]float64{0.6, 0.4},
+		stats.SNFromMoments(0.10, 0.005, 0.4),
+		stats.SNFromMoments(0.13, 0.004, 0.3))
+	b := mk([]float64{1},
+		stats.SNFromMoments(0.05, 0.003, 0.5))
+	s, err := a.Sum(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monte-Carlo ground truth for the sum.
+	rng := rand.New(rand.NewSource(1))
+	n := 200000
+	xs := make([]float64, n)
+	da, db := a.Dist().(stats.Mixture), b.Dist().(stats.Mixture)
+	for i := range xs {
+		xs[i] = da.Sample(rng) + db.Sample(rng)
+	}
+	mcM := stats.Moments(xs)
+	d := s.Dist()
+	if !almostEqual(d.Mean(), mcM.Mean, 3e-4) {
+		t.Errorf("mean %v vs MC %v", d.Mean(), mcM.Mean)
+	}
+	if !almostEqual(math.Sqrt(d.Variance()), mcM.Std(), 3e-4) {
+		t.Errorf("std %v vs MC %v", math.Sqrt(d.Variance()), mcM.Std())
+	}
+	// CDF agreement at several points.
+	emp := stats.NewEmpirical(xs)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		x := emp.QuantileValue(q)
+		if diff := math.Abs(d.CDF(x) - q); diff > 0.01 {
+			t.Errorf("CDF at q%v differs by %v", q, diff)
+		}
+	}
+}
+
+func TestLESNVarSumPreservesMeanVariance(t *testing.T) {
+	a := LESNVar{L: stats.LogESN{W: stats.ExtendedSkewNormal{Xi: -2.3, Omega: 0.2, Alpha: 1, Tau: 0}}}
+	b := LESNVar{L: stats.LogESN{W: stats.ExtendedSkewNormal{Xi: -2.0, Omega: 0.15, Alpha: -0.5, Tau: 0.5}}}
+	s, err := a.Sum(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := a.L.Mean() + b.L.Mean()
+	wantVar := a.L.Variance() + b.L.Variance()
+	d := s.Dist()
+	if math.Abs(d.Mean()-wantMean)/wantMean > 0.02 {
+		t.Errorf("mean %v want %v", d.Mean(), wantMean)
+	}
+	if math.Abs(d.Variance()-wantVar)/wantVar > 0.08 {
+		t.Errorf("var %v want %v", d.Variance(), wantVar)
+	}
+}
+
+func TestMaxMomentsAgainstClark(t *testing.T) {
+	// For Gaussians the quadrature max must agree with Clark's closed form.
+	a := stats.Normal{Mu: 1, Sigma: 0.3}
+	b := stats.Normal{Mu: 1.2, Sigma: 0.4}
+	m := MaxMoments(a, b)
+	cm, cv := ClarkMax(1, 0.09, 1.2, 0.16, 0)
+	if !almostEqual(m.Mean, cm, 1e-6) {
+		t.Errorf("max mean %v vs Clark %v", m.Mean, cm)
+	}
+	if !almostEqual(m.Variance, cv, 1e-6) {
+		t.Errorf("max var %v vs Clark %v", m.Variance, cv)
+	}
+}
+
+func TestClarkMaxDegenerate(t *testing.T) {
+	// Perfectly correlated, equal variance: max = larger mean.
+	m, v := ClarkMax(2, 0.25, 1, 0.25, 1)
+	if m != 2 || v != 0.25 {
+		t.Errorf("degenerate Clark: %v %v", m, v)
+	}
+	m, v = ClarkMax(1, 0.25, 3, 0.25, 1)
+	if m != 3 || v != 0.25 {
+		t.Errorf("degenerate Clark: %v %v", m, v)
+	}
+}
+
+func TestSNVarMaxAgainstMonteCarlo(t *testing.T) {
+	a := SNVar{SN: stats.SNFromMoments(1.0, 0.2, 0.5)}
+	b := SNVar{SN: stats.SNFromMoments(1.1, 0.15, -0.3)}
+	mx, err := a.Max(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	n := 300000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Max(a.SN.Sample(rng), b.SN.Sample(rng))
+	}
+	mc := stats.Moments(xs)
+	d := mx.Dist()
+	if !almostEqual(d.Mean(), mc.Mean, 2e-3) {
+		t.Errorf("max mean %v vs MC %v", d.Mean(), mc.Mean)
+	}
+	if !almostEqual(math.Sqrt(d.Variance()), mc.Std(), 2e-3) {
+		t.Errorf("max std %v vs MC %v", math.Sqrt(d.Variance()), mc.Std())
+	}
+}
+
+func TestVarFromSamplesAllFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	truth := stats.SNFromMoments(0.1, 0.01, 0.5)
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = truth.Sample(rng)
+	}
+	for _, fam := range fit.AllModels {
+		v, err := VarFromSamples(fam, xs, fit.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", fam, err)
+		}
+		d := v.Dist()
+		if math.Abs(d.Mean()-0.1) > 0.003 {
+			t.Errorf("%v mean %v", fam, d.Mean())
+		}
+	}
+	if _, err := VarFromSamples(fit.Model(77), xs, fit.Options{}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

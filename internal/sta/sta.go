@@ -1,0 +1,436 @@
+// Package sta is a block-based statistical static timing analyser that
+// consumes a Liberty library (with classic LVF and/or LVF² attributes)
+// and a structural gate-level netlist. It propagates nominal arrivals and
+// slews plus, per requested model family, a statistical timing variable
+// through the design — the "SSTA tool that supports LVF²" of the paper's
+// backward-compatibility story (§3.3): the same engine runs on LVF-only
+// libraries (single-SN algebra) and LVF² libraries (skew-normal-mixture
+// algebra) without any input changes.
+package sta
+
+import (
+	"fmt"
+	"sort"
+
+	"lvf2/internal/core"
+	"lvf2/internal/fit"
+	"lvf2/internal/liberty"
+	"lvf2/internal/netlist"
+	"lvf2/internal/ssta"
+	"lvf2/internal/stats"
+)
+
+// Options configures a timing run.
+type Options struct {
+	// InputSlew is the transition time assumed at primary inputs (ns).
+	// Default 0.01.
+	InputSlew float64
+	// OutputLoad is the capacitance at primary outputs (pF). Default the
+	// library INV input cap ×4, or 0.004 when no INV exists.
+	OutputLoad float64
+	// WireCapPerFanout adds routing capacitance per fanout pin (pF).
+	WireCapPerFanout float64
+	// AllowMissingArcs tolerates connected input pins that have no timing
+	// arc to any output (e.g. non-timing pins). Default false: a missing
+	// arc silently truncates a timing path, so it is treated as an error.
+	AllowMissingArcs bool
+	// Families selects the statistical views to propagate. Only LVF and
+	// LVF² are representable from Liberty data; default is both.
+	Families []fit.Model
+}
+
+func (o Options) withDefaults(lib *liberty.Library) Options {
+	if o.InputSlew <= 0 {
+		o.InputSlew = 0.01
+	}
+	if o.OutputLoad <= 0 {
+		o.OutputLoad = 0.004
+		if inv, ok := lib.Cells["INV"]; ok {
+			for _, p := range inv.Pins {
+				if p.Direction == "input" && p.Capacitance > 0 {
+					o.OutputLoad = 4 * p.Capacitance
+				}
+			}
+		}
+	}
+	if len(o.Families) == 0 {
+		o.Families = []fit.Model{fit.ModelLVF, fit.ModelLVF2}
+	}
+	return o
+}
+
+// NetArrival is the timing state at one net.
+type NetArrival struct {
+	Nominal float64 // nominal arrival time, ns
+	Slew    float64 // nominal transition time, ns
+	Vars    map[fit.Model]ssta.Var
+}
+
+// Result holds the full analysis.
+type Result struct {
+	Module   string
+	Arrivals map[string]NetArrival
+	// CriticalOutput is the primary output with the largest nominal
+	// arrival.
+	CriticalOutput string
+	// prev maps each driven net to the input net that set its nominal
+	// arrival (the critical fan-in), enabling path tracing.
+	prev map[string]string
+	// prevInst names the instance along that critical edge.
+	prevInst map[string]string
+}
+
+// Critical returns the arrival at the critical output.
+func (r *Result) Critical() NetArrival {
+	return r.Arrivals[r.CriticalOutput]
+}
+
+// Run analyses the module against the library.
+func Run(lib *liberty.Library, m *netlist.Module, o Options) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	o = o.withDefaults(lib)
+
+	drivers := map[string]driverInfo{}
+	loads := map[string]float64{}
+	fanout := map[string]int{}
+
+	// Resolve cells, find each net's unique driver, accumulate loads.
+	for i := range m.Instances {
+		inst := &m.Instances[i]
+		cell, ok := lib.Cells[inst.Cell]
+		if !ok {
+			return nil, fmt.Errorf("sta: instance %q references unknown cell %q", inst.Name, inst.Cell)
+		}
+		for pinName, net := range inst.Conns {
+			pin, ok := cell.Pins[pinName]
+			if !ok {
+				return nil, fmt.Errorf("sta: cell %s has no pin %q (instance %q)", cell.Name, pinName, inst.Name)
+			}
+			switch pin.Direction {
+			case "output":
+				if prev, dup := drivers[net]; dup {
+					return nil, fmt.Errorf("sta: net %q driven by both %q and %q", net, prev.inst.Name, inst.Name)
+				}
+				drivers[net] = driverInfo{inst: inst, pin: pin}
+			default:
+				loads[net] += pin.Capacitance
+				fanout[net]++
+			}
+		}
+	}
+	for _, p := range m.Ports {
+		if p.Dir == netlist.Output {
+			loads[p.Name] += o.OutputLoad
+			fanout[p.Name]++
+		}
+	}
+	for net, n := range fanout {
+		loads[net] += o.WireCapPerFanout * float64(n)
+	}
+	for _, p := range m.Ports {
+		if p.Dir == netlist.Input {
+			if _, dup := drivers[p.Name]; dup {
+				return nil, fmt.Errorf("sta: primary input %q is also driven by an instance", p.Name)
+			}
+		}
+	}
+
+	// Topological order over instances (Kahn on net dependencies).
+	order, err := topoInstances(lib, m, drivers)
+	if err != nil {
+		return nil, err
+	}
+
+	arr := map[string]NetArrival{}
+	prev := map[string]string{}
+	prevInst := map[string]string{}
+	for _, p := range m.Ports {
+		if p.Dir == netlist.Input {
+			arr[p.Name] = NetArrival{Nominal: 0, Slew: o.InputSlew, Vars: map[fit.Model]ssta.Var{}}
+		}
+	}
+
+	for _, inst := range order {
+		cell := lib.Cells[inst.Cell]
+		if !o.AllowMissingArcs {
+			if err := checkArcCoverage(inst, cell); err != nil {
+				return nil, err
+			}
+		}
+		for pinName, net := range inst.Conns {
+			pin := cell.Pins[pinName]
+			if pin.Direction != "output" {
+				continue
+			}
+			na, critIn, err := evalOutput(inst, pin, net, loads[net], arr, o)
+			if err != nil {
+				return nil, err
+			}
+			arr[net] = na
+			prev[net] = critIn
+			prevInst[net] = inst.Name
+		}
+	}
+
+	res := &Result{Module: m.Name, Arrivals: arr, prev: prev, prevInst: prevInst}
+	worst := -1.0
+	outs := m.Outputs()
+	sort.Strings(outs)
+	for _, out := range outs {
+		if a, ok := arr[out]; ok && a.Nominal > worst {
+			worst = a.Nominal
+			res.CriticalOutput = out
+		}
+	}
+	if res.CriticalOutput == "" {
+		return nil, fmt.Errorf("sta: no primary output has a computed arrival")
+	}
+	return res, nil
+}
+
+// evalOutput computes the arrival at one instance output net: the
+// statistical max over input arcs of (input arrival + arc delay). It also
+// returns the input net that set the nominal arrival (the critical
+// fan-in).
+func evalOutput(inst *netlist.Instance, outPin *liberty.Pin, net string, load float64, arr map[string]NetArrival, o Options) (NetArrival, string, error) {
+	out := NetArrival{Nominal: -1, Vars: map[fit.Model]ssta.Var{}}
+	critIn := ""
+	anyArc := false
+	for _, arc := range outPin.Timings {
+		inNet, connected := inst.Conns[arc.RelatedPin]
+		if !connected {
+			continue
+		}
+		in, ok := arr[inNet]
+		if !ok {
+			return out, "", fmt.Errorf("sta: instance %q input %s (net %q) has no arrival", inst.Name, arc.RelatedPin, inNet)
+		}
+		delayTM, ok := arc.Tables["cell_rise"]
+		if !ok {
+			continue
+		}
+		anyArc = true
+
+		dNom := delayTM.NominalAtPoint(in.Slew, load)
+		if cand := in.Nominal + dNom; cand > out.Nominal {
+			out.Nominal = cand
+			critIn = inNet
+		}
+		// Output slew: worst transition across arcs.
+		if transTM, ok := arc.Tables["rise_transition"]; ok {
+			if tr := transTM.NominalAtPoint(in.Slew, load); tr > out.Slew {
+				out.Slew = tr
+			}
+		}
+
+		for _, fam := range o.Families {
+			v, err := arcVar(fam, delayTM, in.Slew, load)
+			if err != nil {
+				return out, "", fmt.Errorf("sta: instance %q arc %s->%s: %w", inst.Name, arc.RelatedPin, outPin.Name, err)
+			}
+			// Sum with the input arrival variable (if any), then max with
+			// arrivals from other arcs.
+			if prev, ok := in.Vars[fam]; ok && prev != nil {
+				if v, err = prev.Sum(v); err != nil {
+					return out, "", err
+				}
+			}
+			if acc, ok := out.Vars[fam]; ok && acc != nil {
+				if v, err = acc.Max(v); err != nil {
+					return out, "", err
+				}
+			}
+			out.Vars[fam] = v
+		}
+	}
+	if !anyArc {
+		return out, "", fmt.Errorf("sta: instance %q output %s has no usable timing arc", inst.Name, outPin.Name)
+	}
+	if out.Slew == 0 {
+		out.Slew = o.InputSlew
+	}
+	return out, critIn, nil
+}
+
+// PathStep is one hop of a traced critical path.
+type PathStep struct {
+	Net      string
+	Instance string // instance driving Net ("" for primary inputs)
+	Arrival  float64
+}
+
+// CriticalPath traces the nominal critical path backwards from the given
+// net (use Result.CriticalOutput for the worst path). The returned steps
+// run input-to-output.
+func (r *Result) CriticalPath(net string) []PathStep {
+	var rev []PathStep
+	seen := map[string]bool{}
+	for net != "" && !seen[net] {
+		seen[net] = true
+		rev = append(rev, PathStep{
+			Net:      net,
+			Instance: r.prevInst[net],
+			Arrival:  r.Arrivals[net].Nominal,
+		})
+		net = r.prev[net]
+	}
+	out := make([]PathStep, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// arcVar builds the family's timing variable for one arc at one operating
+// point.
+func arcVar(fam fit.Model, tm *liberty.TimingModel, slew, load float64) (ssta.Var, error) {
+	switch fam {
+	case fit.ModelLVF:
+		th, err := tm.LVFAtPoint(slew, load)
+		if err != nil {
+			return nil, err
+		}
+		return ssta.SNVar{SN: th.SN()}, nil
+	case fit.ModelLVF2:
+		m, err := tm.ModelAtPoint(slew, load)
+		if err != nil {
+			return nil, err
+		}
+		return varFromModel(m), nil
+	default:
+		return nil, fmt.Errorf("sta: family %v is not representable from Liberty data", fam)
+	}
+}
+
+// checkArcCoverage verifies every connected input pin reaches some output
+// through a timing arc; a missing arc would silently truncate paths.
+func checkArcCoverage(inst *netlist.Instance, cell *liberty.Cell) error {
+	for pinName := range inst.Conns {
+		pin := cell.Pins[pinName]
+		if pin.Direction == "output" {
+			continue
+		}
+		covered := false
+		for _, out := range cell.OutputPins() {
+			if _, ok := out.ArcTo(pinName); ok {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return fmt.Errorf("sta: cell %s has no timing arc from input %s (instance %q); set AllowMissingArcs to tolerate",
+				cell.Name, pinName, inst.Name)
+		}
+	}
+	return nil
+}
+
+// driverInfo records which instance output drives a net.
+type driverInfo struct {
+	inst *netlist.Instance
+	pin  *liberty.Pin
+}
+
+// varFromModel converts a core model to a skew-normal-mixture timing
+// variable (single component when λ = 0, per eq. 10).
+func varFromModel(m core.Model) ssta.Var {
+	if m.IsLVF() {
+		return ssta.SNMixVar{
+			Weights:  []float64{1},
+			Comps:    []stats.SkewNormal{m.Theta1.SN()},
+			MaxComps: 2,
+		}
+	}
+	return ssta.SNMixVar{
+		Weights:  []float64{1 - m.Lambda, m.Lambda},
+		Comps:    []stats.SkewNormal{m.Theta1.SN(), m.Theta2.SN()},
+		MaxComps: 2,
+	}
+}
+
+// topoInstances orders instances so every input net's driver precedes its
+// loads (Kahn's algorithm over instance dependencies).
+func topoInstances(lib *liberty.Library, m *netlist.Module, drivers map[string]driverInfo) ([]*netlist.Instance, error) {
+	// Instance -> instances it feeds.
+	indeg := make(map[*netlist.Instance]int, len(m.Instances))
+	succs := make(map[*netlist.Instance][]*netlist.Instance)
+	piNets := map[string]bool{}
+	for _, p := range m.Ports {
+		if p.Dir == netlist.Input {
+			piNets[p.Name] = true
+		}
+	}
+	ptrs := make([]*netlist.Instance, len(m.Instances))
+	for i := range m.Instances {
+		ptrs[i] = &m.Instances[i]
+		indeg[ptrs[i]] = 0
+	}
+	for _, inst := range ptrs {
+		cell := lib.Cells[inst.Cell]
+		for pinName, net := range inst.Conns {
+			if cell.Pins[pinName].Direction == "output" {
+				continue
+			}
+			d, ok := drivers[net]
+			if !ok {
+				continue
+			}
+			// net is an input of inst driven by d.inst (possibly inst
+			// itself — a self-loop, caught as a cycle below).
+			succs[d.inst] = append(succs[d.inst], inst)
+			indeg[inst]++
+		}
+	}
+	var queue []*netlist.Instance
+	for _, inst := range ptrs {
+		if indeg[inst] == 0 {
+			queue = append(queue, inst)
+		}
+	}
+	var out []*netlist.Instance
+	for len(queue) > 0 {
+		sort.Slice(queue, func(a, b int) bool { return queue[a].Name < queue[b].Name })
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, n)
+		for _, s := range succs[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(out) != len(ptrs) {
+		return nil, fmt.Errorf("sta: combinational loop detected")
+	}
+	return out, nil
+}
+
+// YieldAtClock estimates the chip-level timing yield at a clock target T
+// for the given model view: the probability that every primary output
+// arrives by T. Outputs are combined under the standard independence
+// approximation (shared-path correlation makes the true yield no lower
+// than the product for positively correlated arrivals, so this is a
+// conservative estimate for typical netlists).
+func (r *Result) YieldAtClock(m *netlist.Module, fam fit.Model, t float64) (float64, error) {
+	yield := 1.0
+	found := false
+	for _, out := range m.Outputs() {
+		a, ok := r.Arrivals[out]
+		if !ok {
+			continue
+		}
+		v, ok := a.Vars[fam]
+		if !ok || v == nil {
+			return 0, fmt.Errorf("sta: output %q has no %v arrival", out, fam)
+		}
+		found = true
+		yield *= v.Dist().CDF(t)
+	}
+	if !found {
+		return 0, fmt.Errorf("sta: no primary output arrivals")
+	}
+	return yield, nil
+}

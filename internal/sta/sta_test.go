@@ -1,0 +1,393 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"lvf2/internal/core"
+	"lvf2/internal/fit"
+	"lvf2/internal/liberty"
+	"lvf2/internal/netlist"
+)
+
+// constLib builds a library whose cells have flat (slew/load-independent)
+// tables so analytical expectations are exact. Each cell's delay is
+// N(mean, sd²) in the LVF view and, when lambda > 0, a two-component
+// mixture in the LVF² view.
+func constLib(t *testing.T) *liberty.Library {
+	t.Helper()
+	i1 := []float64{0.001, 1.0}
+	i2 := []float64{0.0001, 1.0}
+	lib := liberty.NewLibrary(liberty.LibraryHeaderOptions{Name: "const"}, "tpl", i1, i2)
+
+	addCell := func(name string, inputs []string, mean, sd, lambda, mean2 float64) {
+		out := liberty.AddCell(lib, name, inputs, 0.001, "ZN", "")
+		for _, in := range inputs {
+			timing := liberty.AddTiming(out, in, "positive_unate")
+			nom := [][]float64{{mean, mean}, {mean, mean}}
+			var models [][]core.Model
+			for r := 0; r < 2; r++ {
+				row := make([]core.Model, 2)
+				for c := 0; c < 2; c++ {
+					m := core.Model{Theta1: core.Theta{Mean: mean, Sigma: sd}}
+					if lambda > 0 {
+						m.Lambda = lambda
+						m.Theta1 = core.Theta{Mean: mean, Sigma: sd}
+						m.Theta2 = core.Theta{Mean: mean2, Sigma: sd}
+					}
+					row[c] = m
+				}
+				models = append(models, row)
+			}
+			tm := liberty.TimingModelFromFits("cell_rise", i1, i2, nom, models)
+			tm.AppendTo(timing, "tpl", true)
+			// Constant transition of 0.01 ns.
+			tr := liberty.TimingModelFromFits("rise_transition", i1, i2,
+				[][]float64{{0.01, 0.01}, {0.01, 0.01}},
+				[][]core.Model{
+					{core.FromLVF(core.Theta{Mean: 0.01, Sigma: 0.001}), core.FromLVF(core.Theta{Mean: 0.01, Sigma: 0.001})},
+					{core.FromLVF(core.Theta{Mean: 0.01, Sigma: 0.001}), core.FromLVF(core.Theta{Mean: 0.01, Sigma: 0.001})},
+				})
+			tr.AppendTo(timing, "tpl", false)
+		}
+	}
+	addCell("INV", []string{"A"}, 0.100, 0.010, 0, 0)
+	addCell("NAND2", []string{"A", "B"}, 0.120, 0.012, 0, 0)
+	addCell("BIMO", []string{"A"}, 0.100, 0.008, 0.3, 0.150)
+
+	parsed, err := liberty.Parse(lib.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sem, err := liberty.LoadLibrary(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sem
+}
+
+func TestChainArrivalExact(t *testing.T) {
+	lib := constLib(t)
+	m := netlist.Chain("c3", "INV", 3)
+	res, err := Run(lib, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalOutput != "out" {
+		t.Fatalf("critical output %q", res.CriticalOutput)
+	}
+	a := res.Critical()
+	// Nominal: 3 × 0.100.
+	if math.Abs(a.Nominal-0.300) > 1e-9 {
+		t.Errorf("nominal %v want 0.300", a.Nominal)
+	}
+	// LVF variance: 3 × 0.01².
+	lvf := a.Vars[fit.ModelLVF].Dist()
+	if math.Abs(lvf.Mean()-0.300) > 1e-9 {
+		t.Errorf("LVF mean %v", lvf.Mean())
+	}
+	wantVar := 3 * 0.010 * 0.010
+	if math.Abs(lvf.Variance()-wantVar) > 1e-12 {
+		t.Errorf("LVF var %v want %v", lvf.Variance(), wantVar)
+	}
+	// LVF² view on a λ=0 library agrees with LVF exactly (eq. 10).
+	lvf2 := a.Vars[fit.ModelLVF2].Dist()
+	if math.Abs(lvf2.Mean()-lvf.Mean()) > 1e-9 || math.Abs(lvf2.Variance()-lvf.Variance()) > 1e-12 {
+		t.Errorf("LVF2 view diverges on LVF-only data: %v/%v vs %v/%v",
+			lvf2.Mean(), lvf2.Variance(), lvf.Mean(), lvf.Variance())
+	}
+}
+
+func TestBimodalCellPropagation(t *testing.T) {
+	lib := constLib(t)
+	m := netlist.Chain("b2", "BIMO", 2)
+	res, err := Run(lib, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Critical()
+	// Mixture mean per stage: 0.7·0.100 + 0.3·0.150 = 0.115.
+	want := 2 * 0.115
+	lvf2 := a.Vars[fit.ModelLVF2].Dist()
+	if math.Abs(lvf2.Mean()-want) > 1e-9 {
+		t.Errorf("LVF2 mean %v want %v", lvf2.Mean(), want)
+	}
+	// Classic view stores the mixture's overall moments, so means agree;
+	// but the LVF² CDF must be non-Gaussian (visible mixture structure) —
+	// compare shape at the antimode region.
+	lvf := a.Vars[fit.ModelLVF].Dist()
+	if math.Abs(lvf.Mean()-want) > 1e-9 {
+		t.Errorf("LVF mean %v want %v", lvf.Mean(), want)
+	}
+	var maxDiff float64
+	for x := 0.20; x < 0.32; x += 0.005 {
+		if d := math.Abs(lvf2.CDF(x) - lvf.CDF(x)); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff < 0.01 {
+		t.Errorf("LVF2 and LVF CDFs identical (%v) on bimodal data — mixture lost", maxDiff)
+	}
+}
+
+func TestReconvergentMax(t *testing.T) {
+	lib := constLib(t)
+	// a -> INV u1 -> n1 ; a -> NAND2 u2(B=b) -> n2 ; NAND2 u3(n1, n2) -> y.
+	m := &netlist.Module{
+		Name: "diamond",
+		Ports: []netlist.Port{
+			{Name: "a", Dir: netlist.Input},
+			{Name: "b", Dir: netlist.Input},
+			{Name: "y", Dir: netlist.Output},
+		},
+		Wires: []string{"n1", "n2"},
+		Instances: []netlist.Instance{
+			{Name: "u1", Cell: "INV", Conns: map[string]string{"A": "a", "ZN": "n1"}},
+			{Name: "u2", Cell: "NAND2", Conns: map[string]string{"A": "a", "B": "b", "ZN": "n2"}},
+			{Name: "u3", Cell: "NAND2", Conns: map[string]string{"A": "n1", "B": "n2", "ZN": "y"}},
+		},
+	}
+	res, err := Run(lib, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Critical()
+	// Nominal: max(0.100, 0.120) + 0.120 = 0.240.
+	if math.Abs(a.Nominal-0.240) > 1e-9 {
+		t.Errorf("nominal %v want 0.240", a.Nominal)
+	}
+	// Statistical mean exceeds nominal (max of two close Gaussians).
+	lvf := a.Vars[fit.ModelLVF].Dist()
+	if lvf.Mean() <= a.Nominal {
+		t.Errorf("statistical mean %v should exceed nominal %v at a near-tie max", lvf.Mean(), a.Nominal)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	lib := constLib(t)
+	// Unknown cell.
+	bad := netlist.Chain("x", "XYZ", 1)
+	if _, err := Run(lib, bad, Options{}); err == nil {
+		t.Error("unknown cell accepted")
+	}
+	// Unknown pin.
+	m := &netlist.Module{
+		Name:  "badpin",
+		Ports: []netlist.Port{{Name: "a", Dir: netlist.Input}, {Name: "y", Dir: netlist.Output}},
+		Instances: []netlist.Instance{
+			{Name: "u", Cell: "INV", Conns: map[string]string{"Q": "a", "ZN": "y"}},
+		},
+	}
+	if _, err := Run(lib, m, Options{}); err == nil {
+		t.Error("unknown pin accepted")
+	}
+	// Double driver.
+	dd := &netlist.Module{
+		Name:  "dd",
+		Ports: []netlist.Port{{Name: "a", Dir: netlist.Input}, {Name: "y", Dir: netlist.Output}},
+		Instances: []netlist.Instance{
+			{Name: "u1", Cell: "INV", Conns: map[string]string{"A": "a", "ZN": "y"}},
+			{Name: "u2", Cell: "INV", Conns: map[string]string{"A": "a", "ZN": "y"}},
+		},
+	}
+	if _, err := Run(lib, dd, Options{}); err == nil {
+		t.Error("double-driven net accepted")
+	}
+	// Combinational loop.
+	loop := &netlist.Module{
+		Name:  "loop",
+		Ports: []netlist.Port{{Name: "y", Dir: netlist.Output}},
+		Wires: []string{"n1"},
+		Instances: []netlist.Instance{
+			{Name: "u1", Cell: "INV", Conns: map[string]string{"A": "n1", "ZN": "y"}},
+			{Name: "u2", Cell: "INV", Conns: map[string]string{"A": "y", "ZN": "n1"}},
+		},
+	}
+	if _, err := Run(lib, loop, Options{}); err == nil {
+		t.Error("combinational loop accepted")
+	}
+	// Driven primary input.
+	dpi := &netlist.Module{
+		Name:  "dpi",
+		Ports: []netlist.Port{{Name: "a", Dir: netlist.Input}, {Name: "y", Dir: netlist.Output}},
+		Instances: []netlist.Instance{
+			{Name: "u1", Cell: "INV", Conns: map[string]string{"A": "y", "ZN": "a"}},
+			{Name: "u2", Cell: "INV", Conns: map[string]string{"A": "a", "ZN": "y"}},
+		},
+	}
+	if _, err := Run(lib, dpi, Options{}); err == nil {
+		t.Error("driven primary input accepted")
+	}
+}
+
+func TestRippleCarryAdderSTA(t *testing.T) {
+	lib := constLib(t)
+	m := netlist.RippleCarryAdder(8)
+	res, err := Run(lib, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Critical()
+	// The carry chain is 2 NAND2 per bit (g is one level off-chain):
+	// critical nominal ≥ 16 × 0.120 (chain) and < 20 × 0.120.
+	if a.Nominal < 16*0.120-1e-9 || a.Nominal > 20*0.120 {
+		t.Errorf("adder critical arrival %v outside expectation", a.Nominal)
+	}
+	// Statistical views propagate all the way.
+	if a.Vars[fit.ModelLVF] == nil || a.Vars[fit.ModelLVF2] == nil {
+		t.Fatal("missing statistical arrivals")
+	}
+	sd := math.Sqrt(a.Vars[fit.ModelLVF].Dist().Variance())
+	if sd <= 0.012 || sd > 0.012*6 {
+		t.Errorf("path sigma %v implausible", sd)
+	}
+}
+
+func TestMissingArcDetected(t *testing.T) {
+	// Build a library whose NAND2 has an arc from A only.
+	i1 := []float64{0.001, 1.0}
+	i2 := []float64{0.0001, 1.0}
+	lib := liberty.NewLibrary(liberty.LibraryHeaderOptions{Name: "gap"}, "tpl", i1, i2)
+	out := liberty.AddCell(lib, "NAND2", []string{"A", "B"}, 0.001, "ZN", "")
+	timing := liberty.AddTiming(out, "A", "positive_unate")
+	tm := liberty.TimingModelFromFits("cell_rise", i1, i2,
+		[][]float64{{0.1, 0.1}, {0.1, 0.1}},
+		[][]core.Model{
+			{core.FromLVF(core.Theta{Mean: 0.1, Sigma: 0.01}), core.FromLVF(core.Theta{Mean: 0.1, Sigma: 0.01})},
+			{core.FromLVF(core.Theta{Mean: 0.1, Sigma: 0.01}), core.FromLVF(core.Theta{Mean: 0.1, Sigma: 0.01})},
+		})
+	tm.AppendTo(timing, "tpl", false)
+	parsed, err := liberty.Parse(lib.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sem, err := liberty.LoadLibrary(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &netlist.Module{
+		Name:  "g",
+		Ports: []netlist.Port{{Name: "a", Dir: netlist.Input}, {Name: "b", Dir: netlist.Input}, {Name: "y", Dir: netlist.Output}},
+		Instances: []netlist.Instance{
+			{Name: "u", Cell: "NAND2", Conns: map[string]string{"A": "a", "B": "b", "ZN": "y"}},
+		},
+	}
+	// Strict mode: error out.
+	if _, err := Run(sem, m, Options{}); err == nil {
+		t.Fatal("missing arc not detected")
+	}
+	// Permissive mode: path through A still analysed.
+	res, err := Run(sem, m, Options{AllowMissingArcs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Critical().Nominal-0.1) > 1e-9 {
+		t.Errorf("permissive arrival %v", res.Critical().Nominal)
+	}
+}
+
+func TestCriticalPathTrace(t *testing.T) {
+	lib := constLib(t)
+	m := netlist.Chain("c4", "INV", 4)
+	res, err := Run(lib, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := res.CriticalPath(res.CriticalOutput)
+	// in -> n0 -> n1 -> n2 -> out.
+	if len(path) != 5 {
+		t.Fatalf("path length %d: %+v", len(path), path)
+	}
+	if path[0].Net != "in" || path[len(path)-1].Net != "out" {
+		t.Errorf("endpoints: %+v", path)
+	}
+	// Arrivals increase monotonically along the path.
+	for i := 1; i < len(path); i++ {
+		if path[i].Arrival <= path[i-1].Arrival {
+			t.Errorf("arrival not increasing at %d: %+v", i, path)
+		}
+	}
+	// The driving instances are u0..u3 in order.
+	if path[1].Instance != "u0" || path[4].Instance != "u3" {
+		t.Errorf("instances: %+v", path)
+	}
+}
+
+func TestCriticalPathThroughDiamond(t *testing.T) {
+	lib := constLib(t)
+	m := &netlist.Module{
+		Name: "diamond2",
+		Ports: []netlist.Port{
+			{Name: "a", Dir: netlist.Input},
+			{Name: "y", Dir: netlist.Output},
+		},
+		Wires: []string{"fast", "slow"},
+		Instances: []netlist.Instance{
+			{Name: "uf", Cell: "INV", Conns: map[string]string{"A": "a", "ZN": "fast"}},             // 0.100
+			{Name: "us", Cell: "NAND2", Conns: map[string]string{"A": "a", "B": "a", "ZN": "slow"}}, // 0.120
+			{Name: "uj", Cell: "NAND2", Conns: map[string]string{"A": "fast", "B": "slow", "ZN": "y"}},
+		},
+	}
+	res, err := Run(lib, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := res.CriticalPath("y")
+	// Critical fan-in of y is the slow branch.
+	if len(path) != 3 || path[1].Net != "slow" {
+		t.Errorf("critical path should go through the slow branch: %+v", path)
+	}
+}
+
+func TestYieldAtClock(t *testing.T) {
+	lib := constLib(t)
+	m := netlist.Chain("c2", "INV", 2)
+	res, err := Run(lib, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain of 2 × N(0.1, 0.01²): arrival N(0.2, σ=0.01414).
+	sd := 0.01 * math.Sqrt2
+	yMean, err := res.YieldAtClock(m, fit.ModelLVF, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(yMean-0.5) > 0.01 {
+		t.Errorf("yield at mean %v want 0.5", yMean)
+	}
+	y3s, err := res.YieldAtClock(m, fit.ModelLVF, 0.2+3*sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y3s < 0.998 {
+		t.Errorf("3σ yield %v", y3s)
+	}
+	// Unknown family errors.
+	if _, err := res.YieldAtClock(m, fit.ModelLESN, 0.2); err == nil {
+		t.Error("missing family accepted")
+	}
+	// Multi-output module: yield is the product across outputs.
+	two := &netlist.Module{
+		Name: "two",
+		Ports: []netlist.Port{
+			{Name: "a", Dir: netlist.Input},
+			{Name: "y1", Dir: netlist.Output},
+			{Name: "y2", Dir: netlist.Output},
+		},
+		Instances: []netlist.Instance{
+			{Name: "u1", Cell: "INV", Conns: map[string]string{"A": "a", "ZN": "y1"}},
+			{Name: "u2", Cell: "INV", Conns: map[string]string{"A": "a", "ZN": "y2"}},
+		},
+	}
+	res2, err := Run(lib, two, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := res2.YieldAtClock(two, fit.ModelLVF, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y-0.25) > 0.01 {
+		t.Errorf("two-output yield at both means %v want 0.25", y)
+	}
+}

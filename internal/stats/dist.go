@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+)
+
+// Dist is a univariate continuous probability distribution.
+type Dist interface {
+	// PDF returns the probability density at x.
+	PDF(x float64) float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Mean returns the first moment.
+	Mean() float64
+	// Variance returns the second central moment.
+	Variance() float64
+}
+
+// Sampler is implemented by distributions that can draw random variates.
+// Source abstracts the random stream so both math/rand and the project's
+// deterministic Monte-Carlo RNG can be used.
+type Sampler interface {
+	Sample(src Source) float64
+}
+
+// Source is the random-number source consumed by Sample methods.
+// *math/rand.Rand satisfies it.
+type Source interface {
+	Float64() float64
+	NormFloat64() float64
+}
+
+// Std returns the standard deviation of d.
+func Std(d Dist) float64 { return math.Sqrt(d.Variance()) }
+
+// Quantile numerically inverts d.CDF by bisection. p must be in (0,1).
+// The search bracket is derived from the distribution's mean and standard
+// deviation and widened geometrically until it encloses p.
+func Quantile(d Dist, p float64) float64 {
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	m, s := d.Mean(), Std(d)
+	if s <= 0 || math.IsNaN(s) {
+		return m
+	}
+	lo, hi := m-8*s, m+8*s
+	for i := 0; d.CDF(lo) > p && i < 64; i++ {
+		lo -= 8 * s
+	}
+	for i := 0; d.CDF(hi) < p && i < 64; i++ {
+		hi += 8 * s
+	}
+	for i := 0; i < 200 && hi-lo > 1e-13*(1+math.Abs(lo)); i++ {
+		mid := 0.5 * (lo + hi)
+		if d.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// Interval returns P(a < X <= b) for the distribution d.
+func Interval(d Dist, a, b float64) float64 {
+	if b < a {
+		return 0
+	}
+	p := d.CDF(b) - d.CDF(a)
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// CentralMoment integrates (x-mean)^k d.PDF(x) dx numerically over
+// mean ± 12 standard deviations using composite Gauss-Legendre quadrature.
+// It is used by distributions whose higher moments lack closed forms.
+func CentralMoment(d Dist, k int) float64 {
+	m, s := d.Mean(), Std(d)
+	if s == 0 {
+		return 0
+	}
+	lo, hi := m-12*s, m+12*s
+	return integrate(func(x float64) float64 {
+		return math.Pow(x-m, float64(k)) * d.PDF(x)
+	}, lo, hi, 24)
+}
+
+// RawMoment integrates x^k d.PDF(x) dx numerically (support truncated to
+// mean ± 12 standard deviations, floored at lo if floorAtZero).
+func RawMoment(d Dist, k int, floorAtZero bool) float64 {
+	m, s := d.Mean(), Std(d)
+	lo, hi := m-12*s, m+12*s
+	if floorAtZero && lo < 0 {
+		lo = 0
+	}
+	return integrate(func(x float64) float64 {
+		return math.Pow(x, float64(k)) * d.PDF(x)
+	}, lo, hi, 24)
+}

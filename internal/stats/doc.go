@@ -1,0 +1,12 @@
+// Package stats provides the probability distributions and moment
+// machinery underlying the LVF² statistical timing model: the normal and
+// skew-normal (SN) families used by the industrial Liberty Variation
+// Format, the extended and log-extended skew-normal (LESN) comparator
+// model, finite mixtures, Owen's T function, sample-moment and cumulant
+// utilities, and empirical-distribution helpers.
+//
+// All distributions implement the Dist interface. Parameterisations follow
+// Azzalini's conventions: an SN distribution has location ξ, scale ω and
+// shape α, with the moments↔parameters bijection of the paper's eq. (2)
+// provided by SNFromMoments and (SkewNormal).Moments.
+package stats

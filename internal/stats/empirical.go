@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Empirical is the empirical distribution of a sample, used as the
+// "golden" reference against which fitted models are scored.
+type Empirical struct {
+	sorted []float64
+	mom    SampleMoments
+}
+
+// NewEmpirical copies and sorts xs.
+func NewEmpirical(xs []float64) *Empirical {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &Empirical{sorted: s, mom: Moments(xs)}
+}
+
+// Len returns the sample count.
+func (e *Empirical) Len() int { return len(e.sorted) }
+
+// Sorted returns the sorted sample (shared slice; do not mutate).
+func (e *Empirical) Sorted() []float64 { return e.sorted }
+
+// CDF returns the fraction of samples <= x.
+func (e *Empirical) CDF(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, x)
+	// SearchFloat64s returns the first index with sorted[i] >= x; advance
+	// over ties so the count includes samples equal to x.
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// PDF estimates the density with a Gaussian kernel (Silverman bandwidth).
+// It is O(n) per call and intended for plotting, not inner loops.
+func (e *Empirical) PDF(x float64) float64 {
+	n := len(e.sorted)
+	if n == 0 {
+		return 0
+	}
+	h := e.Bandwidth()
+	if h <= 0 {
+		return 0
+	}
+	var s float64
+	for _, xi := range e.sorted {
+		s += StdNormPDF((x - xi) / h)
+	}
+	return s / (float64(n) * h)
+}
+
+// Bandwidth returns Silverman's rule-of-thumb kernel bandwidth.
+func (e *Empirical) Bandwidth() float64 {
+	n := len(e.sorted)
+	if n < 2 {
+		return 0
+	}
+	sd := e.mom.Std()
+	iqr := e.QuantileValue(0.75) - e.QuantileValue(0.25)
+	a := sd
+	if iqr > 0 && iqr/1.34 < a {
+		a = iqr / 1.34
+	}
+	if a <= 0 {
+		return 0
+	}
+	return 0.9 * a * math.Pow(float64(n), -0.2)
+}
+
+// Mean returns the sample mean.
+func (e *Empirical) Mean() float64 { return e.mom.Mean }
+
+// Variance returns the sample variance.
+func (e *Empirical) Variance() float64 { return e.mom.Variance }
+
+// Moments returns the cached sample moments.
+func (e *Empirical) Moments() SampleMoments { return e.mom }
+
+// QuantileValue returns the p-th sample quantile (nearest-rank with linear
+// interpolation).
+func (e *Empirical) QuantileValue(p float64) float64 {
+	n := len(e.sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= n {
+		return e.sorted[n-1]
+	}
+	return e.sorted[i]*(1-frac) + e.sorted[i+1]*frac
+}
+
+// Histogram bins the sample into nbins equal-width bins over [min, max]
+// and returns bin centres and normalised densities.
+func (e *Empirical) Histogram(nbins int) (centers, density []float64) {
+	n := len(e.sorted)
+	if n == 0 || nbins < 1 {
+		return nil, nil
+	}
+	lo, hi := e.sorted[0], e.sorted[n-1]
+	if hi <= lo {
+		return []float64{lo}, []float64{math.Inf(1)}
+	}
+	w := (hi - lo) / float64(nbins)
+	counts := make([]int, nbins)
+	for _, x := range e.sorted {
+		i := int((x - lo) / w)
+		if i >= nbins {
+			i = nbins - 1
+		}
+		counts[i]++
+	}
+	centers = make([]float64, nbins)
+	density = make([]float64, nbins)
+	for i := range counts {
+		centers[i] = lo + (float64(i)+0.5)*w
+		density[i] = float64(counts[i]) / (float64(n) * w)
+	}
+	return centers, density
+}
+
+// KSDistance returns the Kolmogorov–Smirnov distance between the empirical
+// CDF and a model CDF, evaluated at every sample point.
+func (e *Empirical) KSDistance(model Dist) float64 {
+	n := len(e.sorted)
+	if n == 0 {
+		return 0
+	}
+	var worst float64
+	for i, x := range e.sorted {
+		fm := model.CDF(x)
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if d := math.Abs(fm - lo); d > worst {
+			worst = d
+		}
+		if d := math.Abs(fm - hi); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

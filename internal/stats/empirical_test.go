@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEmpiricalCDF(t *testing.T) {
+	e := NewEmpirical([]float64{3, 1, 2, 2})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {4, 1},
+	}
+	for _, c := range cases {
+		if got := e.CDF(c.x); got != c.want {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestEmpiricalQuantiles(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	e := NewEmpirical(xs)
+	if got := e.QuantileValue(0.5); !almostEqual(got, 50, 1e-12) {
+		t.Errorf("median %v", got)
+	}
+	if got := e.QuantileValue(0); got != 0 {
+		t.Errorf("q0 %v", got)
+	}
+	if got := e.QuantileValue(1); got != 100 {
+		t.Errorf("q1 %v", got)
+	}
+	if got := e.QuantileValue(0.25); !almostEqual(got, 25, 1e-12) {
+		t.Errorf("q25 %v", got)
+	}
+}
+
+func TestEmpiricalAgainstNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := Normal{Mu: 0, Sigma: 1}
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = n.Sample(rng)
+	}
+	e := NewEmpirical(xs)
+	if d := e.KSDistance(n); d > 0.01 {
+		t.Errorf("KS distance to truth too large: %v", d)
+	}
+	// PDF kernel estimate should be close to the true density near 0.
+	if !almostEqual(e.PDF(0), n.PDF(0), 0.02) {
+		t.Errorf("KDE at 0: %v want %v", e.PDF(0), n.PDF(0))
+	}
+}
+
+func TestEmpiricalHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 0.9, 1.0}
+	e := NewEmpirical(xs)
+	centers, dens := e.Histogram(2)
+	if len(centers) != 2 || len(dens) != 2 {
+		t.Fatalf("histogram shape: %v %v", centers, dens)
+	}
+	// Total mass = sum(density * width) = 1.
+	width := 0.5
+	total := (dens[0] + dens[1]) * width
+	if !almostEqual(total, 1, 1e-12) {
+		t.Errorf("histogram mass %v", total)
+	}
+}
+
+func TestEmpiricalDegenerate(t *testing.T) {
+	e := NewEmpirical(nil)
+	if e.CDF(0) != 0 || e.Len() != 0 {
+		t.Error("empty empirical")
+	}
+	if !math.IsNaN(e.QuantileValue(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	c := NewEmpirical([]float64{2, 2, 2})
+	if c.Bandwidth() != 0 {
+		t.Errorf("constant-sample bandwidth should be 0, got %v", c.Bandwidth())
+	}
+	cent, dens := c.Histogram(4)
+	if len(cent) != 1 || !math.IsInf(dens[0], 1) {
+		t.Errorf("constant-sample histogram: %v %v", cent, dens)
+	}
+}
+
+func TestQuantileGenericMatchesClosedForm(t *testing.T) {
+	n := Normal{Mu: 3, Sigma: 2}
+	for _, p := range []float64{0.01, 0.3, 0.5, 0.8, 0.99} {
+		want := n.Quantile(p)
+		got := Quantile(n, p)
+		if !almostEqual(got, want, 1e-8) {
+			t.Errorf("generic quantile %v: %v want %v", p, got, want)
+		}
+	}
+	if !math.IsNaN(Quantile(n, 0)) || !math.IsNaN(Quantile(n, 1.2)) {
+		t.Error("out-of-range p must be NaN")
+	}
+}
+
+func TestIntervalHelper(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	if got := Interval(n, -1, 1); !almostEqual(got, 0.6826894921370859, 1e-10) {
+		t.Errorf("Interval = %v", got)
+	}
+	if Interval(n, 1, -1) != 0 {
+		t.Error("reversed interval must be 0")
+	}
+}

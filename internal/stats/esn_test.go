@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestESNReducesToSNAtTauZero(t *testing.T) {
+	e := ExtendedSkewNormal{Xi: 0.3, Omega: 1.2, Alpha: 2, Tau: 0}
+	s := SkewNormal{Xi: 0.3, Omega: 1.2, Alpha: 2}
+	for _, x := range []float64{-3, 0, 0.3, 1, 4} {
+		if !almostEqual(e.PDF(x), s.PDF(x), 1e-12) {
+			t.Errorf("PDF mismatch at %v: %v vs %v", x, e.PDF(x), s.PDF(x))
+		}
+		if !almostEqual(e.CDF(x), s.CDF(x), 1e-8) {
+			t.Errorf("CDF mismatch at %v: %v vs %v", x, e.CDF(x), s.CDF(x))
+		}
+	}
+	if !almostEqual(e.Mean(), s.Mean(), 1e-12) {
+		t.Errorf("Mean mismatch: %v vs %v", e.Mean(), s.Mean())
+	}
+	if !almostEqual(e.Variance(), s.Variance(), 1e-12) {
+		t.Errorf("Variance mismatch: %v vs %v", e.Variance(), s.Variance())
+	}
+	if !almostEqual(e.Skewness(), s.Skewness(), 1e-10) {
+		t.Errorf("Skewness mismatch: %v vs %v", e.Skewness(), s.Skewness())
+	}
+}
+
+func TestESNPDFIntegratesToOne(t *testing.T) {
+	for _, tau := range []float64{-2, -0.5, 0, 1, 3} {
+		e := ExtendedSkewNormal{Xi: 0, Omega: 1, Alpha: 3, Tau: tau}
+		tot := integrate(e.PDF, -16, 16, 64)
+		if !almostEqual(tot, 1, 1e-8) {
+			t.Errorf("tau=%v: integral %v", tau, tot)
+		}
+	}
+}
+
+func TestESNMomentsAgainstQuadrature(t *testing.T) {
+	e := ExtendedSkewNormal{Xi: 1, Omega: 0.5, Alpha: -2, Tau: 0.8}
+	lo, hi := 1-10.0, 1+10.0
+	mQ := integrate(func(x float64) float64 { return x * e.PDF(x) }, lo, hi, 64)
+	if !almostEqual(e.Mean(), mQ, 1e-8) {
+		t.Errorf("Mean %v vs %v", e.Mean(), mQ)
+	}
+	vQ := integrate(func(x float64) float64 {
+		d := x - e.Mean()
+		return d * d * e.PDF(x)
+	}, lo, hi, 64)
+	if !almostEqual(e.Variance(), vQ, 1e-8) {
+		t.Errorf("Var %v vs %v", e.Variance(), vQ)
+	}
+	sd := math.Sqrt(e.Variance())
+	skQ := integrate(func(x float64) float64 {
+		d := (x - e.Mean()) / sd
+		return d * d * d * e.PDF(x)
+	}, lo, hi, 64)
+	if !almostEqual(e.Skewness(), skQ, 1e-6) {
+		t.Errorf("Skew %v vs %v", e.Skewness(), skQ)
+	}
+	kuQ := integrate(func(x float64) float64 {
+		d := (x - e.Mean()) / sd
+		return d * d * d * d * e.PDF(x)
+	}, lo, hi, 64)
+	if !almostEqual(e.ExcessKurtosis()+3, kuQ, 1e-6) {
+		t.Errorf("Kurt %v vs %v", e.ExcessKurtosis()+3, kuQ)
+	}
+}
+
+func TestESNSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	e := ExtendedSkewNormal{Xi: 0, Omega: 1, Alpha: 4, Tau: -1}
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = e.Sample(rng)
+	}
+	m := Moments(xs)
+	if !almostEqual(m.Mean, e.Mean(), 8e-3) {
+		t.Errorf("sample mean %v want %v", m.Mean, e.Mean())
+	}
+	if !almostEqual(m.Std(), math.Sqrt(e.Variance()), 8e-3) {
+		t.Errorf("sample std %v want %v", m.Std(), math.Sqrt(e.Variance()))
+	}
+}
+
+func TestLogESNClosedFormMoments(t *testing.T) {
+	l := LogESN{W: ExtendedSkewNormal{Xi: -2, Omega: 0.2, Alpha: 1.5, Tau: 0.5}}
+	// Cross-check E[X] and Var(X) against quadrature in log space.
+	mQ := integrate(func(w float64) float64 {
+		return math.Exp(w) * l.W.PDF(w)
+	}, -2-8*0.2, -2+8*0.2, 48)
+	if !almostEqual(l.Mean(), mQ, 1e-8) {
+		t.Errorf("LESN mean %v vs %v", l.Mean(), mQ)
+	}
+	m2Q := integrate(func(w float64) float64 {
+		return math.Exp(2*w) * l.W.PDF(w)
+	}, -2-8*0.2, -2+8*0.2, 48)
+	if !almostEqual(l.Variance(), m2Q-mQ*mQ, 1e-8) {
+		t.Errorf("LESN var %v vs %v", l.Variance(), m2Q-mQ*mQ)
+	}
+}
+
+func TestLogESNSupport(t *testing.T) {
+	l := LogESN{W: ExtendedSkewNormal{Xi: 0, Omega: 1, Alpha: 0, Tau: 0}}
+	if l.PDF(-1) != 0 || l.CDF(-1) != 0 || l.CDF(0) != 0 {
+		t.Error("LESN must have support on positives only")
+	}
+	if !almostEqual(l.CDF(1), 0.5, 1e-8) {
+		t.Errorf("CDF(1) for lognormal(0,1) = %v, want 0.5", l.CDF(1))
+	}
+}
+
+func TestLogESNQuantileRoundTrip(t *testing.T) {
+	l := LogESN{W: ExtendedSkewNormal{Xi: -1.5, Omega: 0.3, Alpha: 2, Tau: -0.5}}
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.999} {
+		x := l.Quantile(p)
+		if got := l.CDF(x); !almostEqual(got, p, 1e-6) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRegIncGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 − e^{−x}.
+	for _, x := range []float64{0.1, 1, 2.5, 7} {
+		want := 1 - math.Exp(-x)
+		if got := RegIncGammaP(1, x); !almostEqual(got, want, 1e-12) {
+			t.Errorf("P(1,%v) = %v want %v", x, got, want)
+		}
+	}
+	// P(1/2, x) = erf(√x).
+	for _, x := range []float64{0.2, 1, 3} {
+		want := math.Erf(math.Sqrt(x))
+		if got := RegIncGammaP(0.5, x); !almostEqual(got, want, 1e-12) {
+			t.Errorf("P(0.5,%v) = %v want %v", x, got, want)
+		}
+	}
+	if RegIncGammaP(2, 0) != 0 {
+		t.Error("P(a,0) must be 0")
+	}
+	if !math.IsNaN(RegIncGammaP(-1, 1)) || !math.IsNaN(RegIncGammaP(1, -1)) {
+		t.Error("invalid args must be NaN")
+	}
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Median of chi-square with k=2 is 2·ln2.
+	if got := ChiSquareCDF(2*math.Ln2, 2); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("median χ²(2): %v", got)
+	}
+	// 95th percentile of χ²(1) ≈ 3.841.
+	if got := ChiSquareCDF(3.841458820694124, 1); !almostEqual(got, 0.95, 1e-9) {
+		t.Errorf("χ²(1) at 3.8415: %v", got)
+	}
+	// 95th percentile of χ²(10) ≈ 18.307.
+	if got := ChiSquareCDF(18.307038053275146, 10); !almostEqual(got, 0.95, 1e-9) {
+		t.Errorf("χ²(10) at 18.307: %v", got)
+	}
+	if ChiSquareCDF(-1, 3) != 0 || ChiSquareCDF(1, 0) != 0 {
+		t.Error("edge cases")
+	}
+}
+
+func TestChiSquareGOFAcceptsTrueModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Normal{Mu: 2, Sigma: 0.5}
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = d.Sample(rng)
+	}
+	res := ChiSquareGOF(d, xs, 20, 0)
+	if res.PValue < 0.01 {
+		t.Errorf("true model rejected: p=%v stat=%v", res.PValue, res.Statistic)
+	}
+	if res.DoF != 19 {
+		t.Errorf("dof %d", res.DoF)
+	}
+}
+
+func TestChiSquareGOFRejectsWrongModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	truth := Normal{Mu: 2, Sigma: 0.5}
+	wrong := Normal{Mu: 2.2, Sigma: 0.5}
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = truth.Sample(rng)
+	}
+	res := ChiSquareGOF(wrong, xs, 20, 0)
+	if res.PValue > 1e-6 {
+		t.Errorf("wrong model accepted: p=%v", res.PValue)
+	}
+}
+
+func TestChiSquareGOFDegenerate(t *testing.T) {
+	d := Normal{Mu: 0, Sigma: 1}
+	if !math.IsNaN(ChiSquareGOF(d, make([]float64, 10), 20, 0).PValue) {
+		t.Error("too-few samples should be NaN")
+	}
+	if !math.IsNaN(ChiSquareGOF(d, make([]float64, 100), 1, 0).PValue) {
+		t.Error("nbins < 2 should be NaN")
+	}
+}
+
+func TestKSPValue(t *testing.T) {
+	// Tiny distance on many samples: p ≈ 1.
+	if p := KSPValue(1e-6, 1000); p < 0.999 {
+		t.Errorf("tiny distance p=%v", p)
+	}
+	// Large distance: p ≈ 0.
+	if p := KSPValue(0.5, 1000); p > 1e-10 {
+		t.Errorf("huge distance p=%v", p)
+	}
+	// Monotone in d.
+	if KSPValue(0.02, 2000) <= KSPValue(0.04, 2000) {
+		t.Error("p-value must decrease with distance")
+	}
+	if KSPValue(0, 100) != 1 || KSPValue(0.1, 0) != 1 {
+		t.Error("edge cases")
+	}
+	// KS of the true model on real data yields a non-extreme p-value.
+	rng := rand.New(rand.NewSource(3))
+	d := Normal{Mu: 0, Sigma: 1}
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = d.Sample(rng)
+	}
+	emp := NewEmpirical(xs)
+	p := KSPValue(emp.KSDistance(d), len(xs))
+	if p < 0.001 {
+		t.Errorf("true model KS p=%v", p)
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Mixture is a finite mixture of component distributions with
+// non-negative weights summing to one.
+type Mixture struct {
+	Weights    []float64
+	Components []Dist
+}
+
+// NewMixture validates and builds a mixture. Weights are normalised.
+func NewMixture(weights []float64, comps []Dist) (Mixture, error) {
+	if len(weights) != len(comps) {
+		return Mixture{}, errors.New("stats: mixture weights/components length mismatch")
+	}
+	if len(comps) == 0 {
+		return Mixture{}, errors.New("stats: empty mixture")
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return Mixture{}, errors.New("stats: negative or NaN mixture weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return Mixture{}, errors.New("stats: mixture weights sum to zero")
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / sum
+	}
+	return Mixture{Weights: norm, Components: comps}, nil
+}
+
+// PDF is the weighted sum of component densities.
+func (m Mixture) PDF(x float64) float64 {
+	var p float64
+	for i, w := range m.Weights {
+		p += w * m.Components[i].PDF(x)
+	}
+	return p
+}
+
+// CDF is the weighted sum of component CDFs.
+func (m Mixture) CDF(x float64) float64 {
+	var c float64
+	for i, w := range m.Weights {
+		c += w * m.Components[i].CDF(x)
+	}
+	return c
+}
+
+// Mean returns Σ wᵢ μᵢ.
+func (m Mixture) Mean() float64 {
+	var mu float64
+	for i, w := range m.Weights {
+		mu += w * m.Components[i].Mean()
+	}
+	return mu
+}
+
+// Variance returns Σ wᵢ (σᵢ² + μᵢ²) − μ².
+func (m Mixture) Variance() float64 {
+	mu := m.Mean()
+	var s float64
+	for i, w := range m.Weights {
+		mi := m.Components[i].Mean()
+		s += w * (m.Components[i].Variance() + mi*mi)
+	}
+	v := s - mu*mu
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Sample draws one variate: pick a component by weight, then sample it.
+// Components must implement Sampler.
+func (m Mixture) Sample(src Source) float64 {
+	u := src.Float64()
+	var acc float64
+	for i, w := range m.Weights {
+		acc += w
+		if u <= acc || i == len(m.Weights)-1 {
+			return m.Components[i].(Sampler).Sample(src)
+		}
+	}
+	return m.Components[len(m.Components)-1].(Sampler).Sample(src)
+}
+
+// Quantile inverts the mixture CDF numerically.
+func (m Mixture) Quantile(p float64) float64 { return Quantile(m, p) }

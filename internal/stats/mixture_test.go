@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func twoSN() Mixture {
+	m, _ := NewMixture(
+		[]float64{0.6, 0.4},
+		[]Dist{
+			SkewNormal{Xi: 0, Omega: 1, Alpha: 2},
+			SkewNormal{Xi: 5, Omega: 0.5, Alpha: -1},
+		})
+	return m
+}
+
+func TestNewMixtureValidation(t *testing.T) {
+	if _, err := NewMixture(nil, nil); err == nil {
+		t.Error("empty mixture must error")
+	}
+	if _, err := NewMixture([]float64{1}, []Dist{Normal{}, Normal{}}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := NewMixture([]float64{-1, 2}, []Dist{Normal{}, Normal{}}); err == nil {
+		t.Error("negative weight must error")
+	}
+	if _, err := NewMixture([]float64{0, 0}, []Dist{Normal{}, Normal{}}); err == nil {
+		t.Error("zero-sum weights must error")
+	}
+	m, err := NewMixture([]float64{2, 2}, []Dist{Normal{Sigma: 1}, Normal{Mu: 1, Sigma: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.Weights[0], 0.5, 1e-15) {
+		t.Errorf("weights not normalised: %v", m.Weights)
+	}
+}
+
+func TestMixturePDFCDFConsistency(t *testing.T) {
+	m := twoSN()
+	tot := integrate(m.PDF, -10, 12, 64)
+	if !almostEqual(tot, 1, 1e-9) {
+		t.Errorf("mixture PDF integral %v", tot)
+	}
+	for _, x := range []float64{-2, 0.5, 3, 5.5} {
+		want := integrate(m.PDF, -12, x, 64)
+		if got := m.CDF(x); !almostEqual(got, want, 1e-8) {
+			t.Errorf("CDF(%v) = %v, integral %v", x, got, want)
+		}
+	}
+}
+
+func TestMixtureMeanVariance(t *testing.T) {
+	m := twoSN()
+	mQ := integrate(func(x float64) float64 { return x * m.PDF(x) }, -12, 14, 64)
+	if !almostEqual(m.Mean(), mQ, 1e-8) {
+		t.Errorf("Mean %v vs %v", m.Mean(), mQ)
+	}
+	vQ := integrate(func(x float64) float64 {
+		d := x - m.Mean()
+		return d * d * m.PDF(x)
+	}, -12, 14, 64)
+	if !almostEqual(m.Variance(), vQ, 1e-7) {
+		t.Errorf("Var %v vs %v", m.Variance(), vQ)
+	}
+}
+
+func TestMixtureSampleMatchesCDF(t *testing.T) {
+	m := twoSN()
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = m.Sample(rng)
+	}
+	emp := NewEmpirical(xs)
+	for _, x := range []float64{-1, 0, 1, 4, 5, 6} {
+		if d := math.Abs(emp.CDF(x) - m.CDF(x)); d > 0.01 {
+			t.Errorf("sample CDF deviates at %v by %v", x, d)
+		}
+	}
+}
+
+// Property: mixture CDF is bounded in [0,1] and monotone.
+func TestMixtureCDFProperty(t *testing.T) {
+	m := twoSN()
+	f := func(ar, br float64) bool {
+		a := math.Mod(ar, 20)
+		b := math.Mod(br, 20)
+		if b < a {
+			a, b = b, a
+		}
+		ca, cb := m.CDF(a), m.CDF(b)
+		return ca >= 0 && cb <= 1 && ca <= cb+1e-12
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMomentsSimple(t *testing.T) {
+	m := Moments([]float64{1, 2, 3, 4})
+	if !almostEqual(m.Mean, 2.5, 1e-14) {
+		t.Errorf("mean %v", m.Mean)
+	}
+	if !almostEqual(m.Variance, 1.25, 1e-14) {
+		t.Errorf("var %v", m.Variance)
+	}
+	if !almostEqual(m.Skewness, 0, 1e-14) {
+		t.Errorf("skew %v", m.Skewness)
+	}
+}
+
+func TestMomentsEmptyAndConstant(t *testing.T) {
+	if m := Moments(nil); m.N != 0 {
+		t.Error("empty moments")
+	}
+	m := Moments([]float64{7, 7, 7})
+	if m.Variance != 0 || m.Skewness != 0 || m.Kurtosis != 3 {
+		t.Errorf("constant sample moments: %+v", m)
+	}
+}
+
+func TestWeightedMomentsEqualWeights(t *testing.T) {
+	xs := []float64{0.5, 1.5, -2, 4, 8, 1}
+	ws := []float64{2, 2, 2, 2, 2, 2}
+	a := Moments(xs)
+	b := WeightedMoments(xs, ws)
+	if !almostEqual(a.Mean, b.Mean, 1e-12) || !almostEqual(a.Variance, b.Variance, 1e-12) ||
+		!almostEqual(a.Skewness, b.Skewness, 1e-12) || !almostEqual(a.Kurtosis, b.Kurtosis, 1e-12) {
+		t.Errorf("weighted != unweighted: %+v vs %+v", a, b)
+	}
+}
+
+func TestWeightedMomentsSubset(t *testing.T) {
+	// Zero weights must exclude points entirely.
+	xs := []float64{1, 2, 3, 100}
+	ws := []float64{1, 1, 1, 0}
+	m := WeightedMoments(xs, ws)
+	want := Moments([]float64{1, 2, 3})
+	if !almostEqual(m.Mean, want.Mean, 1e-12) || !almostEqual(m.Variance, want.Variance, 1e-12) {
+		t.Errorf("subset moments %+v want %+v", m, want)
+	}
+}
+
+func TestWeightedMomentsDegenerate(t *testing.T) {
+	if m := WeightedMoments([]float64{1}, []float64{1, 2}); m.N != 0 {
+		t.Error("length mismatch should return zero moments")
+	}
+	if m := WeightedMoments([]float64{1, 2}, []float64{0, 0}); m.N != 0 {
+		t.Error("zero weights should return zero moments")
+	}
+}
+
+func TestCumulantsRoundTrip(t *testing.T) {
+	f := func(mean, vr, sk, kr float64) bool {
+		v := math.Abs(math.Mod(vr, 10)) + 0.01
+		s := math.Mod(sk, 2)
+		k := math.Mod(kr, 5) + 3
+		sm := SampleMoments{Mean: math.Mod(mean, 50), Variance: v, Skewness: s, Kurtosis: k}
+		k1, k2, k3, k4 := sm.Cumulants4()
+		back := MomentsFromCumulants(k1, k2, k3, k4)
+		return almostEqual(back.Mean, sm.Mean, 1e-10) &&
+			almostEqual(back.Variance, sm.Variance, 1e-10) &&
+			almostEqual(back.Skewness, sm.Skewness, 1e-8) &&
+			almostEqual(back.Kurtosis, sm.Kurtosis, 1e-8)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistMomentsClosedFormPath(t *testing.T) {
+	s := SkewNormal{Xi: 0, Omega: 1, Alpha: 3}
+	dm := DistMoments(s)
+	if !almostEqual(dm.Skewness, s.Skewness(), 1e-12) {
+		t.Errorf("DistMoments skew %v want %v", dm.Skewness, s.Skewness())
+	}
+	if !almostEqual(dm.Kurtosis, s.ExcessKurtosis()+3, 1e-12) {
+		t.Errorf("DistMoments kurt %v want %v", dm.Kurtosis, s.ExcessKurtosis()+3)
+	}
+}
+
+func TestDistMomentsQuadraturePath(t *testing.T) {
+	// Mixture has no closed-form Skewness method; quadrature path is used.
+	m := twoSN()
+	dm := DistMoments(m)
+	// Cross-check against a large sample.
+	rng := rand.New(rand.NewSource(29))
+	xs := make([]float64, 300000)
+	for i := range xs {
+		xs[i] = m.Sample(rng)
+	}
+	sm := Moments(xs)
+	if !almostEqual(dm.Skewness, sm.Skewness, 0.02) {
+		t.Errorf("mixture skew %v vs sampled %v", dm.Skewness, sm.Skewness)
+	}
+	if !almostEqual(dm.Kurtosis, sm.Kurtosis, 0.06) {
+		t.Errorf("mixture kurt %v vs sampled %v", dm.Kurtosis, sm.Kurtosis)
+	}
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestStdNormCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{2, 0.9772498680518208},
+		{-3, 0.0013498980316300945},
+	}
+	for _, c := range cases {
+		if got := StdNormCDF(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("StdNormCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestStdNormQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-9, 1e-4, 0.01, 0.1, 0.5, 0.9, 0.99, 0.9999, 1 - 1e-9} {
+		x := StdNormQuantile(p)
+		if got := StdNormCDF(x); !almostEqual(got, p, 1e-11) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestStdNormQuantileEdge(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if !math.IsNaN(StdNormQuantile(p)) {
+			t.Errorf("StdNormQuantile(%v) should be NaN", p)
+		}
+	}
+}
+
+func TestNormalDist(t *testing.T) {
+	n := Normal{Mu: 2, Sigma: 3}
+	if got := n.Mean(); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := n.Variance(); got != 9 {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := n.CDF(2); !almostEqual(got, 0.5, 1e-14) {
+		t.Errorf("CDF(mu) = %v", got)
+	}
+	if got := n.Quantile(0.5); !almostEqual(got, 2, 1e-9) {
+		t.Errorf("Quantile(0.5) = %v", got)
+	}
+	// PDF integrates to 1.
+	tot := integrate(n.PDF, 2-30, 2+30, 40)
+	if !almostEqual(tot, 1, 1e-10) {
+		t.Errorf("PDF integral = %v", tot)
+	}
+}
+
+func TestNormalDegenerateSigma(t *testing.T) {
+	n := Normal{Mu: 1, Sigma: 0}
+	if n.CDF(0.999) != 0 || n.CDF(1.0) != 1 {
+		t.Errorf("degenerate CDF: %v %v", n.CDF(0.999), n.CDF(1.0))
+	}
+	if n.PDF(0) != 0 {
+		t.Errorf("degenerate PDF off-atom should be 0")
+	}
+}
+
+func TestNormalSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := Normal{Mu: -1, Sigma: 0.5}
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = n.Sample(rng)
+	}
+	m := Moments(xs)
+	if !almostEqual(m.Mean, -1, 5e-3) {
+		t.Errorf("sample mean %v", m.Mean)
+	}
+	if !almostEqual(m.Std(), 0.5, 5e-3) {
+		t.Errorf("sample std %v", m.Std())
+	}
+}
+
+// Property: CDF is monotone non-decreasing for arbitrary normals.
+func TestNormalCDFMonotoneProperty(t *testing.T) {
+	f := func(mu, sigmaRaw, a, b float64) bool {
+		sigma := math.Abs(sigmaRaw) + 1e-6
+		n := Normal{Mu: mu, Sigma: sigma}
+		if b < a {
+			a, b = b, a
+		}
+		return n.CDF(a) <= n.CDF(b)+1e-15
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package stats
+
+import "math"
+
+// OwenT computes Owen's T function
+//
+//	T(h, a) = 1/(2π) ∫₀ᵃ exp(−h²(1+t²)/2)/(1+t²) dt,
+//
+// which appears in the skew-normal CDF: F_SN(z; α) = Φ(z) − 2·T(z, α).
+//
+// The implementation reduces |a| to ≤ 1 with the classical identity
+//
+//	T(h, a) = ½Φ(h) + ½Φ(ah) − Φ(h)Φ(ah) − T(ah, 1/a)   (a > 0)
+//
+// and integrates the reduced range with panelised Gauss-Legendre
+// quadrature; accuracy is ~1e-14 over the range exercised here.
+func OwenT(h, a float64) float64 {
+	if a == 0 || math.IsNaN(h) || math.IsNaN(a) {
+		return 0
+	}
+	// Symmetries: T(h,a) is even in h and odd in a.
+	if h < 0 {
+		h = -h
+	}
+	if a < 0 {
+		return -OwenT(h, -a)
+	}
+	if math.IsInf(a, 1) {
+		// T(h, ∞) = (1 − Φ(h)) / 2 for h ≥ 0.
+		return 0.5 * (1 - StdNormCDF(h))
+	}
+	if a > 1 {
+		ah := a * h
+		return 0.5*StdNormCDF(h) + 0.5*StdNormCDF(ah) -
+			StdNormCDF(h)*StdNormCDF(ah) - owenTCore(ah, 1/a)
+	}
+	return owenTCore(h, a)
+}
+
+// owenTCore integrates the Owen integrand for 0 <= a <= 1, h >= 0.
+func owenTCore(h, a float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	f := func(t float64) float64 {
+		return math.Exp(-0.5*h*h*(1+t*t)) / (1 + t*t)
+	}
+	// 8 panels of 16-point GL resolve the integrand to ~1e-15 on [0,1].
+	return integrate(f, 0, a, 8) / (2 * math.Pi)
+}

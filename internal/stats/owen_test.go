@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOwenTKnownIdentities(t *testing.T) {
+	// T(0, a) = atan(a) / (2π).
+	for _, a := range []float64{0.1, 0.5, 1, 2, 10} {
+		want := math.Atan(a) / (2 * math.Pi)
+		if got := OwenT(0, a); !almostEqual(got, want, 1e-12) {
+			t.Errorf("OwenT(0,%v) = %v, want %v", a, got, want)
+		}
+	}
+	// T(h, 1) = Φ(h)(1 − Φ(h)) / 2.
+	for _, h := range []float64{0, 0.3, 1, 2.5, 4} {
+		ph := StdNormCDF(h)
+		want := 0.5 * ph * (1 - ph)
+		if got := OwenT(h, 1); !almostEqual(got, want, 1e-12) {
+			t.Errorf("OwenT(%v,1) = %v, want %v", h, got, want)
+		}
+	}
+}
+
+func TestOwenTSymmetries(t *testing.T) {
+	for _, h := range []float64{0.2, 1.1, 3} {
+		for _, a := range []float64{0.4, 1.7, 6} {
+			if got, want := OwenT(-h, a), OwenT(h, a); !almostEqual(got, want, 1e-13) {
+				t.Errorf("even in h: T(%v,%v)", -h, a)
+			}
+			if got, want := OwenT(h, -a), -OwenT(h, a); !almostEqual(got, want, 1e-13) {
+				t.Errorf("odd in a: T(%v,%v)", h, -a)
+			}
+		}
+	}
+	if OwenT(1, 0) != 0 {
+		t.Error("T(h,0) must be 0")
+	}
+}
+
+func TestOwenTInfiniteA(t *testing.T) {
+	for _, h := range []float64{0, 0.5, 2} {
+		want := 0.5 * (1 - StdNormCDF(h))
+		if got := OwenT(h, math.Inf(1)); !almostEqual(got, want, 1e-13) {
+			t.Errorf("T(%v, inf) = %v want %v", h, got, want)
+		}
+	}
+}
+
+// Property: 0 <= T(h,a) <= 1/4 for a >= 0 (bounds from the definition).
+func TestOwenTBoundsProperty(t *testing.T) {
+	f := func(hr, ar float64) bool {
+		h := math.Mod(math.Abs(hr), 8)
+		a := math.Mod(math.Abs(ar), 50)
+		v := OwenT(h, a)
+		return v >= -1e-15 && v <= 0.25+1e-12
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cross-check against brute-force quadrature for moderate parameters.
+func TestOwenTQuadratureCrossCheck(t *testing.T) {
+	brute := func(h, a float64) float64 {
+		return integrate(func(x float64) float64 {
+			return math.Exp(-0.5*h*h*(1+x*x)) / (1 + x*x)
+		}, 0, a, 64) / (2 * math.Pi)
+	}
+	for _, h := range []float64{0.1, 0.9, 2.2} {
+		for _, a := range []float64{0.3, 0.9, 1.8, 5} {
+			if got, want := OwenT(h, a), brute(h, a); !almostEqual(got, want, 1e-11) {
+				t.Errorf("T(%v,%v) = %v, brute %v", h, a, got, want)
+			}
+		}
+	}
+}

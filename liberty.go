@@ -1,0 +1,53 @@
+package lvf2
+
+import (
+	"io"
+
+	"lvf2/internal/liberty"
+)
+
+// Liberty file support: the facade re-exports the parser/writer and the
+// LVF/LVF² attribute binding of the paper's §3.3.
+
+// LibertyGroup is a parsed Liberty group statement.
+type LibertyGroup = liberty.Group
+
+// LibertyTable is a Liberty lookup table (index_1 × index_2 values).
+type LibertyTable = liberty.Table
+
+// TimingTables binds the nominal, LVF and LVF² tables of one timing
+// quantity (cell_rise, cell_fall, rise_transition or fall_transition).
+type TimingTables = liberty.TimingModel
+
+// ParseLiberty parses Liberty text.
+func ParseLiberty(src string) (*LibertyGroup, error) { return liberty.Parse(src) }
+
+// ParseLibertyFile parses a .lib file from disk.
+func ParseLibertyFile(path string) (*LibertyGroup, error) { return liberty.ParseFile(path) }
+
+// ParseLibertyReader parses Liberty text from a reader.
+func ParseLibertyReader(r io.Reader) (*LibertyGroup, error) { return liberty.ParseReader(r) }
+
+// ExtractTimingTables pulls one base quantity's tables out of a timing()
+// group, applying the LVF² inheritance defaults (absent LVF² tables fall
+// back to the classic LVF ones; λ defaults to zero per eq. 10).
+func ExtractTimingTables(timing *LibertyGroup, base string) (*TimingTables, error) {
+	return liberty.ExtractTimingModel(timing, base)
+}
+
+// TimingTablesFromModels builds the Liberty table set from a grid of
+// fitted LVF² models plus the nominal value grid.
+func TimingTablesFromModels(base string, index1, index2 []float64, nominal [][]float64, models [][]Model) *TimingTables {
+	return liberty.TimingModelFromFits(base, index1, index2, nominal, models)
+}
+
+// LintIssue is one finding of the Liberty sanity checker.
+type LintIssue = liberty.LintIssue
+
+// LintLibrary checks a parsed library for the structural and statistical
+// problems that silently corrupt SSTA (table-shape mismatches, weights
+// outside [0,1], negative sigmas, missing arcs, dangling templates).
+func LintLibrary(g *LibertyGroup) []LintIssue { return liberty.Lint(g) }
+
+// LintHasErrors reports whether any finding is an error (vs warning).
+func LintHasErrors(issues []LintIssue) bool { return liberty.HasErrors(issues) }

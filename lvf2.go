@@ -1,0 +1,123 @@
+// Package lvf2 is a statistical timing library implementing LVF² — the
+// Gaussian-mixture extension of the Liberty Variation Format proposed in
+// Zhou et al., "LVF²: A Statistical Timing Model based on Gaussian Mixture
+// for Yield Estimation and Speed Binning" (DAC 2024) — together with
+// everything needed to use and evaluate it:
+//
+//   - the LVF² model itself (a weighted mixture of two skew-normals,
+//     fitted by EM with K-means + method-of-moments initialisation) and
+//     the three comparator models of the paper (LVF, Norm², LESN);
+//   - speed binning and yield estimation (bin probabilities over μ±kσ
+//     boundaries, 3σ-yield, CDF RMSE, error-reduction scoring);
+//   - a Liberty (.lib) parser/writer with the classic LVF OCV attributes
+//     and the seven backward-compatible LVF² attributes of the paper;
+//   - block-based SSTA with per-model sum/max algebra and the CLT
+//     convergence bound that governs when LVF² stops paying off;
+//   - a synthetic 25-type standard-cell library and variation-aware
+//     electrical model standing in for the paper's TSMC 22nm + SPICE MC
+//     characterisation flow (see DESIGN.md for the substitution rationale).
+//
+// This root package is the stable facade: it re-exports the user-level
+// API from the internal packages. See the examples/ directory for
+// runnable walkthroughs and cmd/ for the command-line tools.
+package lvf2
+
+import (
+	"lvf2/internal/binning"
+	"lvf2/internal/core"
+	"lvf2/internal/fit"
+	"lvf2/internal/stats"
+)
+
+// Model is the LVF² statistical timing model of eq. (4): a mixture of two
+// weighted skew-normal distributions parameterised by statistical-moment
+// vectors. λ = 0 degenerates to the industry-standard LVF (eq. 10).
+type Model = core.Model
+
+// Theta is an LVF moments vector θ = (μ, σ, γ).
+type Theta = core.Theta
+
+// FitOptions tunes the iterative fitters.
+type FitOptions = fit.Options
+
+// Dist is a univariate continuous distribution (PDF/CDF/moments).
+type Dist = stats.Dist
+
+// ModelKind selects one of the four timing models of the paper's
+// comparison.
+type ModelKind = fit.Model
+
+// The four timing models.
+const (
+	KindLVF   = fit.ModelLVF   // single skew-normal (industry baseline)
+	KindNorm2 = fit.ModelNorm2 // two-component Gaussian mixture
+	KindLESN  = fit.ModelLESN  // log-extended-skew-normal
+	KindLVF2  = fit.ModelLVF2  // the paper's contribution
+)
+
+// Fit fits the LVF² model to delay or transition samples using the EM
+// algorithm of the paper's §3.2.
+func Fit(samples []float64, o FitOptions) (Model, error) {
+	return core.FitModel(samples, o)
+}
+
+// FitLVF fits the single-skew-normal industry baseline by the method of
+// moments.
+func FitLVF(samples []float64) (Model, error) {
+	return core.FitLVFModel(samples)
+}
+
+// FitKind fits any of the four models and returns its distribution.
+func FitKind(kind ModelKind, samples []float64, o FitOptions) (Dist, error) {
+	r, err := fit.Fit(kind, samples, o)
+	if err != nil {
+		return nil, err
+	}
+	return r.Dist, nil
+}
+
+// FromLVF lifts a classic LVF moments vector into LVF² (λ = 0).
+func FromLVF(t Theta) Model { return core.FromLVF(t) }
+
+// ---------------------------------------------------------------- binning
+
+// Boundaries is a sorted list of speed-bin thresholds.
+type Boundaries = binning.Boundaries
+
+// Metrics bundles the paper's three evaluation metrics.
+type Metrics = binning.Metrics
+
+// SigmaBoundaries returns the paper's eight-bin boundaries
+// μ±3σ, μ±2σ, μ±σ, μ.
+func SigmaBoundaries(mean, sd float64) Boundaries {
+	return binning.SigmaBoundaries(mean, sd)
+}
+
+// BinProbabilities evaluates eq. (1) for a fitted distribution.
+func BinProbabilities(d Dist, b Boundaries) []float64 {
+	return binning.DistProbabilities(d, b)
+}
+
+// Yield3Sigma returns P(t ≤ μ+3σ) under the model CDF, with μ, σ taken
+// from the golden distribution.
+func Yield3Sigma(d Dist, goldenMean, goldenSd float64) float64 {
+	return binning.Yield3Sigma(d.CDF, goldenMean, goldenSd)
+}
+
+// EvaluateAgainst scores a model distribution against golden samples,
+// returning binning error, 3σ-yield error and CDF RMSE.
+func EvaluateAgainst(model Dist, goldenSamples []float64) Metrics {
+	return binning.Evaluate(model, stats.NewEmpirical(goldenSamples))
+}
+
+// ErrorReduction is the eq. (12) normalisation:
+// |baselineError| / |resultError|.
+func ErrorReduction(baselineErr, resultErr float64) float64 {
+	return binning.ErrorReduction(baselineErr, resultErr)
+}
+
+// ExpectedRevenue prices a binned distribution (Fig. 2's economics):
+// Σ P(binᵢ)·priceᵢ.
+func ExpectedRevenue(probs, prices []float64) float64 {
+	return binning.ExpectedRevenue(probs, prices)
+}

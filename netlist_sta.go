@@ -1,0 +1,52 @@
+package lvf2
+
+import (
+	"lvf2/internal/liberty"
+	"lvf2/internal/netlist"
+	"lvf2/internal/sta"
+)
+
+// Netlist + STA support: parse gate-level Verilog and run block-based
+// statistical timing against a Liberty library.
+
+// NetlistModule is a flat structural gate-level module.
+type NetlistModule = netlist.Module
+
+// STAOptions configures a statistical timing run.
+type STAOptions = sta.Options
+
+// STAResult holds per-net nominal and statistical arrivals.
+type STAResult = sta.Result
+
+// SemanticLibrary is the typed view of a parsed Liberty library.
+type SemanticLibrary = liberty.Library
+
+// ParseNetlist reads one structural Verilog module (modules, scalar
+// ports, wires, named-connection instances).
+func ParseNetlist(src string) (*NetlistModule, error) { return netlist.Parse(src) }
+
+// ChainNetlist builds an n-stage single-input-cell chain.
+func ChainNetlist(name, cellType string, n int) *NetlistModule {
+	return netlist.Chain(name, cellType, n)
+}
+
+// RippleCarryAdderNetlist builds the NAND2-decomposed carry chain of an
+// n-bit ripple-carry adder (Fig. 5's first benchmark as a netlist).
+func RippleCarryAdderNetlist(bits int) *NetlistModule {
+	return netlist.RippleCarryAdder(bits)
+}
+
+// BufferTreeNetlist builds a balanced binary buffer tree.
+func BufferTreeNetlist(depth int) *NetlistModule { return netlist.BufferTree(depth) }
+
+// LoadSemanticLibrary converts a parsed Liberty group into the typed view
+// an STA run consumes.
+func LoadSemanticLibrary(g *LibertyGroup) (*SemanticLibrary, error) {
+	return liberty.LoadLibrary(g)
+}
+
+// RunSTA analyses a netlist against a library, propagating nominal timing
+// plus the LVF and LVF² statistical views.
+func RunSTA(lib *SemanticLibrary, m *NetlistModule, o STAOptions) (*STAResult, error) {
+	return sta.Run(lib, m, o)
+}
