@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test vet race check fuzz bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 20m ./...
+
+# The gate: vet + build + full suite under the race detector.
+check: vet build race
+
+# Short fuzz pass over the Liberty parser targets.
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s -run '^$$' ./internal/liberty/
+	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s -run '^$$' ./internal/liberty/
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -30,7 +30,10 @@ import (
 // reports LVF²'s average binning error reduction.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table1(experiments.Config{Samples: 4000, Seed: 42})
+		rows, err := experiments.Table1(experiments.Config{Samples: 4000, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
 		var avg float64
 		for _, r := range rows {
 			avg += r.BinReduction[fit.ModelLVF2]
@@ -44,11 +47,14 @@ func BenchmarkTable1(b *testing.B) {
 // LVF² reductions.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table2(experiments.Table2Config{
+		rows, err := experiments.Table2(experiments.Table2Config{
 			Config:      experiments.Config{Samples: 2000, Seed: 42},
 			ArcsPerType: 1,
 			GridStride:  4,
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		db, tb, dy, ty := experiments.Table2Averages(rows)
 		b.ReportMetric(db[fit.ModelLVF2], "delay-bin-x")
 		b.ReportMetric(tb[fit.ModelLVF2], "trans-bin-x")
@@ -61,7 +67,10 @@ func BenchmarkTable2(b *testing.B) {
 // Fig. 1 concept panel) and reports the CSV size as a sanity metric.
 func BenchmarkFig3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table1(experiments.Config{Samples: 4000, Seed: 42})
+		rows, err := experiments.Table1(experiments.Config{Samples: 4000, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
 		csv := experiments.Fig3CSV(rows, 100)
 		b.ReportMetric(float64(strings.Count(csv, "\n")), "csv-rows")
 	}
@@ -121,8 +130,11 @@ func BenchmarkFig5HTree(b *testing.B) {
 // polish, reporting the log-likelihood gap.
 func BenchmarkAblationMStep(b *testing.B) {
 	rng := mc.NewRNG(7)
-	sc := spice.Scenarios()[0]
-	xs := sc.GoldenSamples(rng, 4000)
+	scs, err := spice.Scenarios()
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := scs[0].GoldenSamples(rng, 4000)
 	for i := 0; i < b.N; i++ {
 		plain, err := fit.FitLVF2(xs, fit.Options{})
 		if err != nil {
@@ -287,7 +299,11 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 
 func benchSamples(n int) []float64 {
 	rng := mc.NewRNG(3)
-	return spice.Scenarios()[2].GoldenSamples(rng, n)
+	scs, err := spice.Scenarios()
+	if err != nil {
+		panic(err) // bench fixture: definitions are compile-time constants
+	}
+	return scs[2].GoldenSamples(rng, n)
 }
 
 // BenchmarkFitLVF2 measures one EM fit of the paper's model.

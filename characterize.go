@@ -73,5 +73,6 @@ func HTree6(corner Corner) CircuitPath { return circuits.HTree6(corner) }
 // degree of bimodality (biasSigma = 0 is maximally bimodal).
 func FO4Chain(n int, biasSigma float64) CircuitPath { return circuits.FO4Chain(n, biasSigma) }
 
-// FO4Delay returns the library's fanout-of-4 inverter delay at the corner.
-func FO4Delay(corner Corner) float64 { return circuits.FO4Delay(corner) }
+// FO4Delay returns the library's fanout-of-4 inverter delay at the
+// corner, or an error when the library lacks the INV cell.
+func FO4Delay(corner Corner) (float64, error) { return circuits.FO4Delay(corner) }

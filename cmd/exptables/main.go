@@ -61,13 +61,19 @@ func main() {
 	}
 
 	run("table1", func() error {
-		rows := experiments.Table1(cfg)
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
 		fmt.Print(experiments.RenderTable1(rows))
 		fmt.Println()
 		return nil
 	})
 	run("fig3", func() error {
-		rows := experiments.Table1(cfg)
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
 		fmt.Print(experiments.Fig3CSV(rows, 200))
 		if *svgDir != "" {
 			for slug, svg := range experiments.Fig3SVGs(rows, 240) {
@@ -83,7 +89,10 @@ func main() {
 		if *arcs == 0 {
 			t2.ArcsPerType = -1 // all arcs
 		}
-		rows := experiments.Table2(t2)
+		rows, err := experiments.Table2(t2)
+		if err != nil {
+			return err
+		}
 		experiments.SortRowsLikePaper(rows)
 		fmt.Print(experiments.RenderTable2(rows))
 		fmt.Println()

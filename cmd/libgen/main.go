@@ -2,13 +2,21 @@
 // Monte-Carlo simulation and emits a Liberty (.lib) file with classic LVF
 // and, optionally, the paper's LVF² attributes.
 //
+// Fits run through the graceful-degradation ladder (LVF² → Norm² → LVF →
+// Gaussian): a grid point whose requested fit fails validation is retried
+// and then degraded instead of aborting the run. Every fallback is
+// reported on stderr and recorded in the emitted library as an
+// ocv_fallback_note_* attribute.
+//
 // Usage:
 //
 //	libgen -cells INV,NAND2 -arcs 1 -samples 5000 -format lvf2 -o out.lib
-//	libgen -cells all -arcs 2 -stride 4 -format lvf -o classic.lib
+//	libgen -cells all -arcs 2 -stride 4 -format lvf -timeout 5m -o classic.lib
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,12 +37,19 @@ func main() {
 		stride   = flag.Int("stride", 1, "grid stride (1 = full 8x8)")
 		format   = flag.String("format", "lvf2", "output format: lvf | lvf2")
 		seed     = flag.Uint64("seed", 1, "RNG seed")
+		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget, e.g. 5m (0 = unlimited)")
 		out      = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
 	if *format != "lvf" && *format != "lvf2" {
 		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	var types []cells.CellType
 	if *cellList == "all" {
@@ -59,6 +74,7 @@ func main() {
 	}, "delay_template_8x8", grid.Slews, grid.Loads)
 
 	charCfg := cells.CharConfig{Samples: *samples, Seed: *seed, GridStride: *stride}
+	fallbacks := 0
 	for _, ct := range types {
 		pins := inputPins(ct.Inputs)
 		outPin := liberty.AddCell(lib, ct.Name, pins, ct.Base.CapIn, "ZN", "")
@@ -74,11 +90,19 @@ func main() {
 		}
 		for _, arc := range arcList {
 			timing := liberty.AddTiming(outPin, pins[arc.Index%len(pins)], "positive_unate")
-			if err := emitArc(timing, charCfg, grid, arc, *format == "lvf2"); err != nil {
+			n, err := emitArc(ctx, timing, charCfg, grid, arc, *format == "lvf2")
+			if errors.Is(err, context.DeadlineExceeded) {
+				fatal(fmt.Errorf("timed out after %v (raise -timeout or -stride)", *timeout))
+			}
+			if err != nil {
 				fatal(err)
 			}
+			fallbacks += n
 		}
 		fmt.Fprintf(os.Stderr, "libgen: characterised %s (%d arcs)\n", ct.Name, len(arcList))
+	}
+	if fallbacks > 0 {
+		fmt.Fprintf(os.Stderr, "libgen: %d fit(s) fell back to a degraded model (see ocv_fallback_note_* attributes)\n", fallbacks)
 	}
 
 	w := os.Stdout
@@ -97,8 +121,9 @@ func main() {
 
 // emitArc characterises one arc and appends cell_rise/rise_transition
 // tables (the synthetic model is edge-symmetric, so one polarity is
-// emitted per arc).
-func emitArc(timing *liberty.Group, cfg cells.CharConfig, grid cells.Grid, arc cells.Arc, lvf2 bool) error {
+// emitted per arc). It returns how many grid points were produced by a
+// fallback rung rather than the requested model.
+func emitArc(ctx context.Context, timing *liberty.Group, cfg cells.CharConfig, grid cells.Grid, arc cells.Arc, lvf2 bool) (int, error) {
 	rows := len(grid.Slews) / cfg.GridStride
 	cols := len(grid.Loads) / cfg.GridStride
 	if len(grid.Slews)%cfg.GridStride != 0 {
@@ -126,19 +151,31 @@ func emitArc(timing *liberty.Group, cfg cells.CharConfig, grid cells.Grid, arc c
 	}
 	nomD, modD := mk()
 	nomT, modT := mk()
+	var notesD, notesT []string
 
-	for _, d := range cells.CharacterizeArc(cfg, arc) {
+	requested := fit.ModelLVF
+	if lvf2 {
+		requested = fit.ModelLVF2
+	}
+	dists, err := cells.CharacterizeArcCtx(ctx, cfg, arc)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range dists {
 		i := d.SlewIdx / cfg.GridStride
 		j := d.LoadIdx / cfg.GridStride
-		var m core.Model
-		var err error
-		if lvf2 {
-			m, err = core.FitModel(d.Samples, fit.Options{})
-		} else {
-			m, err = core.FitLVFModel(d.Samples)
-		}
+		m, rep, err := core.FitKindRobust(requested, d.Samples, fit.RobustOptions{})
 		if err != nil {
-			return fmt.Errorf("fit %s (%d,%d): %w", d.Arc.Label, i, j, err)
+			return 0, fmt.Errorf("fit %s (%d,%d): %w", d.Arc.Label, i, j, err)
+		}
+		if rep.Fallback || rep.Degenerate || rep.Dropped > 0 {
+			note := fmt.Sprintf("%s (%d,%d): %s", d.Arc.Label, i, j, rep)
+			fmt.Fprintf(os.Stderr, "libgen: fallback: %s\n", note)
+			if d.Kind == cells.Delay {
+				notesD = append(notesD, note)
+			} else {
+				notesT = append(notesT, note)
+			}
 		}
 		if d.Kind == cells.Delay {
 			nomD[i][j], modD[i][j] = d.NomDelay, m
@@ -146,11 +183,13 @@ func emitArc(timing *liberty.Group, cfg cells.CharConfig, grid cells.Grid, arc c
 			nomT[i][j], modT[i][j] = d.NomDelay, m
 		}
 	}
-	liberty.TimingModelFromFits("cell_rise", idx1, idx2, nomD, modD).
-		AppendTo(timing, "delay_template_8x8", lvf2)
-	liberty.TimingModelFromFits("rise_transition", idx1, idx2, nomT, modT).
-		AppendTo(timing, "delay_template_8x8", lvf2)
-	return nil
+	tmD := liberty.TimingModelFromFits("cell_rise", idx1, idx2, nomD, modD)
+	tmD.FallbackNote = strings.Join(notesD, "; ")
+	tmD.AppendTo(timing, "delay_template_8x8", lvf2)
+	tmT := liberty.TimingModelFromFits("rise_transition", idx1, idx2, nomT, modT)
+	tmT.FallbackNote = strings.Join(notesT, "; ")
+	tmT.AppendTo(timing, "delay_template_8x8", lvf2)
+	return len(notesD) + len(notesT), nil
 }
 
 func inputPins(n int) []string {

@@ -2,20 +2,27 @@
 // LESN, LVF) to a sample file — one floating-point value per line — and
 // reports parameters, fit quality and the paper's evaluation metrics.
 //
+// Fits run through the graceful-degradation ladder: a model whose fit
+// fails validation is retried from perturbed starts and then degraded
+// (LVF² → Norm² → LVF → Gaussian); the fallback provenance is printed
+// with the metrics. -timeout bounds the wall-clock budget of each fit.
+//
 // Usage:
 //
 //	lvf2fit -in delays.txt
-//	lvf2fit -in delays.txt -model lvf2 -polish
+//	lvf2fit -in delays.txt -model lvf2 -polish -timeout 30s
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"lvf2/internal/binning"
 	"lvf2/internal/fit"
@@ -24,10 +31,11 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input sample file (default stdin)")
-		model  = flag.String("model", "all", "model to fit: lvf|norm2|lesn|lvf2|all")
-		polish = flag.Bool("polish", false, "enable MLE polish for LVF2")
-		autok  = flag.Int("autok", 0, "select component count 1..k by BIC and report it")
+		in      = flag.String("in", "", "input sample file (default stdin)")
+		model   = flag.String("model", "all", "model to fit: lvf|norm2|lesn|lvf2|all")
+		polish  = flag.Bool("polish", false, "enable MLE polish for LVF2")
+		autok   = flag.Int("autok", 0, "select component count 1..k by BIC and report it")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget per fit, e.g. 30s (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -74,7 +82,7 @@ func main() {
 	}
 
 	for _, mk := range models {
-		res, err := fit.Fit(mk, xs, opts)
+		res, rep, err := fitOne(mk, xs, opts, *timeout)
 		if err != nil {
 			fmt.Printf("%-6s fit failed: %v\n", mk, err)
 			continue
@@ -90,7 +98,40 @@ func main() {
 				binning.Cap(binning.ErrorReduction(baseline.YieldErr, met.YieldErr), 999))
 		}
 		fmt.Println()
-		printParams(mk, xs, opts)
+		if rep.Fallback || rep.Degenerate || rep.Dropped > 0 {
+			fmt.Printf("        fallback: %s\n", rep)
+		}
+		printParams(rep.Used, xs, opts)
+	}
+}
+
+// fitOne runs one model through the robust degradation ladder, bounded by
+// the per-fit wall-clock budget (0 = unlimited). A fit that overruns the
+// budget is reported as context.DeadlineExceeded; its goroutine finishes
+// in the background and is discarded.
+func fitOne(mk fit.Model, xs []float64, opts fit.Options, budget time.Duration) (fit.Result, fit.FitReport, error) {
+	ro := fit.RobustOptions{Options: opts}
+	if budget <= 0 {
+		return fit.FitRobust(mk, xs, ro)
+	}
+	type outcome struct {
+		res fit.Result
+		rep fit.FitReport
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, rep, err := fit.FitRobust(mk, xs, ro)
+		ch <- outcome{res, rep, err}
+	}()
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.rep, o.err
+	case <-timer.C:
+		return fit.Result{}, fit.FitReport{Requested: mk, Used: mk},
+			fmt.Errorf("%w after %v", context.DeadlineExceeded, budget)
 	}
 }
 

@@ -45,9 +45,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	fo4 := circuits.FO4Delay(corner)
+	fo4, err := circuits.FO4Delay(corner)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssta: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("circuit: %s  stages: %d  nominal: %.4f ns  depth: %.1f FO4 (FO4 = %.4f ns)\n\n",
-		path.Name, len(path.Stages), path.TotalNominal(corner), path.FO4Depth(corner), fo4)
+		path.Name, len(path.Stages), path.TotalNominal(corner), path.TotalNominal(corner)/fo4, fo4)
 
 	res, err := experiments.Fig5(experiments.Config{Samples: *samples, Seed: *seed}, path, corner)
 	if err != nil {

@@ -16,9 +16,16 @@ import (
 func main() {
 	corner := lvf2.TTCorner()
 	path := lvf2.CarryAdder16(corner)
-	fo4 := lvf2.FO4Delay(corner)
+	fo4, err := lvf2.FO4Delay(corner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	depth, err := path.FO4Depth(corner)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("circuit %s: %d stages, %.1f FO4 deep (FO4 = %.4f ns)\n\n",
-		path.Name, len(path.Stages), path.FO4Depth(corner), fo4)
+		path.Name, len(path.Stages), depth, fo4)
 
 	// Monte-Carlo characterise every stage (independent local variation)
 	// and run block-based SSTA for all four model families.

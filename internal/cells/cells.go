@@ -7,8 +7,10 @@
 package cells
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"time"
 
 	"lvf2/internal/mc"
 	"lvf2/internal/spice"
@@ -169,6 +171,17 @@ type Distribution struct {
 	NomDelay float64 // nominal (variation-free) value of this kind
 }
 
+// EvalFunc is the Monte-Carlo evaluator seam: it produces the sample sets
+// of one (arc, slew, load) grid point. The default evaluates the arc's
+// electrical model; fault-injection harnesses substitute contaminated or
+// panicking evaluators to exercise the pipeline's failure paths.
+type EvalFunc func(arc Arc, corner spice.Corner, rng *mc.RNG, n int, slewNS, loadPF float64, s spice.Sampler) spice.MCResult
+
+// DefaultEval evaluates the arc's own electrical model.
+func DefaultEval(arc Arc, corner spice.Corner, rng *mc.RNG, n int, slewNS, loadPF float64, s spice.Sampler) spice.MCResult {
+	return arc.Elec.CharacterizeWith(corner, rng, n, slewNS, loadPF, s)
+}
+
 // CharConfig controls a characterisation run. The paper's full scale is
 // Samples=50000 over all 64 grid points of every arc; the reduced defaults
 // keep test runs fast while exercising identical code paths.
@@ -182,6 +195,14 @@ type CharConfig struct {
 	// Sampler selects the process-space sampling scheme (default LHS,
 	// the paper's choice).
 	Sampler spice.Sampler
+	// Workers bounds the parallelism of CharacterizeLibrary (default
+	// GOMAXPROCS).
+	Workers int
+	// ArcTimeout bounds the wall time of a single arc's characterisation
+	// (0 = none). Enforcement is cooperative at grid-point boundaries.
+	ArcTimeout time.Duration
+	// Eval overrides the Monte-Carlo evaluator (default DefaultEval).
+	Eval EvalFunc
 }
 
 // WithDefaults fills zero fields.
@@ -201,19 +222,33 @@ func (c CharConfig) WithDefaults() CharConfig {
 	if c.Seed == 0 {
 		c.Seed = 0x5eed
 	}
+	if c.Eval == nil {
+		c.Eval = DefaultEval
+	}
 	return c
 }
 
 // CharacterizeArc runs the MC characterisation of one arc over the grid,
 // returning a delay and a transition distribution per visited point.
 func CharacterizeArc(cfg CharConfig, arc Arc) []Distribution {
+	out, _ := CharacterizeArcCtx(context.Background(), cfg, arc)
+	return out
+}
+
+// CharacterizeArcCtx is CharacterizeArc with cooperative cancellation: the
+// context is checked at every grid point and its error returned alongside
+// the distributions characterised so far.
+func CharacterizeArcCtx(ctx context.Context, cfg CharConfig, arc Arc) ([]Distribution, error) {
 	cfg = cfg.WithDefaults()
 	var out []Distribution
 	for si := 0; si < len(cfg.Grid.Slews); si += cfg.GridStride {
 		for li := 0; li < len(cfg.Grid.Loads); li += cfg.GridStride {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			slew, load := cfg.Grid.Slews[si], cfg.Grid.Loads[li]
 			rng := mc.NewRNG(cfg.Seed ^ arcSeed(arc.Label, si*8+li))
-			res := arc.Elec.CharacterizeWith(cfg.Corner, rng, cfg.Samples, slew, load, cfg.Sampler)
+			res := cfg.Eval(arc, cfg.Corner, rng, cfg.Samples, slew, load, cfg.Sampler)
 			nd, nt := arc.Elec.NominalEval(cfg.Corner, slew, load)
 			out = append(out,
 				Distribution{
@@ -226,5 +261,5 @@ func CharacterizeArc(cfg CharConfig, arc Arc) []Distribution {
 				})
 		}
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,61 @@
+package cells
+
+import (
+	"context"
+	"errors"
+
+	"lvf2/internal/pool"
+)
+
+// ArcResult is the outcome of characterising one arc: either its
+// distributions or the arc-local fault (a recovered evaluator panic or an
+// expired per-arc deadline). Faulty arcs do not abort the library run —
+// the caller decides whether to drop, retry or substitute them.
+type ArcResult struct {
+	Arc   Arc
+	Dists []Distribution
+	Err   error
+}
+
+// CharacterizeLibrary characterises every arc of the given cell types on a
+// bounded worker pool. Arc-local faults (evaluator panics, per-arc
+// deadline expiry) are recorded in the matching ArcResult and do not stop
+// the run; cancelling ctx stops dispatch promptly and is reported as the
+// returned error (errors.Is(err, context.Canceled)).
+//
+// Results are indexed in deterministic library order regardless of worker
+// scheduling: every arc of types[0], then types[1], and so on.
+func CharacterizeLibrary(ctx context.Context, cfg CharConfig, types []CellType) ([]ArcResult, error) {
+	cfg = cfg.WithDefaults()
+	var arcs []Arc
+	for _, t := range types {
+		arcs = append(arcs, t.Arcs()...)
+	}
+	results := make([]ArcResult, len(arcs))
+	err := pool.ForEach(ctx, pool.Options{Workers: cfg.Workers, TaskTimeout: cfg.ArcTimeout}, len(arcs),
+		func(tctx context.Context, i int) error {
+			arc := arcs[i]
+			results[i].Arc = arc
+			// Recover at arc grain so a panicking evaluator is attributed to
+			// this arc instead of aborting the pool's view of the run.
+			perr := pool.Protect(arc.Label, func() error {
+				ds, derr := CharacterizeArcCtx(tctx, cfg, arc)
+				if derr != nil {
+					return derr
+				}
+				results[i].Dists = ds
+				return nil
+			})
+			if perr == nil {
+				return nil
+			}
+			if errors.Is(perr, context.Canceled) {
+				// Run-level cancellation, not an arc fault: propagate so Wait
+				// reports it.
+				return perr
+			}
+			results[i].Err = perr
+			return nil
+		})
+	return results, err
+}

@@ -8,6 +8,7 @@
 package circuits
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -17,14 +18,19 @@ import (
 	"lvf2/internal/ssta"
 )
 
+// ErrMissingCell reports a required cell type absent from the library —
+// returned (not panicked) so library-configuration faults surface as
+// ordinary errors in the calling pipeline.
+var ErrMissingCell = errors.New("circuits: required cell missing from library")
+
 // FO4Delay computes the fanout-of-4 inverter delay of the library at the
 // given corner: an INV driving four copies of itself, with the input slew
 // iterated to the self-consistent fixed point (the slew a same-stage
 // inverter would deliver).
-func FO4Delay(corner spice.Corner) float64 {
+func FO4Delay(corner spice.Corner) (float64, error) {
 	inv, ok := cells.CellByName("INV")
 	if !ok {
-		panic("circuits: library has no INV")
+		return 0, fmt.Errorf("%w: INV", ErrMissingCell)
 	}
 	e := inv.Base
 	load := 4 * inv.Base.CapIn
@@ -39,7 +45,7 @@ func FO4Delay(corner spice.Corner) float64 {
 		}
 		slew = trans
 	}
-	return delay
+	return delay, nil
 }
 
 // PiWire is a Π-model RC interconnect segment: total resistance R (kΩ)
@@ -123,8 +129,12 @@ func (p Path) TotalNominal(corner spice.Corner) float64 {
 }
 
 // FO4Depth is the path depth in FO4 units.
-func (p Path) FO4Depth(corner spice.Corner) float64 {
-	return p.TotalNominal(corner) / FO4Delay(corner)
+func (p Path) FO4Depth(corner spice.Corner) (float64, error) {
+	fo4, err := FO4Delay(corner)
+	if err != nil {
+		return 0, err
+	}
+	return p.TotalNominal(corner) / fo4, nil
 }
 
 // MCStages characterises every stage with n Monte-Carlo samples at its

@@ -10,8 +10,11 @@ import (
 
 func TestFO4DelayPositiveAndStable(t *testing.T) {
 	c := spice.TTCorner()
-	d1 := FO4Delay(c)
-	d2 := FO4Delay(c)
+	d1, err1 := FO4Delay(c)
+	d2, err2 := FO4Delay(c)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("FO4Delay: %v / %v", err1, err2)
+	}
 	if d1 <= 0 {
 		t.Fatalf("FO4 delay %v", d1)
 	}
@@ -41,7 +44,10 @@ func TestCarryAdderDepth(t *testing.T) {
 	if len(p.Stages) != 34 {
 		t.Fatalf("adder stages %d, want 34", len(p.Stages))
 	}
-	depth := p.FO4Depth(c)
+	depth, err := p.FO4Depth(c)
+	if err != nil {
+		t.Fatalf("FO4Depth: %v", err)
+	}
 	if depth < 20 || depth > 45 {
 		t.Errorf("adder depth %.1f FO4, want ≈30", depth)
 	}
@@ -53,7 +59,10 @@ func TestHTreeDepth(t *testing.T) {
 	if len(p.Stages) != 12 {
 		t.Fatalf("htree stages %d, want 12 (2 buffers × 6 levels)", len(p.Stages))
 	}
-	depth := p.FO4Depth(c)
+	depth, err := p.FO4Depth(c)
+	if err != nil {
+		t.Fatalf("FO4Depth: %v", err)
+	}
 	if depth < 70 || depth > 125 {
 		t.Errorf("htree depth %.1f FO4, want ≈95", depth)
 	}
@@ -61,7 +70,12 @@ func TestHTreeDepth(t *testing.T) {
 
 func TestHTreeDeeperThanAdder(t *testing.T) {
 	c := spice.TTCorner()
-	if HTree6(c).FO4Depth(c) <= CarryAdder16(c).FO4Depth(c) {
+	hd, err1 := HTree6(c).FO4Depth(c)
+	ad, err2 := CarryAdder16(c).FO4Depth(c)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("FO4Depth: %v / %v", err1, err2)
+	}
+	if hd <= ad {
 		t.Error("H-tree must be deeper in FO4 than the adder (95 vs 30)")
 	}
 }

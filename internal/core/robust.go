@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lvf2/internal/fit"
+	"lvf2/internal/stats"
+)
+
+// Robust fitting bridge: fit.FitRobust may accept any rung of the
+// degradation ladder (LVF² → Norm² → LVF → Gaussian), so its Result can
+// carry a skew-normal mixture, a Gaussian mixture, a single skew-normal
+// or a plain Gaussian. All of them embed into the LVF² moments
+// parameterisation — a Gaussian is a skew-normal with γ = 0, and a
+// two-Gaussian mixture is eq. (4) with both skews zero — which is what
+// lets one Liberty table schema hold every rung.
+
+// ModelFromDist embeds a fitted distribution into the LVF² moments
+// parameterisation. Supported shapes: Normal, SkewNormal, and mixtures
+// of one or two Normal/SkewNormal components. The heavier component
+// becomes θ₁ (the one that inherits the classic LVF attributes) so that
+// λ ≤ ½ by construction.
+func ModelFromDist(d stats.Dist) (Model, error) {
+	switch v := d.(type) {
+	case stats.Normal:
+		return FromLVF(Theta{Mean: v.Mu, Sigma: v.Sigma}), nil
+	case stats.SkewNormal:
+		return FromLVF(ThetaOf(v)), nil
+	case stats.Mixture:
+		return modelFromMixture(v)
+	default:
+		return Model{}, fmt.Errorf("core: cannot embed %T into the LVF² parameterisation", d)
+	}
+}
+
+func modelFromMixture(mix stats.Mixture) (Model, error) {
+	thetas := make([]Theta, len(mix.Components))
+	for i, c := range mix.Components {
+		m, err := ModelFromDist(c)
+		if err != nil {
+			return Model{}, err
+		}
+		if !m.IsLVF() {
+			return Model{}, fmt.Errorf("core: nested mixture component")
+		}
+		thetas[i] = m.Theta1
+	}
+	switch len(thetas) {
+	case 1:
+		return FromLVF(thetas[0]), nil
+	case 2:
+		dom, min := 0, 1
+		if mix.Weights[1] > mix.Weights[0] {
+			dom, min = 1, 0
+		}
+		return Model{Lambda: mix.Weights[min], Theta1: thetas[dom], Theta2: thetas[min]}, nil
+	}
+	return Model{}, fmt.Errorf("core: %d-component mixture does not fit the two-component LVF² schema", len(thetas))
+}
+
+// FitModelRobust fits LVF² through the full retry/degradation ladder and
+// reports which rung produced the accepted model. The returned Model is
+// always finite and Validate-clean when err is nil.
+func FitModelRobust(xs []float64, o fit.RobustOptions) (Model, fit.FitReport, error) {
+	return FitKindRobust(fit.ModelLVF2, xs, o)
+}
+
+// FitKindRobust is FitModelRobust for an arbitrary requested rung. Log-
+// domain rungs (LESN/LN/LSN) have no moments embedding of their own; when
+// one of those is accepted the model is rebuilt from the distribution's
+// first three moments (an LVF view of the log-domain fit).
+func FitKindRobust(kind fit.Model, xs []float64, o fit.RobustOptions) (Model, fit.FitReport, error) {
+	r, rep, err := fit.FitRobust(kind, xs, o)
+	if err != nil {
+		return Model{}, rep, err
+	}
+	m, err := ModelFromDist(r.Dist)
+	if err != nil {
+		// Log-domain acceptance: represent by moment-matching a skew-normal.
+		mom := stats.DistMoments(r.Dist)
+		skew := mom.Skewness
+		if math.IsNaN(skew) {
+			skew = 0
+		}
+		skew = math.Max(-stats.MaxSNSkewness, math.Min(stats.MaxSNSkewness, skew))
+		m = FromLVF(Theta{Mean: mom.Mean, Sigma: mom.Std(), Skew: skew})
+	}
+	if verr := m.Validate(); verr != nil {
+		return Model{}, rep, verr
+	}
+	return m, rep, nil
+}

@@ -50,7 +50,10 @@ func CLT(cfg Config, nStages int, corner spice.Corner) (CLTResult, error) {
 	if err != nil {
 		return CLTResult{}, err
 	}
-	fo4 := circuits.FO4Delay(corner)
+	fo4, err := circuits.FO4Delay(corner)
+	if err != nil {
+		return CLTResult{}, err
+	}
 	out := CLTResult{
 		Stages: nStages,
 		Rho:    ssta.AbsThirdStandardizedMoment(stages[0].Samples),

@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -26,6 +27,7 @@ import (
 	"lvf2/internal/cells"
 	"lvf2/internal/fit"
 	"lvf2/internal/mc"
+	"lvf2/internal/pool"
 	"lvf2/internal/spice"
 	"lvf2/internal/stats"
 )
@@ -118,15 +120,24 @@ type ScenarioResult struct {
 }
 
 // Table1 runs the five-scenario assessment.
-func Table1(cfg Config) []ScenarioResult {
+func Table1(cfg Config) ([]ScenarioResult, error) {
+	return Table1Ctx(context.Background(), cfg)
+}
+
+// Table1Ctx is Table1 with cooperative cancellation. Scenario fits run on
+// a panic-hardened worker pool; a panicking fitter surfaces as a typed
+// *pool.PanicError instead of killing the process, and cancelling ctx
+// stops dispatch promptly with context.Canceled.
+func Table1Ctx(ctx context.Context, cfg Config) ([]ScenarioResult, error) {
 	cfg = cfg.WithDefaults()
-	scenarios := spice.Scenarios()
+	scenarios, err := spice.Scenarios()
+	if err != nil {
+		return nil, err
+	}
 	out := make([]ScenarioResult, len(scenarios))
-	var wg sync.WaitGroup
-	for i, sc := range scenarios {
-		wg.Add(1)
-		go func(i int, sc spice.Scenario) {
-			defer wg.Done()
+	err = pool.ForEach(ctx, pool.Options{Workers: cfg.Workers}, len(scenarios),
+		func(tctx context.Context, i int) error {
+			sc := scenarios[i]
 			rng := mc.NewRNG(cfg.Seed + uint64(i)*7919)
 			xs := sc.GoldenSamples(rng, cfg.Samples)
 			evals, emp := EvaluateModels(xs, cfg.Models, cfg.FitOpts)
@@ -144,10 +155,12 @@ func Table1(cfg Config) []ScenarioResult {
 				res.BinReduction[m] = cfg.reduction(e.Metrics.BinErr, base.BinErr)
 			}
 			out[i] = res
-		}(i, sc)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	return out
+	return out, nil
 }
 
 // RenderTable1 formats the scenario assessment like the paper's Table 1.
@@ -256,16 +269,20 @@ type CellTypeResult struct {
 
 // Table2 sweeps the standard-cell library and aggregates the four
 // error-reduction metrics per cell type.
-func Table2(cfg Table2Config) []CellTypeResult {
+func Table2(cfg Table2Config) ([]CellTypeResult, error) {
+	return Table2Ctx(context.Background(), cfg)
+}
+
+// Table2Ctx is Table2 with cooperative cancellation. The producer streams
+// characterised distributions into a panic-hardened fitting pool (the
+// paper-scale sweep is far too large to precompute), so memory stays
+// bounded while fitter panics surface as typed errors and cancellation
+// stops both the producer and the workers promptly.
+func Table2Ctx(ctx context.Context, cfg Table2Config) ([]CellTypeResult, error) {
 	cfg = cfg.WithDefaults()
 	lib := cells.Library()
 	out := make([]CellTypeResult, len(lib))
 
-	type job struct {
-		typeIdx int
-		dist    cells.Distribution
-	}
-	jobs := make(chan job)
 	type acc struct {
 		sync.Mutex
 		sums   map[fit.Model]*[4]float64
@@ -279,34 +296,31 @@ func Table2(cfg Table2Config) []CellTypeResult {
 		}
 	}
 
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				evals, _ := EvaluateAll(j.dist.Samples, cfg.FitOpts)
-				base := evals[fit.ModelLVF].Metrics
-				var binIdx, yieldIdx int
-				if j.dist.Kind == cells.Delay {
-					binIdx, yieldIdx = 0, 2
-				} else {
-					binIdx, yieldIdx = 1, 3
-				}
-				a := &accs[j.typeIdx]
-				a.Lock()
-				for m, e := range evals {
-					if e.Err != nil {
-						continue
-					}
-					a.sums[m][binIdx] += cfg.reduction(e.Metrics.BinErr, base.BinErr)
-					a.sums[m][yieldIdx] += cfg.reduction(e.Metrics.YieldErr, base.YieldErr)
-				}
-				a.counts[binIdx]++
-				a.counts[yieldIdx]++
-				a.Unlock()
+	p := pool.New(ctx, pool.Options{Workers: cfg.Workers})
+	fitJob := func(typeIdx int, d cells.Distribution) func(context.Context) error {
+		return func(context.Context) error {
+			evals, _ := EvaluateAll(d.Samples, cfg.FitOpts)
+			base := evals[fit.ModelLVF].Metrics
+			var binIdx, yieldIdx int
+			if d.Kind == cells.Delay {
+				binIdx, yieldIdx = 0, 2
+			} else {
+				binIdx, yieldIdx = 1, 3
 			}
-		}()
+			a := &accs[typeIdx]
+			a.Lock()
+			defer a.Unlock()
+			for m, e := range evals {
+				if e.Err != nil {
+					continue
+				}
+				a.sums[m][binIdx] += cfg.reduction(e.Metrics.BinErr, base.BinErr)
+				a.sums[m][yieldIdx] += cfg.reduction(e.Metrics.YieldErr, base.YieldErr)
+			}
+			a.counts[binIdx]++
+			a.counts[yieldIdx]++
+			return nil
+		}
 	}
 
 	charCfg := cells.CharConfig{
@@ -314,6 +328,7 @@ func Table2(cfg Table2Config) []CellTypeResult {
 		Seed:       cfg.Seed,
 		GridStride: cfg.GridStride,
 	}
+produce:
 	for ti, ct := range lib {
 		arcs := ct.Arcs()
 		if cfg.ArcsPerType > 0 && len(arcs) > cfg.ArcsPerType {
@@ -321,13 +336,20 @@ func Table2(cfg Table2Config) []CellTypeResult {
 		}
 		out[ti] = CellTypeResult{Cell: ct.Name, ArcCount: ct.ArcCount, ArcsRun: len(arcs)}
 		for _, arc := range arcs {
-			for _, d := range cells.CharacterizeArc(charCfg, arc) {
-				jobs <- job{typeIdx: ti, dist: d}
+			dists, cerr := cells.CharacterizeArcCtx(ctx, charCfg, arc)
+			if cerr != nil {
+				break produce // cancelled: stop producing, drain below
+			}
+			for _, d := range dists {
+				if p.Submit(d.Arc.Label, fitJob(ti, d)) != nil {
+					break produce // pool refused: context cancelled
+				}
 			}
 		}
 	}
-	close(jobs)
-	wg.Wait()
+	if err := p.Wait(); err != nil {
+		return nil, err
+	}
 
 	for ti := range out {
 		a := &accs[ti]
@@ -345,7 +367,7 @@ func Table2(cfg Table2Config) []CellTypeResult {
 		out[ti].DelayYield = mk(2)
 		out[ti].TransYield = mk(3)
 	}
-	return out
+	return out, nil
 }
 
 // Table2Averages computes the "Average" row.

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -17,7 +19,10 @@ func smallCfg() Config {
 }
 
 func TestTable1ShapeAndOrdering(t *testing.T) {
-	rows := Table1(smallCfg())
+	rows, err := Table1(smallCfg())
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
 	if len(rows) != 5 {
 		t.Fatalf("want 5 scenario rows, got %d", len(rows))
 	}
@@ -67,8 +72,23 @@ func TestTable1ShapeAndOrdering(t *testing.T) {
 	}
 }
 
+func TestTableCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Table1Ctx(ctx, smallCfg()); !errors.Is(err, context.Canceled) {
+		t.Errorf("Table1Ctx err = %v, want context.Canceled", err)
+	}
+	cfg := Table2Config{Config: Config{Samples: 800, Seed: 7}, ArcsPerType: 1, GridStride: 8}
+	if _, err := Table2Ctx(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("Table2Ctx err = %v, want context.Canceled", err)
+	}
+}
+
 func TestFig3CSVWellFormed(t *testing.T) {
-	rows := Table1(smallCfg())
+	rows, err := Table1(smallCfg())
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
 	csv := Fig3CSV(rows, 50)
 	lines := strings.Split(strings.TrimSpace(csv), "\n")
 	// header + 5 scenarios × 50 points
@@ -89,7 +109,10 @@ func TestTable2ReducedRun(t *testing.T) {
 		ArcsPerType: 1,
 		GridStride:  8, // single grid point per arc
 	}
-	rows := Table2(cfg)
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
 	if len(rows) != 25 {
 		t.Fatalf("want 25 rows, got %d", len(rows))
 	}
@@ -278,7 +301,10 @@ func TestVSweepShape(t *testing.T) {
 }
 
 func TestFigureSVGs(t *testing.T) {
-	rows := Table1(Config{Samples: 1500, Seed: 23})
+	rows, err := Table1(Config{Samples: 1500, Seed: 23})
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
 	svgs := Fig3SVGs(rows, 60)
 	if len(svgs) != 5 {
 		t.Fatalf("fig3 svgs: %d", len(svgs))

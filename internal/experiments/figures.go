@@ -164,7 +164,10 @@ func Fig5(cfg Config, path circuits.Path, corner spice.Corner) (Fig5Result, erro
 	if repeats < 1 {
 		repeats = 1
 	}
-	fo4 := circuits.FO4Delay(corner)
+	fo4, err := circuits.FO4Delay(corner)
+	if err != nil {
+		return Fig5Result{}, err
+	}
 	out := Fig5Result{PathName: path.Name, FO4Delay: fo4}
 	for rep := 0; rep < repeats; rep++ {
 		stages := path.MCStages(corner, cfg.Samples, cfg.Seed+uint64(rep)*60013)

@@ -1,0 +1,91 @@
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Typed failure taxonomy of the fitting layer. Every degenerate input or
+// invalid fit maps to one of these sentinels (possibly several, combined
+// with errors.Join) so callers can branch with errors.Is instead of
+// probing for NaN parameters. ErrNotEnoughData and ErrNonPositive, the
+// two pre-existing sentinels, live in models.go.
+var (
+	// ErrEmptyData marks an empty sample set. Always joined with
+	// ErrNotEnoughData.
+	ErrEmptyData = errors.New("fit: empty sample set")
+	// ErrNonFinite marks NaN/Inf-contaminated samples.
+	ErrNonFinite = errors.New("fit: non-finite (NaN/Inf) sample values")
+	// ErrDegenerateData marks an all-identical (zero-variance) sample set.
+	ErrDegenerateData = errors.New("fit: degenerate sample set (zero variance)")
+	// ErrInvalidFit marks a fit whose parameters failed validation
+	// (NaN/Inf parameters, weight outside [0,1], non-positive scale,
+	// skewness clamp breach).
+	ErrInvalidFit = errors.New("fit: invalid fitted parameters")
+	// ErrNonMonotoneCDF marks a fitted distribution whose CDF is not
+	// monotone non-decreasing (or does not cover the sample mass).
+	ErrNonMonotoneCDF = errors.New("fit: fitted CDF is not a valid distribution function")
+	// ErrNonConvergence marks an iterative fit that exhausted its
+	// iteration budget without converging.
+	ErrNonConvergence = errors.New("fit: iterative fit did not converge")
+	// ErrAllModelsFailed marks a FitRobust call whose entire degradation
+	// ladder failed, terminal Gaussian rung included.
+	ErrAllModelsFailed = errors.New("fit: every fallback model failed")
+)
+
+// ValidateSamples vets a sample set before fitting: empty and
+// single-point sets, NaN/Inf contamination and zero-variance sets all
+// return typed errors instead of flowing into the fitters and surfacing
+// as NaN parameters.
+func ValidateSamples(xs []float64) error {
+	if len(xs) == 0 {
+		return errors.Join(ErrNotEnoughData, ErrEmptyData)
+	}
+	if len(xs) == 1 {
+		return fmt.Errorf("%w: single sample", ErrNotEnoughData)
+	}
+	bad := 0
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%w: %d of %d", ErrNonFinite, bad, len(xs))
+	}
+	first := xs[0]
+	identical := true
+	for _, x := range xs[1:] {
+		if x != first {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		return fmt.Errorf("%w: all %d samples equal %g", ErrDegenerateData, len(xs), first)
+	}
+	return nil
+}
+
+// CleanSamples returns xs with non-finite values removed (a copy when
+// anything was dropped) plus the drop count. It is the sanitisation step
+// of FitRobust: contaminated characterisation data loses the bad points
+// rather than poisoning the whole fit.
+func CleanSamples(xs []float64) (clean []float64, dropped int) {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		return xs, 0
+	}
+	clean = make([]float64, 0, len(xs)-dropped)
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			clean = append(clean, x)
+		}
+	}
+	return clean, dropped
+}

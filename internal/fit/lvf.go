@@ -25,13 +25,13 @@ func FitLVF(xs []float64) (Result, error) {
 	}, nil
 }
 
-// FitNormal fits a plain Gaussian (used in tests and as an SSTA
-// degenerate case).
+// FitNormal fits a plain Gaussian — the terminal rung of the FitRobust
+// degradation ladder and an SSTA degenerate case.
 func FitNormal(xs []float64) (Result, error) {
 	if len(xs) < 2 {
 		return Result{}, ErrNotEnoughData
 	}
 	m := stats.Moments(xs)
 	n := stats.Normal{Mu: m.Mean, Sigma: m.Std()}
-	return Result{Model: ModelLVF, Dist: n, LogLik: LogLikelihood(n, xs)}, nil
+	return Result{Model: ModelGaussian, Dist: n, LogLik: LogLikelihood(n, xs)}, nil
 }

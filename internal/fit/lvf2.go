@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"lvf2/internal/mc"
 	"lvf2/internal/opt"
 	"lvf2/internal/stats"
 )
@@ -61,7 +62,7 @@ func FitLVF2(xs []float64, o Options) (LVF2Result, error) {
 	all := stats.Moments(xs)
 	sdFloor := math.Max(all.Std()*1e-3, 1e-300)
 
-	inits := lvf2Inits(xs, all, sdFloor)
+	inits := lvf2Inits(xs, all, sdFloor, o)
 	best := LVF2Result{LogLik: math.Inf(-1)}
 	bestInit := LVF2Result{LogLik: math.Inf(-1)}
 	// Each start gets a bounded iteration budget: the winner is refined by
@@ -219,8 +220,10 @@ type lvf2Init struct {
 	c1, c2 stats.SkewNormal
 }
 
-// lvf2Inits builds the deterministic multi-start set.
-func lvf2Inits(xs []float64, all stats.SampleMoments, sdFloor float64) []lvf2Init {
+// lvf2Inits builds the deterministic multi-start set. With
+// Options.PerturbInit > 0 every start is jittered by a seeded RNG — the
+// FitRobust retry path uses this to escape a bad basin deterministically.
+func lvf2Inits(xs []float64, all stats.SampleMoments, sdFloor float64, o Options) []lvf2Init {
 	var inits []lvf2Init
 
 	// 1. K-means location split (§3.2's initialisation).
@@ -284,6 +287,22 @@ func lvf2Inits(xs []float64, all stats.SampleMoments, sdFloor float64) []lvf2Ini
 			c1:     stats.SkewNormal{Xi: g.C1.Mu, Omega: g.C1.Sigma},
 			c2:     stats.SkewNormal{Xi: g.C2.Mu, Omega: g.C2.Sigma},
 		})
+	}
+	if o.PerturbInit > 0 {
+		rng := mc.NewRNG(o.PerturbSeed | 1)
+		sd := math.Max(all.Std(), sdFloor)
+		jitterSN := func(c stats.SkewNormal) stats.SkewNormal {
+			c.Xi += (2*rng.Float64() - 1) * o.PerturbInit * sd
+			c.Omega *= math.Exp((2*rng.Float64() - 1) * o.PerturbInit)
+			c.Alpha += (2*rng.Float64() - 1) * o.PerturbInit * 3
+			return c
+		}
+		for i := range inits {
+			inits[i].c1 = jitterSN(inits[i].c1)
+			inits[i].c2 = jitterSN(inits[i].c2)
+			lam := inits[i].lambda + (2*rng.Float64()-1)*o.PerturbInit*0.5
+			inits[i].lambda = math.Min(math.Max(lam, 0.02), 0.5)
+		}
 	}
 	return inits
 }

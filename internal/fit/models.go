@@ -24,6 +24,9 @@ const (
 	ModelLN
 	// ModelLSN is the log-skew-normal of Balef 2016 (paper ref. [6]).
 	ModelLSN
+	// ModelGaussian is the plain Gaussian — the terminal rung of the
+	// FitRobust degradation ladder, not part of the paper's comparison.
+	ModelGaussian
 )
 
 // AllModels lists the four models in the paper's comparison order.
@@ -48,6 +51,8 @@ func (m Model) String() string {
 		return "LN"
 	case ModelLSN:
 		return "LSN"
+	case ModelGaussian:
+		return "Gaussian"
 	}
 	return fmt.Sprintf("Model(%d)", int(m))
 }
@@ -62,6 +67,12 @@ type Options struct {
 	// Polish enables a Nelder–Mead maximum-likelihood refinement after the
 	// moment-based EM for LVF² (slower, slightly more accurate).
 	Polish bool
+	// PerturbInit jitters the deterministic EM starting points by this
+	// relative amount (0 = none). FitRobust uses it to escape bad basins
+	// on retry without sacrificing reproducibility.
+	PerturbInit float64
+	// PerturbSeed selects the deterministic jitter stream.
+	PerturbSeed uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -90,8 +101,14 @@ var ErrNotEnoughData = errors.New("fit: not enough data")
 // (its support is the positive half-line).
 var ErrNonPositive = errors.New("fit: LESN requires strictly positive data")
 
-// Fit dispatches to the model-specific fitter.
+// Fit dispatches to the model-specific fitter. Degenerate inputs (empty,
+// single-point, all-identical or NaN/Inf-contaminated sample sets) are
+// rejected with typed errors before any fitter runs, so no model ever
+// returns NaN parameters.
 func Fit(model Model, xs []float64, o Options) (Result, error) {
+	if err := ValidateSamples(xs); err != nil {
+		return Result{}, err
+	}
 	switch model {
 	case ModelLVF:
 		return FitLVF(xs)
@@ -109,6 +126,8 @@ func Fit(model Model, xs []float64, o Options) (Result, error) {
 		return FitLN(xs)
 	case ModelLSN:
 		return FitLSN(xs, o)
+	case ModelGaussian:
+		return FitNormal(xs)
 	default:
 		return Result{}, fmt.Errorf("fit: unknown model %d", int(model))
 	}

@@ -1,0 +1,299 @@
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"lvf2/internal/stats"
+)
+
+// The graceful-degradation fallback chain. The paper's compatibility rule
+// (eq. 10: λ = 0 reduces LVF² to plain LVF) is exactly a degradation
+// path; FitRobust makes it an operational one. A fit that fails
+// validation (NaN/Inf parameters, non-monotone CDF, λ outside [0,1],
+// skewness clamp breach, EM non-convergence) is retried from perturbed
+// deterministic starts with an escalating iteration budget, then degraded
+// one model rung at a time:
+//
+//	LVF² → Norm² → LVF → plain Gaussian
+//
+// and the accepted rung is recorded in a typed FitReport, so callers (and
+// the Liberty writer) know when a table entry is a fallback rather than
+// the requested model.
+
+// Attempt records one try of the robust ladder.
+type Attempt struct {
+	Model   Model
+	Retry   int // 0 = first attempt at this rung, >0 = perturbed restart
+	MaxIter int // iteration budget of this attempt
+	Err     error
+}
+
+// FitReport is the provenance record of a robust fit.
+type FitReport struct {
+	// Requested is the model the caller asked for; Used is the rung that
+	// produced the accepted fit.
+	Requested Model
+	Used      Model
+	// Fallback reports Used != Requested (a degradation rung fired).
+	Fallback bool
+	// Degenerate reports the terminal salvage: the sample set was too
+	// degenerate even for the Gaussian rung's fitter and a floored
+	// moment-matched Gaussian was constructed directly.
+	Degenerate bool
+	// Dropped counts non-finite samples removed before fitting.
+	Dropped int
+	// Attempts lists every try in ladder order (the last one succeeded
+	// unless the whole ladder failed).
+	Attempts []Attempt
+}
+
+// String summarises the report for logs: "LVF2→Norm2 (2 retries, 5 NaN dropped)".
+func (r FitReport) String() string {
+	var b strings.Builder
+	b.WriteString(r.Requested.String())
+	if r.Fallback {
+		fmt.Fprintf(&b, "→%s", r.Used)
+	}
+	var notes []string
+	if n := len(r.Attempts) - 1; n > 0 {
+		notes = append(notes, fmt.Sprintf("%d failed attempts", n))
+	}
+	if r.Dropped > 0 {
+		notes = append(notes, fmt.Sprintf("%d non-finite dropped", r.Dropped))
+	}
+	if r.Degenerate {
+		notes = append(notes, "degenerate salvage")
+	}
+	if len(notes) > 0 {
+		fmt.Fprintf(&b, " (%s)", strings.Join(notes, ", "))
+	}
+	return b.String()
+}
+
+// RobustOptions tunes FitRobust beyond the base fitter options.
+type RobustOptions struct {
+	Options
+	// Retries is the number of perturbed restarts per rung before
+	// degrading to the next model (default 2).
+	Retries int
+	// Seed makes the perturbed restarts deterministic (default 1).
+	Seed uint64
+}
+
+func (o RobustOptions) withDefaults() RobustOptions {
+	o.Options = o.Options.withDefaults()
+	if o.Retries <= 0 {
+		o.Retries = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// FallbackChain returns the degradation ladder starting at the requested
+// model. Log-domain models degrade through LVF (their three-moment
+// ancestor) rather than Norm².
+func FallbackChain(m Model) []Model {
+	switch m {
+	case ModelLVF2:
+		return []Model{ModelLVF2, ModelNorm2, ModelLVF, ModelGaussian}
+	case ModelNorm2:
+		return []Model{ModelNorm2, ModelLVF, ModelGaussian}
+	case ModelLESN, ModelLN, ModelLSN:
+		return []Model{m, ModelLVF, ModelGaussian}
+	case ModelLVF:
+		return []Model{ModelLVF, ModelGaussian}
+	default:
+		return []Model{m, ModelGaussian}
+	}
+}
+
+// FitRobust fits the requested model with the full retry/degradation
+// ladder. It never returns NaN parameters: either the Result passed
+// ValidateResult on some rung, or the terminal degenerate salvage built a
+// floored Gaussian, or an error is returned (only when the cleaned sample
+// set is empty or every rung failed).
+func FitRobust(model Model, xs []float64, o RobustOptions) (Result, FitReport, error) {
+	o = o.withDefaults()
+	rep := FitReport{Requested: model, Used: model}
+
+	clean, dropped := CleanSamples(xs)
+	rep.Dropped = dropped
+	if len(clean) == 0 {
+		err := errors.Join(ErrNotEnoughData, ErrEmptyData)
+		if dropped > 0 {
+			err = errors.Join(err, fmt.Errorf("%w: all %d samples", ErrNonFinite, dropped))
+		}
+		return Result{}, rep, err
+	}
+
+	var failures []error
+	for _, rung := range FallbackChain(model) {
+		for retry := 0; retry <= o.Retries; retry++ {
+			opts := o.Options
+			// Escalating iteration budget: 1×, 2×, 4×, ...
+			opts.MaxIter = o.MaxIter << retry
+			if retry > 0 {
+				opts.PerturbInit = 0.08 * float64(retry)
+				opts.PerturbSeed = o.Seed + uint64(retry)*0x9e3779b97f4a7c15
+			}
+			r, err := Fit(rung, clean, opts)
+			if err == nil {
+				err = ValidateResult(r, clean, opts)
+			}
+			rep.Attempts = append(rep.Attempts, Attempt{Model: rung, Retry: retry, MaxIter: opts.MaxIter, Err: err})
+			if err == nil {
+				rep.Used = rung
+				rep.Fallback = rung != model
+				return r, rep, nil
+			}
+			failures = append(failures, fmt.Errorf("%s retry %d: %w", rung, retry, err))
+			// Degenerate inputs cannot be cured by restarts: skip straight
+			// to the next rung (and ultimately the salvage below).
+			if errors.Is(err, ErrNotEnoughData) || errors.Is(err, ErrDegenerateData) {
+				break
+			}
+		}
+	}
+
+	// Terminal salvage: a moment-matched Gaussian with a floored sigma.
+	// This is what keeps the characterisation pipeline emitting a valid
+	// .lib for all-identical or near-empty sample sets.
+	if g, ok := salvageGaussian(clean); ok {
+		rep.Used = ModelGaussian
+		rep.Fallback = true
+		rep.Degenerate = true
+		rep.Attempts = append(rep.Attempts, Attempt{Model: ModelGaussian, MaxIter: 0})
+		return g, rep, nil
+	}
+	return Result{}, rep, errors.Join(append([]error{ErrAllModelsFailed}, failures...)...)
+}
+
+// snSkewBreach is the |skewness| above which a fitted skew-normal
+// component is treated as railed at the moment clamp (MaxSNSkewness is
+// the analytic supremum; fits this close to it mean the data's skewness
+// is outside the representable range).
+const snSkewBreach = 0.995 * stats.MaxSNSkewness
+
+// salvageGaussian builds the floored moment-matched Gaussian of the
+// terminal rung. The sigma floor keeps the density finite for
+// zero-variance data while staying far below any physical timing scale;
+// an overflowed (non-finite) variance also collapses to the floor rather
+// than poisoning the salvage.
+func salvageGaussian(xs []float64) (Result, bool) {
+	m := stats.Moments(xs)
+	if math.IsNaN(m.Mean) || math.IsInf(m.Mean, 0) {
+		return Result{}, false
+	}
+	sd := m.Std()
+	if math.IsNaN(sd) || math.IsInf(sd, 0) {
+		sd = 0
+	}
+	if floor := math.Max(math.Abs(m.Mean)*1e-9, 1e-12); sd < floor {
+		sd = floor
+	}
+	n := stats.Normal{Mu: m.Mean, Sigma: sd}
+	return Result{Model: ModelGaussian, Dist: n, LogLik: LogLikelihood(n, xs)}, true
+}
+
+// ValidateResult vets a fitted Result: finite, in-range parameters, a
+// finite log-likelihood, a monotone CDF that covers the sample mass, and
+// a converged iteration count. Any breach returns a typed error so
+// FitRobust can retry or degrade.
+func ValidateResult(r Result, xs []float64, o Options) error {
+	o = o.withDefaults()
+	if r.Dist == nil {
+		return fmt.Errorf("%w: nil distribution", ErrInvalidFit)
+	}
+	if err := validateDist(r.Dist); err != nil {
+		return err
+	}
+	if math.IsNaN(r.LogLik) || math.IsInf(r.LogLik, 1) {
+		return fmt.Errorf("%w: log-likelihood %v", ErrInvalidFit, r.LogLik)
+	}
+	if r.Iters > 0 && r.Iters >= o.MaxIter {
+		return fmt.Errorf("%w: %d iterations (budget %d)", ErrNonConvergence, r.Iters, o.MaxIter)
+	}
+	return validateCDF(r.Dist, xs)
+}
+
+// validateDist checks the concrete parameterisation of the distributions
+// the fitters produce.
+func validateDist(d stats.Dist) error {
+	switch v := d.(type) {
+	case stats.SkewNormal:
+		if !finite(v.Xi) || !finite(v.Omega) || !finite(v.Alpha) || v.Omega <= 0 {
+			return fmt.Errorf("%w: SN(ξ=%v, ω=%v, α=%v)", ErrInvalidFit, v.Xi, v.Omega, v.Alpha)
+		}
+		// Skewness clamp breach: the moment map is only a bijection inside
+		// the SN-attainable range. A fitted component railed at (or within
+		// half a percent of) the clamp means the data's skewness exceeds
+		// what a skew-normal can represent and the parameterisation is not
+		// trustworthy — degrade rather than emit a railed fit.
+		if s := v.Skewness(); math.IsNaN(s) || math.Abs(s) >= snSkewBreach {
+			return fmt.Errorf("%w: SN skewness %v railed at clamp %v", ErrInvalidFit, s, stats.MaxSNSkewness)
+		}
+	case stats.Normal:
+		if !finite(v.Mu) || !finite(v.Sigma) || v.Sigma <= 0 {
+			return fmt.Errorf("%w: N(μ=%v, σ=%v)", ErrInvalidFit, v.Mu, v.Sigma)
+		}
+	case stats.Mixture:
+		var sum float64
+		for i, w := range v.Weights {
+			if math.IsNaN(w) || w < 0 || w > 1 {
+				return fmt.Errorf("%w: mixture weight λ=%v outside [0,1]", ErrInvalidFit, w)
+			}
+			sum += w
+			if err := validateDist(v.Components[i]); err != nil {
+				return err
+			}
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("%w: mixture weights sum to %v", ErrInvalidFit, sum)
+		}
+	case stats.LogESN:
+		w := v.W
+		if !finite(w.Xi) || !finite(w.Omega) || !finite(w.Alpha) || !finite(w.Tau) || w.Omega <= 0 {
+			return fmt.Errorf("%w: LogESN(ξ=%v, ω=%v, α=%v, τ=%v)", ErrInvalidFit, w.Xi, w.Omega, w.Alpha, w.Tau)
+		}
+	default:
+		// Unknown concrete type: the CDF sweep below is the only check.
+	}
+	return nil
+}
+
+// validateCDF sweeps the fitted CDF over the sample span (±4 sample sd)
+// checking finiteness, range, monotonicity and mass coverage.
+func validateCDF(d stats.Dist, xs []float64) error {
+	m := stats.Moments(xs)
+	sd := m.Std()
+	if sd <= 0 || !finite(m.Mean) {
+		return nil // degenerate inputs are caught upstream
+	}
+	const points = 33
+	lo, hi := m.Mean-4*sd, m.Mean+4*sd
+	prev := math.Inf(-1)
+	for i := 0; i < points; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(points-1)
+		c := d.CDF(x)
+		if math.IsNaN(c) || c < -1e-9 || c > 1+1e-9 {
+			return fmt.Errorf("%w: CDF(%g) = %v", ErrNonMonotoneCDF, x, c)
+		}
+		if c < prev-1e-9 {
+			return fmt.Errorf("%w: CDF decreases at %g (%v -> %v)", ErrNonMonotoneCDF, x, prev, c)
+		}
+		if c > prev {
+			prev = c
+		}
+	}
+	if mass := d.CDF(hi) - d.CDF(lo); mass < 0.5 {
+		return fmt.Errorf("%w: only %.3f probability mass over the sample span", ErrNonMonotoneCDF, mass)
+	}
+	return nil
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

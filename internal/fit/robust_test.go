@@ -1,0 +1,283 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"lvf2/internal/mc"
+	"lvf2/internal/stats"
+)
+
+// Every model must reject degenerate inputs with a typed error and never
+// leak NaN parameters. The four canonical degeneracies are empty, single
+// sample, all-identical and NaN/Inf-contaminated sets.
+func TestFitRejectsDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want error
+	}{
+		{"empty", nil, ErrNotEnoughData},
+		{"empty_is_also_empty_sentinel", []float64{}, ErrEmptyData},
+		{"single", []float64{1.5}, ErrNotEnoughData},
+		{"all_identical", []float64{2, 2, 2, 2, 2, 2, 2, 2, 2, 2}, ErrDegenerateData},
+		{"nan_contaminated", []float64{1, 2, math.NaN(), 3, 4, 5, 6, 7, 8}, ErrNonFinite},
+		{"inf_contaminated", []float64{1, 2, math.Inf(1), 3, 4, 5, 6, 7, 8}, ErrNonFinite},
+	}
+	models := append([]Model{ModelGaussian}, ExtendedModels...)
+	for _, m := range models {
+		for _, tc := range cases {
+			t.Run(m.String()+"/"+tc.name, func(t *testing.T) {
+				r, err := Fit(m, tc.xs, Options{})
+				if err == nil {
+					t.Fatalf("Fit(%s, %s) succeeded, want typed error", m, tc.name)
+				}
+				if !errors.Is(err, tc.want) {
+					t.Fatalf("Fit(%s, %s) = %v, want errors.Is(%v)", m, tc.name, err, tc.want)
+				}
+				if r.Dist != nil {
+					t.Fatalf("Fit(%s, %s) returned a distribution alongside the error", m, tc.name)
+				}
+			})
+		}
+	}
+}
+
+func bimodalSamples(n int, seed uint64) []float64 {
+	rng := mc.NewRNG(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		if rng.Float64() < 0.8 {
+			xs[i] = 1.0 + 0.05*rng.NormFloat64()
+		} else {
+			xs[i] = 1.4 + 0.08*rng.NormFloat64()
+		}
+	}
+	return xs
+}
+
+// exponentialClusters builds data whose per-cluster skewness (≈2) is far
+// beyond the skew-normal attainable range (≈0.995), so any SN component
+// fitted to it rails at the moment clamp — the deterministic trigger for
+// the LVF² → Norm² degradation rung.
+func exponentialClusters(n int, seed uint64) []float64 {
+	rng := mc.NewRNG(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		c := 1.0
+		if rng.Float64() < 0.3 {
+			c = 2.0
+		}
+		xs[i] = c + 0.05*(-math.Log(rng.Float64()+1e-300))
+	}
+	return xs
+}
+
+func TestFitRobustNoFallbackOnCleanData(t *testing.T) {
+	xs := bimodalSamples(4000, 7)
+	r, rep, err := FitRobust(ModelLVF2, xs, RobustOptions{})
+	if err != nil {
+		t.Fatalf("FitRobust: %v", err)
+	}
+	if rep.Fallback || rep.Used != ModelLVF2 {
+		t.Fatalf("clean bimodal data degraded: %s", rep)
+	}
+	if verr := ValidateResult(r, xs, Options{}); verr != nil {
+		t.Fatalf("accepted result fails validation: %v", verr)
+	}
+}
+
+// Each degradation rung must be reachable through a genuine input fault,
+// not a test-only hook.
+func TestFitRobustRungReachability(t *testing.T) {
+	cases := []struct {
+		name       string
+		xs         []float64
+		want       Model
+		degenerate bool
+	}{
+		// Per-cluster skewness ≈ 2 rails every SN component at the moment
+		// clamp; the Gaussian mixture has no skew parameter and absorbs the
+		// shape with two components.
+		{"norm2_rung_on_railed_skewness", exponentialClusters(4000, 11), ModelNorm2, false},
+		// n < 8 starves both mixtures (they need ≥ 8 samples); the
+		// three-moment LVF still fits.
+		{"lvf_rung_on_tiny_sample", []float64{1.0, 1.1, 1.3, 1.02, 1.2}, ModelLVF, false},
+		// n = 2 starves LVF too (needs ≥ 3); the Gaussian rung fits.
+		{"gaussian_rung_on_two_samples", []float64{1.0, 1.2}, ModelGaussian, false},
+		// All-identical data is rejected by every fitter; the terminal
+		// salvage builds a floored Gaussian.
+		{"salvage_on_identical_samples", []float64{3, 3, 3, 3, 3, 3, 3, 3, 3, 3}, ModelGaussian, true},
+		// Opposite-sign huge outliers keep the mean finite but overflow the
+		// variance accumulator, poisoning every fitter; the salvage floors
+		// the blown sigma.
+		{"salvage_on_overflow_outliers", append(bimodalSamples(100, 3), 1e308, -1e308), ModelGaussian, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, rep, err := FitRobust(ModelLVF2, tc.xs, RobustOptions{})
+			if err != nil {
+				t.Fatalf("FitRobust: %v\nreport: %s", err, rep)
+			}
+			if rep.Used != tc.want {
+				t.Fatalf("rung = %s, want %s\nreport: %+v", rep.Used, tc.want, rep)
+			}
+			if !rep.Fallback {
+				t.Fatal("FitReport.Fallback not set on a degraded fit")
+			}
+			if rep.Degenerate != tc.degenerate {
+				t.Fatalf("Degenerate = %v, want %v (%s)", rep.Degenerate, tc.degenerate, rep)
+			}
+			if r.Dist == nil {
+				t.Fatal("no distribution returned")
+			}
+			assertFiniteDist(t, r.Dist)
+		})
+	}
+}
+
+func TestFitRobustNaNContaminationIsDroppedAndReported(t *testing.T) {
+	xs := bimodalSamples(2000, 5)
+	xs[3], xs[77], xs[500] = math.NaN(), math.Inf(1), math.Inf(-1)
+	r, rep, err := FitRobust(ModelLVF2, xs, RobustOptions{})
+	if err != nil {
+		t.Fatalf("FitRobust: %v", err)
+	}
+	if rep.Dropped != 3 {
+		t.Fatalf("Dropped = %d, want 3", rep.Dropped)
+	}
+	assertFiniteDist(t, r.Dist)
+}
+
+func TestFitRobustAllNaNFails(t *testing.T) {
+	xs := []float64{math.NaN(), math.NaN(), math.Inf(1)}
+	_, rep, err := FitRobust(ModelLVF2, xs, RobustOptions{})
+	if err == nil {
+		t.Fatal("expected an error for an all-non-finite sample set")
+	}
+	if !errors.Is(err, ErrNotEnoughData) || !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("err = %v, want NotEnoughData and NonFinite", err)
+	}
+	if rep.Dropped != 3 {
+		t.Fatalf("Dropped = %d, want 3", rep.Dropped)
+	}
+}
+
+func TestFitRobustSalvageHasFlooredSigma(t *testing.T) {
+	r, rep, err := FitRobust(ModelLVF, []float64{5, 5, 5, 5, 5}, RobustOptions{})
+	if err != nil {
+		t.Fatalf("FitRobust: %v", err)
+	}
+	n, ok := r.Dist.(stats.Normal)
+	if !ok {
+		t.Fatalf("salvage dist is %T, want stats.Normal", r.Dist)
+	}
+	if !(n.Sigma > 0) || math.IsInf(n.Sigma, 0) {
+		t.Fatalf("salvage sigma = %v, want a positive finite floor", n.Sigma)
+	}
+	if n.Mu != 5 {
+		t.Fatalf("salvage mu = %v, want 5", n.Mu)
+	}
+	if !rep.Degenerate {
+		t.Fatal("salvage not flagged Degenerate")
+	}
+}
+
+func TestFallbackChainShapes(t *testing.T) {
+	for _, m := range append([]Model{ModelGaussian}, ExtendedModels...) {
+		chain := FallbackChain(m)
+		if chain[0] != m {
+			t.Fatalf("chain for %s starts at %s", m, chain[0])
+		}
+		if chain[len(chain)-1] != ModelGaussian {
+			t.Fatalf("chain for %s does not terminate at Gaussian: %v", m, chain)
+		}
+	}
+}
+
+func TestValidateResultCatchesBadFits(t *testing.T) {
+	xs := bimodalSamples(500, 1)
+	cases := []struct {
+		name string
+		r    Result
+		want error
+	}{
+		{"nil_dist", Result{}, ErrInvalidFit},
+		{"nan_mu", Result{Dist: stats.Normal{Mu: math.NaN(), Sigma: 1}}, ErrInvalidFit},
+		{"zero_sigma", Result{Dist: stats.Normal{Mu: 1, Sigma: 0}}, ErrInvalidFit},
+		{"negative_omega", Result{Dist: stats.SkewNormal{Xi: 1, Omega: -2, Alpha: 0}}, ErrInvalidFit},
+		{"lambda_above_one", Result{Dist: stats.Mixture{
+			Components: []stats.Dist{stats.Normal{Mu: 1, Sigma: 0.1}, stats.Normal{Mu: 1.4, Sigma: 0.1}},
+			Weights:    []float64{-0.2, 1.2},
+		}}, ErrInvalidFit},
+		{"weights_sum_off", Result{Dist: stats.Mixture{
+			Components: []stats.Dist{stats.Normal{Mu: 1, Sigma: 0.1}, stats.Normal{Mu: 1.4, Sigma: 0.1}},
+			Weights:    []float64{0.4, 0.4},
+		}}, ErrInvalidFit},
+		{"nan_loglik", Result{Dist: stats.Normal{Mu: 1.1, Sigma: 0.2}, LogLik: math.NaN()}, ErrInvalidFit},
+		{"nonconvergent", Result{Dist: stats.Normal{Mu: 1.1, Sigma: 0.2}, Iters: 200}, ErrNonConvergence},
+		{"offscale_dist", Result{Dist: stats.Normal{Mu: 1e9, Sigma: 0.1}}, ErrNonMonotoneCDF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateResult(tc.r, xs, Options{})
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("ValidateResult = %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+	good := Result{Dist: stats.Normal{Mu: stats.Moments(xs).Mean, Sigma: stats.Moments(xs).Std()}, Iters: 12}
+	if err := ValidateResult(good, xs, Options{}); err != nil {
+		t.Fatalf("good fit rejected: %v", err)
+	}
+}
+
+func TestCleanSamples(t *testing.T) {
+	xs := []float64{1, math.NaN(), 2, math.Inf(-1), 3}
+	clean, dropped := CleanSamples(xs)
+	if dropped != 2 || len(clean) != 3 {
+		t.Fatalf("CleanSamples = %v (dropped %d)", clean, dropped)
+	}
+	// No mutation of the input, no copy when already clean.
+	if xs[1] == xs[1] { // NaN stays NaN
+		t.Fatal("input slice was mutated")
+	}
+	all := []float64{1, 2, 3}
+	clean2, dropped2 := CleanSamples(all)
+	if dropped2 != 0 || &clean2[0] != &all[0] {
+		t.Fatal("CleanSamples copied an already-clean slice")
+	}
+}
+
+func TestFitReportString(t *testing.T) {
+	rep := FitReport{Requested: ModelLVF2, Used: ModelNorm2, Fallback: true, Dropped: 5,
+		Attempts: []Attempt{{Model: ModelLVF2}, {Model: ModelLVF2, Retry: 1}, {Model: ModelNorm2}}}
+	s := rep.String()
+	for _, want := range []string{"LVF2", "Norm2", "2 failed attempts", "5 non-finite dropped"} {
+		if !contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func assertFiniteDist(t *testing.T, d stats.Dist) {
+	t.Helper()
+	if err := validateDist(d); err != nil {
+		t.Fatalf("distribution has invalid parameters: %v", err)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if x := stats.Quantile(d, q); math.IsNaN(x) {
+			t.Fatalf("Quantile(%v) is NaN", q)
+		}
+	}
+}

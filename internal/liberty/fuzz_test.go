@@ -1,0 +1,136 @@
+package liberty
+
+import (
+	"strings"
+	"testing"
+
+	"lvf2/internal/core"
+)
+
+// Fuzzing the lexer/parser: the characterisation pipeline feeds generated
+// Liberty text straight back into Parse (round trips, linting, extraction),
+// so the parser must never panic on any input and the writer's output must
+// be a parser fixed point.
+
+// fuzzSeedLibrary builds a representative library through the writer —
+// header, template, cell, timing group, LVF² tables and a fallback note —
+// so the fuzzer starts from realistic generated text.
+func fuzzSeedLibrary() string {
+	lib := NewLibrary(LibraryHeaderOptions{
+		Name: "seed", Voltage: 0.8, TempC: 25, ProcessName: "synthetic22",
+	}, "tpl_2x2", []float64{0.01, 0.02}, []float64{0.001, 0.002})
+	out := AddCell(lib, "INV", []string{"A"}, 0.0009, "ZN", "!A")
+	timing := AddTiming(out, "A", "positive_unate")
+	models := [][]core.Model{
+		{
+			{Lambda: 0.3,
+				Theta1: core.Theta{Mean: 0.10, Sigma: 0.005, Skew: 0.2},
+				Theta2: core.Theta{Mean: 0.13, Sigma: 0.004, Skew: -0.1}},
+			core.FromLVF(core.Theta{Mean: 0.11, Sigma: 0.004, Skew: 0.1}),
+		},
+		{
+			core.FromLVF(core.Theta{Mean: 0.12, Sigma: 0.006}),
+			core.FromLVF(core.Theta{Mean: 0.14, Sigma: 0.005, Skew: 0.3}),
+		},
+	}
+	tm := TimingModelFromFits("cell_rise",
+		[]float64{0.01, 0.02}, []float64{0.001, 0.002},
+		[][]float64{{0.10, 0.11}, {0.12, 0.14}}, models)
+	tm.FallbackNote = "INV/arc00 (0,1): LVF2→Norm2 (2 failed attempts)"
+	tm.AppendTo(timing, "tpl_2x2", true)
+	return lib.String()
+}
+
+func fuzzSeeds() []string {
+	return []string{
+		fuzzSeedLibrary(),
+		`library (x) { cell (C) { pin (P) { direction : input; } } }`,
+		"library(a){t:1;}",
+		"/* c */ library (x) { values (\"1, 2\", \\\n\"3, 4\"); }",
+		`library (x) { q : "a b"; n : 1.5e-3; idx (1, 2, 3); }`,
+		`library (x) { // line comment
+		}`,
+		"library (é) { note : \"→\"; }",
+		`library () { }`,
+		`library (x) { g (a b) { } }`,
+		`library (x) { broken`,
+		`not liberty at all`,
+		``,
+	}
+}
+
+// FuzzParse asserts Parse never panics, and that everything downstream of
+// a successful parse (serialisation, linting) is panic-free too.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src)
+		if err != nil {
+			return // rejecting bad input is fine; panicking is not
+		}
+		_ = g.String()
+		_ = Lint(g)
+	})
+}
+
+// FuzzRoundTrip asserts write→parse→write stability. The first write may
+// normalise lossy constructs (e.g. an unquoted group argument containing
+// spaces is split into two arguments), so the fixed point is checked from
+// the second serialisation onwards.
+func FuzzRoundTrip(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out1 := g.String()
+		g2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("writer output must reparse: %v\n%s", err, out1)
+		}
+		out2 := g2.String()
+		g3, err := Parse(out2)
+		if err != nil {
+			t.Fatalf("second-generation output must reparse: %v\n%s", err, out2)
+		}
+		if out3 := g3.String(); out3 != out2 {
+			t.Errorf("write→parse→write not stable:\n--- out2:\n%s\n--- out3:\n%s", out2, out3)
+		}
+	})
+}
+
+// The fuzz targets double as regular tests over the seed corpus; this one
+// additionally pins the FallbackNote round trip through real writer output.
+func TestSeedLibraryRoundTripsFallbackNote(t *testing.T) {
+	src := fuzzSeedLibrary()
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := Lint(g); HasErrors(issues) {
+		t.Fatalf("seed library must lint clean: %v", issues)
+	}
+	cell, _ := g.Group("cell")
+	var pin *Group
+	for _, p := range cell.GroupsNamed("pin") {
+		if p.SimpleValue("direction") == "output" {
+			pin = p
+		}
+	}
+	if pin == nil {
+		t.Fatal("no output pin")
+	}
+	timing, _ := pin.Group("timing")
+	tm, err := ExtractTimingModel(timing, "cell_rise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tm.FallbackNote, "LVF2→Norm2") {
+		t.Errorf("FallbackNote lost in round trip: %q", tm.FallbackNote)
+	}
+}

@@ -44,6 +44,13 @@ type TimingModel struct {
 	MeanShift2 *Table
 	StdDev2    *Table
 	Skewness2  *Table
+
+	// FallbackNote records fit provenance when any grid point of this
+	// quantity was produced by a degradation rung rather than the
+	// requested model (see fit.FitReport). Emitted as a quoted simple
+	// attribute ocv_fallback_note_<base>; tools that don't know it
+	// ignore it, and Lint treats it as any other unknown attribute.
+	FallbackNote string
 }
 
 // HasLVF reports whether classic LVF moment tables are present.
@@ -161,6 +168,7 @@ func ExtractTimingModel(timing *Group, base string) (*TimingModel, error) {
 			tm.MeanShift1 = t
 		}
 	}
+	tm.FallbackNote = timing.SimpleValue("ocv_fallback_note_" + base)
 	return tm, nil
 }
 
@@ -170,6 +178,9 @@ func ExtractTimingModel(timing *Group, base string) (*TimingModel, error) {
 // §3.3 attributes are added for points where λ > 0.
 func (tm *TimingModel) AppendTo(timing *Group, template string, emitLVF2 bool) {
 	tm.Nominal.AppendToGroup(timing, tm.Base, template)
+	if tm.FallbackNote != "" {
+		timing.AddSimpleQuoted("ocv_fallback_note_"+tm.Base, tm.FallbackNote)
+	}
 	emit := func(t *Table, name string) {
 		if t != nil {
 			t.AppendToGroup(timing, name, template)

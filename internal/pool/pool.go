@@ -1,0 +1,157 @@
+// Package pool provides the shared bounded worker pool used by every
+// parallel stage of the characterisation → fit → emit pipeline. It exists
+// because the pipeline must survive pathological inputs: a panicking task
+// becomes a typed *PanicError instead of killing the process, a cancelled
+// context stops dispatch promptly and surfaces as context.Canceled, and a
+// per-task deadline bounds how long any single fit may run.
+//
+// Cancellation is cooperative: tasks receive a context and are expected to
+// check it at natural boundaries (grid points, EM iterations). The pool
+// guarantees that no new task starts after cancellation and that Wait
+// reports the cancellation.
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// PanicError is a recovered task panic, carrying the task label, the
+// panic value and the stack at the panic site.
+type PanicError struct {
+	Task  string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: task %q panicked: %v", e.Task, e.Value)
+}
+
+// Options tunes a pool. The zero value uses GOMAXPROCS workers and no
+// per-task deadline.
+type Options struct {
+	// Workers is the number of concurrent workers (default GOMAXPROCS).
+	Workers int
+	// TaskTimeout bounds each task via a context deadline (0 = none).
+	// Enforcement is cooperative: the task's context expires and the task
+	// is expected to notice and return.
+	TaskTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+type task struct {
+	label string
+	fn    func(context.Context) error
+}
+
+// Pool is a bounded worker pool bound to a context. Create with New,
+// feed with Submit, finish with Wait.
+type Pool struct {
+	ctx   context.Context
+	opts  Options
+	tasks chan task
+	wg    sync.WaitGroup
+
+	mu   sync.Mutex
+	errs []error
+}
+
+// New starts a pool of o.Workers workers bound to ctx.
+func New(ctx context.Context, o Options) *Pool {
+	o = o.withDefaults()
+	p := &Pool{ctx: ctx, opts: o, tasks: make(chan task)}
+	p.wg.Add(o.Workers)
+	for w := 0; w < o.Workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		if p.ctx.Err() != nil {
+			continue // drain without running: cancelled
+		}
+		tctx := p.ctx
+		cancel := func() {}
+		if p.opts.TaskTimeout > 0 {
+			tctx, cancel = context.WithTimeout(p.ctx, p.opts.TaskTimeout)
+		}
+		err := Protect(t.label, func() error { return t.fn(tctx) })
+		cancel()
+		if err != nil {
+			p.mu.Lock()
+			p.errs = append(p.errs, err)
+			p.mu.Unlock()
+		}
+	}
+}
+
+// Submit enqueues a task. It blocks until a worker is free and returns
+// the context error (without enqueueing) once the pool's context is
+// cancelled, so producers stop early.
+func (p *Pool) Submit(label string, fn func(context.Context) error) error {
+	select {
+	case <-p.ctx.Done():
+		return p.ctx.Err()
+	case p.tasks <- task{label: label, fn: fn}:
+		return nil
+	}
+}
+
+// Wait closes the queue, waits for the workers to drain, and returns the
+// joined task errors. If the pool's context was cancelled, the context
+// error is included, so errors.Is(err, context.Canceled) reports
+// cancellation.
+func (p *Pool) Wait() error {
+	close(p.tasks)
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	errs := p.errs
+	if cerr := p.ctx.Err(); cerr != nil {
+		errs = append(errs, cerr)
+	}
+	return errors.Join(errs...)
+}
+
+// ForEach runs fn(ctx, i) for i in [0, n) on a bounded pool and returns
+// the joined errors (nil when every task succeeded). Task panics become
+// *PanicError values; cancellation surfaces as the context error.
+func ForEach(ctx context.Context, o Options, n int, fn func(ctx context.Context, i int) error) error {
+	p := New(ctx, o)
+	for i := 0; i < n; i++ {
+		i := i
+		if err := p.Submit(fmt.Sprintf("task%d", i), func(tctx context.Context) error {
+			return fn(tctx, i)
+		}); err != nil {
+			break
+		}
+	}
+	return p.Wait()
+}
+
+// Protect runs f, converting a panic into a *PanicError. It is exported
+// so pipeline stages can recover at a finer grain than the pool's own
+// per-task backstop and attribute the failure to a specific unit of work.
+func Protect(label string, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Task: label, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return f()
+}

@@ -1,0 +1,126 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsAllTasks(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(context.Background(), Options{Workers: 4}, 100, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", ran.Load())
+	}
+}
+
+func TestPanicBecomesTypedError(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(context.Background(), Options{Workers: 2}, 10, func(ctx context.Context, i int) error {
+		if i == 3 {
+			panic("boom")
+		}
+		ran.Add(1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error from the panicking task")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PanicError", err)
+	}
+	if pe.Value != "boom" {
+		t.Fatalf("panic value = %v, want boom", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error carries no stack")
+	}
+	if ran.Load() != 9 {
+		t.Fatalf("non-panicking tasks ran %d times, want 9", ran.Load())
+	}
+}
+
+func TestErrorsAreJoined(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := ForEach(context.Background(), Options{Workers: 2}, 4, func(ctx context.Context, i int) error {
+		switch i {
+		case 1:
+			return errA
+		case 2:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined error %v does not contain both task errors", err)
+	}
+}
+
+func TestCancellationStopsDispatchAndReportsCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	p := New(ctx, Options{Workers: 2})
+	for i := 0; i < 1000; i++ {
+		serr := p.Submit(fmt.Sprintf("t%d", i), func(tctx context.Context) error {
+			// Cancel once both workers are busy; tctx derives from the pool
+			// context, so both blocked tasks are released by the cancel.
+			if started.Add(1) == 2 {
+				cancel()
+			}
+			<-tctx.Done() // block until cancellation propagates
+			return tctx.Err()
+		})
+		if serr != nil {
+			break // Submit refused after cancellation, as designed
+		}
+	}
+	err := p.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n > 10 {
+		t.Fatalf("%d tasks started after cancellation, dispatch did not stop promptly", n)
+	}
+}
+
+func TestTaskTimeoutExpiresContext(t *testing.T) {
+	var sawDeadline atomic.Bool
+	err := ForEach(context.Background(), Options{Workers: 1, TaskTimeout: 5 * time.Millisecond}, 1,
+		func(ctx context.Context, i int) error {
+			select {
+			case <-ctx.Done():
+				sawDeadline.Store(true)
+				return ctx.Err()
+			case <-time.After(2 * time.Second):
+				return nil
+			}
+		})
+	if !sawDeadline.Load() {
+		t.Fatal("task context never expired")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestProtectPassesThroughErrors(t *testing.T) {
+	want := errors.New("plain")
+	if got := Protect("x", func() error { return want }); got != want {
+		t.Fatalf("Protect = %v, want %v", got, want)
+	}
+	if got := Protect("x", func() error { return nil }); got != nil {
+		t.Fatalf("Protect = %v, want nil", got)
+	}
+}

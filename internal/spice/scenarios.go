@@ -1,6 +1,8 @@
 package spice
 
 import (
+	"fmt"
+
 	"lvf2/internal/mc"
 	"lvf2/internal/stats"
 )
@@ -22,11 +24,15 @@ type Scenario struct {
 //	Kurtosis     — same-centre components with different weights/σ
 //
 // Values are in nanoseconds, typical of a 22nm cell delay LUT entry.
-func Scenarios() []Scenario {
+// A malformed definition (weights not summing to one, component count
+// mismatch) is reported as an error rather than a panic, so callers can
+// degrade or skip the scenario study.
+func Scenarios() ([]Scenario, error) {
+	var buildErr error
 	mix := func(ws []float64, cs ...stats.Dist) stats.Mixture {
 		m, err := stats.NewMixture(ws, cs)
-		if err != nil {
-			panic("spice: bad scenario definition: " + err.Error())
+		if err != nil && buildErr == nil {
+			buildErr = fmt.Errorf("spice: bad scenario definition: %w", err)
 		}
 		return m
 	}
@@ -38,7 +44,7 @@ func Scenarios() []Scenario {
 	bg := func(mean float64) stats.Dist {
 		return stats.SNFromMoments(mean, 0.016, 0.2)
 	}
-	return []Scenario{
+	scs := []Scenario{
 		{
 			// Sharp edges (skewness near the SN maximum) are what make
 			// skewless Norm² fail here — "skewness is an indispensable
@@ -86,6 +92,10 @@ func Scenarios() []Scenario {
 			),
 		},
 	}
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return scs, nil
 }
 
 // GoldenSamples draws n samples from a scenario's ground-truth mixture —

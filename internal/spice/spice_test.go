@@ -156,7 +156,10 @@ func TestSampleParamsCount(t *testing.T) {
 }
 
 func TestScenariosShapes(t *testing.T) {
-	scs := Scenarios()
+	scs, err := Scenarios()
+	if err != nil {
+		t.Fatalf("Scenarios: %v", err)
+	}
 	if len(scs) != 5 {
 		t.Fatalf("want 5 scenarios, got %d", len(scs))
 	}
@@ -183,7 +186,11 @@ func TestScenariosShapes(t *testing.T) {
 // The Kurtosis scenario must actually be leptokurtic; the 2 Peaks scenario
 // must be strongly bimodal (platykurtic).
 func TestScenarioShapeProperties(t *testing.T) {
-	for _, s := range Scenarios() {
+	scs, err := Scenarios()
+	if err != nil {
+		t.Fatalf("Scenarios: %v", err)
+	}
+	for _, s := range scs {
 		xs := s.GoldenSamples(mc.NewRNG(5), 40000)
 		m := stats.Moments(xs)
 		switch s.Name {

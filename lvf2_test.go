@@ -163,8 +163,8 @@ func TestFacadeLibraryShape(t *testing.T) {
 	if len(libTypes) != 25 {
 		t.Fatalf("library size %d", len(libTypes))
 	}
-	if FO4Delay(TTCorner()) <= 0 {
-		t.Error("FO4 delay must be positive")
+	if fo4, err := FO4Delay(TTCorner()); err != nil || fo4 <= 0 {
+		t.Errorf("FO4 delay %v (err %v), must be positive", fo4, err)
 	}
 	g := DefaultGrid()
 	if len(g.Slews) != 8 || len(g.Loads) != 8 {
