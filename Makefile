@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check fuzz bench clean
+.PHONY: all build test vet race check fuzz bench bench-tables allocbudget determinism clean
 
 all: build
 
@@ -16,16 +16,34 @@ test:
 race:
 	$(GO) test -race -timeout 20m ./...
 
-# The gate: vet + build + full suite under the race detector.
-check: vet build race
+# Allocation-budget regression tests (testing.AllocsPerRun; skipped under
+# -race, so they get their own invocation).
+allocbudget:
+	$(GO) test -run 'AllocBudget' -count 1 ./internal/fit/
+
+# Bit-identical serial-vs-parallel multi-start, under the race detector and
+# several GOMAXPROCS values so the concurrent path actually engages.
+determinism:
+	$(GO) test -race -cpu 1,4,8 -run 'TestFitLVF2ParallelDeterminism|TestFitLVF2Golden' -count 1 ./internal/fit/
+
+# The gate: vet + build + full suite under the race detector + perf guards.
+check: vet build race allocbudget determinism
 
 # Short fuzz pass over the Liberty parser targets.
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s -run '^$$' ./internal/liberty/
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s -run '^$$' ./internal/liberty/
 
+# Micro benchmarks with memory stats, exported as BENCH_fit.json evidence.
+BENCH_FILTER = BenchmarkFit|BenchmarkSNCDF|BenchmarkCharacterizeArc|BenchmarkSSTASum|BenchmarkLibertyParse
+
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench '$(BENCH_FILTER)' -benchmem -count 3 -run '^$$' -timeout 30m . \
+		| $(GO) run ./cmd/benchjson -out BENCH_fit.json
+
+# Paper artefact regeneration benchmarks (tables, figures, ablations).
+bench-tables:
+	$(GO) test -bench 'BenchmarkTable|BenchmarkFig|BenchmarkAblation' -benchtime 1x -run '^$$' -timeout 30m .
 
 clean:
 	$(GO) clean ./...

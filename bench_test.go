@@ -309,6 +309,7 @@ func benchSamples(n int) []float64 {
 // BenchmarkFitLVF2 measures one EM fit of the paper's model.
 func BenchmarkFitLVF2(b *testing.B) {
 	xs := benchSamples(5000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := fit.FitLVF2(xs, fit.Options{}); err != nil {
@@ -354,6 +355,7 @@ func BenchmarkFitLVF(b *testing.B) {
 func BenchmarkSNCDF(b *testing.B) {
 	sn := stats.SNFromMoments(0.1, 0.01, 0.5)
 	var acc float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		acc += sn.CDF(0.095 + float64(i%16)*0.001)
 	}
@@ -365,6 +367,7 @@ func BenchmarkSNCDF(b *testing.B) {
 func BenchmarkCharacterizeArc(b *testing.B) {
 	e := cells.Library()[2].Arcs()[0].Elec
 	corner := spice.TTCorner()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rng := mc.NewRNG(uint64(i + 1))
 		e.Characterize(corner, rng, 2000, 0.02102, 0.04965)
@@ -415,6 +418,7 @@ func BenchmarkLibertyParse(b *testing.B) {
 	tm.AppendTo(timing, "tpl", true)
 	text := lib.String()
 	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := liberty.Parse(text); err != nil {

@@ -25,7 +25,9 @@ func FitLESN(xs []float64, o Options) (Result, error) {
 		}
 	}
 	target := stats.Moments(xs)
-	l, err := MatchLESNMoments(target)
+	fw := wsPool.Get().(*Workspace)
+	l, err := matchLESNMoments(target, &fw.lesnNM)
+	wsPool.Put(fw)
 	if err != nil {
 		return Result{}, err
 	}
@@ -41,6 +43,12 @@ func FitLESN(xs []float64, o Options) (Result, error) {
 // sample moments) and by SSTA propagation (target = cumulant-summed
 // moments of a path prefix). The target mean must be positive.
 func MatchLESNMoments(target stats.SampleMoments) (stats.LogESN, error) {
+	return matchLESNMoments(target, nil)
+}
+
+// matchLESNMoments is MatchLESNMoments optimising through a caller-owned
+// Nelder–Mead workspace (nil allocates a private one).
+func matchLESNMoments(target stats.SampleMoments, nm *opt.Workspace) (stats.LogESN, error) {
 	if target.Mean <= 0 || target.Variance <= 0 {
 		return stats.LogESN{}, errors.New("fit: LESN moment match needs positive mean and variance")
 	}
@@ -80,11 +88,11 @@ func MatchLESNMoments(target stats.SampleMoments) (stats.LogESN, error) {
 		// Kurtosis is down-weighted: it is the noisiest sample moment.
 		return em*em + es*es + eg*eg + 0.25*ek*ek
 	}
-	best, val := opt.NelderMead(loss, x0, opt.NelderMeadOptions{
+	best, val := opt.NelderMeadWs(loss, x0, opt.NelderMeadOptions{
 		MaxIter: 300 * len(x0),
 		TolF:    1e-12,
 		TolX:    1e-10,
-	})
+	}, nm)
 	if math.IsInf(val, 1) {
 		return stats.LogESN{}, errors.New("fit: LESN moment match did not find a feasible point")
 	}

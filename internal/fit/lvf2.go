@@ -1,11 +1,13 @@
 package fit
 
 import (
+	"context"
 	"math"
-	"sort"
+	"runtime"
 
 	"lvf2/internal/mc"
 	"lvf2/internal/opt"
+	"lvf2/internal/pool"
 	"lvf2/internal/stats"
 )
 
@@ -38,6 +40,18 @@ func (r LVF2Result) Result() Result {
 // the storage-saving switch §3.4 discusses.
 func (r LVF2Result) IsDegenerate() bool { return r.Lambda < 1e-6 }
 
+// maxStarts is the size of the deterministic multi-start set.
+const maxStarts = 4
+
+// parallelMinN is the sample count below which the concurrent multi-start
+// path is not worth its goroutine setup.
+const parallelMinN = 1024
+
+// emMaxPoints caps the sample the exploratory multi-start EM iterates on.
+// 4096 keeps the paper-scale scenario fits (2k–4k samples) on the exact
+// full-sample path; only the larger characterisation sweeps subsample.
+const emMaxPoints = 4096
+
 // FitLVF2 fits the paper's LVF² model by EM (§3.2):
 //
 //  1. Initialise by K-means (k=2) clustering and per-cluster method of
@@ -53,36 +67,99 @@ func (r LVF2Result) IsDegenerate() bool { return r.Lambda < 1e-6 }
 //     matching each component's three weighted sample moments through the
 //     bijection g of eq. (2). With Options.Polish a Nelder–Mead ascent on
 //     the true log-likelihood (eq. 5) refines all seven parameters.
+//
+// The independent starts run concurrently on the shared worker pool when
+// the sample is large enough and Options.Serial is unset; the winner is
+// selected by log-likelihood with ties broken by start index, so the
+// result is bit-identical to the serial path.
 func FitLVF2(xs []float64, o Options) (LVF2Result, error) {
+	fw := wsPool.Get().(*Workspace)
+	r, err := FitLVF2Ws(xs, o, fw)
+	wsPool.Put(fw)
+	return r, err
+}
+
+// FitLVF2Ws is FitLVF2 fitting through caller-owned workspace buffers; a
+// steady-state call allocates nothing. fw must not be shared between
+// concurrent fits (nil falls back to a private workspace).
+func FitLVF2Ws(xs []float64, o Options, fw *Workspace) (LVF2Result, error) {
 	o = o.withDefaults()
 	n := len(xs)
 	if n < 8 {
 		return LVF2Result{}, ErrNotEnoughData
 	}
+	if fw == nil {
+		fw = &Workspace{}
+	}
+	fw.grow(n)
 	all := stats.Moments(xs)
 	sdFloor := math.Max(all.Std()*1e-3, 1e-300)
 
-	inits := lvf2Inits(xs, all, sdFloor, o)
-	best := LVF2Result{LogLik: math.Inf(-1)}
-	bestInit := LVF2Result{LogLik: math.Inf(-1)}
+	inits := lvf2Inits(xs, all, sdFloor, o, fw)
 	// Each start gets a bounded iteration budget: the winner is refined by
-	// ECM below, so deep EM tails are wasted work.
+	// ECM below, so deep EM tails are wasted work. For the same reason the
+	// exploration EM runs on a deterministic strided subsample — the starts
+	// only need to locate the right basin; every candidate is re-scored on
+	// the full sample before selection and the ECM M-steps are exact.
 	oStart := o
 	if oStart.MaxIter > 60 {
 		oStart.MaxIter = 60
 	}
-	for _, init := range inits {
-		r := runLVF2EM(xs, init, oStart, sdFloor)
-		if r.LogLik > best.LogLik {
-			best = r
+	emXs := xs
+	if n > emMaxPoints {
+		// fw.sorted is free once the initialisation splits are built.
+		stride := (n + emMaxPoints - 1) / emMaxPoints
+		m := 0
+		for i := 0; i < n; i += stride {
+			fw.sorted[m] = xs[i]
+			m++
 		}
+		emXs = fw.sorted[:m]
+	}
+	runStart := func(i int) {
+		init := inits[i]
+		r := runLVF2EM(emXs, init, oStart, sdFloor, all.Mean)
+		if len(emXs) != n {
+			r.LogLik = mixLogLik(xs, r.Lambda, r.C1, r.C2)
+		}
+		fw.emRuns[i] = r
 		// Score the raw initialisation too: the moment M-step can drift
 		// away from a good start when a component's weighted skewness
 		// exceeds the SN-attainable range (sharp-edged peaks).
 		raw := LVF2Result{Lambda: init.lambda, C1: init.c1, C2: init.c2}
 		raw.LogLik = mixLogLik(xs, raw.Lambda, raw.C1, raw.C2)
-		if raw.LogLik > bestInit.LogLik {
-			bestInit = raw
+		fw.rawRuns[i] = raw
+	}
+	par := !o.Serial && len(inits) > 1 && n >= parallelMinN && runtime.GOMAXPROCS(0) > 1
+	if par {
+		err := pool.ForEach(context.Background(), pool.Options{Workers: len(inits)}, len(inits),
+			func(_ context.Context, i int) error {
+				runStart(i)
+				return nil
+			})
+		if err != nil {
+			// A start panicked (pure math — not expected): rerun serially so
+			// the failure surfaces exactly as it would without the pool.
+			for i := range inits {
+				runStart(i)
+			}
+		}
+	} else {
+		for i := range inits {
+			runStart(i)
+		}
+	}
+	// Deterministic winner selection: scan in start order, replacing only
+	// on a strictly better log-likelihood — identical to the serial loop
+	// regardless of how the starts were scheduled.
+	best := LVF2Result{LogLik: math.Inf(-1)}
+	bestInit := LVF2Result{LogLik: math.Inf(-1)}
+	for i := range inits {
+		if fw.emRuns[i].LogLik > best.LogLik {
+			best = fw.emRuns[i]
+		}
+		if fw.rawRuns[i].LogLik > bestInit.LogLik {
+			bestInit = fw.rawRuns[i]
 		}
 	}
 	// ECM: proper weighted-MLE M-steps. A full rescue run from the best
@@ -92,14 +169,14 @@ func FitLVF2(xs []float64, o Options) (LVF2Result, error) {
 	// cheap single polish round always runs.
 	clamped := math.Abs(best.C1.Skewness()) > 0.98 || math.Abs(best.C2.Skewness()) > 0.98
 	if clamped || best.LogLik < bestInit.LogLik+float64(n)*1e-3 {
-		if ecm := ecmRefine(xs, bestInit, 3); ecm.LogLik > best.LogLik {
+		if ecm := ecmRefine(xs, bestInit, 3, fw, par); ecm.LogLik > best.LogLik {
 			best = ecm
 		}
 	}
-	best = ecmRefine(xs, best, 1)
+	best = ecmRefine(xs, best, 1, fw, par)
 	best.normalise()
 	if o.Polish {
-		best = polishLVF2(xs, best, o)
+		best = polishLVF2(xs, best, o, fw)
 	}
 	return best, nil
 }
@@ -107,36 +184,60 @@ func FitLVF2(xs []float64, o Options) (LVF2Result, error) {
 // ecmRefine runs `rounds` of expectation–conditional-maximisation: the
 // E-step of eq. (6) followed by an exact weighted maximum-likelihood
 // update of each skew-normal component (Nelder–Mead over (ξ, log ω, α),
-// warm-started at the current parameters). The result is kept only if the
-// final log-likelihood improves on the input.
-func ecmRefine(xs []float64, r LVF2Result, rounds int) LVF2Result {
+// warm-started at the current parameters). The two component updates are
+// independent given the responsibilities, so the parallel path runs them
+// concurrently (each on its own mleScratch half). The result is kept only
+// if the final log-likelihood improves on the input.
+func ecmRefine(xs []float64, r LVF2Result, rounds int, fw *Workspace, par bool) LVF2Result {
 	if r.IsDegenerate() || r.Lambda > 1-1e-6 || r.C1.Omega <= 0 || r.C2.Omega <= 0 {
 		return r
 	}
 	n := len(xs)
 	lambda, c1, c2 := r.Lambda, r.C1, r.C2
-	resp := make([]float64, n)
-	w1s := make([]float64, n)
+	resp := fw.resp
+	w1s := fw.w1s
 	for round := 0; round < rounds; round++ {
+		t1 := makeSNTerm(1-lambda, c1)
+		t2 := makeSNTerm(lambda, c2)
 		var w2 float64
 		for i, x := range xs {
-			p1 := (1 - lambda) * c1.PDF(x)
-			p2 := lambda * c2.PDF(x)
+			p1 := t1.pdf(x)
+			p2 := t2.pdf(x)
 			tot := p1 + p2
 			if tot < 1e-300 {
 				tot = 1e-300
 				p2 = 0
 			}
-			resp[i] = p2 / tot
-			w1s[i] = 1 - resp[i]
-			w2 += resp[i]
+			ri := p2 / tot
+			resp[i] = ri
+			w1s[i] = 1 - ri
+			w2 += ri
 		}
 		lambda = w2 / float64(n)
 		if lambda < 1e-9 || lambda > 1-1e-9 {
 			return r
 		}
-		c1 = weightedSNMLE(xs, w1s, c1)
-		c2 = weightedSNMLE(xs, resp, c2)
+		if par {
+			nc1, nc2 := c1, c2
+			err := pool.ForEach(context.Background(), pool.Options{Workers: 2}, 2,
+				func(_ context.Context, i int) error {
+					if i == 0 {
+						nc1 = weightedSNMLE(xs, w1s, c1, &fw.mle[0])
+					} else {
+						nc2 = weightedSNMLE(xs, resp, c2, &fw.mle[1])
+					}
+					return nil
+				})
+			if err != nil {
+				// Surface a panic serially rather than dropping the update.
+				nc1 = weightedSNMLE(xs, w1s, c1, &fw.mle[0])
+				nc2 = weightedSNMLE(xs, resp, c2, &fw.mle[1])
+			}
+			c1, c2 = nc1, nc2
+		} else {
+			c1 = weightedSNMLE(xs, w1s, c1, &fw.mle[0])
+			c2 = weightedSNMLE(xs, resp, c2, &fw.mle[1])
+		}
 	}
 	ll := mixLogLik(xs, lambda, c1, c2)
 	if ll <= r.LogLik {
@@ -147,9 +248,11 @@ func ecmRefine(xs []float64, r LVF2Result, rounds int) LVF2Result {
 
 // mixLogLik evaluates eq. (5) for a two-component skew-normal mixture.
 func mixLogLik(xs []float64, lambda float64, c1, c2 stats.SkewNormal) float64 {
+	t1 := makeSNTerm(1-lambda, c1)
+	t2 := makeSNTerm(lambda, c2)
 	var ll float64
 	for _, x := range xs {
-		t := (1-lambda)*c1.PDF(x) + lambda*c2.PDF(x)
+		t := t1.pdf(x) + t2.pdf(x)
 		if t < 1e-300 {
 			t = 1e-300
 		}
@@ -158,56 +261,55 @@ func mixLogLik(xs []float64, lambda float64, c1, c2 stats.SkewNormal) float64 {
 	return ll
 }
 
+// maxObjPoints caps the weighted-MLE objective subsample. The optimum of
+// the subsampled likelihood is statistically indistinguishable at this
+// precision (parameter noise ~σ/√maxObjPoints, far below the metric
+// resolution), and every ECM candidate is accepted only after re-scoring
+// on the full data.
+const maxObjPoints = 2048
+
 // weightedSNMLE maximises Σ wᵢ log f_SN(xᵢ) over (ξ, log ω, α) from a warm
-// start. For very large samples the objective is evaluated on a strided
-// subsample (the optimum of the subsampled likelihood is statistically
-// indistinguishable at this precision, and the final model is re-scored
-// on the full data by the caller).
-func weightedSNMLE(xs, ws []float64, init stats.SkewNormal) stats.SkewNormal {
+// start. For large samples the objective is evaluated on a strided
+// subsample; points with negligible weight are dropped at build time so
+// the simplex inner loop is branch-free over contributing points only.
+func weightedSNMLE(xs, ws []float64, init stats.SkewNormal, scr *mleScratch) stats.SkewNormal {
 	if init.Omega <= 0 {
 		return init
 	}
-	const maxObjPoints = 6000
-	if len(xs) > maxObjPoints {
-		stride := (len(xs) + maxObjPoints - 1) / maxObjPoints
-		var sx, sw []float64
-		for i := 0; i < len(xs); i += stride {
-			sx = append(sx, xs[i])
-			sw = append(sw, ws[i])
-		}
-		xs, ws = sx, sw
+	if scr == nil {
+		scr = &mleScratch{}
 	}
-	// Analytic negative log-likelihood: with z = (x−ξ)/ω,
-	// −log f = log ω + z²/2 − log Φ(αz) + const, which avoids the Exp of
-	// the density and one Log per point in the Nelder–Mead hot loop.
-	neg := func(p []float64) float64 {
-		if math.Abs(p[2]) > 80 || p[1] > 50 || p[1] < -80 {
-			return math.Inf(1)
-		}
-		xi, logOmega, alpha := p[0], p[1], p[2]
-		invOmega := math.Exp(-logOmega)
-		var s, wsum float64
-		for i, x := range xs {
-			w := ws[i]
-			if w <= 1e-12 {
-				continue
-			}
-			z := (x - xi) * invOmega
-			phi := stats.StdNormCDF(alpha * z)
-			if phi < 1e-300 {
-				phi = 1e-300
-			}
-			s += w * (0.5*z*z - math.Log(phi))
+	stride := 1
+	if len(xs) > maxObjPoints {
+		stride = (len(xs) + maxObjPoints - 1) / maxObjPoints
+	}
+	scr.subX = scr.subX[:0]
+	scr.subW = scr.subW[:0]
+	var wsum float64
+	for i := 0; i < len(xs); i += stride {
+		if w := ws[i]; w > 1e-12 {
+			scr.subX = append(scr.subX, xs[i])
+			scr.subW = append(scr.subW, w)
 			wsum += w
 		}
-		return s + wsum*logOmega
 	}
-	x0 := []float64{init.Xi, math.Log(init.Omega), init.Alpha}
-	best, nll := opt.NelderMead(neg, x0, opt.NelderMeadOptions{
+	if len(scr.subX) == 0 {
+		return init
+	}
+	scr.wsum = wsum
+	if scr.obj == nil {
+		scr.obj = scr.objective
+	}
+	scr.x0 = [3]float64{init.Xi, math.Log(init.Omega), init.Alpha}
+	best, nll := opt.NelderMeadWs(scr.obj, scr.x0[:], opt.NelderMeadOptions{
 		MaxIter: 100,
-		TolF:    1e-7,
-		TolX:    1e-8,
-	})
+		// The objective scales with the total weight, so an absolute spread
+		// tolerance must too: 1e-9 per unit weight is ~1e-9 log-likelihood
+		// per point — far below sampling noise, well past the precision the
+		// full-data acceptance check downstream can distinguish.
+		TolF: 1e-9 * (1 + wsum),
+		TolX: 1e-8,
+	}, &scr.nm)
 	if math.IsInf(nll, 1) {
 		return init
 	}
@@ -220,38 +322,39 @@ type lvf2Init struct {
 	c1, c2 stats.SkewNormal
 }
 
-// lvf2Inits builds the deterministic multi-start set. With
+// lvf2Inits builds the deterministic multi-start set into fw.inits. With
 // Options.PerturbInit > 0 every start is jittered by a seeded RNG — the
 // FitRobust retry path uses this to escape a bad basin deterministically.
-func lvf2Inits(xs []float64, all stats.SampleMoments, sdFloor float64, o Options) []lvf2Init {
-	var inits []lvf2Init
+func lvf2Inits(xs []float64, all stats.SampleMoments, sdFloor float64, o Options, fw *Workspace) []lvf2Init {
+	inits := fw.inits[:0]
+	n := len(xs)
+	sorted := sortInto(fw.sorted, xs)
 
 	// 1. K-means location split (§3.2's initialisation).
-	assign, _ := KMeans1D(xs, 2, 50)
-	lam, c1, c2 := snInitFromClusters(xs, assign, all, sdFloor)
+	cen0, cen1 := kMeans2(xs, sorted, fw.assign, 50)
+	lam, c1, c2 := snInitFromClusters(xs, fw.assign, cen0, cen1, all, sdFloor)
 	inits = append(inits, lvf2Init{lam, c1, c2})
 
 	// 2. Scale split: centre 70% vs tails — the right start for
 	// same-centre different-σ mixtures (Kurtosis scenario).
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
-	med := sorted[len(sorted)/2]
-	var inner, outer []float64
+	med := sorted[n/2]
 	cut := 1.0 * all.Std()
+	var inner, outer stats.MomentAccumulator
+	inner.Reset(med)
+	outer.Reset(med)
 	for _, x := range xs {
 		if math.Abs(x-med) <= cut {
-			inner = append(inner, x)
+			inner.Add(x)
 		} else {
-			outer = append(outer, x)
+			outer.Add(x)
 		}
 	}
-	if len(inner) >= 8 && len(outer) >= 8 {
-		mi, mo := stats.Moments(inner), stats.Moments(outer)
+	if inner.Count() >= 8 && outer.Count() >= 8 {
+		mi, mo := inner.Moments(), outer.Moments()
 		// Widen the tail component: its subset sd underestimates the
 		// generating component's sd.
 		inits = append(inits, lvf2Init{
-			lambda: float64(len(outer)) / float64(len(xs)),
+			lambda: float64(outer.Count()) / float64(n),
 			c1:     snFromMomentsFloored(mi, sdFloor),
 			c2:     stats.SNFromMoments(mo.Mean, mo.Std()*1.5, 0),
 		})
@@ -259,17 +362,19 @@ func lvf2Inits(xs []float64, all stats.SampleMoments, sdFloor float64, o Options
 
 	// 3. Dominant-vs-upper-tail split (Minor Saddle shapes): lower 80%
 	// against the top 20%.
-	q80 := sorted[int(0.8*float64(len(sorted)-1))]
-	var lo, hi []float64
+	q80 := sorted[int(0.8*float64(n-1))]
+	var lo, hi stats.MomentAccumulator
+	lo.Reset(all.Mean)
+	hi.Reset(q80)
 	for _, x := range xs {
 		if x <= q80 {
-			lo = append(lo, x)
+			lo.Add(x)
 		} else {
-			hi = append(hi, x)
+			hi.Add(x)
 		}
 	}
-	if len(lo) >= 8 && len(hi) >= 8 {
-		ml, mh := stats.Moments(lo), stats.Moments(hi)
+	if lo.Count() >= 8 && hi.Count() >= 8 {
+		ml, mh := lo.Moments(), hi.Moments()
 		inits = append(inits, lvf2Init{
 			lambda: 0.2,
 			c1:     snFromMomentsFloored(ml, sdFloor),
@@ -280,8 +385,8 @@ func lvf2Inits(xs []float64, all stats.SampleMoments, sdFloor float64, o Options
 	// 4. The converged Norm² solution with zero skews: the SN mixture
 	// family strictly contains the Gaussian mixture, so starting from the
 	// best Gaussian fit guarantees LVF² does not trail Norm² merely for
-	// optimisation reasons.
-	if g, err := FitNorm2Params(xs, Options{}); err == nil && g.Lambda > 1e-9 {
+	// optimisation reasons. (Runs last: it reuses fw.sorted/fw.assign.)
+	if g, err := fitNorm2(xs, Options{}, fw); err == nil && g.Lambda > 1e-9 {
 		inits = append(inits, lvf2Init{
 			lambda: g.Lambda,
 			c1:     stats.SkewNormal{Xi: g.C1.Mu, Omega: g.C1.Sigma},
@@ -307,44 +412,45 @@ func lvf2Inits(xs []float64, all stats.SampleMoments, sdFloor float64, o Options
 	return inits
 }
 
-// runLVF2EM runs the EM loop from one starting point.
-func runLVF2EM(xs []float64, init lvf2Init, o Options, sdFloor float64) LVF2Result {
+// runLVF2EM runs the EM loop from one starting point. The E-step and the
+// weighted-moment M-step are fused into a single pass: responsibilities
+// feed two pivot-shifted moment accumulators directly (complementary
+// weights), so no per-point arrays are touched at all.
+func runLVF2EM(xs []float64, init lvf2Init, o Options, sdFloor, pivot float64) LVF2Result {
 	n := len(xs)
 	lambda, c1, c2 := init.lambda, init.c1, init.c2
 
-	resp := make([]float64, n)
-	w1s := make([]float64, n)
+	var a1, a2 stats.MomentAccumulator
 	var iters int
 	for iters = 0; iters < o.MaxIter; iters++ {
 		// E-step (eq. 6): responsibility of component 2 per point.
 		// (Convergence is tested on the parameters, not the
 		// log-likelihood, which keeps math.Log out of the hot loop.)
-		for i, x := range xs {
-			p1 := (1 - lambda) * c1.PDF(x)
-			p2 := lambda * c2.PDF(x)
+		t1 := makeSNTerm(1-lambda, c1)
+		t2 := makeSNTerm(lambda, c2)
+		a1.Reset(pivot)
+		a2.Reset(pivot)
+		for _, x := range xs {
+			p1 := t1.pdf(x)
+			p2 := t2.pdf(x)
 			tot := p1 + p2
 			if tot < 1e-300 {
 				p2 = 0
 				tot = 1e-300
 			}
-			resp[i] = p2 / tot
+			r := p2 / tot
+			a1.AddWeighted(x, 1-r)
+			a2.AddWeighted(x, r)
 		}
 
 		// M-step: weighted method of moments per component.
-		var w2 float64
-		for _, r := range resp {
-			w2 += r
-		}
-		newLambda := w2 / float64(n)
+		newLambda := a2.WeightSum() / float64(n)
 		if newLambda < 1e-9 || newLambda > 1-1e-9 {
 			lambda = clamp01eps(newLambda)
 			break
 		}
-		for i, r := range resp {
-			w1s[i] = 1 - r
-		}
-		m1 := stats.WeightedMoments(xs, w1s)
-		m2 := stats.WeightedMoments(xs, resp)
+		m1 := a1.Moments()
+		m2 := a2.Moments()
 		newC1 := snFromMomentsFloored(m1, sdFloor)
 		newC2 := snFromMomentsFloored(m2, sdFloor)
 
@@ -385,36 +491,39 @@ func snFromMomentsFloored(m stats.SampleMoments, sdFloor float64) stats.SkewNorm
 	return stats.SNFromMoments(m.Mean, sd, m.Skewness)
 }
 
-func snInitFromClusters(xs []float64, assign []int, all stats.SampleMoments, sdFloor float64) (lambda float64, c1, c2 stats.SkewNormal) {
-	var g1, g2 []float64
+// snInitFromClusters derives the k-means start's component parameters from
+// the cluster assignment, accumulating each cluster's moments in one pass
+// (pivoted at its centre) instead of materialising per-cluster slices.
+func snInitFromClusters(xs []float64, assign []int, cen0, cen1 float64, all stats.SampleMoments, sdFloor float64) (lambda float64, c1, c2 stats.SkewNormal) {
+	var a1, a2 stats.MomentAccumulator
+	a1.Reset(cen0)
+	a2.Reset(cen1)
 	for i, x := range xs {
 		if assign[i] == 0 {
-			g1 = append(g1, x)
+			a1.Add(x)
 		} else {
-			g2 = append(g2, x)
+			a2.Add(x)
 		}
 	}
-	if len(g1) < 4 || len(g2) < 4 {
+	if a1.Count() < 4 || a2.Count() < 4 {
 		sd := all.Std()
 		c1 = stats.SNFromMoments(all.Mean-0.5*sd, sd, 0)
 		c2 = stats.SNFromMoments(all.Mean+0.5*sd, sd, 0)
 		return 0.5, c1, c2
 	}
-	m1 := stats.Moments(g1)
-	m2 := stats.Moments(g2)
-	return float64(len(g2)) / float64(len(xs)),
-		snFromMomentsFloored(m1, sdFloor),
-		snFromMomentsFloored(m2, sdFloor)
+	return float64(a2.Count()) / float64(len(xs)),
+		snFromMomentsFloored(a1.Moments(), sdFloor),
+		snFromMomentsFloored(a2.Moments(), sdFloor)
 }
 
 // polishLVF2 refines the EM solution with a bounded Nelder–Mead ascent on
 // the exact log-likelihood (eq. 5) over the parameter vector
 // (logit λ, ξ₁, log ω₁, α₁, ξ₂, log ω₂, α₂).
-func polishLVF2(xs []float64, r LVF2Result, o Options) LVF2Result {
+func polishLVF2(xs []float64, r LVF2Result, o Options, fw *Workspace) LVF2Result {
 	if r.IsDegenerate() || r.C1.Omega <= 0 || r.C2.Omega <= 0 {
 		return r
 	}
-	x0 := []float64{
+	x0 := [7]float64{
 		logit(r.Lambda),
 		r.C1.Xi, math.Log(r.C1.Omega), r.C1.Alpha,
 		r.C2.Xi, math.Log(r.C2.Omega), r.C2.Alpha,
@@ -424,11 +533,11 @@ func polishLVF2(xs []float64, r LVF2Result, o Options) LVF2Result {
 		if lam < 1e-9 || lam > 1-1e-9 || math.Abs(p[3]) > 60 || math.Abs(p[6]) > 60 {
 			return math.Inf(1)
 		}
-		c1 := stats.SkewNormal{Xi: p[1], Omega: math.Exp(p[2]), Alpha: p[3]}
-		c2 := stats.SkewNormal{Xi: p[4], Omega: math.Exp(p[5]), Alpha: p[6]}
+		t1 := makeSNTerm(1-lam, stats.SkewNormal{Xi: p[1], Omega: math.Exp(p[2]), Alpha: p[3]})
+		t2 := makeSNTerm(lam, stats.SkewNormal{Xi: p[4], Omega: math.Exp(p[5]), Alpha: p[6]})
 		var ll float64
 		for _, x := range xs {
-			t := (1-lam)*c1.PDF(x) + lam*c2.PDF(x)
+			t := t1.pdf(x) + t2.pdf(x)
 			if t < 1e-300 {
 				t = 1e-300
 			}
@@ -436,11 +545,11 @@ func polishLVF2(xs []float64, r LVF2Result, o Options) LVF2Result {
 		}
 		return -ll
 	}
-	best, nll := opt.NelderMead(neg, x0, opt.NelderMeadOptions{
+	best, nll := opt.NelderMeadWs(neg, x0[:], opt.NelderMeadOptions{
 		MaxIter: 150 * len(x0),
 		TolF:    1e-8,
 		TolX:    1e-8,
-	})
+	}, &fw.nm7)
 	if -nll <= r.LogLik {
 		return r
 	}

@@ -73,6 +73,11 @@ type Options struct {
 	PerturbInit float64
 	// PerturbSeed selects the deterministic jitter stream.
 	PerturbSeed uint64
+	// Serial disables the concurrent multi-start path of FitLVF2. The
+	// fitted parameters are bit-identical either way; this exists for
+	// callers that must not spawn goroutines (and for the determinism
+	// tests that compare the two paths).
+	Serial bool
 }
 
 func (o Options) withDefaults() Options {

@@ -37,33 +37,63 @@ func FitNorm2(xs []float64, o Options) (Result, error) {
 
 // FitNorm2Params is FitNorm2 exposing the fitted mixture parameters.
 func FitNorm2Params(xs []float64, o Options) (Norm2Result, error) {
+	fw := wsPool.Get().(*Workspace)
+	r, err := fitNorm2(xs, o, fw)
+	wsPool.Put(fw)
+	return r, err
+}
+
+// fitNorm2 is the workspace-threaded Norm² EM. The E-step likelihood, the
+// responsibility sum and the component-2 weighted power sums are fused
+// into a single pass per iteration; component 1's sums follow by
+// complementarity against the whole-sample totals, so the loop touches no
+// per-point arrays at all.
+func fitNorm2(xs []float64, o Options, fw *Workspace) (Norm2Result, error) {
 	o = o.withDefaults()
 	n := len(xs)
 	if n < 8 {
 		return Norm2Result{}, ErrNotEnoughData
 	}
+	fw.grow(n)
 	all := stats.Moments(xs)
 	varFloor := math.Max(all.Variance*1e-6, 1e-300)
 
 	// K-means + per-cluster moments initialisation.
-	assign, _ := KMeans1D(xs, 2, 50)
-	lambda, c1, c2 := normInitFromClusters(xs, assign, all, varFloor)
+	sorted := sortInto(fw.sorted, xs)
+	cen0, cen1 := kMeans2(xs, sorted, fw.assign, 50)
+	lambda, c1, c2 := normInitFromClusters(xs, fw.assign, cen0, cen1, all, varFloor)
 
-	resp := make([]float64, n) // responsibility of component 2
+	// Whole-sample pivot-shifted totals: with y = x − pivot,
+	// Σwᵢyᵢ and Σwᵢyᵢ² for component 1 are the totals minus component 2's.
+	pivot := all.Mean
+	var t1, t2 float64
+	for _, x := range xs {
+		y := x - pivot
+		t1 += y
+		t2 += y * y
+	}
+
 	prevLL := math.Inf(-1)
 	var iters int
 	for iters = 0; iters < o.MaxIter; iters++ {
-		// E-step (eq. 6 adapted): posterior of component 2.
-		var ll float64
-		for i, x := range xs {
-			p1 := (1 - lambda) * c1.PDF(x)
-			p2 := lambda * c2.PDF(x)
+		// E-step (eq. 6 adapted) fused with the component-2 weighted sums.
+		g1 := makeNormTerm(1-lambda, c1)
+		g2 := makeNormTerm(lambda, c2)
+		var ll, w2, s1, s2 float64
+		for _, x := range xs {
+			p1 := g1.pdf(x)
+			p2 := g2.pdf(x)
 			tot := p1 + p2
 			if tot < 1e-300 {
 				tot = 1e-300
 				p2 = 0
 			}
-			resp[i] = p2 / tot
+			r := p2 / tot
+			y := x - pivot
+			ry := r * y
+			w2 += r
+			s1 += ry
+			s2 += ry * y
 			ll += math.Log(tot)
 		}
 		if iters > 0 && math.Abs(ll-prevLL) <= o.Tol*(1+math.Abs(prevLL)) {
@@ -73,24 +103,19 @@ func FitNorm2Params(xs []float64, o Options) (Norm2Result, error) {
 		prevLL = ll
 
 		// M-step: closed-form weighted Gaussian updates.
-		var w2 float64
-		for _, r := range resp {
-			w2 += r
-		}
 		lambda = w2 / float64(n)
 		if lambda < 1e-9 || lambda > 1-1e-9 {
 			// Collapsed to a single component.
 			lambda = clamp01eps(lambda)
 			break
 		}
-		w1s := make([]float64, n)
-		for i, r := range resp {
-			w1s[i] = 1 - r
-		}
-		m1 := stats.WeightedMoments(xs, w1s)
-		m2 := stats.WeightedMoments(xs, resp)
-		c1 = stats.Normal{Mu: m1.Mean, Sigma: math.Sqrt(math.Max(m1.Variance, varFloor))}
-		c2 = stats.Normal{Mu: m2.Mean, Sigma: math.Sqrt(math.Max(m2.Variance, varFloor))}
+		w1 := float64(n) - w2
+		mu1 := (t1 - s1) / w1
+		mu2 := s1 / w2
+		v1 := (t2-s2)/w1 - mu1*mu1
+		v2 := s2/w2 - mu2*mu2
+		c1 = stats.Normal{Mu: pivot + mu1, Sigma: math.Sqrt(math.Max(v1, varFloor))}
+		c2 = stats.Normal{Mu: pivot + mu2, Sigma: math.Sqrt(math.Max(v2, varFloor))}
 	}
 
 	r := Norm2Result{Lambda: lambda, C1: c1, C2: c2, LogLik: prevLL, Iters: iters}
@@ -108,27 +133,56 @@ func (r *Norm2Result) normalise() {
 	}
 }
 
-func normInitFromClusters(xs []float64, assign []int, all stats.SampleMoments, varFloor float64) (lambda float64, c1, c2 stats.Normal) {
-	var g1, g2 []float64
+// normTerm is one weighted Gaussian mixture component with 1/σ and the
+// weight·φ prefactor hoisted out of the per-point loop. A non-positive σ
+// falls back to the scalar PDF (which is Inf at μ, zero elsewhere).
+type normTerm struct {
+	weight, mu, invSigma, scale float64
+	degenerate                  bool
+	d                           stats.Normal
+}
+
+func makeNormTerm(weight float64, c stats.Normal) normTerm {
+	if c.Sigma <= 0 {
+		return normTerm{weight: weight, degenerate: true, d: c}
+	}
+	inv := 1 / c.Sigma
+	return normTerm{weight: weight, mu: c.Mu, invSigma: inv, scale: weight * inv}
+}
+
+func (t normTerm) pdf(x float64) float64 {
+	if t.degenerate {
+		return t.weight * t.d.PDF(x)
+	}
+	z := (x - t.mu) * t.invSigma
+	return t.scale * stats.StdNormPDF(z)
+}
+
+// normInitFromClusters derives the k-means start's component parameters,
+// accumulating each cluster's moments in one pass pivoted at its centre.
+func normInitFromClusters(xs []float64, assign []int, cen0, cen1 float64, all stats.SampleMoments, varFloor float64) (lambda float64, c1, c2 stats.Normal) {
+	var a1, a2 stats.MomentAccumulator
+	a1.Reset(cen0)
+	a2.Reset(cen1)
 	for i, x := range xs {
 		if assign[i] == 0 {
-			g1 = append(g1, x)
+			a1.Add(x)
 		} else {
-			g2 = append(g2, x)
+			a2.Add(x)
 		}
 	}
-	if len(g1) < 4 || len(g2) < 4 {
+	if a1.Count() < 4 || a2.Count() < 4 {
 		// Degenerate clustering: perturb the global fit.
 		sd := all.Std()
 		c1 = stats.Normal{Mu: all.Mean - 0.5*sd, Sigma: sd}
 		c2 = stats.Normal{Mu: all.Mean + 0.5*sd, Sigma: sd}
 		return 0.5, c1, c2
 	}
-	m1 := stats.Moments(g1)
-	m2 := stats.Moments(g2)
+	m1 := a1.Moments()
+	m2 := a2.Moments()
 	c1 = stats.Normal{Mu: m1.Mean, Sigma: math.Sqrt(math.Max(m1.Variance, varFloor))}
 	c2 = stats.Normal{Mu: m2.Mean, Sigma: math.Sqrt(math.Max(m2.Variance, varFloor))}
-	return float64(len(g2)) / float64(len(xs)), c1, c2
+	return float64(a2.Count()) / float64(len(xs)), c1, c2
 }
 
 func clamp01eps(x float64) float64 {

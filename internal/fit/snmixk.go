@@ -143,6 +143,7 @@ func FitSNMixK(xs []float64, k int, o Options) (SNMixResult, error) {
 	// objective may be evaluated on a subsample for large n).
 	r := SNMixResult{Weights: weights, Comps: comps, Iters: iters}
 	r.LogLik = LogLikelihood(r.Dist(), xs)
+	var scr mleScratch
 	for round := 0; round < 2; round++ {
 		polished := SNMixResult{
 			Weights: append([]float64(nil), r.Weights...),
@@ -171,7 +172,7 @@ func FitSNMixK(xs []float64, k int, o Options) (SNMixResult, error) {
 			}
 			polished.Weights[c] = w / float64(n)
 			if polished.Weights[c] > 1e-6 {
-				polished.Comps[c] = weightedSNMLE(xs, resp[c], polished.Comps[c])
+				polished.Comps[c] = weightedSNMLE(xs, resp[c], polished.Comps[c], &scr)
 			}
 		}
 		normalizeWeights(polished.Weights)

@@ -11,16 +11,20 @@ import "lvf2/internal/stats"
 // stratification lowers the variance of bin-probability estimates compared
 // to IID sampling at the same budget (see BenchmarkAblationLHS).
 func LatinHypercube(rng *RNG, n, d int) [][]float64 {
+	return LatinHypercubeInto(rng, n, d, &Matrix{})
+}
+
+// LatinHypercubeInto is LatinHypercube writing into a reusable matrix. The
+// returned rows alias m and remain valid until its next use; the variate
+// stream matches LatinHypercube exactly.
+func LatinHypercubeInto(rng *RNG, n, d int, m *Matrix) [][]float64 {
 	if n <= 0 || d <= 0 {
 		return nil
 	}
-	out := make([][]float64, n)
-	flat := make([]float64, n*d)
-	for i := range out {
-		out[i], flat = flat[:d], flat[d:]
-	}
+	out := m.Rows(n, d)
+	perm := m.permBuf(n)
 	for j := 0; j < d; j++ {
-		perm := rng.Perm(n)
+		rng.PermInto(perm)
 		for i := 0; i < n; i++ {
 			u := (float64(perm[i]) + rng.Float64()) / float64(n)
 			if u >= 1 {
@@ -35,7 +39,12 @@ func LatinHypercube(rng *RNG, n, d int) [][]float64 {
 // GaussianLHS maps LatinHypercube points through the standard normal
 // quantile, producing n stratified N(0,1)^d process-parameter vectors.
 func GaussianLHS(rng *RNG, n, d int) [][]float64 {
-	pts := LatinHypercube(rng, n, d)
+	return GaussianLHSInto(rng, n, d, &Matrix{})
+}
+
+// GaussianLHSInto is GaussianLHS writing into a reusable matrix.
+func GaussianLHSInto(rng *RNG, n, d int, m *Matrix) [][]float64 {
+	pts := LatinHypercubeInto(rng, n, d, m)
 	for _, row := range pts {
 		for j, u := range row {
 			row[j] = stats.StdNormQuantile(clampOpen(u))
@@ -46,13 +55,19 @@ func GaussianLHS(rng *RNG, n, d int) [][]float64 {
 
 // GaussianIID returns n IID N(0,1)^d vectors, the non-stratified baseline.
 func GaussianIID(rng *RNG, n, d int) [][]float64 {
-	out := make([][]float64, n)
-	for i := range out {
-		row := make([]float64, d)
+	return GaussianIIDInto(rng, n, d, &Matrix{})
+}
+
+// GaussianIIDInto is GaussianIID writing into a reusable matrix.
+func GaussianIIDInto(rng *RNG, n, d int, m *Matrix) [][]float64 {
+	if n <= 0 || d <= 0 {
+		return nil
+	}
+	out := m.Rows(n, d)
+	for _, row := range out {
 		for j := range row {
 			row[j] = rng.NormFloat64()
 		}
-		out[i] = row
 	}
 	return out
 }

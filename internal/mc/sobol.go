@@ -78,6 +78,12 @@ func NewSobol(d int) *Sobol {
 // Next returns the next point in [0,1)^d (Gray-code order; the first
 // returned point is the sequence's index-1 point, skipping the origin).
 func (s *Sobol) Next() []float64 {
+	return s.NextInto(make([]float64, s.d))
+}
+
+// NextInto writes the next point into dst (which must have length ≥ d)
+// and returns dst[:d].
+func (s *Sobol) NextInto(dst []float64) []float64 {
 	// Position of the lowest zero bit of count.
 	c := s.count
 	k := 0
@@ -88,21 +94,33 @@ func (s *Sobol) Next() []float64 {
 	if k >= sobolBits {
 		k = sobolBits - 1
 	}
-	out := make([]float64, s.d)
+	dst = dst[:s.d]
 	for j := 0; j < s.d; j++ {
 		s.x[j] ^= s.v[j][k]
-		out[j] = float64(s.x[j]) / (1 << sobolBits)
+		dst[j] = float64(s.x[j]) / (1 << sobolBits)
 	}
 	s.count++
-	return out
+	return dst
 }
+
+// Dim returns the (clamped) dimensionality of the sequence.
+func (s *Sobol) Dim() int { return s.d }
 
 // SobolPoints returns the first n points of a d-dimensional sequence.
 func SobolPoints(n, d int) [][]float64 {
+	return SobolPointsInto(n, d, &Matrix{})
+}
+
+// SobolPointsInto is SobolPoints writing into a reusable matrix. The rows
+// are Dim() wide (d clamped to the supported range).
+func SobolPointsInto(n, d int, m *Matrix) [][]float64 {
 	s := NewSobol(d)
-	out := make([][]float64, n)
+	if n <= 0 {
+		return nil
+	}
+	out := m.Rows(n, s.d)
 	for i := range out {
-		out[i] = s.Next()
+		s.NextInto(out[i])
 	}
 	return out
 }
@@ -112,11 +130,17 @@ func SobolPoints(n, d int) [][]float64 {
 // Cranley–Patterson rotation so repeated calls give independent unbiased
 // estimates (plain Sobol is deterministic).
 func GaussianSobol(rng *RNG, n, d int) [][]float64 {
-	shift := make([]float64, d)
+	return GaussianSobolInto(rng, n, d, &Matrix{})
+}
+
+// GaussianSobolInto is GaussianSobol writing into a reusable matrix,
+// consuming the same rng stream (the shift is drawn before the points).
+func GaussianSobolInto(rng *RNG, n, d int, m *Matrix) [][]float64 {
+	shift := m.shiftBuf(d)
 	for j := range shift {
 		shift[j] = rng.Float64()
 	}
-	pts := SobolPoints(n, d)
+	pts := SobolPointsInto(n, d, m)
 	for _, row := range pts {
 		for j, u := range row {
 			u += shift[j]

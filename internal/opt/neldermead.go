@@ -21,9 +21,47 @@ type NelderMeadOptions struct {
 	Step float64
 }
 
+// Workspace holds the scratch buffers of one Nelder–Mead run so repeated
+// searches of the same dimensionality (the EM/ECM fitting loops) perform
+// no steady-state heap allocations. A Workspace is not safe for
+// concurrent use; the zero value is ready.
+type Workspace struct {
+	dim  int
+	pts  [][]float64
+	vals []float64
+	centroid, xr, xe, xc, best []float64
+}
+
+// grow (re)sizes the buffers for dimension n, reusing them when possible.
+func (w *Workspace) grow(n int) {
+	if w.dim == n && w.pts != nil {
+		return
+	}
+	w.dim = n
+	w.pts = make([][]float64, n+1)
+	flat := make([]float64, (n+1)*n+5*n)
+	for i := range w.pts {
+		w.pts[i], flat = flat[:n:n], flat[n:]
+	}
+	w.centroid, flat = flat[:n:n], flat[n:]
+	w.xr, flat = flat[:n:n], flat[n:]
+	w.xe, flat = flat[:n:n], flat[n:]
+	w.xc, flat = flat[:n:n], flat[n:]
+	w.best = flat[:n:n]
+	w.vals = make([]float64, n+1)
+}
+
 // NelderMead minimises f starting from x0 and returns the best point and
 // value. f may return +Inf to reject infeasible points.
 func NelderMead(f func([]float64) float64, x0 []float64, o NelderMeadOptions) ([]float64, float64) {
+	var ws Workspace
+	return NelderMeadWs(f, x0, o, &ws)
+}
+
+// NelderMeadWs is NelderMead reusing the given workspace buffers. The
+// returned best point aliases the workspace and is valid until the next
+// call with the same workspace.
+func NelderMeadWs(f func([]float64) float64, x0 []float64, o NelderMeadOptions, ws *Workspace) ([]float64, float64) {
 	n := len(x0)
 	if n == 0 {
 		return nil, f(nil)
@@ -48,11 +86,16 @@ func NelderMead(f func([]float64) float64, x0 []float64, o NelderMeadOptions) ([
 		sigma = 0.5 // shrink
 	)
 
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.grow(n)
+
 	// Initial simplex: x0 plus per-coordinate displacements.
-	pts := make([][]float64, n+1)
-	vals := make([]float64, n+1)
+	pts := ws.pts
+	vals := ws.vals
 	for i := range pts {
-		p := make([]float64, n)
+		p := pts[i]
 		copy(p, x0)
 		if i > 0 {
 			j := i - 1
@@ -62,7 +105,6 @@ func NelderMead(f func([]float64) float64, x0 []float64, o NelderMeadOptions) ([
 			}
 			p[j] += d
 		}
-		pts[i] = p
 		vals[i] = f(p)
 	}
 
@@ -80,10 +122,7 @@ func NelderMead(f func([]float64) float64, x0 []float64, o NelderMeadOptions) ([
 	}
 	order()
 
-	centroid := make([]float64, n)
-	xr := make([]float64, n)
-	xe := make([]float64, n)
-	xc := make([]float64, n)
+	centroid, xr, xe, xc := ws.centroid, ws.xr, ws.xe, ws.xc
 
 	for iter := 0; iter < o.MaxIter; iter++ {
 		// Converged only when both the value spread and the simplex
@@ -157,7 +196,6 @@ func NelderMead(f func([]float64) float64, x0 []float64, o NelderMeadOptions) ([
 		}
 		order()
 	}
-	best := make([]float64, n)
-	copy(best, pts[0])
-	return best, vals[0]
+	copy(ws.best, pts[0])
+	return ws.best, vals[0]
 }

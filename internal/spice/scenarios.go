@@ -101,9 +101,14 @@ func Scenarios() ([]Scenario, error) {
 // GoldenSamples draws n samples from a scenario's ground-truth mixture —
 // the stand-in for the paper's 50k-sample SPICE MC golden data.
 func (s Scenario) GoldenSamples(rng *mc.RNG, n int) []float64 {
-	xs := make([]float64, n)
-	for i := range xs {
-		xs[i] = s.Dist.Sample(rng)
+	return s.GoldenSamplesInto(rng, make([]float64, n))
+}
+
+// GoldenSamplesInto fills dst with golden samples, letting sweep drivers
+// that redraw the same sample count per grid point reuse one buffer.
+func (s Scenario) GoldenSamplesInto(rng *mc.RNG, dst []float64) []float64 {
+	for i := range dst {
+		dst[i] = s.Dist.Sample(rng)
 	}
-	return xs
+	return dst
 }

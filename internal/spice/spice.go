@@ -26,6 +26,7 @@ package spice
 
 import (
 	"math"
+	"sync"
 
 	"lvf2/internal/mc"
 )
@@ -223,17 +224,26 @@ func (e CellElectrical) Characterize(c Corner, rng *mc.RNG, n int, slewNS, loadP
 	return e.CharacterizeWith(c, rng, n, slewNS, loadPF, SamplerLHS)
 }
 
+// samplePool recycles the process-sample matrices across characterisation
+// calls: a library characterisation evaluates thousands of slew–load grid
+// points, each drawing an n×NumParams block that is dead as soon as the
+// delays are computed. Each pool worker grabs its own matrix, so the
+// concurrent CharacterizeLibrary path reuses one buffer per worker.
+var samplePool = sync.Pool{New: func() any { return new(mc.Matrix) }}
+
 // CharacterizeWith runs the characterisation with an explicit sampling
 // scheme.
 func (e CellElectrical) CharacterizeWith(c Corner, rng *mc.RNG, n int, slewNS, loadPF float64, s Sampler) MCResult {
+	m := samplePool.Get().(*mc.Matrix)
+	defer samplePool.Put(m)
 	var pts [][]float64
 	switch s {
 	case SamplerSobol:
-		pts = mc.GaussianSobol(rng, n, NumParams)
+		pts = mc.GaussianSobolInto(rng, n, NumParams, m)
 	case SamplerIID:
-		pts = mc.GaussianIID(rng, n, NumParams)
+		pts = mc.GaussianIIDInto(rng, n, NumParams, m)
 	default:
-		pts = mc.GaussianLHS(rng, n, NumParams)
+		pts = mc.GaussianLHSInto(rng, n, NumParams, m)
 	}
 	res := MCResult{
 		Delays:      make([]float64, n),

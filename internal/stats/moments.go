@@ -88,6 +88,86 @@ func WeightedMoments(xs, ws []float64) SampleMoments {
 	return sm
 }
 
+// MomentAccumulator accumulates weighted power sums of pivot-shifted data
+// in a single pass, so an EM E-step can compute both components' moments
+// while it computes the responsibilities, without materialising weight
+// arrays. Choose a pivot near the data mean to keep the shifted sums well
+// conditioned (the EM loops use the overall sample mean).
+type MomentAccumulator struct {
+	Pivot              float64
+	s0, s1, s2, s3, s4 float64
+	n                  int
+}
+
+// Reset clears the accumulator and sets the pivot.
+func (a *MomentAccumulator) Reset(pivot float64) {
+	*a = MomentAccumulator{Pivot: pivot}
+}
+
+// Add accumulates one unit-weight observation.
+func (a *MomentAccumulator) Add(x float64) { a.AddWeighted(x, 1) }
+
+// AddWeighted accumulates one observation with weight w.
+func (a *MomentAccumulator) AddWeighted(x, w float64) {
+	y := x - a.Pivot
+	wy := w * y
+	wy2 := wy * y
+	a.s0 += w
+	a.s1 += wy
+	a.s2 += wy2
+	a.s3 += wy2 * y
+	a.s4 += wy2 * y * y
+	a.n++
+}
+
+// WeightSum returns the accumulated total weight.
+func (a *MomentAccumulator) WeightSum() float64 { return a.s0 }
+
+// Count returns the number of accumulated observations.
+func (a *MomentAccumulator) Count() int { return a.n }
+
+// Moments converts the shifted power sums to sample moments, matching the
+// conventions of WeightedMoments (population variance, non-excess
+// kurtosis, Kurtosis = 3 on zero variance).
+func (a *MomentAccumulator) Moments() SampleMoments {
+	if a.n == 0 || a.s0 <= 0 {
+		return SampleMoments{}
+	}
+	m1 := a.s1 / a.s0
+	r2 := a.s2 / a.s0
+	r3 := a.s3 / a.s0
+	r4 := a.s4 / a.s0
+	m2 := r2 - m1*m1
+	m3 := r3 - 3*m1*r2 + 2*m1*m1*m1
+	m4 := r4 - 4*m1*r3 + 6*m1*m1*r2 - 3*m1*m1*m1*m1
+	if m2 < 0 {
+		m2 = 0
+	}
+	sm := SampleMoments{N: a.n, Mean: a.Pivot + m1, Variance: m2}
+	if m2 > 0 {
+		sm.Skewness = m3 / math.Pow(m2, 1.5)
+		sm.Kurtosis = m4 / (m2 * m2)
+	} else {
+		sm.Kurtosis = 3
+	}
+	return sm
+}
+
+// WeightedMomentsPivot is the single-pass variant of WeightedMoments: one
+// fused traversal accumulating pivot-shifted power sums. The two agree to
+// floating-point conditioning; prefer a pivot near the weighted mean.
+func WeightedMomentsPivot(xs, ws []float64, pivot float64) SampleMoments {
+	if len(xs) != len(ws) || len(xs) == 0 {
+		return SampleMoments{}
+	}
+	var a MomentAccumulator
+	a.Reset(pivot)
+	for i, x := range xs {
+		a.AddWeighted(x, ws[i])
+	}
+	return a.Moments()
+}
+
 // Cumulants4 converts moments to the first four cumulants
 // (κ₁, κ₂, κ₃, κ₄). Cumulants of independent sums add.
 func (s SampleMoments) Cumulants4() (k1, k2, k3, k4 float64) {
