@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check fuzz bench bench-tables allocbudget determinism clean
+.PHONY: all build test vet race check fuzz bench bench-tables bench-server allocbudget determinism clean
 
 all: build
 
@@ -40,6 +40,12 @@ BENCH_FILTER = BenchmarkFit|BenchmarkSNCDF|BenchmarkCharacterizeArc|BenchmarkSST
 bench:
 	$(GO) test -bench '$(BENCH_FILTER)' -benchmem -count 3 -run '^$$' -timeout 30m . \
 		| $(GO) run ./cmd/benchjson -out BENCH_fit.json
+
+# Warm-vs-cold lvf2d serving benchmarks over httptest (acceptance: warm
+# /v1/arc/binning p50 ≥10x below cold), exported as BENCH_server.json.
+bench-server:
+	$(GO) test -bench 'BenchmarkServerBinning' -benchmem -count 3 -run '^$$' -timeout 10m ./internal/server/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_server.json
 
 # Paper artefact regeneration benchmarks (tables, figures, ablations).
 bench-tables:

@@ -1,0 +1,119 @@
+// Command lvf2d is the concurrent timing-query daemon: it loads Liberty
+// libraries (LVF and LVF²) once and serves per-arc distribution, speed
+// binning, yield and path-level SSTA queries over HTTP, with an LRU model
+// cache, singleflight request coalescing and Prometheus metrics. See
+// the README "Serving" section for the endpoint table.
+//
+// Usage:
+//
+//	lvf2d -addr :8080 -lib synth.lib
+//	lvf2d -lib fast=fast.lib -lib slow=slow.lib -pprof
+//	curl 'localhost:8080/v1/arc/binning?lib=synth&cell=INV&slew=0.02&load=0.004'
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and drains
+// in-flight requests for up to -drain before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"lvf2/internal/modelcache"
+	"lvf2/internal/server"
+)
+
+func main() {
+	var libs libFlags
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+		maxInFlight = flag.Int("max-inflight", 64, "max concurrently served API requests")
+		fitSamples  = flag.Int("fit-samples", 2048, "quantile samples per refit query")
+		cacheModels = flag.Int("cache-models", 65536, "max cached fitted models")
+		cacheLibs   = flag.Int("cache-libs", 8, "max cached parsed libraries")
+		cacheBytes  = flag.Int64("cache-bytes", 256<<20, "cache memory budget, bytes")
+		maxLibs     = flag.Int("max-libraries", 32, "max registered library sources")
+		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	)
+	flag.Var(&libs, "lib", "Liberty library to preload: path or name=path (repeatable)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: lvf2d [flags]\n\nServe LVF/LVF² timing queries over HTTP.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "lvf2d: unexpected arguments: %s\n\n", strings.Join(flag.Args(), " "))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		Cache: modelcache.Options{
+			MaxLibraries: *cacheLibs,
+			MaxModels:    *cacheModels,
+			MaxBytes:     *cacheBytes,
+		},
+		RequestTimeout:       *timeout,
+		MaxInFlight:          *maxInFlight,
+		FitSamples:           *fitSamples,
+		MaxUploadedLibraries: *maxLibs,
+		EnablePprof:          *enablePprof,
+	})
+	for _, l := range libs {
+		name := l.name
+		if name == "" {
+			// Predictable reference for curl: -lib synth.lib → lib=synth.
+			name = strings.TrimSuffix(filepath.Base(l.path), ".lib")
+		}
+		hash, err := srv.AddLibraryFile(name, l.path)
+		if err != nil {
+			fatal(fmt.Errorf("loading %s: %w", l.path, err))
+		}
+		fmt.Fprintf(os.Stderr, "lvf2d: loaded %s as %q (hash %.12s…)\n", l.path, name, hash)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "lvf2d: serving on %s (%d libraries)\n", *addr, len(libs))
+	if err := srv.Run(ctx, *addr, *drain); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "lvf2d: drained, bye")
+}
+
+// libFlags collects repeated -lib values of the form path or name=path.
+type libFlags []struct{ name, path string }
+
+func (l *libFlags) String() string {
+	parts := make([]string, len(*l))
+	for i, e := range *l {
+		parts[i] = e.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (l *libFlags) Set(v string) error {
+	name, path := "", v
+	if i := strings.IndexByte(v, '='); i >= 0 {
+		name, path = v[:i], v[i+1:]
+	}
+	if path == "" {
+		return fmt.Errorf("empty library path")
+	}
+	*l = append(*l, struct{ name, path string }{name, path})
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lvf2d: %v\n", err)
+	os.Exit(1)
+}

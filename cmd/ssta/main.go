@@ -6,14 +6,16 @@
 // Usage:
 //
 //	ssta -circuit adder -samples 5000
-//	ssta -circuit htree
+//	ssta -circuit htree -timeout 2m
 //	ssta -circuit chain -stages 16 -bias 0
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"lvf2/internal/circuits"
 	"lvf2/internal/experiments"
@@ -28,8 +30,20 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "RNG seed")
 		nStages = flag.Int("stages", 12, "chain length (chain circuit only)")
 		bias    = flag.Float64("bias", 0, "mechanism confrontation bias in σ (chain only; 0 = maximally bimodal)")
+		timeout = flag.Duration("timeout", 0, "overall wall-clock budget, e.g. 2m (0 = unlimited)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: ssta [flags]\n\n"+
+				"Compare the four timing models against Monte-Carlo golden data on a benchmark path.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ssta: unexpected arguments: %v\n\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	corner := spice.TTCorner()
 	var path circuits.Path
@@ -41,34 +55,63 @@ func main() {
 	case "chain":
 		path = circuits.FO4Chain(*nStages, *bias)
 	default:
-		fmt.Fprintf(os.Stderr, "ssta: unknown circuit %q\n", *circuit)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "ssta: unknown circuit %q (want adder, htree or chain)\n\n", *circuit)
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	fo4, err := circuits.FO4Delay(corner)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ssta: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("circuit: %s  stages: %d  nominal: %.4f ns  depth: %.1f FO4 (FO4 = %.4f ns)\n\n",
 		path.Name, len(path.Stages), path.TotalNominal(corner), path.TotalNominal(corner)/fo4, fo4)
 
-	res, err := experiments.Fig5(experiments.Config{Samples: *samples, Seed: *seed}, path, corner)
+	var res experiments.Fig5Result
+	var rho float64
+	var nStagesRun int
+	err = withTimeout(*timeout, func() error {
+		var err error
+		res, err = experiments.Fig5(experiments.Config{Samples: *samples, Seed: *seed}, path, corner)
+		if err != nil {
+			return err
+		}
+		// Berry-Esseen commentary (Theorem 1): the bound at the path end.
+		stages := path.MCStages(corner, *samples, *seed)
+		for _, s := range stages {
+			if r := ssta.AbsThirdStandardizedMoment(s.Samples); r > rho {
+				rho = r
+			}
+		}
+		nStagesRun = len(stages)
+		return nil
+	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ssta: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Print(experiments.RenderFig5(res))
-
-	// Berry-Esseen commentary (Theorem 1): report the bound at the path end.
-	stages := path.MCStages(corner, *samples, *seed)
-	var rho float64
-	for _, s := range stages {
-		if r := ssta.AbsThirdStandardizedMoment(s.Samples); r > rho {
-			rho = r
-		}
-	}
-	n := len(stages)
 	fmt.Printf("\nBerry-Esseen: worst stage ρ=%.3f ⇒ sup-CDF distance from Gaussian ≤ %.4f after %d stages (O(1/√n))\n",
-		rho, ssta.BerryEsseenBound(rho, n), n)
+		rho, ssta.BerryEsseenBound(rho, nStagesRun), nStagesRun)
+}
+
+// withTimeout runs f with a wall-clock budget, mirroring cmd/lvf2fit: on
+// expiry the worker goroutine is abandoned (it finishes in the background;
+// the process exits immediately after).
+func withTimeout(budget time.Duration, f func() error) error {
+	if budget <= 0 {
+		return f()
+	}
+	done := make(chan error, 1)
+	go func() { done <- f() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(budget):
+		return fmt.Errorf("%w after %v (raise -timeout)", context.DeadlineExceeded, budget)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ssta: %v\n", err)
+	os.Exit(1)
 }

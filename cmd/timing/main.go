@@ -6,15 +6,17 @@
 //
 //	timing -lib synth.lib -netlist design.v
 //	timing -lib synth.lib -builtin rca16         # built-in benchmark netlists
-//	timing -lib synth.lib -builtin chain -n 12 -cell INV
+//	timing -lib synth.lib -builtin chain -n 12 -cell INV -timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"sort"
+	"time"
 
 	"lvf2/internal/fit"
 	"lvf2/internal/liberty"
@@ -33,42 +35,60 @@ func main() {
 		slew     = flag.Float64("slew", 0.01, "primary input slew, ns")
 		allNets  = flag.Bool("all", false, "print every net, not just primary outputs")
 		showPath = flag.Bool("path", false, "print the nominal critical path")
+		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget, e.g. 30s (0 = unlimited)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: timing -lib <file.lib> (-netlist <design.v> | -builtin {chain|rca16|buftree}) [flags]\n\n"+
+				"Run block-based SSTA over a gate-level netlist against an LVF/LVF² library.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
-
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "timing: unexpected arguments: %v\n\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *libPath == "" {
-		fatal(fmt.Errorf("-lib is required"))
-	}
-	group, err := liberty.ParseFile(*libPath)
-	if err != nil {
-		fatal(err)
-	}
-	lib, err := liberty.LoadLibrary(group)
-	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "timing: -lib is required")
+		flag.Usage()
+		os.Exit(2)
 	}
 
+	var lib *liberty.Library
 	var mod *netlist.Module
-	switch {
-	case *nlPath != "":
-		b, err := os.ReadFile(*nlPath)
+	var res *sta.Result
+	err := withTimeout(*timeout, func() error {
+		group, err := liberty.ParseFile(*libPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		if mod, err = netlist.Parse(string(b)); err != nil {
-			fatal(err)
+		if lib, err = liberty.LoadLibrary(group); err != nil {
+			return err
 		}
-	case *builtin == "chain":
-		mod = netlist.Chain("chain", *cellName, *n)
-	case *builtin == "rca16":
-		mod = netlist.RippleCarryAdder(16)
-	case *builtin == "buftree":
-		mod = netlist.BufferTree(*n)
-	default:
-		fatal(fmt.Errorf("provide -netlist or -builtin {chain|rca16|buftree}"))
-	}
 
-	res, err := sta.Run(lib, mod, sta.Options{InputSlew: *slew})
+		switch {
+		case *nlPath != "":
+			b, err := os.ReadFile(*nlPath)
+			if err != nil {
+				return err
+			}
+			if mod, err = netlist.Parse(string(b)); err != nil {
+				return err
+			}
+		case *builtin == "chain":
+			mod = netlist.Chain("chain", *cellName, *n)
+		case *builtin == "rca16":
+			mod = netlist.RippleCarryAdder(16)
+		case *builtin == "buftree":
+			mod = netlist.BufferTree(*n)
+		default:
+			return fmt.Errorf("provide -netlist or -builtin {chain|rca16|buftree}")
+		}
+
+		res, err = sta.Run(lib, mod, sta.Options{InputSlew: *slew})
+		return err
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -112,6 +132,23 @@ func main() {
 				math.Sqrt(d.Variance()), q)
 		}
 		fmt.Println(row)
+	}
+}
+
+// withTimeout runs f with a wall-clock budget, mirroring cmd/lvf2fit: on
+// expiry the worker goroutine is abandoned (it finishes in the background;
+// the process exits immediately after).
+func withTimeout(budget time.Duration, f func() error) error {
+	if budget <= 0 {
+		return f()
+	}
+	done := make(chan error, 1)
+	go func() { done <- f() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(budget):
+		return fmt.Errorf("%w after %v (raise -timeout)", context.DeadlineExceeded, budget)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"lvf2/internal/binning"
 	"lvf2/internal/cells"
@@ -92,7 +93,9 @@ func EvaluateModels(xs []float64, models []fit.Model, o fit.Options) (map[fit.Mo
 	emp := stats.NewEmpirical(xs)
 	out := make(map[fit.Model]ModelEval, len(models))
 	for _, m := range models {
+		t0 := time.Now()
 		r, err := fit.Fit(m, xs, o)
+		observeFit(m, t0)
 		if err != nil {
 			out[m] = ModelEval{Err: err}
 			continue
@@ -155,6 +158,7 @@ func Table1Ctx(ctx context.Context, cfg Config) ([]ScenarioResult, error) {
 				res.BinReduction[m] = cfg.reduction(e.Metrics.BinErr, base.BinErr)
 			}
 			out[i] = res
+			scenariosTotal.Inc()
 			return nil
 		})
 	if err != nil {
@@ -319,6 +323,7 @@ func Table2Ctx(ctx context.Context, cfg Table2Config) ([]CellTypeResult, error) 
 			}
 			a.counts[binIdx]++
 			a.counts[yieldIdx]++
+			arcsTotal.Inc()
 			return nil
 		}
 	}

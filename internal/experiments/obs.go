@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"time"
+
+	"lvf2/internal/fit"
+	"lvf2/internal/obs"
+)
+
+// Experiment-driver metrics live in the process-wide default registry, so
+// any embedder that serves /metrics (lvf2d writes obs.Default() alongside
+// its own registry) can watch long Table 1/Table 2 runs progress: fits
+// performed per model, fit latency, and units of work completed.
+var (
+	fitTotal = obs.NewCounterVec(obs.Default(),
+		"lvf2_experiment_fits_total", "model fits performed by experiment drivers", "model")
+	fitSeconds = obs.NewHistogram(obs.Default(),
+		"lvf2_experiment_fit_seconds", "wall time per model fit", nil)
+	scenariosTotal = obs.NewCounter(obs.Default(),
+		"lvf2_experiment_scenarios_total", "Table 1 scenarios evaluated")
+	arcsTotal = obs.NewCounter(obs.Default(),
+		"lvf2_experiment_arcs_total", "Table 2 arc distributions fitted")
+)
+
+// observeFit records one model fit in the driver metrics.
+func observeFit(m fit.Model, start time.Time) {
+	fitTotal.Inc(m.String())
+	fitSeconds.Observe(time.Since(start).Seconds())
+}

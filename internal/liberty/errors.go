@@ -1,0 +1,27 @@
+package liberty
+
+import "fmt"
+
+// ParseError is a positional Liberty syntax error. Line and Col are
+// 1-based and point at the offending token (for an unterminated group,
+// the end of input); Msg carries the description without the position
+// prefix. Retrieve it with errors.As to report precise locations.
+type ParseError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("liberty: line %d, col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// perrAt builds a ParseError at an explicit position.
+func perrAt(line, col int, format string, args ...any) *ParseError {
+	return &ParseError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// perr builds a ParseError at a token's position.
+func perr(t token, format string, args ...any) *ParseError {
+	return perrAt(t.line, t.col, format, args...)
+}

@@ -30,6 +30,7 @@ type token struct {
 	kind tokenKind
 	text string
 	line int
+	col  int // 1-based column of the token's first character
 }
 
 func (t token) String() string {
@@ -44,17 +45,23 @@ func (t token) String() string {
 }
 
 type lexer struct {
-	src  string
-	pos  int
-	line int
+	src       string
+	pos       int
+	line      int
+	lineStart int // pos of the first byte of the current line
 }
 
 func newLexer(src string) *lexer {
 	return &lexer{src: src, line: 1}
 }
 
+// col returns the 1-based column of the current position.
+func (l *lexer) col() int {
+	return l.pos - l.lineStart + 1
+}
+
 func (l *lexer) errorf(format string, args ...any) error {
-	return fmt.Errorf("liberty: line %d: %s", l.line, fmt.Sprintf(format, args...))
+	return perrAt(l.line, l.col(), format, args...)
 }
 
 // next returns the next token.
@@ -65,6 +72,7 @@ func (l *lexer) next() (token, error) {
 		case c == '\n':
 			l.line++
 			l.pos++
+			l.lineStart = l.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			l.pos++
 		case c == '\\' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == '\n' || l.src[l.pos+1] == '\r'):
@@ -80,32 +88,33 @@ func (l *lexer) next() (token, error) {
 			goto tokenStart
 		}
 	}
-	return token{kind: tEOF, line: l.line}, nil
+	return token{kind: tEOF, line: l.line, col: l.col()}, nil
 
 tokenStart:
 	start := l.line
+	startCol := l.col()
 	switch c := l.src[l.pos]; c {
 	case '(':
 		l.pos++
-		return token{tLParen, "(", start}, nil
+		return token{tLParen, "(", start, startCol}, nil
 	case ')':
 		l.pos++
-		return token{tRParen, ")", start}, nil
+		return token{tRParen, ")", start, startCol}, nil
 	case '{':
 		l.pos++
-		return token{tLBrace, "{", start}, nil
+		return token{tLBrace, "{", start, startCol}, nil
 	case '}':
 		l.pos++
-		return token{tRBrace, "}", start}, nil
+		return token{tRBrace, "}", start, startCol}, nil
 	case ':':
 		l.pos++
-		return token{tColon, ":", start}, nil
+		return token{tColon, ":", start, startCol}, nil
 	case ';':
 		l.pos++
-		return token{tSemi, ";", start}, nil
+		return token{tSemi, ";", start, startCol}, nil
 	case ',':
 		l.pos++
-		return token{tComma, ",", start}, nil
+		return token{tComma, ",", start, startCol}, nil
 	case '"':
 		return l.lexString()
 	default:
@@ -121,6 +130,7 @@ func (l *lexer) skipBlockComment() error {
 	for l.pos+1 < len(l.src) {
 		if l.src[l.pos] == '\n' {
 			l.line++
+			l.lineStart = l.pos + 1
 		}
 		if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
 			l.pos += 2
@@ -139,6 +149,7 @@ func (l *lexer) skipLineComment() {
 
 func (l *lexer) lexString() (token, error) {
 	start := l.line
+	startCol := l.col()
 	l.pos++ // opening quote
 	var b strings.Builder
 	for l.pos < len(l.src) {
@@ -146,13 +157,14 @@ func (l *lexer) lexString() (token, error) {
 		switch c {
 		case '"':
 			l.pos++
-			return token{tString, b.String(), start}, nil
+			return token{tString, b.String(), start, startCol}, nil
 		case '\\':
 			// Escaped newline inside a string (common in `values` rows):
 			// swallow the backslash and the newline.
 			if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '\n' || l.src[l.pos+1] == '\r') {
 				l.pos += 2
 				l.line++
+				l.lineStart = l.pos
 				continue
 			}
 			b.WriteByte(c)
@@ -161,6 +173,7 @@ func (l *lexer) lexString() (token, error) {
 			l.line++
 			b.WriteByte(c)
 			l.pos++
+			l.lineStart = l.pos
 		default:
 			b.WriteByte(c)
 			l.pos++
@@ -178,9 +191,10 @@ func isIdentChar(r rune) bool {
 
 func (l *lexer) lexIdent() (token, error) {
 	start := l.line
+	startCol := l.col()
 	begin := l.pos
 	for l.pos < len(l.src) && isIdentChar(rune(l.src[l.pos])) {
 		l.pos++
 	}
-	return token{tIdent, l.src[begin:l.pos], start}, nil
+	return token{tIdent, l.src[begin:l.pos], start, startCol}, nil
 }

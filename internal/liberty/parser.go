@@ -18,7 +18,7 @@ func Parse(src string) (*Group, error) {
 		return nil, err
 	}
 	if p.tok.kind != tEOF {
-		return nil, fmt.Errorf("liberty: line %d: trailing content after top-level group: %s", p.tok.line, p.tok)
+		return nil, perr(p.tok, "trailing content after top-level group: %s", p.tok)
 	}
 	return g, nil
 }
@@ -57,7 +57,7 @@ func (p *parser) advance() error {
 
 func (p *parser) expect(k tokenKind, what string) (token, error) {
 	if p.tok.kind != k {
-		return token{}, fmt.Errorf("liberty: line %d: expected %s, got %s", p.tok.line, what, p.tok)
+		return token{}, perr(p.tok, "expected %s, got %s", what, p.tok)
 	}
 	t := p.tok
 	return t, p.advance()
@@ -79,7 +79,7 @@ func (p *parser) parseGroup() (*Group, error) {
 	g := &Group{Name: name.text, Args: args}
 	for p.tok.kind != tRBrace {
 		if p.tok.kind == tEOF {
-			return nil, fmt.Errorf("liberty: unexpected EOF in group %q", g.Name)
+			return nil, perr(p.tok, "unexpected EOF in group %q opened at line %d: missing '}'", g.Name, name.line)
 		}
 		if err := p.parseStatement(g); err != nil {
 			return nil, err
@@ -110,7 +110,7 @@ func (p *parser) parseArgs() (args []string, quoted bool, err error) {
 				return nil, false, err
 			}
 		default:
-			return nil, false, fmt.Errorf("liberty: line %d: unexpected %s in argument list", p.tok.line, p.tok)
+			return nil, false, perr(p.tok, "unexpected %s in argument list", p.tok)
 		}
 	}
 	return args, quoted, p.advance() // consume ')'
@@ -129,7 +129,7 @@ func (p *parser) parseStatement(g *Group) error {
 			return err
 		}
 		if p.tok.kind != tIdent && p.tok.kind != tString {
-			return fmt.Errorf("liberty: line %d: expected value after %q:, got %s", p.tok.line, name.text, p.tok)
+			return perr(p.tok, "expected value after %q:, got %s", name.text, p.tok)
 		}
 		g.Attrs = append(g.Attrs, Attr{
 			Name: name.text, Simple: true,
@@ -158,7 +158,7 @@ func (p *parser) parseStatement(g *Group) error {
 			child := &Group{Name: name.text, Args: args}
 			for p.tok.kind != tRBrace {
 				if p.tok.kind == tEOF {
-					return fmt.Errorf("liberty: unexpected EOF in group %q", child.Name)
+					return perr(p.tok, "unexpected EOF in group %q opened at line %d: missing '}'", child.Name, name.line)
 				}
 				if err := p.parseStatement(child); err != nil {
 					return err
@@ -178,6 +178,6 @@ func (p *parser) parseStatement(g *Group) error {
 			return nil
 		}
 	default:
-		return fmt.Errorf("liberty: line %d: expected ':' or '(' after %q, got %s", p.tok.line, name.text, p.tok)
+		return perr(p.tok, "expected ':' or '(' after %q, got %s", name.text, p.tok)
 	}
 }

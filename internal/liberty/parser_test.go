@@ -1,6 +1,7 @@
 package liberty
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -95,10 +96,63 @@ func TestParseErrors(t *testing.T) {
 		{"bad arg list", `library (x) { t ( { ) ; }`},
 	}
 	for _, c := range cases {
-		if _, err := Parse(c.src); err == nil {
+		_, err := Parse(c.src)
+		if err == nil {
 			t.Errorf("%s: expected parse error", c.name)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error is %T, want *ParseError: %v", c.name, err, err)
 		}
 	}
+}
+
+// TestParseErrorPosition pins the typed positional error contract:
+// unterminated groups report where the input ended AND which group (by
+// its opening line) is missing its brace.
+func TestParseErrorPosition(t *testing.T) {
+	t.Run("unterminated nested group", func(t *testing.T) {
+		src := "library (x) {\n  cell (y) {\n    area : 1;\n" // EOF inside cell
+		_, err := Parse(src)
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("error is %T, want *ParseError: %v", err, err)
+		}
+		if pe.Line != 4 || pe.Col != 1 {
+			t.Errorf("position = line %d col %d, want line 4 col 1 (end of input)", pe.Line, pe.Col)
+		}
+		if !strings.Contains(pe.Msg, `"cell"`) || !strings.Contains(pe.Msg, "line 2") {
+			t.Errorf("message %q should name group cell opened at line 2", pe.Msg)
+		}
+		if !strings.Contains(err.Error(), "line 4, col 1") {
+			t.Errorf("Error() = %q lacks the position prefix", err)
+		}
+	})
+	t.Run("unterminated top-level group", func(t *testing.T) {
+		_, err := Parse("library (x) {\n  area : 1;")
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("error is %T, want *ParseError: %v", err, err)
+		}
+		if pe.Line != 2 {
+			t.Errorf("line = %d, want 2", pe.Line)
+		}
+		if !strings.Contains(pe.Msg, `"library"`) || !strings.Contains(pe.Msg, "line 1") {
+			t.Errorf("message %q should name group library opened at line 1", pe.Msg)
+		}
+	})
+	t.Run("column points at offending token", func(t *testing.T) {
+		// `foo :` is missing its value; the ';' on line 2 sits at column 9.
+		_, err := Parse("library (x) {\n  foo : ; }")
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("error is %T, want *ParseError: %v", err, err)
+		}
+		if pe.Line != 2 || pe.Col != 9 {
+			t.Errorf("position = line %d col %d, want line 2 col 9 (the ';')", pe.Line, pe.Col)
+		}
+	})
 }
 
 func TestParseToleratesMissingSemis(t *testing.T) {

@@ -1,0 +1,334 @@
+// Package modelcache caches the two expensive artefacts of the serving
+// layer: parsed Liberty libraries and fitted per-arc timing models. Both
+// live in LRU maps under one shared memory budget, and both entry points
+// coalesce concurrent identical misses through a singleflight table so a
+// thundering herd of equal queries performs the parse or fit exactly
+// once. Hit/miss/eviction/coalescing counters are exported for the
+// daemon's /metrics endpoint.
+//
+// The design follows the hierarchical-SSTA observation (Li et al.) that
+// reusing pre-characterised statistical models across queries is what
+// makes statistical timing scale: the cache key pins every input of a
+// fit — library content hash, cell, arc, base quantity, operating point
+// and model kind — so a hit is exactly the model a fresh fit would
+// produce (the fitters are deterministic; see the property test).
+package modelcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"lvf2/internal/core"
+	"lvf2/internal/fit"
+	"lvf2/internal/liberty"
+)
+
+// ModelKey identifies one fitted arc model. Slew and load are the exact
+// query-point float64s: queries at distinct operating points are distinct
+// models.
+type ModelKey struct {
+	LibHash    string    // content hash of the source library
+	Cell       string    // cell name
+	OutputPin  string    // output pin carrying the arc
+	RelatedPin string    // arc input pin
+	Base       string    // base quantity (cell_rise, ...)
+	Slew, Load float64   // operating point
+	Kind       fit.Model // requested model kind
+}
+
+// Stats is a point-in-time snapshot of one LRU's counters.
+type Stats struct {
+	Hits, Misses, Evictions, Coalesced int64
+	Entries                            int
+	Bytes                              int64
+}
+
+// Options bounds the cache. Zero values select the defaults.
+type Options struct {
+	// MaxLibraries bounds parsed-library entries (default 8).
+	MaxLibraries int
+	// MaxModels bounds fitted-model entries (default 65536).
+	MaxModels int
+	// MaxBytes bounds the summed cost of both LRUs (default 256 MiB).
+	// Library cost is the source text length (a parsed tree is within a
+	// small constant of it); model cost is a fixed per-entry estimate.
+	MaxBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLibraries <= 0 {
+		o.MaxLibraries = 8
+	}
+	if o.MaxModels <= 0 {
+		o.MaxModels = 65536
+	}
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 256 << 20
+	}
+	return o
+}
+
+// modelCost is the approximate resident size of one fitted-model entry:
+// the key strings, the core.Model and the LRU bookkeeping.
+const modelCost = 256
+
+// Cache is the two-level model cache. All methods are safe for
+// concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	opts   Options
+	bytes  int64 // summed cost across both LRUs
+	libs   lruMap[string, *liberty.Library]
+	models lruMap[ModelKey, core.Model]
+	flight map[flightKey]*call
+}
+
+// flightKey distinguishes the two keyspaces in one singleflight table.
+type flightKey struct {
+	lib string
+	mk  ModelKey
+}
+
+// call is one in-flight load/fit that later arrivals wait on.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New builds a cache with the given bounds.
+func New(o Options) *Cache {
+	o = o.withDefaults()
+	c := &Cache{opts: o, flight: map[flightKey]*call{}}
+	c.libs.init(o.MaxLibraries)
+	c.models.init(o.MaxModels)
+	return c
+}
+
+// HashBytes returns the content hash used for library keys.
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Library returns the parsed library for the given content hash, calling
+// load on a miss. cost should be the source byte length. Concurrent
+// callers with the same hash share one load.
+func (c *Cache) Library(hash string, cost int64, load func() (*liberty.Library, error)) (*liberty.Library, error) {
+	fk := flightKey{lib: hash}
+	c.mu.Lock()
+	if lib, ok := c.libs.get(hash); ok {
+		c.mu.Unlock()
+		return lib, nil
+	}
+	if cl, ok := c.flight[fk]; ok {
+		c.libs.coalesced++
+		c.mu.Unlock()
+		<-cl.done
+		if cl.err != nil {
+			return nil, cl.err
+		}
+		return cl.val.(*liberty.Library), nil
+	}
+	cl := &call{done: make(chan struct{})}
+	c.flight[fk] = cl
+	c.libs.misses++
+	c.mu.Unlock()
+
+	lib, err := load()
+	cl.val, cl.err = lib, err
+	c.mu.Lock()
+	delete(c.flight, fk)
+	if err == nil {
+		c.insertLib(hash, lib, cost)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return lib, err
+}
+
+// Model returns the fitted model for key, calling fitFn on a miss.
+// Concurrent callers with an identical key share one fit.
+func (c *Cache) Model(key ModelKey, fitFn func() (core.Model, error)) (core.Model, error) {
+	fk := flightKey{mk: key}
+	c.mu.Lock()
+	if m, ok := c.models.get(key); ok {
+		c.mu.Unlock()
+		return m, nil
+	}
+	if cl, ok := c.flight[fk]; ok {
+		c.models.coalesced++
+		c.mu.Unlock()
+		<-cl.done
+		if cl.err != nil {
+			return core.Model{}, cl.err
+		}
+		return cl.val.(core.Model), nil
+	}
+	cl := &call{done: make(chan struct{})}
+	c.flight[fk] = cl
+	c.models.misses++
+	c.mu.Unlock()
+
+	m, err := fitFn()
+	cl.val, cl.err = m, err
+	c.mu.Lock()
+	delete(c.flight, fk)
+	if err == nil {
+		c.insertModel(key, m)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return m, err
+}
+
+// insertLib adds a parsed library under the shared byte budget
+// (caller holds mu).
+func (c *Cache) insertLib(hash string, lib *liberty.Library, cost int64) {
+	if cost < int64(len(hash)) {
+		cost = int64(len(hash))
+	}
+	c.bytes += c.libs.add(hash, lib, cost)
+	c.evictOverBudget()
+}
+
+// insertModel adds a fitted model (caller holds mu).
+func (c *Cache) insertModel(key ModelKey, m core.Model) {
+	c.bytes += c.models.add(key, m, modelCost)
+	c.evictOverBudget()
+}
+
+// evictOverBudget trims LRU tails until the shared byte budget holds.
+// Models are evicted before libraries: a library miss costs a full parse
+// and invalidates every model fitted from it (caller holds mu).
+func (c *Cache) evictOverBudget() {
+	for c.bytes > c.opts.MaxBytes && c.models.len() > 0 {
+		c.bytes -= c.models.evictOldest()
+	}
+	for c.bytes > c.opts.MaxBytes && c.libs.len() > 1 {
+		c.bytes -= c.libs.evictOldest()
+	}
+}
+
+// LibStats snapshots the library LRU counters.
+func (c *Cache) LibStats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.libs.stats()
+}
+
+// ModelStats snapshots the model LRU counters.
+func (c *Cache) ModelStats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.models.stats()
+}
+
+// Bytes returns the summed cost currently charged to the budget.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Clear drops every cached entry (counters survive; in-flight loads are
+// unaffected and will re-insert on completion).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bytes -= c.libs.clear()
+	c.bytes -= c.models.clear()
+}
+
+// ----------------------------------------------------------------- lruMap
+
+// lruMap is a byte-costed LRU: a map into a recency list. Not
+// goroutine-safe; Cache serialises access.
+type lruMap[K comparable, V any] struct {
+	maxEntries int
+	ll         *list.List // front = most recent
+	items      map[K]*list.Element
+	bytes      int64
+
+	hits, misses, evictions, coalesced int64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key  K
+	val  V
+	cost int64
+}
+
+func (m *lruMap[K, V]) init(maxEntries int) {
+	m.maxEntries = maxEntries
+	m.ll = list.New()
+	m.items = make(map[K]*list.Element)
+}
+
+func (m *lruMap[K, V]) len() int { return m.ll.Len() }
+
+// get returns the value and bumps recency, counting a hit or miss.
+func (m *lruMap[K, V]) get(k K) (V, bool) {
+	if el, ok := m.items[k]; ok {
+		m.ll.MoveToFront(el)
+		m.hits++
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	// The miss is counted by the caller at singleflight-leader election,
+	// so coalesced waiters don't inflate the miss rate.
+	return zero, false
+}
+
+// add inserts (or refreshes) k and enforces the entry bound, returning
+// the net byte-cost delta.
+func (m *lruMap[K, V]) add(k K, v V, cost int64) int64 {
+	var delta int64
+	if el, ok := m.items[k]; ok {
+		e := el.Value.(*lruEntry[K, V])
+		delta -= e.cost
+		e.val, e.cost = v, cost
+		m.ll.MoveToFront(el)
+	} else {
+		m.items[k] = m.ll.PushFront(&lruEntry[K, V]{key: k, val: v, cost: cost})
+	}
+	delta += cost
+	m.bytes += delta
+	for m.ll.Len() > m.maxEntries {
+		delta -= m.evictOldest()
+	}
+	return delta
+}
+
+// evictOldest removes the least-recently-used entry, returning its cost.
+func (m *lruMap[K, V]) evictOldest() int64 {
+	el := m.ll.Back()
+	if el == nil {
+		return 0
+	}
+	e := el.Value.(*lruEntry[K, V])
+	m.ll.Remove(el)
+	delete(m.items, e.key)
+	m.bytes -= e.cost
+	m.evictions++
+	return e.cost
+}
+
+// clear drops all entries without counting evictions, returning the
+// bytes released.
+func (m *lruMap[K, V]) clear() int64 {
+	released := m.bytes
+	m.ll.Init()
+	clear(m.items)
+	m.bytes = 0
+	return released
+}
+
+func (m *lruMap[K, V]) stats() Stats {
+	return Stats{
+		Hits: m.hits, Misses: m.misses, Evictions: m.evictions,
+		Coalesced: m.coalesced, Entries: m.ll.Len(), Bytes: m.bytes,
+	}
+}

@@ -1,0 +1,265 @@
+package modelcache
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lvf2/internal/core"
+	"lvf2/internal/fit"
+	"lvf2/internal/liberty"
+	"lvf2/internal/mc"
+	"lvf2/internal/stats"
+)
+
+func key(i int) ModelKey {
+	return ModelKey{
+		LibHash: "lib", Cell: "INV", OutputPin: "ZN", RelatedPin: "A",
+		Base: "cell_rise", Slew: float64(i), Load: 0.01, Kind: fit.ModelLVF2,
+	}
+}
+
+func constModel(mean float64) core.Model {
+	return core.FromLVF(core.Theta{Mean: mean, Sigma: 0.1})
+}
+
+func TestModelLRUEvictionOrder(t *testing.T) {
+	c := New(Options{MaxModels: 3})
+	fits := 0
+	get := func(i int) {
+		t.Helper()
+		m, err := c.Model(key(i), func() (core.Model, error) {
+			fits++
+			return constModel(float64(i)), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Theta1.Mean != float64(i) {
+			t.Fatalf("key %d returned mean %g", i, m.Theta1.Mean)
+		}
+	}
+
+	get(1)
+	get(2)
+	get(3) // cache: [3 2 1], 3 fits
+	get(1) // hit, refreshes 1: [1 3 2]
+	get(4) // evicts 2 (the LRU entry): [4 1 3]
+	if fits != 4 {
+		t.Fatalf("fits = %d, want 4", fits)
+	}
+	get(2) // must re-fit: 2 was evicted
+	if fits != 5 {
+		t.Fatalf("fits = %d after re-requesting evicted key, want 5", fits)
+	}
+	// 2's insertion evicted 3 (then-oldest); 1 and 4 must still be hits.
+	get(1)
+	get(4)
+	if fits != 5 {
+		t.Fatalf("fits = %d, want 5 (keys 1 and 4 should be hits)", fits)
+	}
+	st := c.ModelStats()
+	if st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", st.Entries)
+	}
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2 (keys 2 then 3)", st.Evictions)
+	}
+	if st.Hits != 3 || st.Misses != 5 {
+		t.Fatalf("hits/misses = %d/%d, want 3/5", st.Hits, st.Misses)
+	}
+}
+
+func TestByteBudgetEvictsModelsFirst(t *testing.T) {
+	// Budget fits one library plus two model entries.
+	c := New(Options{MaxLibraries: 4, MaxModels: 1024, MaxBytes: 1000 + 2*modelCost})
+	lib := &liberty.Library{Name: "L"}
+	if _, err := c.Library("h1", 1000, func() (*liberty.Library, error) { return lib, nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Model(key(i), func() (core.Model, error) { return constModel(1), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Bytes(); got > 1000+2*modelCost {
+		t.Fatalf("bytes = %d over budget %d", got, 1000+2*modelCost)
+	}
+	if st := c.ModelStats(); st.Entries != 2 || st.Evictions != 3 {
+		t.Fatalf("model entries/evictions = %d/%d, want 2/3", st.Entries, st.Evictions)
+	}
+	// The library must have survived: models are evicted first.
+	if st := c.LibStats(); st.Entries != 1 {
+		t.Fatalf("library was evicted (entries = %d)", st.Entries)
+	}
+}
+
+// TestModelSingleflightDedup hammers one cold key from many goroutines
+// (run under -race) and demands exactly one fit.
+func TestModelSingleflightDedup(t *testing.T) {
+	c := New(Options{})
+	var fits atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	const workers = 32
+	results := make([]core.Model, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			m, err := c.Model(key(7), func() (core.Model, error) {
+				fits.Add(1)
+				return constModel(7), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[w] = m
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	if n := fits.Load(); n != 1 {
+		t.Fatalf("fit ran %d times under concurrent identical queries, want 1", n)
+	}
+	for w := range results {
+		if results[w].Theta1.Mean != 7 {
+			t.Fatalf("worker %d got mean %g", w, results[w].Theta1.Mean)
+		}
+	}
+	st := c.ModelStats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Coalesced+st.Hits != workers-1 {
+		t.Fatalf("coalesced(%d) + hits(%d) = %d, want %d",
+			st.Coalesced, st.Hits, st.Coalesced+st.Hits, workers-1)
+	}
+}
+
+// TestLibrarySingleflightDedup does the same for the library loader.
+func TestLibrarySingleflightDedup(t *testing.T) {
+	c := New(Options{})
+	var loads atomic.Int64
+	lib := &liberty.Library{Name: "L"}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			got, err := c.Library("hash", 10, func() (*liberty.Library, error) {
+				loads.Add(1)
+				return lib, nil
+			})
+			if err != nil {
+				t.Error(err)
+			} else if got != lib {
+				t.Error("returned a different library pointer")
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("load ran %d times, want 1", n)
+	}
+}
+
+// TestErrorsAreNotCached verifies a failed fit is retried by the next
+// caller instead of being served from cache.
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(Options{})
+	boom := errors.New("boom")
+	calls := 0
+	_, err := c.Model(key(1), func() (core.Model, error) { calls++; return core.Model{}, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	m, err := c.Model(key(1), func() (core.Model, error) { calls++; return constModel(5), nil })
+	if err != nil || m.Theta1.Mean != 5 {
+		t.Fatalf("retry: m=%v err=%v", m, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (error must not be cached)", calls)
+	}
+}
+
+// bimodalSamples draws a deterministic skewed bimodal sample, the shape
+// LVF² targets.
+func bimodalSamples(t testing.TB, n int, seed uint64) []float64 {
+	t.Helper()
+	m, err := stats.NewMixture([]float64{0.65, 0.35}, []stats.Dist{
+		stats.SNFromMoments(0.100, 0.0040, 0.80),
+		stats.SNFromMoments(0.128, 0.0055, 0.40),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mc.NewRNG(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = m.Sample(rng)
+	}
+	return xs
+}
+
+func modelsBitIdentical(a, b core.Model) bool {
+	eq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return eq(a.Lambda, b.Lambda) &&
+		eq(a.Theta1.Mean, b.Theta1.Mean) && eq(a.Theta1.Sigma, b.Theta1.Sigma) && eq(a.Theta1.Skew, b.Theta1.Skew) &&
+		eq(a.Theta2.Mean, b.Theta2.Mean) && eq(a.Theta2.Sigma, b.Theta2.Sigma) && eq(a.Theta2.Skew, b.Theta2.Skew)
+}
+
+// TestCachedVsFreshBitIdentical is the property test of the cache's core
+// claim: because the fitters are deterministic, a cached model is
+// bit-for-bit the model a fresh fit of the same inputs would produce —
+// over several sample sets and every cacheable model kind.
+func TestCachedVsFreshBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits several models per trial")
+	}
+	kinds := []fit.Model{fit.ModelLVF2, fit.ModelNorm2, fit.ModelLVF, fit.ModelGaussian}
+	c := New(Options{})
+	for trial := 0; trial < 4; trial++ {
+		xs := bimodalSamples(t, 1200, 40+uint64(trial))
+		for _, kind := range kinds {
+			kind := kind
+			t.Run(fmt.Sprintf("trial%d/%v", trial, kind), func(t *testing.T) {
+				fitFn := func() (core.Model, error) {
+					m, _, err := core.FitKindRobust(kind, xs, fit.RobustOptions{})
+					return m, err
+				}
+				k := ModelKey{LibHash: fmt.Sprintf("t%d", trial), Cell: "X",
+					Base: "cell_rise", Slew: 0.01, Load: 0.02, Kind: kind}
+				first, err := c.Model(k, fitFn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cached, err := c.Model(k, func() (core.Model, error) {
+					t.Fatal("second lookup must not re-fit")
+					return core.Model{}, nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := fitFn()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !modelsBitIdentical(first, cached) {
+					t.Fatalf("cached differs from first fit:\n  %+v\n  %+v", first, cached)
+				}
+				if !modelsBitIdentical(cached, fresh) {
+					t.Fatalf("cached differs from fresh fit:\n  %+v\n  %+v", cached, fresh)
+				}
+			})
+		}
+	}
+}

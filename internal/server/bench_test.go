@@ -1,0 +1,114 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+)
+
+// benchURL is the acceptance-criteria query: a warm hit resolves entirely
+// from the model LRU; a cold hit pays Liberty parse + load + model fit.
+const benchURL = "/v1/arc/binning?lib=benchlib&cell=INV&slew=0.02&load=0.004"
+
+// newBenchServer loads a realistically sized library — 24 cells over a
+// 7x7 slew/load grid — so the cold path pays a representative Liberty
+// parse + LVF² attribute load rather than a toy one.
+func newBenchServer(b testing.TB) *Server {
+	s := New(Config{FitSamples: 600})
+	slews := []float64{0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32}
+	loads := []float64{0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064}
+	if _, err := s.AddLibrary("benchlib", libText(b, "benchlib", 22, slews, loads)); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func benchRequest(b *testing.B, h http.Handler) {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, benchURL, nil))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("code = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// p50 reports the median of the collected per-request durations.
+func p50(durs []time.Duration) float64 {
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return durs[len(durs)/2].Seconds() * 1e3
+}
+
+// BenchmarkServerBinningWarm measures the steady-state serving path: the
+// model is resident in the LRU, so each request is cache lookup + binning
+// arithmetic + JSON encoding.
+func BenchmarkServerBinningWarm(b *testing.B) {
+	s := newBenchServer(b)
+	h := s.Handler()
+	benchRequest(b, h) // populate the cache
+	durs := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		benchRequest(b, h)
+		durs = append(durs, time.Since(t0))
+	}
+	b.StopTimer()
+	if st := s.Cache().ModelStats(); st.Misses != 1 {
+		b.Fatalf("warm benchmark saw %d model misses, want 1", st.Misses)
+	}
+	b.ReportMetric(p50(durs), "p50-ms")
+}
+
+// BenchmarkServerBinningCold clears the caches before every request, so
+// each iteration re-parses the library and re-fits the arc model — the
+// cost a daemon-less client pays per query.
+func BenchmarkServerBinningCold(b *testing.B) {
+	s := newBenchServer(b)
+	h := s.Handler()
+	durs := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s.Cache().Clear()
+		b.StartTimer()
+		t0 := time.Now()
+		benchRequest(b, h)
+		durs = append(durs, time.Since(t0))
+	}
+	b.StopTimer()
+	b.ReportMetric(p50(durs), "p50-ms")
+}
+
+// TestWarmCacheSpeedup pins the acceptance criterion outside the bench
+// harness: warm p50 must undercut cold p50 by at least 10x.
+func TestWarmCacheSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	s := newBenchServer(t)
+	h := s.Handler()
+	run := func() time.Duration {
+		rec := httptest.NewRecorder()
+		t0 := time.Now()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, benchURL, nil))
+		d := time.Since(t0)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("code = %d: %s", rec.Code, rec.Body.String())
+		}
+		return d
+	}
+	const rounds = 15
+	cold := make([]time.Duration, rounds)
+	warm := make([]time.Duration, rounds)
+	for i := 0; i < rounds; i++ {
+		s.Cache().Clear()
+		cold[i] = run()
+		warm[i] = run()
+	}
+	cp, wp := p50(cold), p50(warm)
+	t.Logf("cold p50 = %.3fms, warm p50 = %.3fms (%.1fx)", cp, wp, cp/wp)
+	if cp < 10*wp {
+		t.Errorf("warm p50 %.3fms not 10x faster than cold p50 %.3fms", wp, cp)
+	}
+}

@@ -1,0 +1,753 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lvf2/internal/binning"
+	"lvf2/internal/core"
+	"lvf2/internal/fit"
+	"lvf2/internal/liberty"
+	"lvf2/internal/modelcache"
+	"lvf2/internal/netlist"
+	"lvf2/internal/sta"
+	"lvf2/internal/stats"
+)
+
+// httpError carries a status code through the handler error paths.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// fail writes an error response as JSON, mapping typed httpErrors to
+// their code and everything else to 500 (or 503 for a dead deadline, so
+// per-request timeouts are distinguishable from server bugs).
+func fail(w http.ResponseWriter, r *http.Request, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+	} else if r.Context().Err() != nil {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// ----------------------------------------------------------- arc queries
+
+// arcQuery is the decoded common query surface of the /v1/arc/* and GET
+// /v1/yield endpoints.
+type arcQuery struct {
+	libRef string
+	cell   string
+	outPin string // optional: default first output pin with arcs
+	from   string // optional: default first arc of the pin
+	base   string
+	slew   float64
+	load   float64
+	kind   fit.Model
+}
+
+// kindNames maps query spellings to model kinds. Only kinds with a
+// moments embedding are servable.
+var kindNames = map[string]fit.Model{
+	"lvf": fit.ModelLVF, "lvf2": fit.ModelLVF2, "norm2": fit.ModelNorm2,
+	"lesn": fit.ModelLESN, "ln": fit.ModelLN, "lsn": fit.ModelLSN,
+	"gaussian": fit.ModelGaussian,
+}
+
+func parseKind(s string) (fit.Model, error) {
+	if s == "" {
+		return fit.ModelLVF2, nil
+	}
+	if k, ok := kindNames[strings.ToLower(s)]; ok {
+		return k, nil
+	}
+	return 0, badRequest("unknown kind %q (want one of lvf|lvf2|norm2|lesn|ln|lsn|gaussian)", s)
+}
+
+func parseArcQuery(r *http.Request) (arcQuery, error) {
+	q := r.URL.Query()
+	aq := arcQuery{
+		libRef: q.Get("lib"),
+		cell:   q.Get("cell"),
+		outPin: q.Get("out"),
+		from:   q.Get("from"),
+		base:   q.Get("base"),
+		slew:   0.01,
+		load:   0.004,
+	}
+	if aq.libRef == "" {
+		return aq, badRequest("missing required parameter: lib")
+	}
+	if aq.cell == "" {
+		return aq, badRequest("missing required parameter: cell")
+	}
+	if aq.base == "" {
+		aq.base = "cell_rise"
+	}
+	var err error
+	if v := q.Get("slew"); v != "" {
+		if aq.slew, err = strconv.ParseFloat(v, 64); err != nil {
+			return aq, badRequest("bad slew %q", v)
+		}
+	}
+	if v := q.Get("load"); v != "" {
+		if aq.load, err = strconv.ParseFloat(v, 64); err != nil {
+			return aq, badRequest("bad load %q", v)
+		}
+	}
+	if aq.kind, err = parseKind(q.Get("kind")); err != nil {
+		return aq, err
+	}
+	return aq, nil
+}
+
+// resolvedArc binds a query to one Liberty timing table.
+type resolvedArc struct {
+	src  *libSource
+	lib  *liberty.Library
+	cell *liberty.Cell
+	out  *liberty.Pin
+	arc  *liberty.TimingArc
+	tm   *liberty.TimingModel
+}
+
+// resolveArc finds the timing model a query addresses, with helpful 404s
+// naming what exists when a level of the hierarchy does not resolve.
+func (s *Server) resolveArc(aq arcQuery) (*resolvedArc, error) {
+	src, lib, err := s.library(aq.libRef)
+	if err != nil {
+		return nil, err
+	}
+	cell, ok := lib.Cells[aq.cell]
+	if !ok {
+		names := make([]string, 0, len(lib.Cells))
+		for n := range lib.Cells {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, &httpError{code: http.StatusNotFound,
+			msg: fmt.Sprintf("library %s has no cell %q (cells: %s)", src.name, aq.cell, strings.Join(names, ", "))}
+	}
+	var out *liberty.Pin
+	if aq.outPin != "" {
+		p, ok := cell.Pins[aq.outPin]
+		if !ok || p.Direction != "output" {
+			return nil, &httpError{code: http.StatusNotFound,
+				msg: fmt.Sprintf("cell %s has no output pin %q", cell.Name, aq.outPin)}
+		}
+		out = p
+	} else {
+		for _, p := range cell.OutputPins() {
+			if len(p.Timings) > 0 {
+				out = p
+				break
+			}
+		}
+		if out == nil {
+			return nil, &httpError{code: http.StatusNotFound,
+				msg: fmt.Sprintf("cell %s has no output pin with timing arcs", cell.Name)}
+		}
+	}
+	var arc *liberty.TimingArc
+	if aq.from != "" {
+		a, ok := out.ArcTo(aq.from)
+		if !ok {
+			return nil, &httpError{code: http.StatusNotFound,
+				msg: fmt.Sprintf("pin %s/%s has no arc from %q", cell.Name, out.Name, aq.from)}
+		}
+		arc = a
+	} else if len(out.Timings) > 0 {
+		arc = out.Timings[0]
+	} else {
+		return nil, &httpError{code: http.StatusNotFound,
+			msg: fmt.Sprintf("pin %s/%s has no timing arcs", cell.Name, out.Name)}
+	}
+	tm, ok := arc.Tables[aq.base]
+	if !ok {
+		bases := make([]string, 0, len(arc.Tables))
+		for b := range arc.Tables {
+			bases = append(bases, b)
+		}
+		sort.Strings(bases)
+		return nil, &httpError{code: http.StatusNotFound,
+			msg: fmt.Sprintf("arc %s->%s has no %s table (tables: %s)", arc.RelatedPin, out.Name, aq.base, strings.Join(bases, ", "))}
+	}
+	return &resolvedArc{src: src, lib: lib, cell: cell, out: out, arc: arc, tm: tm}, nil
+}
+
+// modelFor builds (or fetches) the fitted model for a resolved arc at a
+// query point. LVF and LVF² come straight from table interpolation; any
+// other kind is refitted from a deterministic quantile sample of the
+// arc's LVF² distribution — the expensive path the cache and
+// singleflight exist for. The refit runs on the pooled fit.Workspace
+// kernel, so steady-state fits do not allocate.
+func (s *Server) modelFor(ra *resolvedArc, aq arcQuery) (core.Model, error) {
+	key := modelcache.ModelKey{
+		LibHash:    ra.src.hash,
+		Cell:       ra.cell.Name,
+		OutputPin:  ra.out.Name,
+		RelatedPin: ra.arc.RelatedPin,
+		Base:       aq.base,
+		Slew:       aq.slew,
+		Load:       aq.load,
+		Kind:       aq.kind,
+	}
+	return s.cache.Model(key, func() (core.Model, error) {
+		switch aq.kind {
+		case fit.ModelLVF:
+			th, err := ra.tm.LVFAtPoint(aq.slew, aq.load)
+			if err != nil {
+				return core.Model{}, err
+			}
+			m := core.FromLVF(th)
+			return m, m.Validate()
+		case fit.ModelLVF2:
+			return ra.tm.ModelAtPoint(aq.slew, aq.load)
+		default:
+			base, err := ra.tm.ModelAtPoint(aq.slew, aq.load)
+			if err != nil {
+				return core.Model{}, err
+			}
+			xs := quantileSamples(base.Dist(), s.cfg.FitSamples)
+			m, _, err := core.FitKindRobust(aq.kind, xs, fit.RobustOptions{})
+			return m, err
+		}
+	})
+}
+
+// quantileSamples draws n deterministic samples from d via the midpoint
+// quantile grid x_i = Q((i+½)/n) — reproducible by construction, which
+// is what makes cached and fresh fits bit-identical.
+func quantileSamples(d stats.Dist, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = stats.Quantile(d, (float64(i)+0.5)/float64(n))
+	}
+	return xs
+}
+
+// -------------------------------------------------------------- DTO types
+
+type thetaDTO struct {
+	Mean  float64 `json:"mean"`
+	Sigma float64 `json:"sigma"`
+	Skew  float64 `json:"skew"`
+}
+
+type modelDTO struct {
+	Kind   string    `json:"kind"`
+	Lambda float64   `json:"lambda"`
+	Theta1 thetaDTO  `json:"theta1"`
+	Theta2 *thetaDTO `json:"theta2,omitempty"`
+}
+
+func dtoFromModel(kind fit.Model, m core.Model) modelDTO {
+	out := modelDTO{
+		Kind:   kind.String(),
+		Lambda: m.Lambda,
+		Theta1: thetaDTO{Mean: m.Theta1.Mean, Sigma: m.Theta1.Sigma, Skew: m.Theta1.Skew},
+	}
+	if !m.IsLVF() {
+		out.Theta2 = &thetaDTO{Mean: m.Theta2.Mean, Sigma: m.Theta2.Sigma, Skew: m.Theta2.Skew}
+	}
+	return out
+}
+
+type arcDTO struct {
+	Library    string  `json:"library"`
+	LibHash    string  `json:"lib_hash"`
+	Cell       string  `json:"cell"`
+	OutputPin  string  `json:"output_pin"`
+	RelatedPin string  `json:"related_pin"`
+	Base       string  `json:"base"`
+	Slew       float64 `json:"slew"`
+	Load       float64 `json:"load"`
+}
+
+func dtoFromArc(ra *resolvedArc, aq arcQuery) arcDTO {
+	return arcDTO{
+		Library: ra.src.name, LibHash: ra.src.hash,
+		Cell: ra.cell.Name, OutputPin: ra.out.Name, RelatedPin: ra.arc.RelatedPin,
+		Base: aq.base, Slew: aq.slew, Load: aq.load,
+	}
+}
+
+// ------------------------------------------------------------ /v1/arc/cdf
+
+type cdfPoint struct {
+	X   float64 `json:"x"`
+	CDF float64 `json:"cdf"`
+	PDF float64 `json:"pdf"`
+}
+
+type cdfResponse struct {
+	Arc    arcDTO     `json:"arc"`
+	Model  modelDTO   `json:"model"`
+	Mean   float64    `json:"mean"`
+	Std    float64    `json:"std"`
+	Points []cdfPoint `json:"points"`
+}
+
+func (s *Server) handleArcCDF(w http.ResponseWriter, r *http.Request) {
+	aq, err := parseArcQuery(r)
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	ra, err := s.resolveArc(aq)
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	m, err := s.modelFor(ra, aq)
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	d := m.Dist()
+	mean, std := d.Mean(), stats.Std(d)
+
+	var xs []float64
+	if pts := r.URL.Query().Get("points"); pts != "" {
+		if xs, err = parseFloats(pts); err != nil {
+			fail(w, r, badRequest("bad points: %v", err))
+			return
+		}
+	} else {
+		n := 21
+		if v := r.URL.Query().Get("n"); v != "" {
+			if n, err = strconv.Atoi(v); err != nil || n < 2 || n > 4096 {
+				fail(w, r, badRequest("bad n %q (want 2..4096)", v))
+				return
+			}
+		}
+		// Evenly spaced over mean ± 4σ: covers the binning range with
+		// margin.
+		xs = make([]float64, n)
+		for i := range xs {
+			xs[i] = mean - 4*std + 8*std*float64(i)/float64(n-1)
+		}
+	}
+	resp := cdfResponse{
+		Arc: dtoFromArc(ra, aq), Model: dtoFromModel(aq.kind, m),
+		Mean: mean, Std: std,
+		Points: make([]cdfPoint, len(xs)),
+	}
+	for i, x := range xs {
+		resp.Points[i] = cdfPoint{X: x, CDF: d.CDF(x), PDF: d.PDF(x)}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// -------------------------------------------------------- /v1/arc/binning
+
+type binningResponse struct {
+	Arc             arcDTO    `json:"arc"`
+	Model           modelDTO  `json:"model"`
+	Mean            float64   `json:"mean"`
+	Std             float64   `json:"std"`
+	Boundaries      []float64 `json:"boundaries"`
+	Probabilities   []float64 `json:"probabilities"`
+	Yield3Sigma     float64   `json:"yield_3sigma"`
+	ExpectedRevenue *float64  `json:"expected_revenue,omitempty"`
+}
+
+func (s *Server) handleArcBinning(w http.ResponseWriter, r *http.Request) {
+	aq, err := parseArcQuery(r)
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	ra, err := s.resolveArc(aq)
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	m, err := s.modelFor(ra, aq)
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	d := m.Dist()
+	mean, std := d.Mean(), stats.Std(d)
+	bounds := binning.SigmaBoundaries(mean, std)
+	probs := binning.DistProbabilities(d, bounds)
+	resp := binningResponse{
+		Arc: dtoFromArc(ra, aq), Model: dtoFromModel(aq.kind, m),
+		Mean: mean, Std: std,
+		Boundaries:    bounds,
+		Probabilities: probs,
+		Yield3Sigma:   binning.Yield3Sigma(d.CDF, mean, std),
+	}
+	if pv := r.URL.Query().Get("prices"); pv != "" {
+		prices, err := parseFloats(pv)
+		if err != nil {
+			fail(w, r, badRequest("bad prices: %v", err))
+			return
+		}
+		if len(prices) != len(probs) {
+			fail(w, r, badRequest("prices wants %d values (one per bin), got %d", len(probs), len(prices)))
+			return
+		}
+		rev := binning.ExpectedRevenue(probs, prices)
+		resp.ExpectedRevenue = &rev
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --------------------------------------------------------------- /v1/yield
+
+type yieldResponse struct {
+	Arc   *arcDTO            `json:"arc,omitempty"`
+	Model *modelDTO          `json:"model,omitempty"`
+	Clock float64            `json:"clock"`
+	Yield map[string]float64 `json:"yield"`
+}
+
+// handleYield answers GET for per-arc yield at a clock target (default
+// μ+3σ of the model — the paper's 3σ-yield) and POST for path-level
+// yield over a netlist (product of per-output CDFs at the clock).
+func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		s.handleNetlistYield(w, r)
+		return
+	}
+	aq, err := parseArcQuery(r)
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	ra, err := s.resolveArc(aq)
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	m, err := s.modelFor(ra, aq)
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	d := m.Dist()
+	clock := d.Mean() + 3*stats.Std(d)
+	if v := r.URL.Query().Get("clock"); v != "" {
+		if clock, err = strconv.ParseFloat(v, 64); err != nil {
+			fail(w, r, badRequest("bad clock %q", v))
+			return
+		}
+	}
+	arc := dtoFromArc(ra, aq)
+	model := dtoFromModel(aq.kind, m)
+	writeJSON(w, http.StatusOK, yieldResponse{
+		Arc: &arc, Model: &model, Clock: clock,
+		Yield: map[string]float64{aq.kind.String(): d.CDF(clock)},
+	})
+}
+
+func (s *Server) handleNetlistYield(w http.ResponseWriter, r *http.Request) {
+	req, mod, lib, err := s.decodeNetlistRequest(r)
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	if req.Clock <= 0 {
+		fail(w, r, badRequest("netlist yield needs a positive clock"))
+		return
+	}
+	fams, err := parseFamilies(req.Families)
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	res, err := sta.Run(lib, mod, sta.Options{InputSlew: req.Slew, Families: fams})
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	yields := make(map[string]float64, len(fams))
+	for _, fam := range fams {
+		y, err := res.YieldAtClock(mod, fam, req.Clock)
+		if err != nil {
+			fail(w, r, err)
+			return
+		}
+		yields[fam.String()] = y
+	}
+	writeJSON(w, http.StatusOK, yieldResponse{Clock: req.Clock, Yield: yields})
+}
+
+// ---------------------------------------------------------------- /v1/ssta
+
+// netlistRequest is the shared body of POST /v1/ssta and POST /v1/yield.
+type netlistRequest struct {
+	Lib     string `json:"lib"`
+	Netlist string `json:"netlist,omitempty"` // structural Verilog source
+	Builtin string `json:"builtin,omitempty"` // chain | rca16 | buftree
+	N       int    `json:"n,omitempty"`       // chain stages / tree depth
+	Cell    string `json:"cell,omitempty"`    // chain cell type
+
+	Slew     float64  `json:"slew,omitempty"`
+	Families []string `json:"families,omitempty"`
+	Clock    float64  `json:"clock,omitempty"`
+	AllNets  bool     `json:"all_nets,omitempty"`
+}
+
+func (s *Server) decodeNetlistRequest(r *http.Request) (netlistRequest, *netlist.Module, *liberty.Library, error) {
+	var req netlistRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		return req, nil, nil, err
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		return req, nil, nil, &httpError{code: http.StatusRequestEntityTooLarge,
+			msg: fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes)}
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return req, nil, nil, badRequest("bad JSON body: %v", err)
+	}
+	if req.Lib == "" {
+		return req, nil, nil, badRequest("missing required field: lib")
+	}
+	if req.Slew <= 0 {
+		req.Slew = 0.01
+	}
+	_, lib, err := s.library(req.Lib)
+	if err != nil {
+		return req, nil, nil, err
+	}
+	var mod *netlist.Module
+	switch {
+	case req.Netlist != "":
+		if mod, err = netlist.Parse(req.Netlist); err != nil {
+			return req, nil, nil, badRequest("netlist: %v", err)
+		}
+	case req.Builtin == "chain":
+		n, cell := req.N, req.Cell
+		if n <= 0 {
+			n = 8
+		}
+		if cell == "" {
+			cell = "INV"
+		}
+		mod = netlist.Chain("chain", cell, n)
+	case req.Builtin == "rca16":
+		mod = netlist.RippleCarryAdder(16)
+	case req.Builtin == "buftree":
+		n := req.N
+		if n <= 0 {
+			n = 4
+		}
+		mod = netlist.BufferTree(n)
+	default:
+		return req, nil, nil, badRequest("provide netlist source or builtin (chain|rca16|buftree)")
+	}
+	return req, mod, lib, nil
+}
+
+func parseFamilies(names []string) ([]fit.Model, error) {
+	if len(names) == 0 {
+		return []fit.Model{fit.ModelLVF, fit.ModelLVF2}, nil
+	}
+	fams := make([]fit.Model, 0, len(names))
+	for _, n := range names {
+		k, err := parseKind(n)
+		if err != nil {
+			return nil, err
+		}
+		if k != fit.ModelLVF && k != fit.ModelLVF2 {
+			return nil, badRequest("family %q is not representable from Liberty data (want lvf|lvf2)", n)
+		}
+		fams = append(fams, k)
+	}
+	return fams, nil
+}
+
+type distSummary struct {
+	Mean  float64 `json:"mean"`
+	Std   float64 `json:"std"`
+	Q9987 float64 `json:"q99_87"` // μ+3σ-equivalent yield point
+}
+
+type netArrivalDTO struct {
+	Nominal  float64                `json:"nominal"`
+	Slew     float64                `json:"slew"`
+	Families map[string]distSummary `json:"families"`
+}
+
+type pathStepDTO struct {
+	Net      string  `json:"net"`
+	Instance string  `json:"instance,omitempty"`
+	Arrival  float64 `json:"arrival"`
+}
+
+type sstaResponse struct {
+	Module         string                   `json:"module"`
+	Instances      int                      `json:"instances"`
+	CriticalOutput string                   `json:"critical_output"`
+	Arrivals       map[string]netArrivalDTO `json:"arrivals"`
+	CriticalPath   []pathStepDTO            `json:"critical_path"`
+	Yield          map[string]float64       `json:"yield,omitempty"`
+}
+
+func (s *Server) handleSSTA(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		fail(w, r, &httpError{code: http.StatusMethodNotAllowed, msg: "POST a netlist request"})
+		return
+	}
+	req, mod, lib, err := s.decodeNetlistRequest(r)
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	fams, err := parseFamilies(req.Families)
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	res, err := sta.Run(lib, mod, sta.Options{InputSlew: req.Slew, Families: fams})
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	nets := mod.Outputs()
+	if req.AllNets {
+		nets = mod.Nets()
+	}
+	resp := sstaResponse{
+		Module: mod.Name, Instances: len(mod.Instances),
+		CriticalOutput: res.CriticalOutput,
+		Arrivals:       make(map[string]netArrivalDTO, len(nets)),
+	}
+	for _, net := range nets {
+		a, ok := res.Arrivals[net]
+		if !ok {
+			continue
+		}
+		dto := netArrivalDTO{Nominal: a.Nominal, Slew: a.Slew,
+			Families: make(map[string]distSummary, len(a.Vars))}
+		for fam, v := range a.Vars {
+			if v == nil {
+				continue
+			}
+			d := v.Dist()
+			dto.Families[fam.String()] = distSummary{
+				Mean:  d.Mean(),
+				Std:   math.Sqrt(d.Variance()),
+				Q9987: stats.Quantile(d, 0.9987),
+			}
+		}
+		resp.Arrivals[net] = dto
+	}
+	for _, step := range res.CriticalPath(res.CriticalOutput) {
+		resp.CriticalPath = append(resp.CriticalPath, pathStepDTO{
+			Net: step.Net, Instance: step.Instance, Arrival: step.Arrival,
+		})
+	}
+	if req.Clock > 0 {
+		resp.Yield = make(map[string]float64, len(fams))
+		for _, fam := range fams {
+			y, err := res.YieldAtClock(mod, fam, req.Clock)
+			if err != nil {
+				fail(w, r, err)
+				return
+			}
+			resp.Yield[fam.String()] = y
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ----------------------------------------------------------- /v1/libraries
+
+type libraryInfo struct {
+	Name  string `json:"name"`
+	Hash  string `json:"hash"`
+	Bytes int    `json:"bytes"`
+	Cells int    `json:"cells,omitempty"`
+}
+
+func (s *Server) handleLibraries(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		infos := make([]libraryInfo, 0, len(s.byHash))
+		for _, src := range s.byHash {
+			infos = append(infos, libraryInfo{Name: src.name, Hash: src.hash, Bytes: len(src.text)})
+		}
+		s.mu.Unlock()
+		sort.Slice(infos, func(a, b int) bool { return infos[a].Name < infos[b].Name })
+		writeJSON(w, http.StatusOK, map[string]any{"libraries": infos})
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+		if err != nil {
+			fail(w, r, err)
+			return
+		}
+		if int64(len(body)) > s.cfg.MaxBodyBytes {
+			fail(w, r, &httpError{code: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("library exceeds %d bytes", s.cfg.MaxBodyBytes)})
+			return
+		}
+		name := r.URL.Query().Get("name")
+		hash, err := s.AddLibrary(name, body)
+		if err != nil {
+			fail(w, r, badRequest("%v", err))
+			return
+		}
+		src, _ := s.lookupSource(hash)
+		_, lib, err := s.library(hash)
+		if err != nil {
+			fail(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, libraryInfo{
+			Name: src.name, Hash: hash, Bytes: len(body), Cells: len(lib.Cells),
+		})
+	default:
+		fail(w, r, &httpError{code: http.StatusMethodNotAllowed, msg: "GET or POST"})
+	}
+}
+
+// parseFloats parses a comma-separated float list.
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

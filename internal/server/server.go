@@ -1,0 +1,299 @@
+// Package server implements lvf2d, the long-lived timing-query daemon:
+// an HTTP serving layer over the LVF² library that amortises Liberty
+// parsing and statistical fitting across requests. One-shot CLI flows
+// (cmd/timing, cmd/ssta) pay full characterisation cost per invocation;
+// the daemon keeps parsed libraries and fitted per-arc models in an LRU
+// (internal/modelcache) with singleflight coalescing, so a warm
+// binning/yield query is a map lookup plus JSON encoding, and reuses the
+// pooled fit.Workspace kernel so hot fits are allocation-free.
+//
+// Endpoint families:
+//
+//	GET  /v1/arc/cdf      per-arc distribution query (CDF/PDF points)
+//	GET  /v1/arc/binning  speed-bin probabilities and expected revenue
+//	GET  /v1/yield        per-arc 3σ-yield / yield at a clock target
+//	POST /v1/yield        path-level yield over a netlist
+//	POST /v1/ssta         block-based SSTA over built-in or uploaded netlists
+//	POST /v1/libraries    upload a Liberty library (returns its content hash)
+//	GET  /v1/libraries    list loaded libraries
+//	GET  /metrics         Prometheus text exposition
+//	GET  /healthz         liveness probe
+//	     /debug/pprof/*   net/http/pprof (behind Config.EnablePprof)
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+	"time"
+
+	"lvf2/internal/liberty"
+	"lvf2/internal/modelcache"
+	"lvf2/internal/obs"
+)
+
+// Config tunes the daemon. The zero value serves with defaults and no
+// preloaded libraries.
+type Config struct {
+	// Cache bounds the library/model LRUs.
+	Cache modelcache.Options
+	// RequestTimeout is the per-request deadline (default 30s).
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently served API requests (default 64).
+	MaxInFlight int
+	// MaxBodyBytes bounds uploaded bodies (default 16 MiB).
+	MaxBodyBytes int64
+	// FitSamples is the deterministic quantile-sample count used when a
+	// query asks for a model kind that must be refitted from the arc
+	// distribution (default 2048).
+	FitSamples int
+	// MaxUploadedLibraries bounds the uploaded-source table (default 32).
+	MaxUploadedLibraries int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Registry receives the daemon's metrics (default a fresh registry;
+	// /metrics also exposes obs.Default() for library-level series).
+	Registry *obs.Registry
+
+	// testDelay slows every API request by this amount (honouring
+	// context cancellation) so tests can hold requests in flight
+	// deterministically. Not reachable from the CLI.
+	testDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.FitSamples <= 0 {
+		c.FitSamples = 2048
+	}
+	if c.MaxUploadedLibraries <= 0 {
+		c.MaxUploadedLibraries = 32
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// libSource is one loadable library: its raw text plus identity. Parsing
+// is deferred to the cache so an evicted library transparently re-parses
+// on next use.
+type libSource struct {
+	name string
+	hash string
+	text string
+}
+
+// Server is the daemon state shared across requests.
+type Server struct {
+	cfg     Config
+	cache   *modelcache.Cache
+	metrics *obs.HTTPMetrics
+
+	mu     sync.Mutex
+	byName map[string]*libSource
+	byHash map[string]*libSource
+}
+
+// New builds a Server. Add libraries with AddLibrary/AddLibraryFile or
+// at runtime via POST /v1/libraries.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   modelcache.New(cfg.Cache),
+		metrics: obs.NewHTTPMetrics(cfg.Registry, "lvf2d"),
+		byName:  map[string]*libSource{},
+		byHash:  map[string]*libSource{},
+	}
+	s.registerCacheMetrics()
+	return s
+}
+
+// Cache exposes the model cache (used by benchmarks to force cold paths).
+func (s *Server) Cache() *modelcache.Cache { return s.cache }
+
+// AddLibrary registers Liberty source text under the given name (the
+// library's own name when empty). The text is parsed once to validate
+// and to learn the name; the parsed form is owned by the cache.
+func (s *Server) AddLibrary(name string, text []byte) (hash string, err error) {
+	g, err := liberty.Parse(string(text))
+	if err != nil {
+		return "", err
+	}
+	lib, err := liberty.LoadLibrary(g)
+	if err != nil {
+		return "", err
+	}
+	if name == "" {
+		name = lib.Name
+	}
+	if name == "" {
+		return "", fmt.Errorf("server: library has no name; supply one")
+	}
+	src := &libSource{name: name, hash: modelcache.HashBytes(text), text: string(text)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.byHash) >= s.cfg.MaxUploadedLibraries {
+		if _, exists := s.byHash[src.hash]; !exists {
+			return "", fmt.Errorf("server: library table full (%d); raise -max-libraries", s.cfg.MaxUploadedLibraries)
+		}
+	}
+	s.byName[name] = src
+	s.byHash[src.hash] = src
+	return src.hash, nil
+}
+
+// AddLibraryFile loads a .lib file from disk under the given name.
+func (s *Server) AddLibraryFile(name, path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return s.AddLibrary(name, b)
+}
+
+// lookupSource resolves a library reference (name or content hash).
+func (s *Server) lookupSource(ref string) (*libSource, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if src, ok := s.byName[ref]; ok {
+		return src, true
+	}
+	src, ok := s.byHash[ref]
+	return src, ok
+}
+
+// library resolves a reference to a parsed library through the cache.
+func (s *Server) library(ref string) (*libSource, *liberty.Library, error) {
+	src, ok := s.lookupSource(ref)
+	if !ok {
+		return nil, nil, &httpError{code: http.StatusNotFound,
+			msg: fmt.Sprintf("unknown library %q (upload via POST /v1/libraries or name one loaded at startup)", ref)}
+	}
+	lib, err := s.cache.Library(src.hash, int64(len(src.text)), func() (*liberty.Library, error) {
+		g, err := liberty.Parse(src.text)
+		if err != nil {
+			return nil, err
+		}
+		return liberty.LoadLibrary(g)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return src, lib, nil
+}
+
+// registerCacheMetrics exports the cache counters as scrape-time series.
+func (s *Server) registerCacheMetrics() {
+	r := s.cfg.Registry
+	series := func(prefix string, snap func() modelcache.Stats) {
+		obs.NewGaugeFunc(r, prefix+"_hits", "cache hits", func() float64 { return float64(snap().Hits) })
+		obs.NewGaugeFunc(r, prefix+"_misses", "cache misses", func() float64 { return float64(snap().Misses) })
+		obs.NewGaugeFunc(r, prefix+"_evictions", "cache evictions", func() float64 { return float64(snap().Evictions) })
+		obs.NewGaugeFunc(r, prefix+"_coalesced", "singleflight-coalesced lookups", func() float64 { return float64(snap().Coalesced) })
+		obs.NewGaugeFunc(r, prefix+"_entries", "resident entries", func() float64 { return float64(snap().Entries) })
+	}
+	series("lvf2d_cache_library", s.cache.LibStats)
+	series("lvf2d_cache_model", s.cache.ModelStats)
+	obs.NewGaugeFunc(r, "lvf2d_cache_bytes", "bytes charged to the cache budget",
+		func() float64 { return float64(s.cache.Bytes()) })
+}
+
+// Handler assembles the full route table with observability middleware:
+// per-route request/latency metrics, an in-flight gauge, a concurrency
+// limiter and a per-request timeout on the API surface. /metrics and
+// /healthz bypass the limiter so probes stay responsive under load.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	api := func(route string, h http.HandlerFunc) {
+		wrapped := http.Handler(h)
+		if s.cfg.testDelay > 0 {
+			inner := wrapped
+			wrapped = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				select {
+				case <-time.After(s.cfg.testDelay):
+				case <-r.Context().Done():
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}
+		wrapped = obs.Timeout(s.cfg.RequestTimeout, s.metrics.Timeouts, wrapped)
+		wrapped = obs.Limit(s.cfg.MaxInFlight, s.metrics.Rejected, wrapped)
+		mux.Handle(route, s.metrics.Wrap(route, wrapped))
+	}
+	api("/v1/arc/cdf", s.handleArcCDF)
+	api("/v1/arc/binning", s.handleArcBinning)
+	api("/v1/yield", s.handleYield)
+	api("/v1/ssta", s.handleSSTA)
+	api("/v1/libraries", s.handleLibraries)
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.cfg.Registry.WritePrometheus(w)
+		if s.cfg.Registry != obs.Default() {
+			obs.Default().WritePrometheus(w)
+		}
+	})
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Run serves on addr until ctx is cancelled, then drains in-flight
+// requests gracefully for up to drain (Shutdown semantics: the listener
+// closes immediately, live requests run to completion).
+func (s *Server) Run(ctx context.Context, addr string, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.RunListener(ctx, ln, drain)
+}
+
+// RunListener is Run over an existing listener (tests use port 0).
+func (s *Server) RunListener(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	sctx := context.Background()
+	if drain > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(sctx, drain)
+		defer cancel()
+	}
+	return hs.Shutdown(sctx)
+}
