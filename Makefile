@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check fuzz bench bench-tables bench-server allocbudget determinism clean
+.PHONY: all build test vet race check chaos fuzz bench bench-tables bench-server allocbudget determinism clean
 
 all: build
 
@@ -26,8 +26,21 @@ allocbudget:
 determinism:
 	$(GO) test -race -cpu 1,4,8 -run 'TestFitLVF2ParallelDeterminism|TestFitLVF2Golden' -count 1 ./internal/fit/
 
-# The gate: vet + build + full suite under the race detector + perf guards.
-check: vet build race allocbudget determinism
+# Crash-safety chaos suite: randomized seeded fault scripts (disk faults,
+# fit outages, snapshot corruption, kill-and-restart) against lvf2d under
+# the race detector. A failing script is written to CHAOS_ARTIFACT_DIR as
+# chaos-failure-seed-<seed>.json; replay it with -chaos.seed=<seed>.
+CHAOS_SEEDS ?= 8
+CHAOS_ARTIFACT_DIR ?= $(CURDIR)/chaos-artifacts
+
+chaos:
+	CHAOS_ARTIFACT_DIR=$(CHAOS_ARTIFACT_DIR) \
+		$(GO) test -race -run TestChaosServing -count 1 -timeout 15m \
+		./internal/server/ -chaos.seeds $(CHAOS_SEEDS)
+
+# The gate: vet + build + full suite under the race detector + perf and
+# crash-safety guards.
+check: vet build race allocbudget determinism chaos
 
 # Short fuzz pass over the Liberty parser targets.
 fuzz:

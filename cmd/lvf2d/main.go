@@ -42,6 +42,8 @@ func main() {
 		cacheBytes  = flag.Int64("cache-bytes", 256<<20, "cache memory budget, bytes")
 		maxLibs     = flag.Int("max-libraries", 32, "max registered library sources")
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		snapshot    = flag.String("snapshot", "", "model-cache snapshot file: restored on boot, saved periodically and on drain")
+		snapEvery   = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot cadence (with -snapshot)")
 	)
 	flag.Var(&libs, "lib", "Liberty library to preload: path or name=path (repeatable)")
 	flag.Usage = func() {
@@ -67,6 +69,8 @@ func main() {
 		FitSamples:           *fitSamples,
 		MaxUploadedLibraries: *maxLibs,
 		EnablePprof:          *enablePprof,
+		SnapshotPath:         *snapshot,
+		SnapshotInterval:     *snapEvery,
 	})
 	for _, l := range libs {
 		name := l.name
@@ -80,6 +84,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "lvf2d: loaded %s as %q (hash %.12s…)\n", l.path, name, hash)
 	}
+
+	// Restore the snapshot (if any) and flip /readyz to ready. A corrupt
+	// or version-skewed snapshot is logged and counted but never fatal.
+	srv.Bootstrap()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

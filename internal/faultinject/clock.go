@@ -1,0 +1,39 @@
+package faultinject
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a manually advanced clock for clock-free deterministic
+// scheduling: components that take a `now func() time.Time` (the fit
+// circuit breaker's backoff, snapshot timers in tests) can be driven
+// through open→half-open transitions without sleeping, so chaos runs
+// are reproducible under -race and fast.
+type Clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewClock starts a clock at the given instant. A zero start uses an
+// arbitrary fixed epoch so tests never depend on wall time.
+func NewClock(start time.Time) *Clock {
+	if start.IsZero() {
+		start = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return &Clock{t: start}
+}
+
+// Now returns the current simulated instant (safe for concurrent use).
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

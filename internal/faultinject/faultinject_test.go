@@ -1,0 +1,148 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestMemFSRoundTrip(t *testing.T) {
+	m := NewMemFS()
+	if _, err := m.ReadFile("missing"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("ReadFile(missing) = %v, want fs.ErrNotExist", err)
+	}
+	f, err := m.CreateTemp("dir", "x.tmp*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("late")); !errors.Is(err, fs.ErrClosed) {
+		t.Fatalf("write after close = %v, want fs.ErrClosed", err)
+	}
+	if err := m.Rename(f.Name(), "dir/final"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ReadFile("dir/final")
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if _, err := m.ReadFile(f.Name()); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("temp survived rename: %v", err)
+	}
+	if err := m.Remove("dir/final"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("dir/final"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("second remove = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestFaultFSInjectsEIO(t *testing.T) {
+	m := NewMemFS()
+	m.WriteFile("f", []byte("content"))
+	ffs := NewFaultFS(m, DiskFaults{PReadErr: 1}, 1)
+	_, err := ffs.ReadFile("f")
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("ReadFile under PReadErr=1 = %v, want EIO", err)
+	}
+	var pe *fs.PathError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *fs.PathError", err)
+	}
+}
+
+func TestFaultFSShortWriteShape(t *testing.T) {
+	m := NewMemFS()
+	ffs := NewFaultFS(m, DiskFaults{PShortWrite: 1}, 1)
+	f, err := ffs.CreateTemp("d", "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The libc-realistic shape: n < len(b) with a nil error. Callers that
+	// only check err would silently persist a torn file.
+	n, err := f.Write([]byte("0123456789"))
+	if err != nil || n >= 10 || n <= 0 {
+		t.Fatalf("short write = (%d, %v), want 0 < n < 10 with nil error", n, err)
+	}
+}
+
+func TestFaultFSCorruptsReads(t *testing.T) {
+	m := NewMemFS()
+	orig := []byte("pristine snapshot bytes")
+	m.WriteFile("snap", orig)
+	ffs := NewFaultFS(m, DiskFaults{PCorruptRead: 1}, 1)
+	got, err := ffs.ReadFile("snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == string(orig) {
+		t.Fatal("corrupt-on-read returned pristine bytes")
+	}
+	// The underlying file is untouched: corruption happens on the way out.
+	if b, _ := m.ReadFile("snap"); string(b) != string(orig) {
+		t.Fatal("corrupt-on-read damaged the stored file")
+	}
+}
+
+func TestFaultFSDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []bool {
+		ffs := NewFaultFS(NewMemFS(), DiskFaults{PReadErr: 0.5}, seed)
+		ffs.inner.(*MemFS).WriteFile("f", []byte("x"))
+		outcomes := make([]bool, 32)
+		for i := range outcomes {
+			_, err := ffs.ReadFile("f")
+			outcomes[i] = err != nil
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+}
+
+func TestFitFault(t *testing.T) {
+	ff := NewFitFault(1, 0, 9)
+	if err := ff.Inject(context.Background()); !errors.Is(err, ErrInjectedFit) {
+		t.Fatalf("p=1 Inject = %v, want ErrInjectedFit", err)
+	}
+	ff.SetFailProb(0)
+	if err := ff.Inject(context.Background()); err != nil {
+		t.Fatalf("p=0 Inject = %v, want nil", err)
+	}
+	if ff.Fails() != 1 {
+		t.Fatalf("Fails = %d, want 1", ff.Fails())
+	}
+	// A slow fit must honour context cancellation.
+	slow := NewFitFault(0, time.Hour, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := slow.Inject(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Inject = %v, want context.Canceled", err)
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock(time.Time{})
+	start := c.Now()
+	if start.IsZero() {
+		t.Fatal("zero start should default to a fixed epoch")
+	}
+	c.Advance(90 * time.Second)
+	if got := c.Now().Sub(start); got != 90*time.Second {
+		t.Fatalf("advanced by %v, want 90s", got)
+	}
+}

@@ -1,0 +1,78 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"lvf2/internal/mc"
+)
+
+// ErrInjectedFit marks a fit failure manufactured by a FitFault.
+var ErrInjectedFit = errors.New("faultinject: injected fit failure")
+
+// FitFault injects slow and failing fits into the daemon's fit path
+// (the server calls Inject at the head of every cache-miss fit). The
+// failure probability can be changed mid-run, which is how chaos
+// scripts model an outage that starts and then stops — the breaker must
+// open during the outage and recover cleanly after it.
+type FitFault struct {
+	mu    sync.Mutex
+	rng   *mc.RNG
+	pFail float64
+	delay time.Duration
+	fails int64
+}
+
+// NewFitFault builds an injector failing fits with probability pFail
+// and slowing every fit attempt by delay. Deterministic given the seed
+// and call sequence.
+func NewFitFault(pFail float64, delay time.Duration, seed uint64) *FitFault {
+	return &FitFault{rng: mc.NewRNG(seed | 1), pFail: pFail, delay: delay}
+}
+
+// SetFailProb replaces the failure probability (1.0 = total outage,
+// 0 = healthy).
+func (f *FitFault) SetFailProb(p float64) {
+	f.mu.Lock()
+	f.pFail = p
+	f.mu.Unlock()
+}
+
+// Fails returns how many fit failures were injected.
+func (f *FitFault) Fails() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fails
+}
+
+// Inject applies the configured delay (honouring ctx cancellation) and
+// then either passes the fit through (nil) or fails it with
+// ErrInjectedFit.
+func (f *FitFault) Inject(ctx context.Context) error {
+	f.mu.Lock()
+	delay, p := f.delay, f.pFail
+	f.mu.Unlock()
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if p > 0 {
+		f.mu.Lock()
+		hit := f.rng.Float64() < p
+		if hit {
+			f.fails++
+		}
+		f.mu.Unlock()
+		if hit {
+			return ErrInjectedFit
+		}
+	}
+	return nil
+}

@@ -184,6 +184,20 @@ func (c *Cache) Model(key ModelKey, fitFn func() (core.Model, error)) (core.Mode
 	return m, err
 }
 
+// Peek returns the cached model for key, or false, without running a
+// fit and without touching the hit/miss counters. The degraded serving
+// path uses it to look for an already-fitted cheaper rung — a peek must
+// not distort the warm-ratio statistics the snapshot tests assert on.
+func (c *Cache) Peek(key ModelKey) (core.Model, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.models.items[key]; ok {
+		c.models.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[ModelKey, core.Model]).val, true
+	}
+	return core.Model{}, false
+}
+
 // insertLib adds a parsed library under the shared byte budget
 // (caller holds mu).
 func (c *Cache) insertLib(hash string, lib *liberty.Library, cost int64) {

@@ -1,0 +1,250 @@
+package modelcache
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"lvf2/internal/core"
+	"lvf2/internal/fit"
+)
+
+func snapEntries(n int) []SnapshotEntry {
+	out := make([]SnapshotEntry, n)
+	for i := range out {
+		out[i] = SnapshotEntry{
+			Key: ModelKey{
+				LibHash: "hash", Cell: fmt.Sprintf("C%d", i), OutputPin: "ZN",
+				RelatedPin: "A", Base: "cell_rise", Slew: 0.01 * float64(i+1),
+				Load: 0.004, Kind: fit.ModelLVF2,
+			},
+			Model: core.Model{
+				Lambda: 0.25,
+				Theta1: core.Theta{Mean: 0.1 + float64(i), Sigma: 0.004, Skew: 0.5},
+				Theta2: core.Theta{Mean: 0.13 + float64(i), Sigma: 0.006, Skew: 0.2},
+			},
+		}
+	}
+	return out
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := snapEntries(5)
+	got, err := DecodeSnapshot(EncodeSnapshot(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key {
+			t.Fatalf("entry %d key = %+v, want %+v", i, got[i].Key, want[i].Key)
+		}
+		if !modelsBitIdentical(got[i].Model, want[i].Model) {
+			t.Fatalf("entry %d model not bit-identical", i)
+		}
+	}
+	// An empty snapshot is valid too (a cold cache saves cleanly).
+	if got, err := DecodeSnapshot(EncodeSnapshot(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty snapshot: %v (%d entries)", err, len(got))
+	}
+}
+
+// TestSnapshotRestorePreservesRecency proves a save/restore cycle keeps
+// the LRU eviction order: the oldest pre-snapshot entry is still the
+// first evicted after restore.
+func TestSnapshotRestorePreservesRecency(t *testing.T) {
+	src := New(Options{MaxModels: 8})
+	for i := 0; i < 4; i++ {
+		if _, err := src.Model(key(i), func() (core.Model, error) { return constModel(float64(i)), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key 0 so key 1 becomes the LRU entry.
+	if _, err := src.Model(key(0), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New(Options{MaxModels: 4})
+	n, err := dst.RestoreModels(src.SnapshotModels())
+	if err != nil || n != 4 {
+		t.Fatalf("restore: n=%d err=%v", n, err)
+	}
+	// One insertion over capacity must evict key 1, the restored LRU tail.
+	if _, err := dst.Model(key(9), func() (core.Model, error) { return constModel(9), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dst.Peek(key(1)); ok {
+		t.Fatal("key 1 survived; restore did not preserve recency order")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := dst.Peek(key(i)); !ok {
+			t.Fatalf("key %d lost after restore+insert", i)
+		}
+	}
+}
+
+// TestSnapshotCorruptionTaxonomy maps every malformation class to
+// ErrBadSnapshot and proves none of them mutate the restoring cache.
+func TestSnapshotCorruptionTaxonomy(t *testing.T) {
+	good := EncodeSnapshot(snapEntries(3))
+	mut := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return f(b)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:10],
+		"magic":     mut(func(b []byte) []byte { b[0] = 'X'; return b }),
+		"version":   reseal(mut(func(b []byte) []byte { b[8] = 99; return b })),
+		"truncated": good[:len(good)-40],
+		"bitflip":   mut(func(b []byte) []byte { b[20] ^= 0x40; return b }),
+		"count":     reseal(mut(func(b []byte) []byte { b[12] = 0xFF; b[13] = 0xFF; return b })),
+		"nan_model": reseal(corruptFirstModelField(good, math.NaN())),
+		"bad_kind":  EncodeSnapshot([]SnapshotEntry{{Key: ModelKey{LibHash: "h", Kind: 99}, Model: constModel(1)}}),
+		"no_hash":   EncodeSnapshot([]SnapshotEntry{{Key: ModelKey{Kind: fit.ModelLVF}, Model: constModel(1)}}),
+	}
+	for name, b := range cases {
+		t.Run(name, func(t *testing.T) {
+			c := New(Options{})
+			n, err := c.RestoreModels(b)
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("err = %v, want ErrBadSnapshot", err)
+			}
+			if n != 0 || c.ModelStats().Entries != 0 {
+				t.Fatalf("corrupt restore mutated the cache: n=%d entries=%d", n, c.ModelStats().Entries)
+			}
+		})
+	}
+}
+
+// reseal recomputes the checksum trailer so a test reaches the
+// validation layer beneath it.
+func reseal(b []byte) []byte {
+	payload := b[:len(b)-sha256.Size]
+	sum := sha256.Sum256(payload)
+	return append(append([]byte(nil), payload...), sum[:]...)
+}
+
+// corruptFirstModelField rewrites the first entry's λ field in place
+// (the last 7*8 bytes of the first entry are the model parameters).
+func corruptFirstModelField(good []byte, v float64) []byte {
+	entries, err := DecodeSnapshot(good)
+	if err != nil {
+		panic(err)
+	}
+	entries[0].Model.Lambda = v
+	return EncodeSnapshot(entries)
+}
+
+func TestSaveRestoreSnapshotFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "models.snap")
+	fsys := OSFS{}
+
+	src := New(Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := src.Model(key(i), func() (core.Model, error) { return constModel(float64(i)), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.SaveSnapshot(fsys, path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp droppings after a successful atomic save.
+	if m, _ := filepath.Glob(path + ".tmp*"); len(m) != 0 {
+		t.Fatalf("temp files left behind: %v", m)
+	}
+
+	dst := New(Options{})
+	n, err := dst.RestoreSnapshot(fsys, path)
+	if err != nil || n != 3 {
+		t.Fatalf("restore: n=%d err=%v", n, err)
+	}
+	for i := 0; i < 3; i++ {
+		m, ok := dst.Peek(key(i))
+		if !ok || m.Theta1.Mean != float64(i) {
+			t.Fatalf("key %d: ok=%v m=%+v", i, ok, m)
+		}
+	}
+	// A missing file is a not-exist error, distinct from corruption.
+	if _, err := dst.RestoreSnapshot(fsys, filepath.Join(dir, "absent.snap")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+// FuzzSnapshotDecode proves arbitrary bytes never panic the restore
+// path and always yield either valid entries or a typed ErrBadSnapshot.
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(snapshotMagic))
+	f.Add(EncodeSnapshot(nil))
+	f.Add(EncodeSnapshot(snapEntries(2)))
+	f.Add(reseal(corruptFirstModelField(EncodeSnapshot(snapEntries(1)), math.Inf(1))))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		entries, err := DecodeSnapshot(b)
+		if err != nil {
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("decode error is not typed: %v", err)
+			}
+			return
+		}
+		// Accepted input: every entry must satisfy the serving-side
+		// invariants, and re-encoding must be stable.
+		for _, e := range entries {
+			if err := validateEntry(e); err != nil {
+				t.Fatalf("accepted invalid entry %+v: %v", e, err)
+			}
+		}
+		again, err := DecodeSnapshot(EncodeSnapshot(entries))
+		if err != nil || len(again) != len(entries) {
+			t.Fatalf("re-encode round trip failed: %v", err)
+		}
+	})
+}
+
+// TestSnapshotRestoreBitIdenticalToFresh extends the cache's core
+// property test across persistence: a model that went through
+// snapshot→restore is bit-for-bit the model a fresh fit produces.
+func TestSnapshotRestoreBitIdenticalToFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits several models")
+	}
+	kinds := []fit.Model{fit.ModelLVF2, fit.ModelNorm2, fit.ModelLVF, fit.ModelGaussian}
+	src := New(Options{})
+	xs := bimodalSamples(t, 1200, 77)
+	keys := make([]ModelKey, 0, len(kinds))
+	for _, kind := range kinds {
+		kind := kind
+		k := ModelKey{LibHash: "snap", Cell: "X", Base: "cell_rise", Slew: 0.01, Load: 0.02, Kind: kind}
+		keys = append(keys, k)
+		if _, err := src.Model(k, func() (core.Model, error) {
+			m, _, err := core.FitKindRobust(kind, xs, fit.RobustOptions{})
+			return m, err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := New(Options{})
+	if n, err := dst.RestoreModels(src.SnapshotModels()); err != nil || n != len(keys) {
+		t.Fatalf("restore: n=%d err=%v", n, err)
+	}
+	for i, k := range keys {
+		restored, ok := dst.Peek(k)
+		if !ok {
+			t.Fatalf("kind %v missing after restore", kinds[i])
+		}
+		fresh, _, err := core.FitKindRobust(kinds[i], xs, fit.RobustOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !modelsBitIdentical(restored, fresh) {
+			t.Fatalf("kind %v: restored model differs from fresh fit:\n  %+v\n  %+v", kinds[i], restored, fresh)
+		}
+	}
+}

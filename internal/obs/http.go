@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -16,6 +17,7 @@ type HTTPMetrics struct {
 	InFlight *Gauge
 	Timeouts *Counter
 	Rejected *Counter
+	Panics   *Counter
 }
 
 // histVec is a small per-route histogram family. Routes are registered
@@ -71,6 +73,8 @@ func NewHTTPMetrics(r *Registry, prefix string) *HTTPMetrics {
 			"requests whose per-request deadline expired"),
 		Rejected: NewCounter(r, prefix+"_requests_rejected_total",
 			"requests rejected by the concurrency limiter"),
+		Panics: NewCounter(r, prefix+"_handler_panics_total",
+			"handler panics recovered into 500 responses"),
 	}
 }
 
@@ -111,8 +115,10 @@ func (m *HTTPMetrics) Wrap(route string, h http.Handler) http.Handler {
 }
 
 // Limit bounds handler concurrency with a semaphore. A request that
-// cannot acquire a slot before its context is done is answered 503 and
-// counted in rejected (nil-safe).
+// cannot acquire a slot before its context is done is answered 503 with
+// a Retry-After hint and counted in rejected (nil-safe). Overload is a
+// transient condition, so well-behaved clients should back off and
+// retry rather than treat it as a hard failure.
 func Limit(n int, rejected *Counter, h http.Handler) http.Handler {
 	if n <= 0 {
 		return h
@@ -127,8 +133,27 @@ func Limit(n int, rejected *Counter, h http.Handler) http.Handler {
 			if rejected != nil {
 				rejected.Inc()
 			}
+			w.Header().Set("Retry-After", "1")
 			http.Error(w, "server overloaded", http.StatusServiceUnavailable)
 		}
+	})
+}
+
+// Recover converts a handler panic into a clean 500 (when nothing has
+// been written yet) and counts it (nil-safe), so one poisoned request
+// cannot take down the connection-serving goroutine or, under direct
+// ServeHTTP harnesses like the chaos suite, the whole process.
+func Recover(panics *Counter, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if panics != nil {
+					panics.Inc()
+				}
+				http.Error(w, fmt.Sprintf("internal error: %v", v), http.StatusInternalServerError)
+			}
+		}()
+		h.ServeHTTP(w, r)
 	})
 }
 

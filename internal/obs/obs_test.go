@@ -167,10 +167,40 @@ func TestLimitRejectsWhenSaturated(t *testing.T) {
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("code = %d, want 503", rec.Code)
 	}
+	// Overload is transient: the 503 must carry a Retry-After hint so
+	// well-behaved clients back off instead of hammering.
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
 	if m.Rejected.Value() != 1 {
 		t.Fatalf("rejected = %d, want 1", m.Rejected.Value())
 	}
 	close(block)
+}
+
+func TestRecoverConvertsPanicTo500(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r, "rec")
+	h := Recover(m.Panics, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("poisoned request")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil)) // must not propagate
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d, want 500", rec.Code)
+	}
+	if m.Panics.Value() != 1 {
+		t.Fatalf("panics = %d, want 1", m.Panics.Value())
+	}
+	// Healthy handlers pass through untouched.
+	ok := Recover(m.Panics, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	rec = httptest.NewRecorder()
+	ok.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusNoContent || m.Panics.Value() != 1 {
+		t.Fatalf("healthy passthrough: code = %d panics = %d", rec.Code, m.Panics.Value())
+	}
 }
 
 func TestTimeoutSetsDeadline(t *testing.T) {

@@ -1,0 +1,231 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"lvf2/internal/mc"
+	"lvf2/internal/obs"
+)
+
+// Fit circuit breaker. A burst of pathological fit requests (degenerate
+// table points, contaminated refits) used to pin workers re-running the
+// same doomed EM fits; the breaker short-circuits them. One breaker per
+// (library hash, cell): a cell whose table data breaks the fitters is a
+// persistent property of that cell, while the rest of the library keeps
+// fitting normally.
+//
+// States follow the classic closed → open → half-open machine:
+//
+//	closed    fits run; FailureThreshold consecutive failures open it
+//	open      fits are skipped and requests answer from the degraded
+//	          ladder until the (jittered, exponentially backed-off)
+//	          open interval elapses
+//	half-open one probe fit is admitted; success closes the breaker,
+//	          failure re-opens it with doubled backoff
+//
+// The clock is injectable (Config.now) so the chaos suite drives state
+// transitions deterministically without sleeping, and the jitter RNG is
+// seeded so a chaos run is reproducible from its seed alone.
+
+// BreakerOptions tunes the per-(library,cell) fit circuit breaker.
+// The zero value selects the defaults.
+type BreakerOptions struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	FailureThreshold int
+	// OpenBase is the first open interval (default 1s). Each half-open
+	// probe failure doubles it, capped at OpenMax.
+	OpenBase time.Duration
+	// OpenMax caps the exponential backoff (default 30s).
+	OpenMax time.Duration
+	// JitterSeed seeds the deterministic backoff jitter (default 1).
+	JitterSeed uint64
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 5
+	}
+	if o.OpenBase <= 0 {
+		o.OpenBase = time.Second
+	}
+	if o.OpenMax <= 0 {
+		o.OpenMax = 30 * time.Second
+	}
+	if o.JitterSeed == 0 {
+		o.JitterSeed = 1
+	}
+	return o
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// breaker is the state of one (library, cell) fit path. All fields are
+// guarded by the owning breakerSet's mutex: transitions are rare and
+// cheap, and one lock keeps the jitter RNG draw atomic with the state
+// change.
+type breaker struct {
+	state       breakerState
+	consecFails int
+	backoff     time.Duration
+	openUntil   time.Time
+	probing     bool // a half-open probe fit is in flight
+}
+
+// breakerSet owns every breaker plus the shared clock, jitter RNG and
+// transition metrics.
+type breakerSet struct {
+	mu    sync.Mutex
+	byKey map[breakerKey]*breaker
+	opts  BreakerOptions
+	now   func() time.Time
+	rng   *mc.RNG
+
+	transitions *obs.CounterVec // by target state
+}
+
+type breakerKey struct{ libHash, cell string }
+
+func newBreakerSet(opts BreakerOptions, now func() time.Time, reg *obs.Registry) *breakerSet {
+	opts = opts.withDefaults()
+	bs := &breakerSet{
+		byKey: map[breakerKey]*breaker{},
+		opts:  opts,
+		now:   now,
+		rng:   mc.NewRNG(opts.JitterSeed | 1),
+		transitions: obs.NewCounterVec(reg, "lvf2d_breaker_transitions_total",
+			"fit circuit breaker transitions by target state", "state"),
+	}
+	obs.NewGaugeFunc(reg, "lvf2d_breaker_open", "fit breakers currently open or half-open",
+		func() float64 { return float64(bs.openCount()) })
+	return bs
+}
+
+func (bs *breakerSet) openCount() int {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	n := 0
+	for _, b := range bs.byKey {
+		if b.state != breakerClosed {
+			n++
+		}
+	}
+	return n
+}
+
+// get returns the breaker for a (library, cell), creating it closed.
+// Caller holds bs.mu.
+func (bs *breakerSet) get(k breakerKey) *breaker {
+	b, ok := bs.byKey[k]
+	if !ok {
+		b = &breaker{backoff: bs.opts.OpenBase}
+		bs.byKey[k] = b
+	}
+	return b
+}
+
+// jittered spreads an interval over [d, 1.5d) so a herd of breakers
+// opened by one outage does not re-probe in lockstep. Caller holds bs.mu.
+func (bs *breakerSet) jittered(d time.Duration) time.Duration {
+	return d + time.Duration(bs.rng.Float64()*0.5*float64(d))
+}
+
+// allow reports whether a fit may run for key right now. probe is true
+// when the admitted fit is the single half-open probe; the caller must
+// report its outcome via done so the probe slot is released.
+func (bs *breakerSet) allow(k breakerKey) (ok, probe bool) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(k)
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if bs.now().Before(b.openUntil) {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		bs.transitions.Inc(breakerHalfOpen.String())
+		return true, true
+	case breakerHalfOpen:
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+	return false, false
+}
+
+// done records the outcome of an admitted fit. Success closes the
+// breaker; failure counts toward the threshold (closed) or re-opens
+// with doubled backoff (half-open probe). A ctx-cancelled fit whose
+// client simply went away is neutral — it neither heals nor damns the
+// fit path — but a deadline expiry counts as a failure: slow fits are
+// exactly what the breaker exists to shed.
+func (bs *breakerSet) done(k breakerKey, probe bool, err error) {
+	neutral := errors.Is(err, context.Canceled)
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(k)
+	if probe {
+		b.probing = false
+	}
+	switch {
+	case err == nil:
+		if b.state != breakerClosed {
+			bs.transitions.Inc(breakerClosed.String())
+		}
+		b.state = breakerClosed
+		b.consecFails = 0
+		b.backoff = bs.opts.OpenBase
+	case neutral:
+		// No state change; a half-open breaker will admit another probe.
+	case b.state == breakerHalfOpen:
+		if probe {
+			b.backoff = min(2*b.backoff, bs.opts.OpenMax)
+		}
+		b.state = breakerOpen
+		b.openUntil = bs.now().Add(bs.jittered(b.backoff))
+		bs.transitions.Inc(breakerOpen.String())
+	case b.state == breakerClosed:
+		b.consecFails++
+		if b.consecFails >= bs.opts.FailureThreshold {
+			b.state = breakerOpen
+			b.openUntil = bs.now().Add(bs.jittered(b.backoff))
+			bs.transitions.Inc(breakerOpen.String())
+		}
+	}
+}
+
+// stateOf snapshots one breaker's state (tests and /metrics helpers).
+func (bs *breakerSet) stateOf(k breakerKey) breakerState {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if b, ok := bs.byKey[k]; ok {
+		return b.state
+	}
+	return breakerClosed
+}

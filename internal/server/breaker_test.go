@@ -1,0 +1,164 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"lvf2/internal/faultinject"
+	"lvf2/internal/obs"
+)
+
+func newTestBreakers(opts BreakerOptions) (*breakerSet, *faultinject.Clock) {
+	clk := faultinject.NewClock(time.Time{})
+	return newBreakerSet(opts, clk.Now, obs.NewRegistry()), clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	bs, _ := newTestBreakers(BreakerOptions{FailureThreshold: 3})
+	k := breakerKey{libHash: "h", cell: "INV"}
+	boom := errors.New("fit exploded")
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := bs.allow(k); !ok {
+			t.Fatalf("failure %d: breaker closed prematurely", i)
+		}
+		bs.done(k, false, boom)
+	}
+	if st := bs.stateOf(k); st != breakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", st)
+	}
+	ok, _ := bs.allow(k)
+	if !ok {
+		t.Fatal("third attempt should be admitted")
+	}
+	bs.done(k, false, boom)
+	if st := bs.stateOf(k); st != breakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", st)
+	}
+	if ok, _ := bs.allow(k); ok {
+		t.Fatal("open breaker admitted a fit before the backoff elapsed")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	bs, _ := newTestBreakers(BreakerOptions{FailureThreshold: 3})
+	k := breakerKey{libHash: "h", cell: "INV"}
+	boom := errors.New("fit exploded")
+	for round := 0; round < 4; round++ {
+		bs.allow(k)
+		bs.done(k, false, boom)
+		bs.allow(k)
+		bs.done(k, false, boom)
+		bs.allow(k)
+		bs.done(k, false, nil) // success wipes the streak
+	}
+	if st := bs.stateOf(k); st != breakerClosed {
+		t.Fatalf("state = %v, want closed (failures never consecutive enough)", st)
+	}
+}
+
+func TestBreakerHalfOpenProbeAndRecovery(t *testing.T) {
+	bs, clk := newTestBreakers(BreakerOptions{FailureThreshold: 1, OpenBase: time.Second, OpenMax: 8 * time.Second})
+	k := breakerKey{libHash: "h", cell: "INV"}
+	boom := errors.New("fit exploded")
+
+	bs.allow(k)
+	bs.done(k, false, boom) // opens (threshold 1)
+	if st := bs.stateOf(k); st != breakerOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+
+	// Jitter spreads the open interval over [d, 1.5d); 1.5d always clears it.
+	clk.Advance(1500 * time.Millisecond)
+	ok, probe := bs.allow(k)
+	if !ok || !probe {
+		t.Fatalf("allow after backoff = (%v,%v), want (true,true) probe", ok, probe)
+	}
+	if st := bs.stateOf(k); st != breakerHalfOpen {
+		t.Fatalf("state = %v, want half_open", st)
+	}
+	// Only one probe at a time.
+	if ok, _ := bs.allow(k); ok {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Probe failure re-opens with doubled backoff.
+	bs.done(k, true, boom)
+	if st := bs.stateOf(k); st != breakerOpen {
+		t.Fatalf("state = %v, want open after failed probe", st)
+	}
+	clk.Advance(1500 * time.Millisecond) // < 2s doubled backoff even unjittered
+	if ok, _ := bs.allow(k); ok {
+		t.Fatal("re-opened breaker admitted a probe before doubled backoff")
+	}
+	clk.Advance(1500 * time.Millisecond) // total 3s ≥ 1.5·2s
+	ok, probe = bs.allow(k)
+	if !ok || !probe {
+		t.Fatalf("allow after doubled backoff = (%v,%v), want probe", ok, probe)
+	}
+
+	// Probe success closes and resets backoff to OpenBase.
+	bs.done(k, true, nil)
+	if st := bs.stateOf(k); st != breakerClosed {
+		t.Fatalf("state = %v, want closed after successful probe", st)
+	}
+	bs.allow(k)
+	bs.done(k, false, boom) // re-open: backoff must be base again
+	clk.Advance(1500 * time.Millisecond)
+	if ok, _ := bs.allow(k); !ok {
+		t.Fatal("backoff was not reset to OpenBase by the successful probe")
+	}
+}
+
+func TestBreakerBackoffCapped(t *testing.T) {
+	bs, clk := newTestBreakers(BreakerOptions{FailureThreshold: 1, OpenBase: time.Second, OpenMax: 4 * time.Second})
+	k := breakerKey{libHash: "h", cell: "INV"}
+	boom := errors.New("fit exploded")
+	bs.allow(k)
+	bs.done(k, false, boom)
+	for i := 0; i < 6; i++ { // double past the cap
+		clk.Advance(time.Hour)
+		ok, probe := bs.allow(k)
+		if !ok || !probe {
+			t.Fatalf("round %d: probe not admitted", i)
+		}
+		bs.done(k, true, boom)
+	}
+	// Capped at 4s: 1.5·4s = 6s always clears it.
+	clk.Advance(6 * time.Second)
+	if ok, _ := bs.allow(k); !ok {
+		t.Fatal("backoff exceeded OpenMax")
+	}
+}
+
+func TestBreakerCancelledFitIsNeutral(t *testing.T) {
+	bs, _ := newTestBreakers(BreakerOptions{FailureThreshold: 1})
+	k := breakerKey{libHash: "h", cell: "INV"}
+	bs.allow(k)
+	bs.done(k, false, context.Canceled)
+	if st := bs.stateOf(k); st != breakerClosed {
+		t.Fatalf("state = %v: a client that went away must not open the breaker", st)
+	}
+	// A deadline expiry, by contrast, is a real failure.
+	bs.allow(k)
+	bs.done(k, false, context.DeadlineExceeded)
+	if st := bs.stateOf(k); st != breakerOpen {
+		t.Fatalf("state = %v: a fit that blew the deadline must count", st)
+	}
+}
+
+func TestBreakerKeysAreIndependent(t *testing.T) {
+	bs, _ := newTestBreakers(BreakerOptions{FailureThreshold: 1})
+	bad := breakerKey{libHash: "h", cell: "NAND2"}
+	good := breakerKey{libHash: "h", cell: "INV"}
+	bs.allow(bad)
+	bs.done(bad, false, errors.New("degenerate tables"))
+	if st := bs.stateOf(bad); st != breakerOpen {
+		t.Fatalf("bad cell state = %v, want open", st)
+	}
+	if ok, _ := bs.allow(good); !ok {
+		t.Fatal("healthy cell was collateral damage of another cell's breaker")
+	}
+}

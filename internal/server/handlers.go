@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"lvf2/internal/binning"
 	"lvf2/internal/core"
@@ -21,10 +23,12 @@ import (
 	"lvf2/internal/stats"
 )
 
-// httpError carries a status code through the handler error paths.
+// httpError carries a status code (and optional Retry-After hint)
+// through the handler error paths.
 type httpError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter time.Duration // >0 sets a Retry-After header (shed/overload)
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -35,12 +39,17 @@ func badRequest(format string, args ...any) error {
 
 // fail writes an error response as JSON, mapping typed httpErrors to
 // their code and everything else to 500 (or 503 for a dead deadline, so
-// per-request timeouts are distinguishable from server bugs).
+// per-request timeouts are distinguishable from server bugs). Shed
+// responses carry Retry-After so clients back off instead of hammering.
 func fail(w http.ResponseWriter, r *http.Request, err error) {
 	code := http.StatusInternalServerError
 	var he *httpError
 	if errors.As(err, &he) {
 		code = he.code
+		if he.retryAfter > 0 {
+			secs := int64(he.retryAfter+time.Second-1) / int64(time.Second)
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
 	} else if r.Context().Err() != nil {
 		code = http.StatusServiceUnavailable
 	}
@@ -199,13 +208,42 @@ func (s *Server) resolveArc(aq arcQuery) (*resolvedArc, error) {
 	return &resolvedArc{src: src, lib: lib, cell: cell, out: out, arc: arc, tm: tm}, nil
 }
 
+// degradedDTO is the explicit quality tag of a degraded-mode answer:
+// the rung of the FitRobust ladder that actually answered, the kind the
+// client asked for, and why the full fit was unavailable. The same rung
+// is echoed in the X-LVF2-Degraded header so proxies and load tests can
+// count degraded answers without parsing bodies.
+type degradedDTO struct {
+	Rung      string `json:"rung"`
+	Requested string `json:"requested"`
+	Reason    string `json:"reason"`
+}
+
+// degradedHeader names the served rung on degraded responses.
+const degradedHeader = "X-LVF2-Degraded"
+
 // modelFor builds (or fetches) the fitted model for a resolved arc at a
 // query point. LVF and LVF² come straight from table interpolation; any
 // other kind is refitted from a deterministic quantile sample of the
-// arc's LVF² distribution — the expensive path the cache and
-// singleflight exist for. The refit runs on the pooled fit.Workspace
-// kernel, so steady-state fits do not allocate.
-func (s *Server) modelFor(ra *resolvedArc, aq arcQuery) (core.Model, error) {
+// arc's LVF² distribution — the expensive path the cache, singleflight,
+// circuit breaker and degradation ladder exist for. The returned kind
+// is the model actually served (it differs from aq.kind only when deg
+// is non-nil).
+//
+// The refit path is fenced three ways:
+//
+//  1. Shedding: when the request's remaining deadline cannot cover the
+//     observed fit latency (EWMA), it is answered 503 + Retry-After
+//     immediately instead of burning a worker until the deadline kills
+//     it. Cache hits are never shed.
+//  2. Circuit breaker: per-(library,cell). While open, refits are
+//     skipped entirely and the degradation ladder answers.
+//  3. Deadline propagation: an admitted fit is raced against the
+//     request context; expiry counts as a breaker failure and degrades
+//     this answer. The fit itself keeps running and installs its result
+//     in the cache for the next caller — work already paid for is not
+//     discarded.
+func (s *Server) modelFor(r *http.Request, ra *resolvedArc, aq arcQuery) (core.Model, fit.Model, *degradedDTO, error) {
 	key := modelcache.ModelKey{
 		LibHash:    ra.src.hash,
 		Cell:       ra.cell.Name,
@@ -216,27 +254,155 @@ func (s *Server) modelFor(ra *resolvedArc, aq arcQuery) (core.Model, error) {
 		Load:       aq.load,
 		Kind:       aq.kind,
 	}
-	return s.cache.Model(key, func() (core.Model, error) {
-		switch aq.kind {
-		case fit.ModelLVF:
-			th, err := ra.tm.LVFAtPoint(aq.slew, aq.load)
-			if err != nil {
-				return core.Model{}, err
-			}
-			m := core.FromLVF(th)
-			return m, m.Validate()
-		case fit.ModelLVF2:
-			return ra.tm.ModelAtPoint(aq.slew, aq.load)
-		default:
-			base, err := ra.tm.ModelAtPoint(aq.slew, aq.load)
-			if err != nil {
-				return core.Model{}, err
-			}
-			xs := quantileSamples(base.Dist(), s.cfg.FitSamples)
-			m, _, err := core.FitKindRobust(aq.kind, xs, fit.RobustOptions{})
-			return m, err
+	if aq.kind == fit.ModelLVF || aq.kind == fit.ModelLVF2 {
+		// Table interpolation: cheap, deterministic, no fitting — the
+		// breaker and ladder never apply.
+		m, err := s.cache.Model(key, func() (core.Model, error) {
+			return s.tableModel(ra, aq)
+		})
+		return m, aq.kind, nil, err
+	}
+	return s.refitModel(r, ra, aq, key)
+}
+
+// tableModel is the fit-free path: LVF/LVF² straight from the Liberty
+// tables.
+func (s *Server) tableModel(ra *resolvedArc, aq arcQuery) (core.Model, error) {
+	if aq.kind == fit.ModelLVF {
+		th, err := ra.tm.LVFAtPoint(aq.slew, aq.load)
+		if err != nil {
+			return core.Model{}, err
 		}
+		m := core.FromLVF(th)
+		return m, m.Validate()
+	}
+	return ra.tm.ModelAtPoint(aq.slew, aq.load)
+}
+
+// refitModel serves a kind that needs an actual fit, applying the shed
+// check, the circuit breaker and deadline propagation described on
+// modelFor.
+func (s *Server) refitModel(r *http.Request, ra *resolvedArc, aq arcQuery, key modelcache.ModelKey) (core.Model, fit.Model, *degradedDTO, error) {
+	ctx := r.Context()
+	bk := breakerKey{libHash: ra.src.hash, cell: ra.cell.Name}
+	_, cached := s.cache.Peek(key)
+
+	if !cached {
+		// Early shed: compare the remaining budget against the observed
+		// fit latency. Deadlines come from the real clock (obs.Timeout),
+		// so this check does too.
+		if dl, ok := ctx.Deadline(); ok {
+			remaining := time.Until(dl)
+			if est := s.fitCost.estimate(); remaining <= 0 || (est > 0 && remaining < est) {
+				s.shedTotal.Inc()
+				retry := max(est, time.Second)
+				return core.Model{}, 0, nil, &httpError{
+					code:       http.StatusServiceUnavailable,
+					msg:        fmt.Sprintf("remaining deadline %v cannot cover a fit (observed ~%v); retry with more budget", remaining, est),
+					retryAfter: retry,
+				}
+			}
+		}
+		ok, probe := s.breakers.allow(bk)
+		if !ok {
+			return s.degradedModel(ra, aq, "fit circuit breaker open")
+		}
+		return s.fitWithDeadline(ctx, ra, aq, key, bk, probe)
+	}
+
+	// Cached: serve it through the normal counting path (instant hit).
+	m, err := s.cache.Model(key, func() (core.Model, error) {
+		return core.Model{}, fmt.Errorf("cache entry for %v vanished", key.Kind)
 	})
+	if err != nil {
+		return s.degradedModel(ra, aq, "cached model evicted mid-request")
+	}
+	return m, aq.kind, nil, nil
+}
+
+// fitWithDeadline runs the cache-miss fit, racing it against the
+// request context and reporting the outcome to the breaker.
+func (s *Server) fitWithDeadline(ctx context.Context, ra *resolvedArc, aq arcQuery, key modelcache.ModelKey, bk breakerKey, probe bool) (core.Model, fit.Model, *degradedDTO, error) {
+	fitFn := func() (core.Model, error) {
+		if s.cfg.fitFault != nil {
+			if err := s.cfg.fitFault(ctx); err != nil {
+				return core.Model{}, err
+			}
+		}
+		start := time.Now()
+		base, err := ra.tm.ModelAtPoint(aq.slew, aq.load)
+		if err != nil {
+			return core.Model{}, err
+		}
+		xs := quantileSamples(base.Dist(), s.cfg.FitSamples)
+		m, _, err := core.FitKindRobust(aq.kind, xs, fit.RobustOptions{})
+		if err == nil {
+			s.fitCost.observe(time.Since(start))
+		}
+		return m, err
+	}
+	type out struct {
+		m   core.Model
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		m, err := s.cache.Model(key, fitFn)
+		ch <- out{m, err}
+	}()
+	select {
+	case o := <-ch:
+		s.breakers.done(bk, probe, o.err)
+		if o.err != nil {
+			return s.degradedModel(ra, aq, fmt.Sprintf("fit failed: %v", o.err))
+		}
+		return o.m, aq.kind, nil, nil
+	case <-ctx.Done():
+		// The fit goroutine keeps running and will populate the cache;
+		// this request degrades now rather than blocking past its budget.
+		s.breakers.done(bk, probe, context.DeadlineExceeded)
+		return s.degradedModel(ra, aq, "fit exceeded the request deadline")
+	}
+}
+
+// degradedModel walks the serving half of the FitRobust ladder
+// (Norm² → LVF → Gaussian) and tags the answer with the rung used.
+// While the fit path is suspect no new fit is started: the Norm² rung
+// is served only if an earlier request already fitted it (cache peek),
+// LVF comes from table interpolation (fit-free, the paper's λ=0
+// backward-compatibility collapse), and the terminal Gaussian drops the
+// skew from the LVF moments. Only when even the table lookup fails does
+// the client see an error.
+func (s *Server) degradedModel(ra *resolvedArc, aq arcQuery, reason string) (core.Model, fit.Model, *degradedDTO, error) {
+	deg := func(rung fit.Model) *degradedDTO {
+		s.degradedTotal.Inc(rung.String())
+		return &degradedDTO{Rung: rung.String(), Requested: aq.kind.String(), Reason: reason}
+	}
+	if aq.kind != fit.ModelNorm2 {
+		k := modelcache.ModelKey{
+			LibHash: ra.src.hash, Cell: ra.cell.Name, OutputPin: ra.out.Name,
+			RelatedPin: ra.arc.RelatedPin, Base: aq.base,
+			Slew: aq.slew, Load: aq.load, Kind: fit.ModelNorm2,
+		}
+		if m, ok := s.cache.Peek(k); ok {
+			return m, fit.ModelNorm2, deg(fit.ModelNorm2), nil
+		}
+	}
+	th, err := ra.tm.LVFAtPoint(aq.slew, aq.load)
+	if err != nil {
+		// No usable table data at all: a clean error, not a panic.
+		return core.Model{}, 0, nil, fmt.Errorf("degraded (%s) and no LVF table fallback: %w", reason, err)
+	}
+	if m := core.FromLVF(th); m.Validate() == nil && m.Theta1.Sigma > 0 {
+		return m, fit.ModelLVF, deg(fit.ModelLVF), nil
+	}
+	// Terminal rung: moment-matched Gaussian with a floored sigma.
+	sigma := math.Abs(th.Sigma)
+	if floor := math.Max(math.Abs(th.Mean)*1e-9, 1e-12); sigma < floor {
+		sigma = floor
+	}
+	g := core.FromLVF(core.Theta{Mean: th.Mean, Sigma: sigma})
+	return g, fit.ModelGaussian, deg(fit.ModelGaussian), nil
 }
 
 // quantileSamples draws n deterministic samples from d via the midpoint
@@ -305,11 +471,12 @@ type cdfPoint struct {
 }
 
 type cdfResponse struct {
-	Arc    arcDTO     `json:"arc"`
-	Model  modelDTO   `json:"model"`
-	Mean   float64    `json:"mean"`
-	Std    float64    `json:"std"`
-	Points []cdfPoint `json:"points"`
+	Arc      arcDTO       `json:"arc"`
+	Model    modelDTO     `json:"model"`
+	Degraded *degradedDTO `json:"degraded,omitempty"`
+	Mean     float64      `json:"mean"`
+	Std      float64      `json:"std"`
+	Points   []cdfPoint   `json:"points"`
 }
 
 func (s *Server) handleArcCDF(w http.ResponseWriter, r *http.Request) {
@@ -323,10 +490,13 @@ func (s *Server) handleArcCDF(w http.ResponseWriter, r *http.Request) {
 		fail(w, r, err)
 		return
 	}
-	m, err := s.modelFor(ra, aq)
+	m, used, deg, err := s.modelFor(r, ra, aq)
 	if err != nil {
 		fail(w, r, err)
 		return
+	}
+	if deg != nil {
+		w.Header().Set(degradedHeader, deg.Rung)
 	}
 	d := m.Dist()
 	mean, std := d.Mean(), stats.Std(d)
@@ -353,7 +523,7 @@ func (s *Server) handleArcCDF(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp := cdfResponse{
-		Arc: dtoFromArc(ra, aq), Model: dtoFromModel(aq.kind, m),
+		Arc: dtoFromArc(ra, aq), Model: dtoFromModel(used, m), Degraded: deg,
 		Mean: mean, Std: std,
 		Points: make([]cdfPoint, len(xs)),
 	}
@@ -366,14 +536,15 @@ func (s *Server) handleArcCDF(w http.ResponseWriter, r *http.Request) {
 // -------------------------------------------------------- /v1/arc/binning
 
 type binningResponse struct {
-	Arc             arcDTO    `json:"arc"`
-	Model           modelDTO  `json:"model"`
-	Mean            float64   `json:"mean"`
-	Std             float64   `json:"std"`
-	Boundaries      []float64 `json:"boundaries"`
-	Probabilities   []float64 `json:"probabilities"`
-	Yield3Sigma     float64   `json:"yield_3sigma"`
-	ExpectedRevenue *float64  `json:"expected_revenue,omitempty"`
+	Arc             arcDTO       `json:"arc"`
+	Model           modelDTO     `json:"model"`
+	Degraded        *degradedDTO `json:"degraded,omitempty"`
+	Mean            float64      `json:"mean"`
+	Std             float64      `json:"std"`
+	Boundaries      []float64    `json:"boundaries"`
+	Probabilities   []float64    `json:"probabilities"`
+	Yield3Sigma     float64      `json:"yield_3sigma"`
+	ExpectedRevenue *float64     `json:"expected_revenue,omitempty"`
 }
 
 func (s *Server) handleArcBinning(w http.ResponseWriter, r *http.Request) {
@@ -387,17 +558,20 @@ func (s *Server) handleArcBinning(w http.ResponseWriter, r *http.Request) {
 		fail(w, r, err)
 		return
 	}
-	m, err := s.modelFor(ra, aq)
+	m, used, deg, err := s.modelFor(r, ra, aq)
 	if err != nil {
 		fail(w, r, err)
 		return
+	}
+	if deg != nil {
+		w.Header().Set(degradedHeader, deg.Rung)
 	}
 	d := m.Dist()
 	mean, std := d.Mean(), stats.Std(d)
 	bounds := binning.SigmaBoundaries(mean, std)
 	probs := binning.DistProbabilities(d, bounds)
 	resp := binningResponse{
-		Arc: dtoFromArc(ra, aq), Model: dtoFromModel(aq.kind, m),
+		Arc: dtoFromArc(ra, aq), Model: dtoFromModel(used, m), Degraded: deg,
 		Mean: mean, Std: std,
 		Boundaries:    bounds,
 		Probabilities: probs,
@@ -422,10 +596,11 @@ func (s *Server) handleArcBinning(w http.ResponseWriter, r *http.Request) {
 // --------------------------------------------------------------- /v1/yield
 
 type yieldResponse struct {
-	Arc   *arcDTO            `json:"arc,omitempty"`
-	Model *modelDTO          `json:"model,omitempty"`
-	Clock float64            `json:"clock"`
-	Yield map[string]float64 `json:"yield"`
+	Arc      *arcDTO            `json:"arc,omitempty"`
+	Model    *modelDTO          `json:"model,omitempty"`
+	Degraded *degradedDTO       `json:"degraded,omitempty"`
+	Clock    float64            `json:"clock"`
+	Yield    map[string]float64 `json:"yield"`
 }
 
 // handleYield answers GET for per-arc yield at a clock target (default
@@ -446,10 +621,13 @@ func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
 		fail(w, r, err)
 		return
 	}
-	m, err := s.modelFor(ra, aq)
+	m, used, deg, err := s.modelFor(r, ra, aq)
 	if err != nil {
 		fail(w, r, err)
 		return
+	}
+	if deg != nil {
+		w.Header().Set(degradedHeader, deg.Rung)
 	}
 	d := m.Dist()
 	clock := d.Mean() + 3*stats.Std(d)
@@ -460,10 +638,10 @@ func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	arc := dtoFromArc(ra, aq)
-	model := dtoFromModel(aq.kind, m)
+	model := dtoFromModel(used, m)
 	writeJSON(w, http.StatusOK, yieldResponse{
-		Arc: &arc, Model: &model, Clock: clock,
-		Yield: map[string]float64{aq.kind.String(): d.CDF(clock)},
+		Arc: &arc, Model: &model, Degraded: deg, Clock: clock,
+		Yield: map[string]float64{used.String(): d.CDF(clock)},
 	})
 }
 

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"lvf2/internal/faultinject"
+)
+
+// replayQueries is the fixed traffic mix the warm-restart test replays:
+// refit kinds across both cells and grid points, so the snapshot has
+// real fitted models to carry across the restart.
+var replayQueries = []string{
+	"/v1/arc/binning?lib=testlib&cell=INV&kind=norm2",
+	"/v1/arc/binning?lib=testlib&cell=INV&kind=gaussian",
+	"/v1/arc/binning?lib=testlib&cell=INV&kind=norm2&slew=0.05&load=0.008",
+	"/v1/arc/binning?lib=testlib&cell=NAND2&kind=norm2",
+	"/v1/arc/binning?lib=testlib&cell=NAND2&kind=ln",
+	"/v1/arc/cdf?lib=testlib&cell=INV&kind=norm2&base=rise_transition",
+	"/v1/yield?lib=testlib&cell=NAND2&kind=gaussian&from=B",
+	"/v1/arc/cdf?lib=testlib&cell=NAND2&kind=lvf2",
+}
+
+func mustGet(t *testing.T, h http.Handler, url string) []byte {
+	t.Helper()
+	rec, body := get(t, h, url)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, rec.Code, body)
+	}
+	return body
+}
+
+func TestReadyzGatesOnBootstrap(t *testing.T) {
+	s := newTestServer(t, nil)
+	h := s.Handler()
+	rec, body := get(t, h, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(string(body), "starting") {
+		t.Fatalf("/readyz before Bootstrap = %d %q, want 503 starting", rec.Code, body)
+	}
+	// Liveness is unconditional: the process is up even while warming.
+	if rec, _ := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200 regardless of readiness", rec.Code)
+	}
+	s.Bootstrap()
+	rec, body = get(t, h, "/readyz")
+	if rec.Code != http.StatusOK || !strings.Contains(string(body), "ready") {
+		t.Fatalf("/readyz after Bootstrap = %d %q, want 200 ready", rec.Code, body)
+	}
+}
+
+// TestSnapshotWarmRestart is the kill(-9)-and-restart acceptance check:
+// traffic warms the cache, a periodic snapshot lands, the process dies
+// without a drain, and the restarted server must answer the same replay
+// with a warm-hit ratio of at least 90% of the pre-kill warm replay.
+func TestSnapshotWarmRestart(t *testing.T) {
+	mfs := faultinject.NewMemFS()
+	const snap = "state/models.lvf2snap"
+	mkServer := func() *Server {
+		return newTestServer(t, func(c *Config) {
+			c.SnapshotPath = snap
+			c.FS = mfs
+		})
+	}
+
+	s1 := mkServer()
+	s1.Bootstrap()
+	h1 := s1.Handler()
+	for _, q := range replayQueries {
+		mustGet(t, h1, q)
+	}
+	// Pre-kill warm replay: every query hits.
+	before := s1.cache.ModelStats().Hits
+	for _, q := range replayQueries {
+		mustGet(t, h1, q)
+	}
+	warmHits := s1.cache.ModelStats().Hits - before
+	if warmHits != int64(len(replayQueries)) {
+		t.Fatalf("warm replay hits = %d, want %d", warmHits, len(replayQueries))
+	}
+	// The periodic ticker fires...
+	if err := s1.SaveSnapshot(); err != nil {
+		t.Fatalf("snapshot save: %v", err)
+	}
+	// ...and then the process is killed: no drain, s1 is simply abandoned.
+
+	s2 := mkServer()
+	s2.Bootstrap()
+	if got := s2.snapRestores.Value(); got != 1 {
+		t.Fatalf("snapshot restores = %d, want 1", got)
+	}
+	h2 := s2.Handler()
+	before = s2.cache.ModelStats().Hits
+	for _, q := range replayQueries {
+		body := mustGet(t, h2, q)
+		if strings.Contains(string(body), `"degraded"`) {
+			t.Fatalf("restored server degraded a replay query: %s", body)
+		}
+	}
+	restoredHits := s2.cache.ModelStats().Hits - before
+	if ratio := float64(restoredHits) / float64(warmHits); ratio < 0.9 {
+		t.Fatalf("post-restore warm-hit ratio = %.2f (%d/%d), want >= 0.90",
+			ratio, restoredHits, warmHits)
+	}
+}
+
+// TestCorruptSnapshotBootsCold plants damaged snapshots and checks the
+// daemon refuses them, counts the exact acceptance metric, and serves
+// fresh fits anyway.
+func TestCorruptSnapshotBootsCold(t *testing.T) {
+	const snap = "state/models.lvf2snap"
+
+	// Build one genuine snapshot to damage.
+	mfs := faultinject.NewMemFS()
+	s0 := newTestServer(t, func(c *Config) { c.SnapshotPath = snap; c.FS = mfs })
+	s0.Bootstrap()
+	mustGet(t, s0.Handler(), replayQueries[0])
+	if err := s0.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	good, err := mfs.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"garbage":   []byte("LVF2SNAP but not really; definitely not a snapshot"),
+		"truncated": good[:len(good)-7],
+		"bitflip": func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)/2] ^= 0x01
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			mfs := faultinject.NewMemFS()
+			mfs.WriteFile(snap, data)
+			s := newTestServer(t, func(c *Config) { c.SnapshotPath = snap; c.FS = mfs })
+			s.Bootstrap() // must not panic or fail the boot
+			if got := s.snapRestoreFailures.Value(); got != 1 {
+				t.Fatalf("restore failures = %d, want 1", got)
+			}
+			h := s.Handler()
+			_, metrics := get(t, h, "/metrics")
+			if !strings.Contains(string(metrics), "lvf2_snapshot_restore_failures_total 1") {
+				t.Fatalf("/metrics missing lvf2_snapshot_restore_failures_total 1:\n%s", metrics)
+			}
+			if st := s.cache.ModelStats(); st.Entries != 0 {
+				t.Fatalf("cache has %d entries after rejected restore, want cold", st.Entries)
+			}
+			mustGet(t, h, replayQueries[0]) // cold but serving
+		})
+	}
+}
+
+// TestDegradedServingUnderFitOutage drives the fit path to a 100%
+// injected failure rate: every answer must stay 200 with an explicit
+// degraded tag, the breaker must open (stopping fit attempts), and once
+// the outage ends the breaker must probe, close, and restore full fits.
+func TestDegradedServingUnderFitOutage(t *testing.T) {
+	ff := faultinject.NewFitFault(1.0, 0, 7)
+	clk := faultinject.NewClock(time.Time{})
+	s := newTestServer(t, func(c *Config) {
+		c.fitFault = ff.Inject
+		c.now = clk.Now
+		c.Breaker = BreakerOptions{FailureThreshold: 2, OpenBase: time.Second, JitterSeed: 3}
+	})
+	s.Bootstrap()
+	h := s.Handler()
+	const q = "/v1/arc/binning?lib=testlib&cell=INV&kind=norm2"
+
+	for i := 0; i < 10; i++ {
+		rec, body := get(t, h, q)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d during outage: code = %d (want 200 degraded): %s", i, rec.Code, body)
+		}
+		if got := rec.Header().Get("X-LVF2-Degraded"); got != "LVF" {
+			t.Fatalf("request %d: X-LVF2-Degraded = %q, want LVF", i, got)
+		}
+		resp := decode[binningResponse](t, body)
+		if resp.Degraded == nil || resp.Degraded.Rung != "LVF" || resp.Degraded.Requested != "Norm2" {
+			t.Fatalf("request %d: degraded tag = %+v", i, resp.Degraded)
+		}
+		if resp.Model.Kind != "LVF" {
+			t.Fatalf("request %d: model kind = %s, want the degraded LVF", i, resp.Model.Kind)
+		}
+	}
+	// The breaker opened at the threshold: only 2 fit attempts ever ran.
+	if fails := ff.Fails(); fails != 2 {
+		t.Fatalf("injected fit failures = %d, want exactly the breaker threshold 2", fails)
+	}
+	bk := breakerKey{libHash: s.byName["testlib"].hash, cell: "INV"}
+	if st := s.breakers.stateOf(bk); st != breakerOpen {
+		t.Fatalf("breaker state = %v, want open", st)
+	}
+	_, metrics := get(t, h, "/metrics")
+	if !strings.Contains(string(metrics), `lvf2d_degraded_answers_total{rung="LVF"} 10`) {
+		t.Fatalf("/metrics missing degraded counter:\n%s", metrics)
+	}
+
+	// Outage ends; after the backoff the probe heals the breaker.
+	ff.SetFailProb(0)
+	clk.Advance(2 * time.Second)
+	rec, body := get(t, h, q)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-outage probe: code = %d: %s", rec.Code, body)
+	}
+	if got := rec.Header().Get("X-LVF2-Degraded"); got != "" {
+		t.Fatalf("post-outage answer still degraded: %q", got)
+	}
+	if resp := decode[binningResponse](t, body); resp.Model.Kind != "Norm2" || resp.Degraded != nil {
+		t.Fatalf("post-outage model = %s degraded=%+v, want full Norm2", resp.Model.Kind, resp.Degraded)
+	}
+	if st := s.breakers.stateOf(bk); st != breakerClosed {
+		t.Fatalf("breaker state after successful probe = %v, want closed", st)
+	}
+}
+
+// TestShedWhenDeadlineCannotCoverFit: once the observed fit latency
+// exceeds the remaining request budget, cold refits are answered 503 +
+// Retry-After immediately; warm and table paths keep serving.
+func TestShedWhenDeadlineCannotCoverFit(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.RequestTimeout = 50 * time.Millisecond })
+	s.Bootstrap()
+	s.fitCost.observe(10 * time.Second) // pretend fits are slow
+	h := s.Handler()
+
+	rec, body := get(t, h, "/v1/arc/binning?lib=testlib&cell=INV&kind=norm2")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cold refit code = %d, want 503 shed: %s", rec.Code, body)
+	}
+	ra := rec.Header().Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", ra)
+	}
+	if got := s.shedTotal.Value(); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+	// Table-interpolated kinds carry no fit cost and must not shed.
+	mustGet(t, h, "/v1/arc/binning?lib=testlib&cell=INV&kind=lvf2")
+}

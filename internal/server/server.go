@@ -25,11 +25,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
+	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lvf2/internal/liberty"
@@ -60,10 +64,31 @@ type Config struct {
 	// /metrics also exposes obs.Default() for library-level series).
 	Registry *obs.Registry
 
+	// SnapshotPath, when non-empty, enables model-cache persistence:
+	// the LRU is restored from this file by Bootstrap and saved to it
+	// atomically on a timer and on graceful drain.
+	SnapshotPath string
+	// SnapshotInterval is the periodic save cadence (default 30s when
+	// SnapshotPath is set).
+	SnapshotInterval time.Duration
+	// FS is the filesystem snapshots go through (default the real OS;
+	// the chaos harness injects disk faults here).
+	FS modelcache.FS
+	// Breaker tunes the per-(library,cell) fit circuit breaker.
+	Breaker BreakerOptions
+	// Logger receives startup/snapshot/degradation events (default
+	// slog.Default()).
+	Logger *slog.Logger
+
 	// testDelay slows every API request by this amount (honouring
 	// context cancellation) so tests can hold requests in flight
 	// deterministically. Not reachable from the CLI.
 	testDelay time.Duration
+	// now overrides the breaker clock for deterministic chaos tests.
+	now func() time.Time
+	// fitFault, when set, is called at the head of every cache-miss fit
+	// (chaos fit-fault injection).
+	fitFault func(ctx context.Context) error
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +110,18 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
+	if c.FS == nil {
+		c.FS = modelcache.OSFS{}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
 	return c
 }
 
@@ -99,9 +136,20 @@ type libSource struct {
 
 // Server is the daemon state shared across requests.
 type Server struct {
-	cfg     Config
-	cache   *modelcache.Cache
-	metrics *obs.HTTPMetrics
+	cfg      Config
+	cache    *modelcache.Cache
+	metrics  *obs.HTTPMetrics
+	breakers *breakerSet
+	fitCost  ewma        // observed fit latency, drives early shedding
+	ready    atomic.Bool // set by Bootstrap: library parsed + restore decided
+
+	// Resilience counters (see DESIGN.md §11).
+	shedTotal           *obs.Counter
+	degradedTotal       *obs.CounterVec // by rung
+	snapSaves           *obs.Counter
+	snapSaveFailures    *obs.Counter
+	snapRestores        *obs.Counter
+	snapRestoreFailures *obs.Counter
 
 	mu     sync.Mutex
 	byName map[string]*libSource
@@ -109,7 +157,8 @@ type Server struct {
 }
 
 // New builds a Server. Add libraries with AddLibrary/AddLibraryFile or
-// at runtime via POST /v1/libraries.
+// at runtime via POST /v1/libraries, then call Bootstrap to restore the
+// model-cache snapshot (when configured) and mark the server ready.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -119,9 +168,69 @@ func New(cfg Config) *Server {
 		byName:  map[string]*libSource{},
 		byHash:  map[string]*libSource{},
 	}
+	s.breakers = newBreakerSet(cfg.Breaker, cfg.now, cfg.Registry)
+	r := cfg.Registry
+	s.shedTotal = obs.NewCounter(r, "lvf2d_requests_shed_total",
+		"requests shed early because the remaining deadline could not cover a fit")
+	s.degradedTotal = obs.NewCounterVec(r, "lvf2d_degraded_answers_total",
+		"answers served from the degradation ladder, by rung", "rung")
+	s.snapSaves = obs.NewCounter(r, "lvf2d_snapshot_saves_total",
+		"model-cache snapshots written successfully")
+	s.snapSaveFailures = obs.NewCounter(r, "lvf2d_snapshot_save_failures_total",
+		"model-cache snapshot writes that failed (previous snapshot kept)")
+	s.snapRestores = obs.NewCounter(r, "lvf2d_snapshot_restores_total",
+		"model-cache snapshots restored on boot")
+	// Exact series name pinned by the acceptance criteria.
+	s.snapRestoreFailures = obs.NewCounter(r, "lvf2_snapshot_restore_failures_total",
+		"snapshot restores rejected (corrupt, truncated or version-skewed); the daemon booted cold")
 	s.registerCacheMetrics()
 	return s
 }
+
+// Bootstrap completes startup after libraries are registered: it
+// restores the model-cache snapshot when one is configured, then marks
+// the server ready (/readyz flips to 200). Restore failures never fail
+// the boot — a corrupt, truncated or version-skewed snapshot logs its
+// reason, increments lvf2_snapshot_restore_failures_total and leaves
+// the cache cold; a missing file is the normal first-boot cold start.
+func (s *Server) Bootstrap() {
+	defer s.ready.Store(true)
+	if s.cfg.SnapshotPath == "" {
+		return
+	}
+	n, err := s.cache.RestoreSnapshot(s.cfg.FS, s.cfg.SnapshotPath)
+	switch {
+	case err == nil:
+		s.snapRestores.Inc()
+		s.cfg.Logger.Info("lvf2d: model cache restored from snapshot",
+			"path", s.cfg.SnapshotPath, "models", n)
+	case errors.Is(err, fs.ErrNotExist):
+		s.cfg.Logger.Info("lvf2d: no snapshot; starting cold", "path", s.cfg.SnapshotPath)
+	default:
+		s.snapRestoreFailures.Inc()
+		s.cfg.Logger.Warn("lvf2d: snapshot rejected; starting cold",
+			"path", s.cfg.SnapshotPath, "reason", err.Error())
+	}
+}
+
+// SaveSnapshot persists the model cache now (timer ticks, drain, and
+// chaos tests call this). Failures keep the previous snapshot on disk.
+func (s *Server) SaveSnapshot() error {
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	err := s.cache.SaveSnapshot(s.cfg.FS, s.cfg.SnapshotPath)
+	if err != nil {
+		s.snapSaveFailures.Inc()
+		s.cfg.Logger.Warn("lvf2d: snapshot save failed", "path", s.cfg.SnapshotPath, "reason", err.Error())
+		return err
+	}
+	s.snapSaves.Inc()
+	return nil
+}
+
+// Ready reports whether Bootstrap has completed.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Cache exposes the model cache (used by benchmarks to force cold paths).
 func (s *Server) Cache() *modelcache.Cache { return s.cache }
@@ -214,9 +323,10 @@ func (s *Server) registerCacheMetrics() {
 }
 
 // Handler assembles the full route table with observability middleware:
-// per-route request/latency metrics, an in-flight gauge, a concurrency
-// limiter and a per-request timeout on the API surface. /metrics and
-// /healthz bypass the limiter so probes stay responsive under load.
+// panic recovery, per-route request/latency metrics, an in-flight
+// gauge, a concurrency limiter and a per-request timeout on the API
+// surface. /metrics, /healthz and /readyz bypass the limiter so probes
+// stay responsive under load.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	api := func(route string, h http.HandlerFunc) {
@@ -233,6 +343,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		wrapped = obs.Timeout(s.cfg.RequestTimeout, s.metrics.Timeouts, wrapped)
 		wrapped = obs.Limit(s.cfg.MaxInFlight, s.metrics.Rejected, wrapped)
+		wrapped = obs.Recover(s.metrics.Panics, wrapped)
 		mux.Handle(route, s.metrics.Wrap(route, wrapped))
 	}
 	api("/v1/arc/cdf", s.handleArcCDF)
@@ -244,6 +355,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	// Readiness is distinct from liveness: the process can be alive but
+	// not yet serving (libraries unparsed, snapshot restore undecided).
+	// Load balancers gate traffic on /readyz and restarts on /healthz.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "starting")
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -274,10 +397,29 @@ func (s *Server) Run(ctx context.Context, addr string, drain time.Duration) erro
 }
 
 // RunListener is Run over an existing listener (tests use port 0).
+// When snapshots are configured it also runs the periodic save loop and
+// writes a final snapshot after the drain completes, so a SIGTERM
+// restart boots warm.
 func (s *Server) RunListener(ctx context.Context, ln net.Listener, drain time.Duration) error {
 	hs := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if s.cfg.SnapshotPath != "" {
+		snapCtx, stopSnap := context.WithCancel(ctx)
+		defer stopSnap()
+		go func() {
+			t := time.NewTicker(s.cfg.SnapshotInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					_ = s.SaveSnapshot() // failure logged + counted; previous snapshot survives
+				case <-snapCtx.Done():
+					return
+				}
+			}
+		}()
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -295,5 +437,37 @@ func (s *Server) RunListener(ctx context.Context, ln net.Listener, drain time.Du
 		sctx, cancel = context.WithTimeout(sctx, drain)
 		defer cancel()
 	}
-	return hs.Shutdown(sctx)
+	err := hs.Shutdown(sctx)
+	// The drain snapshot runs after in-flight fits have completed, so it
+	// captures the fullest cache this process will ever have.
+	_ = s.SaveSnapshot()
+	return err
+}
+
+// ----------------------------------------------------------------- ewma
+
+// ewma tracks an exponentially weighted moving average of observed fit
+// latency (α = 0.3). The shed path compares a request's remaining
+// deadline against this estimate: a request that cannot possibly cover
+// a fit is answered 503 + Retry-After immediately instead of occupying
+// a worker until its deadline kills it.
+type ewma struct{ bits atomic.Uint64 }
+
+func (e *ewma) observe(d time.Duration) {
+	v := d.Seconds()
+	for {
+		old := e.bits.Load()
+		cur := math.Float64frombits(old)
+		next := v
+		if cur > 0 {
+			next = 0.7*cur + 0.3*v
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+func (e *ewma) estimate() time.Duration {
+	return time.Duration(math.Float64frombits(e.bits.Load()) * float64(time.Second))
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -70,10 +71,12 @@ func libText(t testing.TB, name string, filler int, slews, loads []float64) []by
 	return []byte(lib.String())
 }
 
-// newTestServer builds a server with the test library preloaded.
+// newTestServer builds a server with the test library preloaded and
+// startup/degradation logging silenced (chaos runs are deliberately
+// noisy; the script artifact is the debugging surface, not the log).
 func newTestServer(t testing.TB, mutate func(*Config)) *Server {
 	t.Helper()
-	cfg := Config{FitSamples: 600}
+	cfg := Config{FitSamples: 600, Logger: slog.New(slog.NewTextHandler(io.Discard, nil))}
 	if mutate != nil {
 		mutate(&cfg)
 	}
