@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check chaos fuzz bench bench-tables bench-server allocbudget determinism clean
+.PHONY: all build test vet race check chaos chaos-ckpt fuzz bench bench-tables bench-server allocbudget determinism clean
 
 all: build
 
@@ -38,14 +38,25 @@ chaos:
 		$(GO) test -race -run TestChaosServing -count 1 -timeout 15m \
 		./internal/server/ -chaos.seeds $(CHAOS_SEEDS)
 
+# Kill-and-resume chaos suite for the checkpointed characterisation
+# pipeline: seeded scripts kill a library build mid-run, optionally tear
+# or rot the journal, and assert the resumed build is bit-identical to
+# an uninterrupted one. A failing script plus the journal segments it
+# resumed from land in CHAOS_ARTIFACT_DIR; replay with -ckptchaos.seed.
+chaos-ckpt:
+	CHAOS_ARTIFACT_DIR=$(CHAOS_ARTIFACT_DIR) \
+		$(GO) test -race -run TestChaosCheckpointResume -count 1 -timeout 15m \
+		./internal/libbuild/ -ckptchaos.seeds $(CHAOS_SEEDS)
+
 # The gate: vet + build + full suite under the race detector + perf and
 # crash-safety guards.
-check: vet build race allocbudget determinism chaos
+check: vet build race allocbudget determinism chaos chaos-ckpt
 
-# Short fuzz pass over the Liberty parser targets.
+# Short fuzz pass over the Liberty and netlist parser targets.
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s -run '^$$' ./internal/liberty/
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s -run '^$$' ./internal/liberty/
+	$(GO) test -fuzz FuzzParseNetlist -fuzztime 30s -run '^$$' ./internal/netlist/
 
 # Micro benchmarks with memory stats, exported as BENCH_fit.json evidence.
 BENCH_FILTER = BenchmarkFit|BenchmarkSNCDF|BenchmarkCharacterizeArc|BenchmarkSSTASum|BenchmarkLibertyParse

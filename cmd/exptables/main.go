@@ -9,18 +9,58 @@
 //	exptables -exp fig4              # slew-load accuracy pattern (Fig. 4)
 //	exptables -exp fig5              # path SSTA study (Fig. 5, both paths)
 //	exptables -exp all -samples 50000 -arcs 0 -stride 1   # paper scale
+//
+// With -checkpoint the table1/fig3/table2 drivers journal every work
+// unit; an interrupted run (SIGINT/SIGTERM, OOM kill) resumes with
+// -resume instead of restarting. Table 1 and Table 2 keep separate
+// journals in subdirectories of the checkpoint dir.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"syscall"
 
+	"lvf2/internal/checkpoint"
 	"lvf2/internal/circuits"
 	"lvf2/internal/experiments"
 	"lvf2/internal/fit"
 	"lvf2/internal/spice"
 )
+
+// openJournal opens (or cold-starts) one driver's checkpoint journal.
+// A fresh (non -resume) run clears stale segments; a -resume run
+// replays them, degrading to a cold start — with the typed corruption
+// error on stderr — when the journal is unreadable or belongs to a
+// different configuration.
+func openJournal(dir string, fp checkpoint.Fingerprint, resume bool) (*checkpoint.Journal, error) {
+	fsys := checkpoint.OSFS{}
+	if !resume {
+		if err := checkpoint.Reset(fsys, dir); err != nil {
+			return nil, fmt.Errorf("clear checkpoint dir: %w", err)
+		}
+	}
+	j, err := checkpoint.Open(fsys, dir, fp, checkpoint.Options{})
+	if errors.Is(err, checkpoint.ErrCorruptJournal) {
+		fmt.Fprintf(os.Stderr, "exptables: %v — starting cold\n", err)
+		if rerr := checkpoint.Reset(fsys, dir); rerr != nil {
+			return nil, fmt.Errorf("clear corrupt journal: %w", rerr)
+		}
+		j, err = checkpoint.Open(fsys, dir, fp, checkpoint.Options{})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if resume {
+		st := j.Stats()
+		fmt.Fprintf(os.Stderr, "exptables: journal %s replayed: %d resolved units, %d segments\n", dir, st.Resolved, st.Segments)
+	}
+	return j, nil
+}
 
 // writeSVG stores one figure under dir.
 func writeSVG(dir, name, svg string) error {
@@ -41,8 +81,14 @@ func main() {
 		ext     = flag.Bool("extended", false, "add the LN/LSN prior-work models to table1")
 		repeats = flag.Int("repeats", 1, "seed-average count for fig5 reductions")
 		svgDir  = flag.String("svg", "", "also write figures as SVG files into this directory")
+		ckptDir = flag.String("checkpoint", "", "journal directory for resumable table1/table2 runs (empty = no journal)")
+		resume  = flag.Bool("resume", false, "resume from the -checkpoint journal instead of starting fresh")
 	)
 	flag.Parse()
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "exptables: -resume requires -checkpoint")
+		os.Exit(1)
+	}
 
 	cfg := experiments.Config{Samples: *samples, Seed: *seed, Repeats: *repeats}
 	cfg.FitOpts.Polish = *polish
@@ -50,53 +96,93 @@ func main() {
 		cfg.Models = fit.ExtendedModels
 	}
 
+	ctx, trap := checkpoint.TrapSignals(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer trap.Stop()
+
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		if err := f(); err != nil {
+		err := f()
+		if sig := trap.Signal(); sig != nil {
+			fmt.Fprintf(os.Stderr, "exptables: %s interrupted by %v; journal flushed\n", name, sig)
+			if *ckptDir != "" {
+				fmt.Fprintf(os.Stderr, "exptables: resume with: exptables -exp %s -checkpoint %s -resume (plus your original flags)\n", name, *ckptDir)
+			}
+			os.Exit(130)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "exptables: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
-
-	run("table1", func() error {
-		rows, err := experiments.Table1(cfg)
+	// withJournal opens the sub-journal for one driver (table1 and table2
+	// have different unit shapes, so they get separate segments and
+	// fingerprints) and closes — sealing — it after the driver returns.
+	withJournal := func(sub string, fp checkpoint.Fingerprint, f func(j *checkpoint.Journal) error) error {
+		if *ckptDir == "" {
+			return f(nil)
+		}
+		j, err := openJournal(filepath.Join(*ckptDir, sub), fp, *resume)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderTable1(rows))
-		fmt.Println()
-		return nil
+		defer j.Close()
+		return f(j)
+	}
+
+	table1 := func(f func(rows []experiments.ScenarioResult) error) error {
+		return withJournal("table1", cfg.Table1Fingerprint(), func(j *checkpoint.Journal) error {
+			c := cfg
+			c.Checkpoint = j
+			rows, err := experiments.Table1Ctx(ctx, c)
+			if err != nil {
+				return err
+			}
+			return f(rows)
+		})
+	}
+	run("table1", func() error {
+		return table1(func(rows []experiments.ScenarioResult) error {
+			fmt.Print(experiments.RenderTable1(rows))
+			fmt.Println()
+			return nil
+		})
 	})
 	run("fig3", func() error {
-		rows, err := experiments.Table1(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.Fig3CSV(rows, 200))
-		if *svgDir != "" {
-			for slug, svg := range experiments.Fig3SVGs(rows, 240) {
-				if err := writeSVG(*svgDir, "fig3_"+slug, svg); err != nil {
-					return err
+		return table1(func(rows []experiments.ScenarioResult) error {
+			fmt.Print(experiments.Fig3CSV(rows, 200))
+			for _, r := range rows {
+				if r.Restored {
+					fmt.Fprintf(os.Stderr, "exptables: fig3: scenario %q restored from the journal; no curves to plot (rerun without -checkpoint for figures)\n", r.Scenario.Name)
 				}
 			}
-		}
-		return nil
+			if *svgDir != "" {
+				for slug, svg := range experiments.Fig3SVGs(rows, 240) {
+					if err := writeSVG(*svgDir, "fig3_"+slug, svg); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
 	})
 	run("table2", func() error {
 		t2 := experiments.Table2Config{Config: cfg, ArcsPerType: *arcs, GridStride: *stride}
 		if *arcs == 0 {
 			t2.ArcsPerType = -1 // all arcs
 		}
-		rows, err := experiments.Table2(t2)
-		if err != nil {
-			return err
-		}
-		experiments.SortRowsLikePaper(rows)
-		fmt.Print(experiments.RenderTable2(rows))
-		fmt.Println()
-		return nil
+		return withJournal("table2", t2.Table2Fingerprint(), func(j *checkpoint.Journal) error {
+			t2.Checkpoint = j
+			rows, err := experiments.Table2Ctx(ctx, t2)
+			if err != nil {
+				return err
+			}
+			experiments.SortRowsLikePaper(rows)
+			fmt.Print(experiments.RenderTable2(rows))
+			fmt.Println()
+			return nil
+		})
 	})
 	run("fig4", func() error {
 		res, err := experiments.Fig4(experiments.Fig4Config{Config: cfg})

@@ -8,10 +8,18 @@
 // reported on stderr and recorded in the emitted library as an
 // ocv_fallback_note_* attribute.
 //
+// With -checkpoint the run is resumable: every (arc, slew, load, kind)
+// fit is journaled as it completes, SIGINT/SIGTERM flushes the journal
+// before exiting, and -resume restores completed units instead of
+// recomputing them — the resumed library is bit-identical to an
+// uninterrupted run.
+//
 // Usage:
 //
 //	libgen -cells INV,NAND2 -arcs 1 -samples 5000 -format lvf2 -o out.lib
 //	libgen -cells all -arcs 2 -stride 4 -format lvf -timeout 5m -o classic.lib
+//	libgen -cells all -checkpoint ckpt/ -o full.lib      # journaled run
+//	libgen -cells all -checkpoint ckpt/ -resume -o full.lib
 package main
 
 import (
@@ -21,12 +29,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"syscall"
 
 	"lvf2/internal/cells"
-	"lvf2/internal/core"
-	"lvf2/internal/fit"
+	"lvf2/internal/checkpoint"
+	"lvf2/internal/libbuild"
 	"lvf2/internal/liberty"
-	"lvf2/internal/spice"
 )
 
 func main() {
@@ -38,6 +46,8 @@ func main() {
 		format   = flag.String("format", "lvf2", "output format: lvf | lvf2")
 		seed     = flag.Uint64("seed", 1, "RNG seed")
 		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget, e.g. 5m (0 = unlimited)")
+		ckptDir  = flag.String("checkpoint", "", "journal directory for resumable runs (empty = no journal)")
+		resume   = flag.Bool("resume", false, "resume from the -checkpoint journal instead of starting fresh")
 		out      = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -45,12 +55,18 @@ func main() {
 	if *format != "lvf" && *format != "lvf2" {
 		fatal(fmt.Errorf("unknown format %q", *format))
 	}
+	if *resume && *ckptDir == "" {
+		fatal(errors.New("-resume requires -checkpoint"))
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	ctx, trap := checkpoint.TrapSignals(ctx, os.Interrupt, syscall.SIGTERM)
+	defer trap.Stop()
+
 	var types []cells.CellType
 	if *cellList == "all" {
 		types = cells.Library()
@@ -64,45 +80,51 @@ func main() {
 		}
 	}
 
-	grid := cells.DefaultGrid()
-	corner := spice.TTCorner()
-	lib := liberty.NewLibrary(liberty.LibraryHeaderOptions{
-		Name:        "lvf2_synth22",
-		Voltage:     corner.VDD,
-		TempC:       corner.TempC,
-		ProcessName: "synthetic22-TTGlobal_LocalMC",
-	}, "delay_template_8x8", grid.Slews, grid.Loads)
-
-	charCfg := cells.CharConfig{Samples: *samples, Seed: *seed, GridStride: *stride}
-	fallbacks := 0
-	for _, ct := range types {
-		pins := inputPins(ct.Inputs)
-		outPin := liberty.AddCell(lib, ct.Name, pins, ct.Base.CapIn, "ZN", "")
-		// Every input pin needs at least one timing arc or downstream STA
-		// paths would silently truncate, so characterise max(arcs, inputs).
-		arcList := ct.Arcs()
-		want := *arcs
-		if want < len(pins) {
-			want = len(pins)
-		}
-		if want > 0 && len(arcList) > want {
-			arcList = arcList[:want]
-		}
-		for _, arc := range arcList {
-			timing := liberty.AddTiming(outPin, pins[arc.Index%len(pins)], "positive_unate")
-			n, err := emitArc(ctx, timing, charCfg, grid, arc, *format == "lvf2")
-			if errors.Is(err, context.DeadlineExceeded) {
-				fatal(fmt.Errorf("timed out after %v (raise -timeout or -stride)", *timeout))
-			}
-			if err != nil {
-				fatal(err)
-			}
-			fallbacks += n
-		}
-		fmt.Fprintf(os.Stderr, "libgen: characterised %s (%d arcs)\n", ct.Name, len(arcList))
+	cfg := libbuild.Config{
+		Types:   types,
+		ArcsPer: *arcs,
+		Char:    cells.CharConfig{Samples: *samples, Seed: *seed, GridStride: *stride},
+		LVF2:    *format == "lvf2",
+		Log:     os.Stderr,
 	}
-	if fallbacks > 0 {
-		fmt.Fprintf(os.Stderr, "libgen: %d fit(s) fell back to a degraded model (see ocv_fallback_note_* attributes)\n", fallbacks)
+	if *ckptDir != "" {
+		cfg.Journal = openJournal(*ckptDir, cfg.Fingerprint(), *resume)
+		defer cfg.Journal.Close()
+	}
+
+	lib, stats, err := libbuild.Build(ctx, cfg)
+	if sig := trap.Signal(); sig != nil {
+		cfg.Journal.Close()
+		sealed := 0
+		for _, rec := range cfg.Journal.Records() {
+			if rec.Status == checkpoint.StatusDone || rec.Status == checkpoint.StatusQuarantined {
+				sealed++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "libgen: interrupted by %v; journal flushed (%d units sealed)\n", sig, sealed)
+		if *ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "libgen: resume with: libgen -checkpoint %s -resume (plus your original flags)\n", *ckptDir)
+		}
+		os.Exit(130)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		hint := "raise -timeout or -stride"
+		if *ckptDir != "" {
+			hint = "rerun with -resume to continue where this run stopped"
+		}
+		fatal(fmt.Errorf("timed out after %v (%s)", *timeout, hint))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if stats.Restored > 0 {
+		fmt.Fprintf(os.Stderr, "libgen: resumed: %d/%d units restored from the journal\n", stats.Restored, stats.Units)
+	}
+	if stats.Quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "libgen: %d poison unit(s) quarantined (see ocv_fallback_note_* attributes)\n", stats.Quarantined)
+	}
+	if stats.Fallbacks > 0 {
+		fmt.Fprintf(os.Stderr, "libgen: %d fit(s) fell back to a degraded model (see ocv_fallback_note_* attributes)\n", stats.Fallbacks)
 	}
 
 	w := os.Stdout
@@ -119,88 +141,38 @@ func main() {
 	}
 }
 
-// emitArc characterises one arc and appends cell_rise/rise_transition
-// tables (the synthetic model is edge-symmetric, so one polarity is
-// emitted per arc). It returns how many grid points were produced by a
-// fallback rung rather than the requested model.
-func emitArc(ctx context.Context, timing *liberty.Group, cfg cells.CharConfig, grid cells.Grid, arc cells.Arc, lvf2 bool) (int, error) {
-	rows := len(grid.Slews) / cfg.GridStride
-	cols := len(grid.Loads) / cfg.GridStride
-	if len(grid.Slews)%cfg.GridStride != 0 {
-		rows++
-	}
-	if len(grid.Loads)%cfg.GridStride != 0 {
-		cols++
-	}
-	idx1 := make([]float64, 0, rows)
-	idx2 := make([]float64, 0, cols)
-	for i := 0; i < len(grid.Slews); i += cfg.GridStride {
-		idx1 = append(idx1, grid.Slews[i])
-	}
-	for j := 0; j < len(grid.Loads); j += cfg.GridStride {
-		idx2 = append(idx2, grid.Loads[j])
-	}
-	mk := func() ([][]float64, [][]core.Model) {
-		nom := make([][]float64, len(idx1))
-		mods := make([][]core.Model, len(idx1))
-		for i := range nom {
-			nom[i] = make([]float64, len(idx2))
-			mods[i] = make([]core.Model, len(idx2))
+// openJournal opens (or cold-starts) the checkpoint journal. A fresh
+// (non -resume) run clears any stale segments; a -resume run replays
+// them, degrading to a cold start — with the typed corruption error on
+// stderr — when the journal is unreadable or belongs to a different
+// configuration.
+func openJournal(dir string, fp checkpoint.Fingerprint, resume bool) *checkpoint.Journal {
+	fsys := checkpoint.OSFS{}
+	if !resume {
+		if err := checkpoint.Reset(fsys, dir); err != nil {
+			fatal(fmt.Errorf("clear checkpoint dir: %w", err))
 		}
-		return nom, mods
 	}
-	nomD, modD := mk()
-	nomT, modT := mk()
-	var notesD, notesT []string
-
-	requested := fit.ModelLVF
-	if lvf2 {
-		requested = fit.ModelLVF2
+	j, err := checkpoint.Open(fsys, dir, fp, checkpoint.Options{})
+	if errors.Is(err, checkpoint.ErrCorruptJournal) {
+		fmt.Fprintf(os.Stderr, "libgen: %v — starting cold\n", err)
+		if rerr := checkpoint.Reset(fsys, dir); rerr != nil {
+			fatal(fmt.Errorf("clear corrupt journal: %w", rerr))
+		}
+		j, err = checkpoint.Open(fsys, dir, fp, checkpoint.Options{})
 	}
-	dists, err := cells.CharacterizeArcCtx(ctx, cfg, arc)
 	if err != nil {
-		return 0, err
+		fatal(err)
 	}
-	for _, d := range dists {
-		i := d.SlewIdx / cfg.GridStride
-		j := d.LoadIdx / cfg.GridStride
-		m, rep, err := core.FitKindRobust(requested, d.Samples, fit.RobustOptions{})
-		if err != nil {
-			return 0, fmt.Errorf("fit %s (%d,%d): %w", d.Arc.Label, i, j, err)
+	if resume {
+		st := j.Stats()
+		fmt.Fprintf(os.Stderr, "libgen: journal replayed: %d resolved units, %d segments", st.Resolved, st.Segments)
+		if st.TornRecords > 0 {
+			fmt.Fprintf(os.Stderr, " (%d torn tail record(s) dropped)", st.TornRecords)
 		}
-		if rep.Fallback || rep.Degenerate || rep.Dropped > 0 {
-			note := fmt.Sprintf("%s (%d,%d): %s", d.Arc.Label, i, j, rep)
-			fmt.Fprintf(os.Stderr, "libgen: fallback: %s\n", note)
-			if d.Kind == cells.Delay {
-				notesD = append(notesD, note)
-			} else {
-				notesT = append(notesT, note)
-			}
-		}
-		if d.Kind == cells.Delay {
-			nomD[i][j], modD[i][j] = d.NomDelay, m
-		} else {
-			nomT[i][j], modT[i][j] = d.NomDelay, m
-		}
+		fmt.Fprintln(os.Stderr)
 	}
-	tmD := liberty.TimingModelFromFits("cell_rise", idx1, idx2, nomD, modD)
-	tmD.FallbackNote = strings.Join(notesD, "; ")
-	tmD.AppendTo(timing, "delay_template_8x8", lvf2)
-	tmT := liberty.TimingModelFromFits("rise_transition", idx1, idx2, nomT, modT)
-	tmT.FallbackNote = strings.Join(notesT, "; ")
-	tmT.AppendTo(timing, "delay_template_8x8", lvf2)
-	return len(notesD) + len(notesT), nil
-}
-
-func inputPins(n int) []string {
-	names := []string{"A", "B", "C", "D", "E", "F"}
-	if n > len(names) {
-		n = len(names)
-	}
-	if n < 1 {
-		n = 1
-	}
-	return names[:n]
+	return j
 }
 
 func fatal(err error) {

@@ -203,6 +203,12 @@ type CharConfig struct {
 	ArcTimeout time.Duration
 	// Eval overrides the Monte-Carlo evaluator (default DefaultEval).
 	Eval EvalFunc
+	// Skip elides grid points before their Monte-Carlo evaluation runs.
+	// It is the checkpoint-resume seam: a resumed run installs a filter
+	// that skips every (slew, load) point whose units are already
+	// journaled, so completed work is never recomputed. nil visits every
+	// point.
+	Skip func(arc Arc, slewIdx, loadIdx int) bool
 }
 
 // WithDefaults fills zero fields.
@@ -245,6 +251,9 @@ func CharacterizeArcCtx(ctx context.Context, cfg CharConfig, arc Arc) ([]Distrib
 		for li := 0; li < len(cfg.Grid.Loads); li += cfg.GridStride {
 			if err := ctx.Err(); err != nil {
 				return out, err
+			}
+			if cfg.Skip != nil && cfg.Skip(arc, si, li) {
+				continue
 			}
 			slew, load := cfg.Grid.Slews[si], cfg.Grid.Loads[li]
 			rng := mc.NewRNG(cfg.Seed ^ arcSeed(arc.Label, si*8+li))

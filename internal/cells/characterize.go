@@ -32,7 +32,11 @@ func CharacterizeLibrary(ctx context.Context, cfg CharConfig, types []CellType) 
 		arcs = append(arcs, t.Arcs()...)
 	}
 	results := make([]ArcResult, len(arcs))
-	err := pool.ForEach(ctx, pool.Options{Workers: cfg.Workers, TaskTimeout: cfg.ArcTimeout}, len(arcs),
+	labels := make([]string, len(arcs))
+	for i, a := range arcs {
+		labels[i] = a.Label
+	}
+	err := pool.ForEachLabeled(ctx, pool.Options{Workers: cfg.Workers, TaskTimeout: cfg.ArcTimeout}, labels,
 		func(tctx context.Context, i int) error {
 			arc := arcs[i]
 			results[i].Arc = arc

@@ -1,0 +1,98 @@
+package checkpoint
+
+import (
+	"context"
+	"hash/fnv"
+	"time"
+
+	"lvf2/internal/mc"
+)
+
+// RetryPolicy is the jittered exponential backoff applied to failed
+// work units before quarantine. Delay for attempt a (1-based) is
+//
+//	min(Base·2^(a−1), Max) · (1 + Jitter·u),  u ∈ [−1, 1)
+//
+// with u drawn from a seeded RNG keyed by (Seed, unit key, attempt), so
+// a given schedule is fully deterministic and a retrying fleet does not
+// synchronise its reattempts.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries before a unit is quarantined
+	// (default 3). The count persists in the journal, so a unit that
+	// failed twice before a crash gets one more try after resume.
+	MaxAttempts int
+	// Base is the first retry delay (default 100ms).
+	Base time.Duration
+	// Max caps the exponential growth (default 5s).
+	Max time.Duration
+	// Jitter is the relative spread of the delay (default 0.2).
+	Jitter float64
+	// Seed makes the jitter deterministic (default 1).
+	Seed uint64
+	// Sleep is the injectable clock seam: it waits d or returns early
+	// with ctx.Err() on cancellation. Tests substitute a fake clock so
+	// backoff schedules run instantly and deterministically under -race.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Sleep == nil {
+		p.Sleep = realSleep
+	}
+	return p
+}
+
+// realSleep is the wall-clock Sleep.
+func realSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Delay returns the backoff before retry `attempt` (1-based: the delay
+// after the attempt-th failure) of the unit k.
+func (p RetryPolicy) Delay(k Key, attempt int) time.Duration {
+	p = p.withDefaults()
+	d := p.Base
+	for i := 1; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	if p.Jitter <= 0 {
+		return d
+	}
+	h := fnv.New64a()
+	h.Write([]byte(k.String()))
+	rng := mc.NewRNG(p.Seed ^ h.Sum64() ^ uint64(attempt)*0x9e3779b97f4a7c15)
+	u := 2*rng.Float64() - 1
+	d = time.Duration(float64(d) * (1 + p.Jitter*u))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

@@ -1,0 +1,64 @@
+package checkpoint
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+)
+
+// SignalTrap cancels a context on SIGINT/SIGTERM (or any signal set) so
+// the characterisation CLIs can stop dispatch, flush the journal and
+// exit with a "resume with -resume" hint instead of losing the run. The
+// first signal is remembered; a second signal restores default handling
+// (Stop is deferred-safe), so a stuck pipeline can still be killed.
+type SignalTrap struct {
+	ch     chan os.Signal
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu  sync.Mutex
+	got os.Signal
+}
+
+// TrapSignals returns a context cancelled when one of sigs arrives,
+// plus the trap for inspecting which signal fired. Call Stop when the
+// run finishes.
+func TrapSignals(ctx context.Context, sigs ...os.Signal) (context.Context, *SignalTrap) {
+	ctx, cancel := context.WithCancel(ctx)
+	t := &SignalTrap{
+		ch:     make(chan os.Signal, 1),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	signal.Notify(t.ch, sigs...)
+	go func() {
+		defer close(t.done)
+		select {
+		case s := <-t.ch:
+			t.mu.Lock()
+			t.got = s
+			t.mu.Unlock()
+			signal.Stop(t.ch) // a second signal gets default handling
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(t.ch)
+		}
+	}()
+	return ctx, t
+}
+
+// Signal returns the trapped signal, or nil if none fired.
+func (t *SignalTrap) Signal() os.Signal {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.got
+}
+
+// Stop deregisters the trap and releases its goroutine. The returned
+// context is cancelled as a side effect.
+func (t *SignalTrap) Stop() {
+	signal.Stop(t.ch)
+	t.cancel()
+	<-t.done
+}

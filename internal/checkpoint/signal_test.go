@@ -1,0 +1,56 @@
+package checkpoint
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestTrapSignalsCancelsOnSignal(t *testing.T) {
+	ctx, trap := TrapSignals(context.Background(), syscall.SIGUSR1)
+	defer trap.Stop()
+
+	if got := trap.Signal(); got != nil {
+		t.Fatalf("signal before delivery = %v", got)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled after signal")
+	}
+	// The trap goroutine records the signal just before cancelling, so it
+	// is visible once ctx.Done() fires.
+	if got := trap.Signal(); got != syscall.SIGUSR1 {
+		t.Errorf("trapped signal = %v, want SIGUSR1", got)
+	}
+}
+
+func TestTrapSignalsStopWithoutSignal(t *testing.T) {
+	ctx, trap := TrapSignals(context.Background(), syscall.SIGUSR2)
+	trap.Stop()
+	select {
+	case <-ctx.Done():
+	default:
+		t.Error("Stop should cancel the context")
+	}
+	if got := trap.Signal(); got != nil {
+		t.Errorf("signal after plain Stop = %v", got)
+	}
+}
+
+func TestTrapSignalsParentCancellation(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, trap := TrapSignals(parent, syscall.SIGUSR1)
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("child context not cancelled with parent")
+	}
+	trap.Stop()
+}

@@ -17,15 +17,16 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"lvf2/internal/binning"
 	"lvf2/internal/cells"
+	"lvf2/internal/checkpoint"
 	"lvf2/internal/fit"
 	"lvf2/internal/mc"
 	"lvf2/internal/pool"
@@ -47,6 +48,13 @@ type Config struct {
 	// Repeats averages Fig. 5 reductions over this many independent
 	// seeds (default 1).
 	Repeats int
+	// Checkpoint, when non-nil, journals every Table 1/Table 2 work unit
+	// so an interrupted sweep resumes instead of restarting. Open it with
+	// the matching Table1Fingerprint/Table2Fingerprint.
+	Checkpoint *checkpoint.Journal
+	// Retry tunes the per-unit retry/backoff/quarantine policy of a
+	// journaled run.
+	Retry checkpoint.RetryPolicy
 }
 
 // WithDefaults fills zero fields with the reduced defaults.
@@ -120,6 +128,11 @@ type ScenarioResult struct {
 	Evals    map[fit.Model]ModelEval
 	// BinReduction is the binning error reduction vs LVF (Table 1).
 	BinReduction map[fit.Model]float64
+	// Restored reports the row was replayed from a checkpoint journal:
+	// BinReduction is exact, but the golden samples and fitted curves
+	// were not recomputed, so Golden and Evals are nil (Fig. 3 renderers
+	// skip such rows).
+	Restored bool
 }
 
 // Table1 runs the five-scenario assessment.
@@ -138,27 +151,60 @@ func Table1Ctx(ctx context.Context, cfg Config) ([]ScenarioResult, error) {
 		return nil, err
 	}
 	out := make([]ScenarioResult, len(scenarios))
-	err = pool.ForEach(ctx, pool.Options{Workers: cfg.Workers}, len(scenarios),
+	runner := &checkpoint.Runner{Journal: cfg.Checkpoint, Policy: cfg.Retry}
+	labels := make([]string, len(scenarios))
+	for i, sc := range scenarios {
+		labels[i] = "table1/" + sc.Name
+	}
+	err = pool.ForEachLabeled(ctx, pool.Options{Workers: cfg.Workers}, labels,
 		func(tctx context.Context, i int) error {
 			sc := scenarios[i]
-			rng := mc.NewRNG(cfg.Seed + uint64(i)*7919)
-			xs := sc.GoldenSamples(rng, cfg.Samples)
-			evals, emp := EvaluateModels(xs, cfg.Models, cfg.FitOpts)
-			res := ScenarioResult{
-				Scenario:     sc,
-				Golden:       emp,
-				Evals:        evals,
-				BinReduction: make(map[fit.Model]float64, len(evals)),
-			}
-			base := evals[fit.ModelLVF].Metrics
-			for m, e := range evals {
-				if e.Err != nil {
-					continue
+			k := checkpoint.Key{Cell: "experiments", Pin: "table1", Arc: sc.Name, Slew: i, Kind: "scenario"}
+			var res ScenarioResult
+			unit, uerr := runner.Do(tctx, k, func(context.Context) ([]byte, error) {
+				rng := mc.NewRNG(cfg.Seed + uint64(i)*7919)
+				xs := sc.GoldenSamples(rng, cfg.Samples)
+				evals, emp := EvaluateModels(xs, cfg.Models, cfg.FitOpts)
+				res = ScenarioResult{
+					Scenario:     sc,
+					Golden:       emp,
+					Evals:        evals,
+					BinReduction: make(map[fit.Model]float64, len(evals)),
 				}
-				res.BinReduction[m] = cfg.reduction(e.Metrics.BinErr, base.BinErr)
+				base := evals[fit.ModelLVF].Metrics
+				for m, e := range evals {
+					if e.Err != nil {
+						continue
+					}
+					res.BinReduction[m] = cfg.reduction(e.Metrics.BinErr, base.BinErr)
+				}
+				scenariosTotal.Inc()
+				return encodeReductions1(res.BinReduction), nil
+			}, nil)
+			if uerr != nil {
+				if errors.Is(uerr, checkpoint.ErrUnitDropped) {
+					// Poison scenario: emit an empty row so the other four
+					// still render instead of aborting the table.
+					out[i] = ScenarioResult{Scenario: sc, BinReduction: map[fit.Model]float64{}}
+					return nil
+				}
+				return uerr
+			}
+			if unit.Restored {
+				if len(unit.Payload) == 0 {
+					// Restored quarantined scenario: same empty row an
+					// in-run drop produces.
+					out[i] = ScenarioResult{Scenario: sc, BinReduction: map[fit.Model]float64{}, Restored: true}
+					return nil
+				}
+				red, derr := decodeReductions1(unit.Payload)
+				if derr != nil {
+					return fmt.Errorf("experiments: unit %s payload: %w", k, derr)
+				}
+				out[i] = ScenarioResult{Scenario: sc, BinReduction: red, Restored: true}
+				return nil
 			}
 			out[i] = res
-			scenariosTotal.Inc()
 			return nil
 		})
 	if err != nil {
@@ -206,6 +252,9 @@ func Fig3CSV(rows []ScenarioResult, points int) string {
 	var b strings.Builder
 	b.WriteString("scenario,x,golden,lvf2,norm2,lesn,lvf\n")
 	for _, r := range rows {
+		if r.Golden == nil {
+			continue // restored from a checkpoint: no fitted curves to plot
+		}
 		lo := r.Golden.QuantileValue(0.001)
 		hi := r.Golden.QuantileValue(0.999)
 		span := hi - lo
@@ -282,13 +331,133 @@ func Table2(cfg Table2Config) ([]CellTypeResult, error) {
 // paper-scale sweep is far too large to precompute), so memory stays
 // bounded while fitter panics surface as typed errors and cancellation
 // stops both the producer and the workers promptly.
+//
+// Each (arc, slew, load, kind) point is one work unit. Unit values land
+// in per-unit slots and are aggregated in deterministic production order
+// after the pool drains, so the reported averages are independent of
+// worker scheduling — and a journaled resume, which restores some units
+// and recomputes others, sums in exactly the same order as an
+// uninterrupted run. Quarantined (poison) units are excluded from the
+// averages rather than aborting the sweep.
 func Table2Ctx(ctx context.Context, cfg Table2Config) ([]CellTypeResult, error) {
 	cfg = cfg.WithDefaults()
 	lib := cells.Library()
 	out := make([]CellTypeResult, len(lib))
+	runner := &checkpoint.Runner{Journal: cfg.Checkpoint, Policy: cfg.Retry}
 
+	// slot is one unit's place in production order; vals stays nil for
+	// units that failed out (quarantined-dropped), which the aggregation
+	// below skips.
+	type slot struct {
+		typeIdx  int
+		binIdx   int
+		yieldIdx int
+		vals     map[fit.Model][2]float64 // [bin, yield] reductions
+	}
+	var slots []*slot
+
+	p := pool.New(ctx, pool.Options{Workers: cfg.Workers})
+	charCfg := cells.CharConfig{
+		Samples:    cfg.Samples,
+		Seed:       cfg.Seed,
+		GridStride: cfg.GridStride,
+	}.WithDefaults()
+	terminal := func(k checkpoint.Key) bool {
+		rec, ok := cfg.Checkpoint.Lookup(k)
+		return ok && (rec.Status == checkpoint.StatusDone || rec.Status == checkpoint.StatusQuarantined)
+	}
+	unitKey := func(arc cells.Arc, si, li int, kind cells.Kind) checkpoint.Key {
+		return checkpoint.Key{Cell: arc.Cell, Pin: "table2", Arc: arc.Label, Slew: si, Load: li, Kind: kind.String()}
+	}
+	fitJob := func(s *slot, k checkpoint.Key, d cells.Distribution, haveDist bool) func(context.Context) error {
+		return func(tctx context.Context) error {
+			unit, uerr := runner.Do(tctx, k, func(context.Context) ([]byte, error) {
+				if !haveDist {
+					return nil, fmt.Errorf("experiments: no samples for unit %s", k)
+				}
+				evals, _ := EvaluateAll(d.Samples, cfg.FitOpts)
+				base := evals[fit.ModelLVF].Metrics
+				vals := make(map[fit.Model][2]float64, len(evals))
+				for m, e := range evals {
+					if e.Err != nil {
+						continue
+					}
+					vals[m] = [2]float64{
+						cfg.reduction(e.Metrics.BinErr, base.BinErr),
+						cfg.reduction(e.Metrics.YieldErr, base.YieldErr),
+					}
+				}
+				arcsTotal.Inc()
+				return encodeReductions2(vals), nil
+			}, nil)
+			if uerr != nil {
+				if errors.Is(uerr, checkpoint.ErrUnitDropped) {
+					return nil // poison unit: excluded from the averages
+				}
+				return uerr
+			}
+			if len(unit.Payload) == 0 {
+				return nil // restored quarantined-dropped unit
+			}
+			vals, derr := decodeReductions2(unit.Payload)
+			if derr != nil {
+				return fmt.Errorf("experiments: unit %s payload: %w", k, derr)
+			}
+			s.vals = vals
+			return nil
+		}
+	}
+
+produce:
+	for ti, ct := range lib {
+		arcs := ct.Arcs()
+		if cfg.ArcsPerType > 0 && len(arcs) > cfg.ArcsPerType {
+			arcs = arcs[:cfg.ArcsPerType]
+		}
+		out[ti] = CellTypeResult{Cell: ct.Name, ArcCount: ct.ArcCount, ArcsRun: len(arcs)}
+		for _, arc := range arcs {
+			arc := arc
+			// Skip a point's Monte-Carlo pass only when BOTH of its units
+			// are already journaled terminal.
+			acfg := charCfg
+			acfg.Skip = func(_ cells.Arc, si, li int) bool {
+				return terminal(unitKey(arc, si, li, cells.Delay)) &&
+					terminal(unitKey(arc, si, li, cells.Transition))
+			}
+			dists, cerr := cells.CharacterizeArcCtx(ctx, acfg, arc)
+			if cerr != nil {
+				break produce // cancelled: stop producing, drain below
+			}
+			byPoint := make(map[[3]int]cells.Distribution, len(dists))
+			for _, d := range dists {
+				byPoint[[3]int{d.SlewIdx, d.LoadIdx, int(d.Kind)}] = d
+			}
+			for si := 0; si < len(charCfg.Grid.Slews); si += charCfg.GridStride {
+				for li := 0; li < len(charCfg.Grid.Loads); li += charCfg.GridStride {
+					for _, kind := range [...]cells.Kind{cells.Delay, cells.Transition} {
+						k := unitKey(arc, si, li, kind)
+						s := &slot{typeIdx: ti}
+						if kind == cells.Delay {
+							s.binIdx, s.yieldIdx = 0, 2
+						} else {
+							s.binIdx, s.yieldIdx = 1, 3
+						}
+						slots = append(slots, s)
+						d, have := byPoint[[3]int{si, li, int(kind)}]
+						if p.Submit(k.String(), fitJob(s, k, d, have)) != nil {
+							break produce // pool refused: context cancelled
+						}
+					}
+				}
+			}
+		}
+	}
+	if err := p.Wait(); err != nil {
+		return nil, err
+	}
+
+	// Aggregate in production order: deterministic float summation.
 	type acc struct {
-		sync.Mutex
 		sums   map[fit.Model]*[4]float64
 		counts [4]int
 	}
@@ -299,63 +468,20 @@ func Table2Ctx(ctx context.Context, cfg Table2Config) ([]CellTypeResult, error) 
 			accs[i].sums[m] = &[4]float64{}
 		}
 	}
-
-	p := pool.New(ctx, pool.Options{Workers: cfg.Workers})
-	fitJob := func(typeIdx int, d cells.Distribution) func(context.Context) error {
-		return func(context.Context) error {
-			evals, _ := EvaluateAll(d.Samples, cfg.FitOpts)
-			base := evals[fit.ModelLVF].Metrics
-			var binIdx, yieldIdx int
-			if d.Kind == cells.Delay {
-				binIdx, yieldIdx = 0, 2
-			} else {
-				binIdx, yieldIdx = 1, 3
-			}
-			a := &accs[typeIdx]
-			a.Lock()
-			defer a.Unlock()
-			for m, e := range evals {
-				if e.Err != nil {
-					continue
-				}
-				a.sums[m][binIdx] += cfg.reduction(e.Metrics.BinErr, base.BinErr)
-				a.sums[m][yieldIdx] += cfg.reduction(e.Metrics.YieldErr, base.YieldErr)
-			}
-			a.counts[binIdx]++
-			a.counts[yieldIdx]++
-			arcsTotal.Inc()
-			return nil
+	for _, s := range slots {
+		if s.vals == nil {
+			continue
 		}
-	}
-
-	charCfg := cells.CharConfig{
-		Samples:    cfg.Samples,
-		Seed:       cfg.Seed,
-		GridStride: cfg.GridStride,
-	}
-produce:
-	for ti, ct := range lib {
-		arcs := ct.Arcs()
-		if cfg.ArcsPerType > 0 && len(arcs) > cfg.ArcsPerType {
-			arcs = arcs[:cfg.ArcsPerType]
-		}
-		out[ti] = CellTypeResult{Cell: ct.Name, ArcCount: ct.ArcCount, ArcsRun: len(arcs)}
-		for _, arc := range arcs {
-			dists, cerr := cells.CharacterizeArcCtx(ctx, charCfg, arc)
-			if cerr != nil {
-				break produce // cancelled: stop producing, drain below
-			}
-			for _, d := range dists {
-				if p.Submit(d.Arc.Label, fitJob(ti, d)) != nil {
-					break produce // pool refused: context cancelled
-				}
+		a := &accs[s.typeIdx]
+		for _, m := range fit.AllModels {
+			if v, ok := s.vals[m]; ok {
+				a.sums[m][s.binIdx] += v[0]
+				a.sums[m][s.yieldIdx] += v[1]
 			}
 		}
+		a.counts[s.binIdx]++
+		a.counts[s.yieldIdx]++
 	}
-	if err := p.Wait(); err != nil {
-		return nil, err
-	}
-
 	for ti := range out {
 		a := &accs[ti]
 		mk := func(idx int) map[fit.Model]float64 {

@@ -19,6 +19,9 @@ func Fig3SVGs(rows []ScenarioResult, points int) map[string]string {
 	}
 	out := make(map[string]string, len(rows))
 	for _, r := range rows {
+		if r.Golden == nil {
+			continue // restored from a checkpoint: no fitted curves to plot
+		}
 		lo := r.Golden.QuantileValue(0.001)
 		hi := r.Golden.QuantileValue(0.999)
 		span := hi - lo

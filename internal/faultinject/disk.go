@@ -3,6 +3,8 @@ package faultinject
 import (
 	"fmt"
 	"io/fs"
+	"path/filepath"
+	"sort"
 	"sync"
 	"syscall"
 
@@ -74,6 +76,59 @@ func (m *MemFS) WriteFile(path string, b []byte) {
 	m.mu.Lock()
 	m.files[path] = append([]byte(nil), b...)
 	m.mu.Unlock()
+}
+
+// MkdirAll is a no-op: MemFS paths are flat strings, so directories
+// exist implicitly (mirrors how the journal only needs the dir for
+// namespacing).
+func (m *MemFS) MkdirAll(string) error { return nil }
+
+// ReadDir lists the base names of files directly under dir, so MemFS
+// satisfies checkpoint.FS and the chaos suite can replay journals
+// purely in memory.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for path := range m.files {
+		if filepath.Dir(path) == filepath.Clean(dir) {
+			names = append(names, filepath.Base(path))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Paths returns every stored path, sorted (test helper: finding the
+// newest journal segment to tear or corrupt).
+func (m *MemFS) Paths() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.files))
+	for path := range m.files {
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Truncate shortens a stored file to n bytes (test helper: simulating a
+// torn tail the OS left behind after a crash mid-write).
+func (m *MemFS) Truncate(path string, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b, ok := m.files[path]; ok && n >= 0 && n < len(b) {
+		m.files[path] = b[:n]
+	}
+}
+
+// FlipByte XORs one byte of a stored file (test helper: segment rot).
+func (m *MemFS) FlipByte(path string, off int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b, ok := m.files[path]; ok && off >= 0 && off < len(b) {
+		b[off] ^= 0x41
+	}
 }
 
 type memFile struct {
@@ -193,6 +248,30 @@ func (f *FaultFS) Rename(oldpath, newpath string) error {
 }
 
 func (f *FaultFS) Remove(path string) error { return f.inner.Remove(path) }
+
+// dirFS is the directory half of checkpoint.FS.
+type dirFS interface {
+	MkdirAll(dir string) error
+	ReadDir(dir string) ([]string, error)
+}
+
+// MkdirAll passes through when the inner FS supports directories (MemFS
+// and checkpoint.OSFS both do); directory creation is not a fault class
+// the journal distinguishes from an unwritable segment.
+func (f *FaultFS) MkdirAll(dir string) error {
+	if d, ok := f.inner.(dirFS); ok {
+		return d.MkdirAll(dir)
+	}
+	return fmt.Errorf("faultinject: inner FS %T has no MkdirAll", f.inner)
+}
+
+// ReadDir passes through; segment *content* faults come from ReadFile.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if d, ok := f.inner.(dirFS); ok {
+		return d.ReadDir(dir)
+	}
+	return nil, fmt.Errorf("faultinject: inner FS %T has no ReadDir", f.inner)
+}
 
 func (f *FaultFS) ReadFile(path string) ([]byte, error) {
 	if f.draw(f.plan.PReadErr) {

@@ -32,7 +32,24 @@ var (
 	// ErrAllModelsFailed marks a FitRobust call whose entire degradation
 	// ladder failed, terminal Gaussian rung included.
 	ErrAllModelsFailed = errors.New("fit: every fallback model failed")
+	// ErrUnfittableSamples marks a sample set rejected by the pre-fit
+	// guard of a direct fitter entry point (FitLVF2, FitNorm2Params):
+	// NaN/Inf contamination, zero variance, or too few points. Always
+	// joined with the specific cause (ErrNonFinite, ErrDegenerateData,
+	// ErrNotEnoughData), so errors.Is on either level works.
+	ErrUnfittableSamples = errors.New("fit: sample set cannot be fitted")
 )
+
+// guardSamples is the shared entry guard of the direct fitters: the
+// ValidateSamples taxonomy wrapped under ErrUnfittableSamples. EM on
+// contaminated data would otherwise run to the iteration cap and emit
+// NaN parameters, which downstream table writers cannot represent.
+func guardSamples(xs []float64) error {
+	if err := ValidateSamples(xs); err != nil {
+		return fmt.Errorf("%w: %w", ErrUnfittableSamples, err)
+	}
+	return nil
+}
 
 // ValidateSamples vets a sample set before fitting: empty and
 // single-point sets, NaN/Inf contamination and zero-variance sets all

@@ -1,0 +1,109 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// The direct fitter entry points (FitLVF2, FitNorm2Params) are called
+// by pipelines that bypass the Fit dispatcher; they must reject
+// contaminated or degenerate inputs with the typed taxonomy instead of
+// running EM to the iteration cap and emitting NaN parameters.
+
+func contaminated(bad float64) []float64 {
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = 1 + 0.01*float64(i)
+	}
+	xs[17] = bad
+	return xs
+}
+
+func constantSamples() []float64 {
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = 3.25
+	}
+	return xs
+}
+
+func TestFitLVF2RejectsBadSamples(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want error
+	}{
+		{"NaN", contaminated(math.NaN()), ErrNonFinite},
+		{"+Inf", contaminated(math.Inf(1)), ErrNonFinite},
+		{"-Inf", contaminated(math.Inf(-1)), ErrNonFinite},
+		{"constant", constantSamples(), ErrDegenerateData},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FitLVF2(tc.xs, Options{})
+			if err == nil {
+				t.Fatal("contaminated samples accepted")
+			}
+			if !errors.Is(err, ErrUnfittableSamples) {
+				t.Errorf("error %v does not wrap ErrUnfittableSamples", err)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Errorf("error %v does not wrap %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFitNorm2ParamsRejectsBadSamples(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want error
+	}{
+		{"NaN", contaminated(math.NaN()), ErrNonFinite},
+		{"Inf", contaminated(math.Inf(1)), ErrNonFinite},
+		{"constant", constantSamples(), ErrDegenerateData},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FitNorm2Params(tc.xs, Options{})
+			if err == nil {
+				t.Fatal("contaminated samples accepted")
+			}
+			if !errors.Is(err, ErrUnfittableSamples) {
+				t.Errorf("error %v does not wrap ErrUnfittableSamples", err)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Errorf("error %v does not wrap %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// The guard must not regress the robust ladder: FitRobust cleans
+// non-finite points before fitting, so a contaminated-but-salvageable
+// set still fits (with the drop recorded), and a constant set still
+// reaches the floored-Gaussian salvage.
+func TestRobustLadderStillSalvagesGuardedInputs(t *testing.T) {
+	r, rep, err := FitRobust(ModelLVF2, contaminated(math.NaN()), RobustOptions{})
+	if err != nil {
+		t.Fatalf("FitRobust on cleanable contamination: %v", err)
+	}
+	if rep.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", rep.Dropped)
+	}
+	if r.Dist == nil {
+		t.Fatal("no distribution")
+	}
+	r, rep, err = FitRobust(ModelLVF2, constantSamples(), RobustOptions{})
+	if err != nil {
+		t.Fatalf("FitRobust on constant data: %v", err)
+	}
+	if !rep.Degenerate {
+		t.Errorf("constant data should reach the degenerate salvage, got %s", rep)
+	}
+	if r.Dist == nil {
+		t.Fatal("no distribution")
+	}
+}

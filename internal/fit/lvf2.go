@@ -88,6 +88,9 @@ func FitLVF2Ws(xs []float64, o Options, fw *Workspace) (LVF2Result, error) {
 	if n < 8 {
 		return LVF2Result{}, ErrNotEnoughData
 	}
+	if err := guardSamples(xs); err != nil {
+		return LVF2Result{}, err
+	}
 	if fw == nil {
 		fw = &Workspace{}
 	}

@@ -54,6 +54,9 @@ func fitNorm2(xs []float64, o Options, fw *Workspace) (Norm2Result, error) {
 	if n < 8 {
 		return Norm2Result{}, ErrNotEnoughData
 	}
+	if err := guardSamples(xs); err != nil {
+		return Norm2Result{}, err
+	}
 	fw.grow(n)
 	all := stats.Moments(xs)
 	varFloor := math.Max(all.Variance*1e-6, 1e-300)

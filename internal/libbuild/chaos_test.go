@@ -1,0 +1,207 @@
+package libbuild
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lvf2/internal/checkpoint"
+	"lvf2/internal/faultinject"
+	"lvf2/internal/liberty"
+	"lvf2/internal/mc"
+)
+
+// Checkpoint chaos harness. Each seed expands deterministically into a
+// kill-and-resume script: the build is killed at a random unit count,
+// the journal is then (randomly) left intact, torn a few bytes short,
+// or rotted with a byte flip, and the next round reopens it — taking
+// the documented recovery path (torn tail tolerated; ErrCorruptJournal
+// → Reset → cold start) — until a round runs to completion. Invariants:
+//
+//   - the final library is bit-identical to an uninterrupted build,
+//   - a resumed round never refits a unit its journal had terminal,
+//   - a rotten journal surfaces as ErrCorruptJournal, never a panic, a
+//     crash or a silent partial resume.
+//
+// On failure the expanded script plus the journal segment files are
+// written under CHAOS_ARTIFACT_DIR (or the system temp dir) for replay
+// with -ckptchaos.seed.
+var (
+	ckptChaosSeeds = flag.Int("ckptchaos.seeds", 2, "how many randomized kill-and-resume scripts TestChaosCheckpointResume replays")
+	ckptChaosSeed  = flag.Int64("ckptchaos.seed", 0, "replay only this chaos seed (0 = run -ckptchaos.seeds scripts)")
+)
+
+type ckptChaosStep struct {
+	Op   string `json:"op"` // kill, tear, rot, reset, resume, final
+	At   int    `json:"at,omitempty"`
+	Path string `json:"path,omitempty"`
+	Note string `json:"note,omitempty"`
+}
+
+type ckptChaosScript struct {
+	Seed  uint64          `json:"seed"`
+	Steps []ckptChaosStep `json:"steps"`
+}
+
+// chaosGolden computes the uninterrupted reference bytes once per test
+// binary (the build is deterministic, so every seed shares it).
+var chaosGolden struct {
+	once sync.Once
+	lib  []byte
+}
+
+func TestChaosCheckpointResume(t *testing.T) {
+	seeds := make([]uint64, 0, *ckptChaosSeeds)
+	if *ckptChaosSeed != 0 {
+		seeds = append(seeds, uint64(*ckptChaosSeed))
+	} else {
+		for i := 0; i < *ckptChaosSeeds; i++ {
+			seeds = append(seeds, uint64(4000+13*i))
+		}
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runCkptChaosScript(t, seed)
+		})
+	}
+}
+
+func runCkptChaosScript(t *testing.T, seed uint64) {
+	chaosGolden.once.Do(func() {
+		chaosGolden.lib, _ = buildBytes(t, context.Background(), testConfig())
+	})
+	golden := chaosGolden.lib
+
+	script := &ckptChaosScript{Seed: seed}
+	fsys := faultinject.NewMemFS()
+	defer func() {
+		if !t.Failed() {
+			return
+		}
+		dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		_ = os.MkdirAll(dir, 0o755)
+		path := filepath.Join(dir, fmt.Sprintf("ckpt-chaos-failure-seed-%d.json", seed))
+		b, _ := json.MarshalIndent(script, "", "  ")
+		if err := os.WriteFile(path, b, 0o644); err == nil {
+			t.Logf("chaos: failing script written to %s (replay with -ckptchaos.seed=%d)", path, seed)
+		}
+		// The journal segments themselves are the other half of the
+		// artifact: the exact bytes the failing replay resumed from.
+		for _, p := range fsys.Paths() {
+			seg, err := fsys.ReadFile(p)
+			if err != nil {
+				continue
+			}
+			out := filepath.Join(dir, fmt.Sprintf("ckpt-chaos-seed-%d-%s", seed, filepath.Base(p)))
+			if err := os.WriteFile(out, seg, 0o644); err == nil {
+				t.Logf("chaos: journal segment preserved as %s", out)
+			}
+		}
+	}()
+
+	rng := mc.NewRNG(seed)
+	step := func(s ckptChaosStep) { script.Steps = append(script.Steps, s) }
+
+	const maxRounds = 6
+	for round := 0; round < maxRounds; round++ {
+		cfg := testConfig()
+		j, err := checkpoint.Open(fsys, "ckpt", cfg.Fingerprint(), checkpoint.Options{FlushEvery: 4})
+		if errors.Is(err, checkpoint.ErrCorruptJournal) {
+			// The documented recovery: typed error, reset, cold start.
+			step(ckptChaosStep{Op: "reset", Note: err.Error()})
+			if err := checkpoint.Reset(fsys, "ckpt"); err != nil {
+				t.Fatalf("Reset: %v", err)
+			}
+			j, err = checkpoint.Open(fsys, "ckpt", cfg.Fingerprint(), checkpoint.Options{FlushEvery: 4})
+		}
+		if err != nil {
+			t.Fatalf("round %d: Open: %v", round, err)
+		}
+		terminal := make(map[checkpoint.Key]bool)
+		for _, rec := range j.Records() {
+			if rec.Status == checkpoint.StatusDone || rec.Status == checkpoint.StatusQuarantined {
+				terminal[rec.Key] = true
+			}
+		}
+		cfg.Journal = j
+		cfg.fitHook = func(k checkpoint.Key) {
+			if terminal[k] {
+				t.Errorf("round %d: journaled unit %s refitted", round, k)
+			}
+		}
+
+		final := round == maxRounds-1
+		ctx, cancel := context.WithCancel(context.Background())
+		if !final {
+			killAt := 1 + int(rng.Uint64()%34) // anywhere in the 32-unit build, sometimes past it
+			step(ckptChaosStep{Op: "kill", At: killAt})
+			var fits atomic.Int64
+			hook := cfg.fitHook
+			cfg.fitHook = func(k checkpoint.Key) {
+				hook(k)
+				if int(fits.Add(1)) == killAt {
+					cancel()
+				}
+			}
+		} else {
+			step(ckptChaosStep{Op: "final"})
+		}
+
+		lib, _, err := Build(ctx, cfg)
+		cancel()
+		j.Close()
+		if err == nil {
+			var buf bytes.Buffer
+			if werr := liberty.WriteLibrary(&buf, lib); werr != nil {
+				t.Fatalf("round %d: write: %v", round, werr)
+			}
+			if !bytes.Equal(buf.Bytes(), golden) {
+				t.Fatalf("round %d: completed library differs from golden (%d vs %d bytes)",
+					round, buf.Len(), len(golden))
+			}
+			return // a completed round with golden bytes is the pass condition
+		}
+		if final {
+			t.Fatalf("final uninterrupted round failed: %v", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: build failed with %v, want the injected cancellation", round, err)
+		}
+
+		// Post-kill damage: sometimes tear the newest segment, sometimes
+		// rot a random one, sometimes leave the journal clean.
+		paths := fsys.Paths()
+		if len(paths) == 0 {
+			continue
+		}
+		switch rng.Uint64() % 4 {
+		case 0: // torn tail in the newest segment
+			p := paths[len(paths)-1]
+			b, _ := fsys.ReadFile(p)
+			if n := len(b) - (1 + int(rng.Uint64()%16)); n > 0 {
+				fsys.Truncate(p, n)
+				step(ckptChaosStep{Op: "tear", Path: p, At: n})
+			}
+		case 1: // single-byte rot anywhere
+			p := paths[int(rng.Uint64()%uint64(len(paths)))]
+			b, _ := fsys.ReadFile(p)
+			off := int(rng.Uint64() % uint64(len(b)))
+			fsys.FlipByte(p, off)
+			step(ckptChaosStep{Op: "rot", Path: p, At: off})
+		default:
+			step(ckptChaosStep{Op: "resume"})
+		}
+	}
+	t.Fatalf("no round completed within %d attempts", maxRounds)
+}

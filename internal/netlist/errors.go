@@ -1,0 +1,22 @@
+package netlist
+
+import "fmt"
+
+// ParseError is a positional structural-Verilog syntax error, mirroring
+// liberty.ParseError so both frontends fail the same way: callers
+// errors.As for position instead of string-matching, and the fuzz
+// harness asserts every malformed input lands here rather than in a
+// panic. Line 0 marks errors without a usable position (empty input).
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("netlist: line %d: %s", e.Line, e.Msg)
+}
+
+// nperr builds a ParseError at a line.
+func nperr(line int, format string, args ...any) *ParseError {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,77 @@
+package netlist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParseNetlist drives Parse with mutated structural Verilog. The
+// invariants:
+//
+//   - Parse never panics — every malformed input returns an error, and
+//     syntax errors are typed (*ParseError) with a usable line number;
+//   - an accepted module is a String/Parse fixpoint: re-emitting and
+//     re-parsing converges to identical text.
+func FuzzParseNetlist(f *testing.F) {
+	f.Add(Chain("chain8", "INV", 8).String())
+	f.Add(RippleCarryAdder(4).String())
+	f.Add(BufferTree(3).String())
+	f.Add("module m (a, y);\n input a;\n output y;\n INV u0 (.A(a), .ZN(y));\nendmodule\n")
+	f.Add("module m (a);\n input a;\nendmodule trailing")
+	f.Add("module m (a, y);\n input a;\n output y;\n wire w;\n /* unterminated")
+	f.Add("module m (\x00);")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			var pe *ParseError
+			if errors.As(err, &pe) {
+				if pe.Line < 0 {
+					t.Errorf("ParseError with negative line %d: %v", pe.Line, pe)
+				}
+			} else if !strings.HasPrefix(err.Error(), "netlist: ") {
+				t.Errorf("untyped, unprefixed parse failure: %v", err)
+			}
+			return
+		}
+		out := m.String()
+		m2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parse of emitted module failed: %v\n%s", err, out)
+		}
+		if out2 := m2.String(); out2 != out {
+			t.Errorf("String/Parse not a fixpoint:\n--- first\n%s\n--- second\n%s", out, out2)
+		}
+	})
+}
+
+func TestParseErrorTyped(t *testing.T) {
+	cases := []struct {
+		name, src string
+		wantLine  int
+	}{
+		{"unexpected char", "module m (a);\n input a;\n#\nendmodule", 3},
+		{"unterminated comment", "module m (a);\n/* no end", 2},
+		{"missing endmodule", "module m (a);\n input a;\n", 2},
+		{"bad separator", "module m (a);\n input a b;\nendmodule", 2},
+		{"trailing tokens", "module m (a);\n input a;\nendmodule x", 3},
+		{"empty input", "", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("malformed module accepted")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *ParseError", err)
+			}
+			if pe.Line != tc.wantLine {
+				t.Errorf("line = %d, want %d (%v)", pe.Line, tc.wantLine, pe)
+			}
+		})
+	}
+}

@@ -1,7 +1,6 @@
 package netlist
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -18,7 +17,7 @@ func Parse(src string) (*Module, error) {
 		return nil, err
 	}
 	if p.pos < len(p.toks) {
-		return nil, fmt.Errorf("netlist: trailing tokens after endmodule: %q", p.toks[p.pos].text)
+		return nil, nperr(p.toks[p.pos].line, "trailing tokens after endmodule: %q", p.toks[p.pos].text)
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -56,7 +55,7 @@ func tokenize(src string) ([]vtoken, error) {
 				i++
 			}
 			if i+1 >= len(src) {
-				return nil, fmt.Errorf("netlist: line %d: unterminated comment", line)
+				return nil, nperr(line, "unterminated comment")
 			}
 			i += 2
 		case strings.ContainsRune("();,.", rune(c)):
@@ -69,7 +68,7 @@ func tokenize(src string) ([]vtoken, error) {
 			}
 			toks = append(toks, vtoken{src[start:i], line})
 		default:
-			return nil, fmt.Errorf("netlist: line %d: unexpected character %q", line, c)
+			return nil, nperr(line, "unexpected character %q", c)
 		}
 	}
 	return toks, nil
@@ -103,7 +102,7 @@ func (p *vparser) line() int {
 
 func (p *vparser) next() (string, error) {
 	if p.pos >= len(p.toks) {
-		return "", fmt.Errorf("netlist: unexpected end of input")
+		return "", nperr(p.line(), "unexpected end of input")
 	}
 	t := p.toks[p.pos].text
 	p.pos++
@@ -116,7 +115,7 @@ func (p *vparser) expect(want string) error {
 		return err
 	}
 	if got != want {
-		return fmt.Errorf("netlist: line %d: expected %q, got %q", p.line(), want, got)
+		return nperr(p.line(), "expected %q, got %q", want, got)
 	}
 	return nil
 }
@@ -130,7 +129,7 @@ func (p *vparser) identList() ([]string, error) {
 			return nil, err
 		}
 		if id == ";" || id == "," || id == "(" || id == ")" {
-			return nil, fmt.Errorf("netlist: line %d: expected identifier, got %q", p.line(), id)
+			return nil, nperr(p.line(), "expected identifier, got %q", id)
 		}
 		out = append(out, id)
 		sep, err := p.next()
@@ -141,7 +140,7 @@ func (p *vparser) identList() ([]string, error) {
 			return out, nil
 		}
 		if sep != "," {
-			return nil, fmt.Errorf("netlist: line %d: expected ',' or ';', got %q", p.line(), sep)
+			return nil, nperr(p.line(), "expected ',' or ';', got %q", sep)
 		}
 	}
 }
@@ -186,7 +185,7 @@ func (p *vparser) parseModule() (*Module, error) {
 			for _, h := range header {
 				d, ok := dirs[h]
 				if !ok {
-					return nil, fmt.Errorf("netlist: port %q has no direction declaration", h)
+					return nil, nperr(p.line(), "port %q has no direction declaration", h)
 				}
 				m.Ports = append(m.Ports, Port{Name: h, Dir: d})
 			}
@@ -212,7 +211,7 @@ func (p *vparser) parseModule() (*Module, error) {
 			}
 			m.Wires = append(m.Wires, ids...)
 		case "":
-			return nil, fmt.Errorf("netlist: missing endmodule")
+			return nil, nperr(p.line(), "missing endmodule")
 		default:
 			inst, err := p.parseInstance()
 			if err != nil {
@@ -260,7 +259,7 @@ func (p *vparser) parseInstance() (*Instance, error) {
 			return nil, err
 		}
 		if _, dup := inst.Conns[pin]; dup {
-			return nil, fmt.Errorf("netlist: instance %q connects pin %s twice", name, pin)
+			return nil, nperr(p.line(), "instance %q connects pin %s twice", name, pin)
 		}
 		inst.Conns[pin] = net
 		inst.PinOrder = append(inst.PinOrder, pin)

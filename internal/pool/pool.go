@@ -144,6 +144,23 @@ func ForEach(ctx context.Context, o Options, n int, fn func(ctx context.Context,
 	return p.Wait()
 }
 
+// ForEachLabeled is ForEach with caller-supplied task labels, so a
+// panic inside task i is attributed to labels[i] — an arc label or a
+// checkpoint unit key — instead of a positional "task7" that means
+// nothing in a crash report.
+func ForEachLabeled(ctx context.Context, o Options, labels []string, fn func(ctx context.Context, i int) error) error {
+	p := New(ctx, o)
+	for i := range labels {
+		i := i
+		if err := p.Submit(labels[i], func(tctx context.Context) error {
+			return fn(tctx, i)
+		}); err != nil {
+			break
+		}
+	}
+	return p.Wait()
+}
+
 // Protect runs f, converting a panic into a *PanicError. It is exported
 // so pipeline stages can recover at a finer grain than the pool's own
 // per-task backstop and attribute the failure to a specific unit of work.

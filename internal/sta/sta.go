@@ -9,8 +9,10 @@
 package sta
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"lvf2/internal/core"
 	"lvf2/internal/fit"
@@ -403,9 +405,85 @@ func topoInstances(lib *liberty.Library, m *netlist.Module, drivers map[string]d
 		}
 	}
 	if len(out) != len(ptrs) {
-		return nil, fmt.Errorf("sta: combinational loop detected")
+		var remaining []*netlist.Instance
+		for _, inst := range ptrs {
+			if indeg[inst] > 0 {
+				remaining = append(remaining, inst)
+			}
+		}
+		return nil, newLoopError(lib, drivers, remaining)
 	}
 	return out, nil
+}
+
+// ErrCombinationalLoop is the sentinel every combinational-cycle
+// failure wraps; branch with errors.Is and inspect the *LoopError for
+// the offending nets.
+var ErrCombinationalLoop = errors.New("sta: combinational loop detected")
+
+// LoopError reports one combinational cycle found during topological
+// ordering: the nets and instances along the cycle, in walk order.
+type LoopError struct {
+	// Nets are the nets on the cycle; Nets[i] is the input net of
+	// Insts[i], driven by Insts[(i+1) % len].
+	Nets  []string
+	Insts []string
+}
+
+func (e *LoopError) Error() string {
+	return fmt.Sprintf("sta: combinational loop detected through net %q (cycle: %s)",
+		e.Nets[0], strings.Join(e.Insts, " -> "))
+}
+
+// Unwrap makes errors.Is(err, ErrCombinationalLoop) true.
+func (e *LoopError) Unwrap() error { return ErrCombinationalLoop }
+
+// newLoopError extracts one concrete cycle from the instances Kahn's
+// algorithm could not order. Every such instance has at least one input
+// net driven by another unordered instance, so walking predecessors
+// must revisit a node; the walk is deterministic (sorted pins, sorted
+// start) so the reported cycle is stable across runs.
+func newLoopError(lib *liberty.Library, drivers map[string]driverInfo, remaining []*netlist.Instance) *LoopError {
+	sort.Slice(remaining, func(a, b int) bool { return remaining[a].Name < remaining[b].Name })
+	rem := make(map[*netlist.Instance]bool, len(remaining))
+	for _, inst := range remaining {
+		rem[inst] = true
+	}
+	pred := func(inst *netlist.Instance) (string, *netlist.Instance) {
+		cell := lib.Cells[inst.Cell]
+		pins := make([]string, 0, len(inst.Conns))
+		for p := range inst.Conns {
+			pins = append(pins, p)
+		}
+		sort.Strings(pins)
+		for _, p := range pins {
+			if cell.Pins[p].Direction == "output" {
+				continue
+			}
+			net := inst.Conns[p]
+			if d, ok := drivers[net]; ok && rem[d.inst] {
+				return net, d.inst
+			}
+		}
+		return "", nil
+	}
+	seen := make(map[*netlist.Instance]int)
+	var nets, names []string
+	cur := remaining[0]
+	for cur != nil {
+		if i, ok := seen[cur]; ok {
+			return &LoopError{Nets: nets[i:], Insts: names[i:]}
+		}
+		seen[cur] = len(names)
+		net, p := pred(cur)
+		if p == nil {
+			break // unreachable: an unordered instance always has an unordered driver
+		}
+		names = append(names, cur.Name)
+		nets = append(nets, net)
+		cur = p
+	}
+	return &LoopError{Nets: []string{"?"}, Insts: []string{remaining[0].Name}}
 }
 
 // YieldAtClock estimates the chip-level timing yield at a clock target T

@@ -1,7 +1,9 @@
 package sta
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"lvf2/internal/core"
@@ -217,6 +219,49 @@ func TestRunErrors(t *testing.T) {
 	}
 	if _, err := Run(lib, dpi, Options{}); err == nil {
 		t.Error("driven primary input accepted")
+	}
+}
+
+func TestCombinationalLoopTypedError(t *testing.T) {
+	lib := constLib(t)
+	// Two-inverter ring hanging off a driven output: u1 and u2 form the
+	// cycle through nets n1 and n2.
+	loop := &netlist.Module{
+		Name:  "ring2",
+		Ports: []netlist.Port{{Name: "a", Dir: netlist.Input}, {Name: "y", Dir: netlist.Output}},
+		Wires: []string{"n1", "n2"},
+		Instances: []netlist.Instance{
+			{Name: "u0", Cell: "INV", Conns: map[string]string{"A": "a", "ZN": "y"}},
+			{Name: "u1", Cell: "INV", Conns: map[string]string{"A": "n2", "ZN": "n1"}},
+			{Name: "u2", Cell: "INV", Conns: map[string]string{"A": "n1", "ZN": "n2"}},
+		},
+	}
+	_, err := Run(lib, loop, Options{})
+	if err == nil {
+		t.Fatal("combinational loop accepted")
+	}
+	if !errors.Is(err, ErrCombinationalLoop) {
+		t.Fatalf("error %v does not wrap ErrCombinationalLoop", err)
+	}
+	var le *LoopError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %v is not a *LoopError", err)
+	}
+	if len(le.Nets) != 2 || len(le.Insts) != 2 {
+		t.Fatalf("cycle = nets %v insts %v, want the 2-gate ring", le.Nets, le.Insts)
+	}
+	for _, net := range le.Nets {
+		if net != "n1" && net != "n2" {
+			t.Errorf("reported net %q is not on the cycle", net)
+		}
+	}
+	for _, inst := range le.Insts {
+		if inst != "u1" && inst != "u2" {
+			t.Errorf("reported instance %q is not on the cycle", inst)
+		}
+	}
+	if msg := err.Error(); !strings.Contains(msg, "n1") && !strings.Contains(msg, "n2") {
+		t.Errorf("message %q names no cycle net", msg)
 	}
 }
 
