@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check chaos chaos-ckpt fuzz bench bench-tables bench-server allocbudget determinism clean
+.PHONY: all build test vet race check chaos chaos-ckpt chaos-dist fuzz bench bench-tables bench-server bench-charwork allocbudget determinism clean
 
 all: build
 
@@ -48,15 +48,29 @@ chaos-ckpt:
 		$(GO) test -race -run TestChaosCheckpointResume -count 1 -timeout 15m \
 		./internal/libbuild/ -ckptchaos.seeds $(CHAOS_SEEDS)
 
+# Distributed characterisation chaos suite: seeded schedules kill workers
+# and crash-restart the coordinator while every HTTP exchange runs through
+# a seeded fault transport (request errors, dropped responses, corrupt and
+# truncated bodies, stalls). Asserts the drained journal assembles a .lib
+# bit-identical to a single-process build and that no unit is journaled
+# terminal twice. Failing scripts, logs and journal segments land in
+# CHAOS_ARTIFACT_DIR; replay with -distchaos.seed=<seed>.
+chaos-dist:
+	CHAOS_ARTIFACT_DIR=$(CHAOS_ARTIFACT_DIR) \
+		$(GO) test -race -run TestChaosDistributedBuild -count 1 -timeout 15m \
+		./internal/dist/ -distchaos.seeds $(CHAOS_SEEDS)
+
 # The gate: vet + build + full suite under the race detector + perf and
 # crash-safety guards.
-check: vet build race allocbudget determinism chaos chaos-ckpt
+check: vet build race allocbudget determinism chaos chaos-ckpt chaos-dist
 
-# Short fuzz pass over the Liberty and netlist parser targets.
+# Short fuzz pass over the Liberty/netlist parsers and the journaled
+# work-unit payload decoder.
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s -run '^$$' ./internal/liberty/
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s -run '^$$' ./internal/liberty/
 	$(GO) test -fuzz FuzzParseNetlist -fuzztime 30s -run '^$$' ./internal/netlist/
+	$(GO) test -fuzz FuzzDecodeUnit -fuzztime 30s -run '^$$' ./internal/libbuild/
 
 # Micro benchmarks with memory stats, exported as BENCH_fit.json evidence.
 BENCH_FILTER = BenchmarkFit|BenchmarkSNCDF|BenchmarkCharacterizeArc|BenchmarkSSTASum|BenchmarkLibertyParse
@@ -70,6 +84,12 @@ bench:
 bench-server:
 	$(GO) test -bench 'BenchmarkServerBinning' -benchmem -count 3 -run '^$$' -timeout 10m ./internal/server/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_server.json
+
+# Distributed characterisation scaling benchmark (acceptance: 4 workers
+# drain the same build >=3x faster than 1), exported as BENCH_charwork.json.
+bench-charwork:
+	$(GO) test -bench 'BenchmarkCharWork' -benchmem -benchtime 3x -count 3 -run '^$$' -timeout 10m ./internal/dist/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_charwork.json
 
 # Paper artefact regeneration benchmarks (tables, figures, ablations).
 bench-tables:

@@ -14,12 +14,21 @@
 // recomputing them — the resumed library is bit-identical to an
 // uninterrupted run.
 //
+// With -serve the build is distributed: libgen becomes a lease-based
+// coordinator over the checkpoint journal, handing work units to
+// `libgen -worker` processes and assembling the library once every unit
+// is journaled terminal. Workers need no configuration flags — they
+// fetch the build spec at join time and refuse to run against a
+// mismatched coordinator. See DESIGN.md §13.
+//
 // Usage:
 //
 //	libgen -cells INV,NAND2 -arcs 1 -samples 5000 -format lvf2 -o out.lib
 //	libgen -cells all -arcs 2 -stride 4 -format lvf -timeout 5m -o classic.lib
 //	libgen -cells all -checkpoint ckpt/ -o full.lib      # journaled run
 //	libgen -cells all -checkpoint ckpt/ -resume -o full.lib
+//	libgen -cells all -checkpoint ckpt/ -serve :9190 -o full.lib   # coordinator
+//	libgen -worker -join http://host:9190                          # x N workers
 package main
 
 import (
@@ -27,12 +36,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"syscall"
 
 	"lvf2/internal/cells"
 	"lvf2/internal/checkpoint"
+	"lvf2/internal/dist"
 	"lvf2/internal/libbuild"
 	"lvf2/internal/liberty"
 )
@@ -48,6 +60,10 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget, e.g. 5m (0 = unlimited)")
 		ckptDir  = flag.String("checkpoint", "", "journal directory for resumable runs (empty = no journal)")
 		resume   = flag.Bool("resume", false, "resume from the -checkpoint journal instead of starting fresh")
+		serve    = flag.String("serve", "", "run as distribution coordinator on this address (requires -checkpoint)")
+		worker   = flag.Bool("worker", false, "run as a characterisation worker (requires -join; build flags are ignored)")
+		join     = flag.String("join", "", "coordinator URL a -worker should join, e.g. http://host:9190")
+		workerID = flag.String("id", "", "worker identity (default hostname-pid)")
 		out      = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -58,6 +74,15 @@ func main() {
 	if *resume && *ckptDir == "" {
 		fatal(errors.New("-resume requires -checkpoint"))
 	}
+	if *serve != "" && *ckptDir == "" {
+		fatal(errors.New("-serve requires -checkpoint: the journal is the coordinator's only durable state"))
+	}
+	if *serve != "" && *worker {
+		fatal(errors.New("-serve and -worker are mutually exclusive"))
+	}
+	if *worker && *join == "" {
+		fatal(errors.New("-worker requires -join"))
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -66,6 +91,11 @@ func main() {
 	}
 	ctx, trap := checkpoint.TrapSignals(ctx, os.Interrupt, syscall.SIGTERM)
 	defer trap.Stop()
+
+	if *worker {
+		runWorker(ctx, trap, *join, *workerID)
+		return
+	}
 
 	var types []cells.CellType
 	if *cellList == "all" {
@@ -92,20 +122,22 @@ func main() {
 		defer cfg.Journal.Close()
 	}
 
+	if *serve != "" {
+		// Coordinator mode: distribute the units, then fall through to
+		// libbuild.Build below — with every unit journaled terminal it is
+		// a pure restore-and-assemble pass, so the emitted library is the
+		// same bytes a single-process run would produce.
+		if err := serveCoordinator(ctx, cfg, *serve); err != nil {
+			if sig := trap.Signal(); sig != nil {
+				interruptedExit(cfg.Journal, *ckptDir, sig)
+			}
+			fatal(err)
+		}
+	}
+
 	lib, stats, err := libbuild.Build(ctx, cfg)
 	if sig := trap.Signal(); sig != nil {
-		cfg.Journal.Close()
-		sealed := 0
-		for _, rec := range cfg.Journal.Records() {
-			if rec.Status == checkpoint.StatusDone || rec.Status == checkpoint.StatusQuarantined {
-				sealed++
-			}
-		}
-		fmt.Fprintf(os.Stderr, "libgen: interrupted by %v; journal flushed (%d units sealed)\n", sig, sealed)
-		if *ckptDir != "" {
-			fmt.Fprintf(os.Stderr, "libgen: resume with: libgen -checkpoint %s -resume (plus your original flags)\n", *ckptDir)
-		}
-		os.Exit(130)
+		interruptedExit(cfg.Journal, *ckptDir, sig)
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		hint := "raise -timeout or -stride"
@@ -139,6 +171,86 @@ func main() {
 	if err := liberty.WriteLibrary(w, lib); err != nil {
 		fatal(err)
 	}
+}
+
+// interruptedExit is the SIGINT/SIGTERM path shared by the local,
+// coordinator and assembly phases: flush and seal the journal, report
+// how much progress survived, print the resume hint, exit 130.
+func interruptedExit(j *checkpoint.Journal, ckptDir string, sig os.Signal) {
+	j.Close()
+	sealed := 0
+	for _, rec := range j.Records() {
+		if rec.Status == checkpoint.StatusDone || rec.Status == checkpoint.StatusQuarantined {
+			sealed++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "libgen: interrupted by %v; journal flushed (%d units sealed)\n", sig, sealed)
+	if ckptDir != "" {
+		fmt.Fprintf(os.Stderr, "libgen: resume with: libgen -checkpoint %s -resume (plus your original flags)\n", ckptDir)
+	}
+	os.Exit(130)
+}
+
+// serveCoordinator runs the lease-based coordinator until every unit is
+// journaled terminal or ctx is cancelled (signal or -timeout). Progress
+// is durable either way: a crashed or interrupted coordinator restarts
+// from the journal alone.
+func serveCoordinator(ctx context.Context, cfg libbuild.Config, addr string) error {
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{Build: cfg, Log: os.Stderr})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "libgen: coordinator on %s; join workers with: libgen -worker -join http://%s\n",
+		ln.Addr(), ln.Addr())
+
+	waitErr := coord.Wait(ctx)
+	srv.Close()
+	if waitErr != nil {
+		return waitErr
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	default:
+	}
+	fmt.Fprintf(os.Stderr, "libgen: distributed build drained; assembling library from the journal\n")
+	return nil
+}
+
+// runWorker joins a coordinator and characterises leased units until the
+// build drains or the worker is told to stop. A signalled worker exits
+// 130 after abandoning its lease; the coordinator re-leases the units
+// when the lease TTL lapses, so no progress is lost.
+func runWorker(ctx context.Context, trap *checkpoint.SignalTrap, joinURL, id string) {
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	err := dist.RunWorker(ctx, dist.WorkerConfig{ID: id, URL: joinURL, Log: os.Stderr})
+	if sig := trap.Signal(); sig != nil {
+		fmt.Fprintf(os.Stderr, "libgen: worker %s interrupted by %v; lease abandoned (the coordinator re-leases it on expiry)\n", id, sig)
+		fmt.Fprintf(os.Stderr, "libgen: rejoin with: libgen -worker -join %s\n", joinURL)
+		os.Exit(130)
+	}
+	if errors.Is(err, dist.ErrSpecMismatch) {
+		fatal(fmt.Errorf("%v (coordinator is running a different build configuration)", err))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "libgen: worker %s done: build drained\n", id)
 }
 
 // openJournal opens (or cold-starts) the checkpoint journal. A fresh

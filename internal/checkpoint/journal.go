@@ -147,6 +147,11 @@ func (f Fingerprint) hash() uint64 {
 	return h.Sum64()
 }
 
+// Hash exposes the folded fingerprint. The distributed protocol stamps
+// it on every lease and result submission so a coordinator never
+// accepts work computed under a different configuration.
+func (f Fingerprint) Hash() uint64 { return f.hash() }
+
 // FS is the filesystem seam of the journal: the snapshot FS of
 // internal/modelcache plus the directory operations segment discovery
 // needs. internal/faultinject's MemFS and FaultFS implement it, so the
@@ -204,10 +209,11 @@ type Stats struct {
 // Journal is a durable, append-only record of unit outcomes. Safe for
 // concurrent use by the worker pool.
 type Journal struct {
-	fsys FS
-	dir  string
-	fp   uint64
-	opts Options
+	fsys  FS
+	dir   string
+	label string // metrics label: the cleaned journal directory
+	fp    uint64
+	opts  Options
 
 	mu       sync.Mutex
 	state    map[Key]Record
@@ -256,7 +262,7 @@ func Open(fsys FS, dir string, fp Fingerprint, opts Options) (*Journal, error) {
 	sort.Ints(seqs)
 
 	j := &Journal{
-		fsys: fsys, dir: dir, fp: fp.hash(), opts: opts.withDefaults(),
+		fsys: fsys, dir: dir, label: filepath.Clean(dir), fp: fp.hash(), opts: opts.withDefaults(),
 		state: make(map[Key]Record),
 	}
 	for i, n := range seqs {
@@ -282,8 +288,64 @@ func Open(fsys FS, dir string, fp Fingerprint, opts Options) (*Journal, error) {
 			j.stats.Resolved++
 		}
 	}
-	journalBytes.Set(j.stats.Bytes)
+	journalBytes.Set(float64(j.stats.Bytes), j.label)
 	return j, nil
+}
+
+// Label is the journal's metrics label (its cleaned directory path), the
+// `journal` label value of the per-journal gauges.
+func (j *Journal) Label() string {
+	if j == nil {
+		return ""
+	}
+	return j.label
+}
+
+// SetResumeSkipRatio publishes the fraction of this journal's units a
+// resumed run restored instead of recomputing, as the per-journal series
+// lvf2_ckpt_resume_skip_ratio{journal=...}. A process that resumes
+// several journals (Table 1 + Table 2 drivers, a coordinator) reports
+// each ratio independently.
+func (j *Journal) SetResumeSkipRatio(restored, total int) {
+	if j == nil || total <= 0 {
+		return
+	}
+	resumeSkipRatio.Set(float64(restored)/float64(total), j.label)
+}
+
+// ReplayRecords decodes every sealed record in dir in append order,
+// without collapsing later records over earlier ones the way Open does.
+// It is the audit view of a journal: tests (and the distributed chaos
+// suite) use it to assert invariants over the full append history —
+// e.g. that no unit was ever journaled terminal twice. A torn tail in
+// the newest segment is tolerated exactly as in Open.
+func ReplayRecords(fsys FS, dir string, fp Fingerprint) ([]Record, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: list journal dir: %w", err)
+	}
+	var seqs []int
+	for _, name := range names {
+		if n, ok := segSeq(name); ok {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Ints(seqs)
+	var out []Record
+	h := fp.hash()
+	for i, n := range seqs {
+		path := filepath.Join(dir, segName(n))
+		b, err := fsys.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+		}
+		recs, _, err := decodeSegment(b, h, i == len(seqs)-1)
+		if err != nil {
+			return nil, fmt.Errorf("%w (%s)", err, segName(n))
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
 }
 
 // Reset removes every sealed segment in dir, so the next Open starts
@@ -422,7 +484,7 @@ func (j *Journal) flushLocked() error {
 	j.pendingN = 0
 	j.stats.Segments++
 	j.stats.Bytes += int64(len(data))
-	journalBytes.Set(j.stats.Bytes)
+	journalBytes.Set(float64(j.stats.Bytes), j.label)
 	return nil
 }
 

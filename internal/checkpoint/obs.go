@@ -16,8 +16,12 @@ var (
 		"lvf2_ckpt_units_quarantined_total", "poison work units quarantined after exhausting retries")
 	unitsRestored = obs.NewCounter(obs.Default(),
 		"lvf2_ckpt_units_restored_total", "work units restored from the journal on resume")
-	journalBytes = obs.NewGauge(obs.Default(),
-		"lvf2_ckpt_journal_bytes", "sealed checkpoint journal bytes on disk")
-	resumeSkipRatio = obs.NewFloatGauge(obs.Default(),
-		"lvf2_ckpt_resume_skip_ratio", "fraction of the last run's units restored from the journal")
+	// journalBytes and resumeSkipRatio are per-journal series: the Table 1
+	// and Table 2 drivers (and a distributed coordinator) can all hold
+	// journals open in one process, and an unlabelled gauge would report
+	// whichever journal wrote last.
+	journalBytes = obs.NewFloatGaugeVec(obs.Default(),
+		"lvf2_ckpt_journal_bytes", "sealed checkpoint journal bytes on disk", "journal")
+	resumeSkipRatio = obs.NewFloatGaugeVec(obs.Default(),
+		"lvf2_ckpt_resume_skip_ratio", "fraction of the last run's units restored from the journal", "journal")
 )

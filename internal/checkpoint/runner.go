@@ -136,12 +136,3 @@ func (r *Runner) Do(ctx context.Context, k Key, run func(context.Context) ([]byt
 	r.Journal.Quarantined(k, attempts, rung, note, payload)
 	return Unit{Key: k, Payload: payload, Quarantined: true, Rung: rung, Note: note, Attempts: attempts}, nil
 }
-
-// SetResumeSkipRatio publishes the fraction of units a resumed run
-// restored from the journal instead of recomputing.
-func SetResumeSkipRatio(restored, total int) {
-	if total <= 0 {
-		return
-	}
-	resumeSkipRatio.Set(float64(restored) / float64(total))
-}

@@ -177,6 +177,100 @@ func TestRunnerCancellationIsNotAUnitFault(t *testing.T) {
 	}
 }
 
+// TestRunnerCancellationRacesLeaseExpiryRerunnable is the distributed
+// re-lease scenario at the Runner level: a worker's context is
+// cancelled mid-unit (its lease expired, or the process was told to
+// die) while the same unit is being re-run elsewhere. The cancelled Do
+// must journal the unit as neither Done nor Failed — across a seal and
+// a reopen — and the unit must run cleanly on resume, producing exactly
+// one terminal record in the full append history.
+func TestRunnerCancellationRacesLeaseExpiryRerunnable(t *testing.T) {
+	fsys := faultinject.NewMemFS()
+	j := mustOpen(t, fsys, "ckpt", testFP, Options{FlushEvery: 1})
+	k := testKey(9)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := testRunner(j, &fakeSleep{}).Do(ctx, k, func(c context.Context) ([]byte, error) {
+		cancel() // lease expiry lands mid-computation
+		return nil, c.Err()
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Do = %v, want context.Canceled", err)
+	}
+	j.Close()
+
+	// The sealed journal must hold nothing for the unit: a cancelled run
+	// is a scheduling event, not a unit outcome.
+	j2 := mustOpen(t, fsys, "ckpt", testFP, Options{FlushEvery: 1})
+	if rec, ok := j2.Lookup(k); ok {
+		t.Fatalf("cancelled unit journaled as %v", rec.Status)
+	}
+
+	// Resume: the unit runs cleanly, first attempt, full retry budget.
+	u, err := testRunner(j2, &fakeSleep{}).Do(context.Background(), k,
+		func(context.Context) ([]byte, error) { return []byte("redone"), nil }, nil)
+	if err != nil || u.Restored || string(u.Payload) != "redone" || u.Attempts != 1 {
+		t.Fatalf("re-run after cancellation = %+v, %v", u, err)
+	}
+	j2.Close()
+
+	// The full append history holds exactly one terminal record for k.
+	recs, err := ReplayRecords(fsys, "ckpt", testFP)
+	if err != nil {
+		t.Fatalf("ReplayRecords: %v", err)
+	}
+	terminal := 0
+	for _, rec := range recs {
+		if rec.Key == k && (rec.Status == StatusDone || rec.Status == StatusQuarantined) {
+			terminal++
+		}
+	}
+	if terminal != 1 {
+		t.Errorf("append history holds %d terminal records for %s, want 1", terminal, k)
+	}
+}
+
+// TestRunnerCancellationDuringBackoffRerunnable: a cancellation that
+// lands in the backoff sleep (after a real failure was journaled) keeps
+// the unit re-runnable — the failure record persists the spent attempt,
+// but no terminal record exists, so resume retries with the remaining
+// budget.
+func TestRunnerCancellationDuringBackoffRerunnable(t *testing.T) {
+	fsys := faultinject.NewMemFS()
+	j := mustOpen(t, fsys, "ckpt", testFP, Options{FlushEvery: 1})
+	k := testKey(10)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Runner{Journal: j, Policy: RetryPolicy{
+		MaxAttempts: 3,
+		Sleep: func(c context.Context, _ time.Duration) error {
+			cancel() // the kill arrives while the unit waits to retry
+			return c.Err()
+		},
+	}}
+	_, err := r.Do(ctx, k, func(context.Context) ([]byte, error) {
+		return nil, errors.New("transient eval fault")
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	j.Close()
+
+	j2 := mustOpen(t, fsys, "ckpt", testFP, Options{FlushEvery: 1})
+	if rec, ok := j2.Lookup(k); !ok || rec.Status != StatusFailed || rec.Attempts != 1 {
+		t.Fatalf("journal after backoff cancellation = %+v ok=%v, want Failed with 1 attempt", rec, ok)
+	}
+	runs := 0
+	u, err := testRunner(j2, &fakeSleep{}).Do(context.Background(), k,
+		func(context.Context) ([]byte, error) { runs++; return []byte("ok"), nil }, nil)
+	if err != nil || string(u.Payload) != "ok" || u.Attempts != 2 {
+		t.Fatalf("resumed Do = %+v, %v", u, err)
+	}
+	if runs != 1 {
+		t.Errorf("resumed unit ran %d times, want 1", runs)
+	}
+}
+
 func TestRetryDelayDeterministicAndBounded(t *testing.T) {
 	p := RetryPolicy{Base: 100 * time.Millisecond, Max: 5 * time.Second, Jitter: 0.2, Seed: 7}
 	k := testKey(6)

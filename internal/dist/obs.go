@@ -1,0 +1,25 @@
+package dist
+
+import "lvf2/internal/obs"
+
+// Distributed-characterisation metrics live in the process-wide default
+// registry, exposed by the coordinator's /metrics endpoint: lease churn
+// (grants, expiries, worker deaths), heartbeat traffic, result outcomes
+// and the live pending/worker gauges an operator watches to tell a
+// draining fleet from a wedged one.
+var (
+	leasesGranted = obs.NewCounter(obs.Default(),
+		"lvf2_dist_leases_granted_total", "work-unit leases granted to workers")
+	leasesExpired = obs.NewCounter(obs.Default(),
+		"lvf2_dist_leases_expired_total", "leases reclaimed after their TTL lapsed without renewal")
+	workerDeaths = obs.NewCounter(obs.Default(),
+		"lvf2_dist_worker_deaths_total", "distinct lease expiries attributed to a dead or wedged worker")
+	heartbeats = obs.NewCounter(obs.Default(),
+		"lvf2_dist_heartbeats_total", "lease heartbeat renewals accepted")
+	resultsTotal = obs.NewCounterVec(obs.Default(),
+		"lvf2_dist_results_total", "result submissions by outcome", "status")
+	unitsPending = obs.NewGauge(obs.Default(),
+		"lvf2_dist_units_pending", "work units not yet journaled terminal")
+	workersGauge = obs.NewGauge(obs.Default(),
+		"lvf2_dist_workers", "workers that have joined and not been declared dead")
+)

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"lvf2/internal/binning"
@@ -210,6 +211,13 @@ func Table1Ctx(ctx context.Context, cfg Config) ([]ScenarioResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	restored := 0
+	for i := range out {
+		if out[i].Restored {
+			restored++
+		}
+	}
+	cfg.Checkpoint.SetResumeSkipRatio(restored, len(scenarios))
 	return out, nil
 }
 
@@ -369,6 +377,7 @@ func Table2Ctx(ctx context.Context, cfg Table2Config) ([]CellTypeResult, error) 
 	unitKey := func(arc cells.Arc, si, li int, kind cells.Kind) checkpoint.Key {
 		return checkpoint.Key{Cell: arc.Cell, Pin: "table2", Arc: arc.Label, Slew: si, Load: li, Kind: kind.String()}
 	}
+	var restored atomic.Int64
 	fitJob := func(s *slot, k checkpoint.Key, d cells.Distribution, haveDist bool) func(context.Context) error {
 		return func(tctx context.Context) error {
 			unit, uerr := runner.Do(tctx, k, func(context.Context) ([]byte, error) {
@@ -395,6 +404,9 @@ func Table2Ctx(ctx context.Context, cfg Table2Config) ([]CellTypeResult, error) 
 					return nil // poison unit: excluded from the averages
 				}
 				return uerr
+			}
+			if unit.Restored {
+				restored.Add(1)
 			}
 			if len(unit.Payload) == 0 {
 				return nil // restored quarantined-dropped unit
@@ -455,6 +467,7 @@ produce:
 	if err := p.Wait(); err != nil {
 		return nil, err
 	}
+	cfg.Checkpoint.SetResumeSkipRatio(int(restored.Load()), len(slots))
 
 	// Aggregate in production order: deterministic float summation.
 	type acc struct {

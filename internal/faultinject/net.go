@@ -1,0 +1,142 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lvf2/internal/mc"
+)
+
+// NetFaults tunes the per-request fault probabilities of a
+// FaultTransport. All probabilities are independent draws in [0, 1].
+type NetFaults struct {
+	// PErrBefore fails the request before it reaches the server — a
+	// connection refused / reset. The server never sees the request.
+	PErrBefore float64
+	// PDropAfter delivers the request, lets the server act on it, then
+	// discards the response and surfaces a transport error — the
+	// fault that generates duplicate submissions: the client cannot
+	// tell a dropped response from a dropped request.
+	PDropAfter float64
+	// PCorruptBody delivers the response with one body byte flipped.
+	PCorruptBody float64
+	// PShortBody truncates the response body mid-stream.
+	PShortBody float64
+	// PStall delays the request by Stall before sending — simulates a
+	// wedged link that outlives heartbeat deadlines.
+	PStall float64
+	// Stall is the PStall delay (default 50ms).
+	Stall time.Duration
+}
+
+// FaultTransport is an http.RoundTripper that injects seeded,
+// deterministic network faults around an inner transport. It is safe
+// for concurrent use; the draw sequence depends on request arrival
+// order, so end-to-end tests that need exact reproducibility must also
+// pin their scheduling (the chaos suites replay by seed, accepting that
+// concurrent arrival order varies — the assertions are
+// order-independent).
+type FaultTransport struct {
+	Inner  http.RoundTripper
+	Faults NetFaults
+
+	mu       sync.Mutex
+	rng      *mc.RNG
+	injected atomic.Int64
+}
+
+// NewFaultTransport wraps inner (nil = http.DefaultTransport) with
+// seeded fault injection.
+func NewFaultTransport(inner http.RoundTripper, faults NetFaults, seed uint64) *FaultTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if faults.Stall <= 0 {
+		faults.Stall = 50 * time.Millisecond
+	}
+	return &FaultTransport{Inner: inner, Faults: faults, rng: mc.NewRNG(seed | 1)}
+}
+
+// Injected reports how many faults have fired so far — chaos suites use
+// it to confirm a round actually exercised the fault paths.
+func (t *FaultTransport) Injected() int64 { return t.injected.Load() }
+
+// draw samples the per-request fault decisions under one lock so
+// concurrent requests never interleave within a single draw.
+func (t *FaultTransport) draw() (errBefore, dropAfter, corrupt, short, stall bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := t.Faults
+	errBefore = t.rng.Float64() < f.PErrBefore
+	dropAfter = t.rng.Float64() < f.PDropAfter
+	corrupt = t.rng.Float64() < f.PCorruptBody
+	short = t.rng.Float64() < f.PShortBody
+	stall = t.rng.Float64() < f.PStall
+	return
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	errBefore, dropAfter, corrupt, short, stall := t.draw()
+	if errBefore {
+		t.injected.Add(1)
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("faultinject: connection refused before delivery (%s %s)", req.Method, req.URL.Path)
+	}
+	if stall {
+		t.injected.Add(1)
+		select {
+		case <-req.Context().Done():
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		case <-time.After(t.Faults.Stall):
+		}
+	}
+	resp, err := t.Inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if dropAfter {
+		// The server processed the request; the client sees only a dead
+		// link. Whatever side effect the request had (a result
+		// submission, a lease grant) already happened.
+		t.injected.Add(1)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("faultinject: response dropped after delivery (%s %s)", req.Method, req.URL.Path)
+	}
+	if corrupt || short {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if corrupt && len(body) > 0 {
+			t.injected.Add(1)
+			t.mu.Lock()
+			i := t.rng.Intn(len(body))
+			t.mu.Unlock()
+			body[i] ^= 0xff
+		}
+		if short && len(body) > 1 {
+			t.injected.Add(1)
+			t.mu.Lock()
+			n := 1 + t.rng.Intn(len(body)-1)
+			t.mu.Unlock()
+			body = body[:n]
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+		resp.Header.Del("Content-Length")
+	}
+	return resp, nil
+}

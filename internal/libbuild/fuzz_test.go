@@ -1,0 +1,47 @@
+package libbuild
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"lvf2/internal/core"
+)
+
+// FuzzDecodeUnit hardens the unit-payload decoder against malformed
+// journal bytes. A segment CRC only vouches that the bytes are what the
+// writer sealed, not that the writer was sane — and over the
+// distributed protocol a payload arrives with no CRC at all — so the
+// decoder must reject truncated, oversized and length-corrupted
+// payloads with an error, never a panic or a huge allocation, and must
+// stay canonical: any accepted payload re-encodes to exactly the same
+// bytes.
+func FuzzDecodeUnit(f *testing.F) {
+	m := core.Model{Lambda: 0.4,
+		Theta1: core.Theta{Mean: 1.2e-2, Sigma: 4e-4, Skew: -0.3},
+		Theta2: core.Theta{Mean: 1.9e-2, Sigma: 7e-4, Skew: 0.9}}
+	valid := encodeUnit(0.0123, m, "INV/arc00 (1,2): LVF2→Gaussian")
+	f.Add(valid)
+	f.Add(encodeUnit(math.NaN(), m, ""))
+	f.Add(valid[:len(valid)-3])                       // truncated note
+	f.Add(valid[:unitFloats*8])                       // missing length word
+	f.Add([]byte{})                                   // empty
+	f.Add(bytes.Repeat([]byte{0xff}, unitFloats*8+4)) // note length 2^32-1, no note bytes
+	tooLong := append(append([]byte{}, valid...), bytes.Repeat([]byte{0}, maxUnitPayload)...)
+	f.Add(tooLong) // oversized payload past the cap
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		nom, model, note, err := decodeUnit(b)
+		if err != nil {
+			return
+		}
+		if len(b) > maxUnitPayload {
+			t.Fatalf("oversized payload of %d bytes accepted", len(b))
+		}
+		// Canonical: an accepted payload round-trips bit-exactly, so a
+		// journaled record and its re-encoding are interchangeable.
+		if re := encodeUnit(nom, model, note); !bytes.Equal(re, b) {
+			t.Fatalf("accepted payload is not canonical:\n in  %x\n out %x", b, re)
+		}
+	})
+}

@@ -110,6 +110,30 @@ type arcTables struct {
 	stats        Stats
 }
 
+// planJobs enumerates the arcs of a build in deterministic library
+// order, together with each cell type's input pin names. Build and the
+// distributed plan/executor share it so every process agrees on the
+// unit universe.
+func planJobs(cfg Config) (jobs []arcJob, pinsOf [][]string) {
+	pinsOf = make([][]string, len(cfg.Types))
+	for ti, ct := range cfg.Types {
+		pins := InputPins(ct.Inputs)
+		pinsOf[ti] = pins
+		arcList := ct.Arcs()
+		want := cfg.ArcsPer
+		if want < len(pins) {
+			want = len(pins)
+		}
+		if want > 0 && len(arcList) > want {
+			arcList = arcList[:want]
+		}
+		for _, arc := range arcList {
+			jobs = append(jobs, arcJob{typeIdx: ti, arc: arc, pin: pins[arc.Index%len(pins)]})
+		}
+	}
+	return jobs, pinsOf
+}
+
 // Build characterises cfg.Types and returns the Liberty library group,
 // ready for liberty.WriteLibrary. On error (including cancellation) the
 // journal still holds every unit sealed so far, so a rerun against the
@@ -126,24 +150,7 @@ func Build(ctx context.Context, cfg Config) (*liberty.Group, Stats, error) {
 	// of a failed run is the whole point of the journal.
 	defer cfg.Journal.Flush()
 
-	var jobs []arcJob
-	pinsOf := make([][]string, len(cfg.Types))
-	for ti, ct := range cfg.Types {
-		pins := InputPins(ct.Inputs)
-		pinsOf[ti] = pins
-		arcList := ct.Arcs()
-		want := cfg.ArcsPer
-		if want < len(pins) {
-			want = len(pins)
-		}
-		if want > 0 && len(arcList) > want {
-			arcList = arcList[:want]
-		}
-		for _, arc := range arcList {
-			jobs = append(jobs, arcJob{typeIdx: ti, arc: arc, pin: pins[arc.Index%len(pins)]})
-		}
-	}
-
+	jobs, pinsOf := planJobs(cfg)
 	results := make([]arcTables, len(jobs))
 	labels := make([]string, len(jobs))
 	for i, j := range jobs {
@@ -167,7 +174,7 @@ func Build(ctx context.Context, cfg Config) (*liberty.Group, Stats, error) {
 		stats.Quarantined += r.stats.Quarantined
 		stats.Fallbacks += r.stats.Fallbacks
 	}
-	checkpoint.SetResumeSkipRatio(stats.Restored, stats.Units)
+	cfg.Journal.SetResumeSkipRatio(stats.Restored, stats.Units)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -203,6 +210,19 @@ type distKey struct {
 	kind   cells.Kind
 }
 
+// gridPoints enumerates the visited (slew, load) coordinates of a
+// characterisation grid in deterministic sweep order.
+func gridPoints(char cells.CharConfig) []gridPoint {
+	stride := char.GridStride
+	var points []gridPoint
+	for si := 0; si < len(char.Grid.Slews); si += stride {
+		for li := 0; li < len(char.Grid.Loads); li += stride {
+			points = append(points, gridPoint{si: si, li: li, mi: si / stride, mj: li / stride})
+		}
+	}
+	return points
+}
+
 // buildArc resolves one arc's units and assembles its delay/transition
 // timing models. Notes are accumulated in grid order (the order the
 // sequential pipeline produced them), so a resumed build emits the
@@ -217,12 +237,7 @@ func buildArc(ctx context.Context, cfg Config, runner *checkpoint.Runner, arc ce
 	for j := 0; j < len(grid.Loads); j += stride {
 		idx2 = append(idx2, grid.Loads[j])
 	}
-	var points []gridPoint
-	for si := 0; si < len(grid.Slews); si += stride {
-		for li := 0; li < len(grid.Loads); li += stride {
-			points = append(points, gridPoint{si: si, li: li, mi: si / stride, mj: li / stride})
-		}
-	}
+	points := gridPoints(cfg.Char)
 
 	key := func(p gridPoint, kind cells.Kind) checkpoint.Key {
 		return checkpoint.Key{Cell: arc.Cell, Pin: pin, Arc: arc.Label,
@@ -263,10 +278,7 @@ func buildArc(ctx context.Context, cfg Config, runner *checkpoint.Runner, arc ce
 	nomT, modT := mk()
 	var notesD, notesT []string
 
-	requested := fit.ModelLVF
-	if cfg.LVF2 {
-		requested = fit.ModelLVF2
-	}
+	requested := requestedModel(cfg)
 	var stats Stats
 	for _, p := range points {
 		for _, kind := range [...]cells.Kind{cells.Delay, cells.Transition} {
@@ -311,6 +323,46 @@ func buildArc(ctx context.Context, cfg Config, runner *checkpoint.Runner, arc ce
 	return arcTables{delay: tmD, trans: tmT, stats: stats}, nil
 }
 
+// requestedModel is the fit model a configuration asks for.
+func requestedModel(cfg Config) fit.Model {
+	if cfg.LVF2 {
+		return fit.ModelLVF2
+	}
+	return fit.ModelLVF
+}
+
+// fitUnitPayload fits one unit's samples with the requested model and
+// encodes the journal payload. The in-process build path and the
+// distributed worker executor share it, so a payload computed remotely
+// is bit-identical to one computed locally.
+func fitUnitPayload(requested fit.Model, gridStride int, k checkpoint.Key, d cells.Distribution) ([]byte, error) {
+	m, rep, err := core.FitKindRobust(requested, d.Samples, fit.RobustOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("fit %s: %w", k, err)
+	}
+	var note string
+	if rep.Fallback || rep.Degenerate || rep.Dropped > 0 {
+		note = fmt.Sprintf("%s (%d,%d): %s", k.Arc, k.Slew/gridStride, k.Load/gridStride, rep)
+	}
+	return encodeUnit(d.NomDelay, m, note), nil
+}
+
+// salvageUnitPayload is the quarantine ladder shared by the build path
+// and the distributed worker: a Gaussian fit of the unit's samples when
+// they exist, else the ultimate rung — a floored Gaussian at the nominal
+// value, which is always constructible, so a poison unit still emits a
+// valid table entry.
+func salvageUnitPayload(d cells.Distribution, haveDist bool) (payload []byte, rung string) {
+	if haveDist {
+		if m, rep, err := core.FitKindRobust(fit.ModelGaussian, d.Samples, fit.RobustOptions{}); err == nil {
+			return encodeUnit(d.NomDelay, m, ""), rep.Used.String()
+		}
+	}
+	nom := d.NomDelay
+	m := core.FromLVF(core.Theta{Mean: nom, Sigma: math.Max(math.Abs(nom)*1e-9, 1e-12)})
+	return encodeUnit(nom, m, ""), "floored-gaussian"
+}
+
 // resolveUnit runs one work unit through the checkpoint runner: restore
 // if terminal, otherwise fit with retry and quarantine salvage.
 func resolveUnit(ctx context.Context, cfg Config, runner *checkpoint.Runner, k checkpoint.Key, requested fit.Model, d cells.Distribution, haveDist bool) (checkpoint.Unit, error) {
@@ -328,27 +380,11 @@ func resolveUnit(ctx context.Context, cfg Config, runner *checkpoint.Runner, k c
 			// terminal, and terminal units are restored before run is called.
 			return nil, fmt.Errorf("libbuild: no samples for unit %s", k)
 		}
-		m, rep, err := core.FitKindRobust(requested, d.Samples, fit.RobustOptions{})
-		if err != nil {
-			return nil, fmt.Errorf("fit %s: %w", k, err)
-		}
-		var note string
-		if rep.Fallback || rep.Degenerate || rep.Dropped > 0 {
-			note = fmt.Sprintf("%s (%d,%d): %s", k.Arc, k.Slew/cfg.Char.GridStride, k.Load/cfg.Char.GridStride, rep)
-		}
-		return encodeUnit(d.NomDelay, m, note), nil
+		return fitUnitPayload(requested, cfg.Char.GridStride, k, d)
 	}
 	salvage := func(error) ([]byte, string, error) {
-		if haveDist {
-			if m, rep, err := core.FitKindRobust(fit.ModelGaussian, d.Samples, fit.RobustOptions{}); err == nil {
-				return encodeUnit(d.NomDelay, m, ""), rep.Used.String(), nil
-			}
-		}
-		// Ultimate rung: a floored Gaussian at the nominal value — always
-		// constructible, so a poison unit still emits a valid table entry.
-		nom := d.NomDelay
-		m := core.FromLVF(core.Theta{Mean: nom, Sigma: math.Max(math.Abs(nom)*1e-9, 1e-12)})
-		return encodeUnit(nom, m, ""), "floored-gaussian", nil
+		payload, rung := salvageUnitPayload(d, haveDist)
+		return payload, rung, nil
 	}
 	return runner.Do(ctx, k, run, salvage)
 }
@@ -396,9 +432,20 @@ func encodeUnit(nom float64, m core.Model, note string) []byte {
 	return append(b, note...)
 }
 
+// maxUnitPayload bounds a decodable unit payload. encodeUnit only ever
+// produces the fixed float prefix plus a short fallback note, so
+// anything larger is a malformed journal record — rejected up front,
+// before the note allocation, rather than trusted because its segment
+// CRC happened to verify (or because it arrived over the distributed
+// protocol, where no CRC vouches for it at all).
+const maxUnitPayload = 1 << 16
+
 func decodeUnit(b []byte) (nom float64, m core.Model, note string, err error) {
 	if len(b) < unitFloats*8+4 {
 		return 0, core.Model{}, "", fmt.Errorf("short payload (%d bytes)", len(b))
+	}
+	if len(b) > maxUnitPayload {
+		return 0, core.Model{}, "", fmt.Errorf("oversized payload (%d bytes exceeds cap %d)", len(b), maxUnitPayload)
 	}
 	var f [unitFloats]float64
 	for i := range f {
@@ -408,9 +455,9 @@ func decodeUnit(b []byte) (nom float64, m core.Model, note string, err error) {
 	m = core.Model{Lambda: f[1],
 		Theta1: core.Theta{Mean: f[2], Sigma: f[3], Skew: f[4]},
 		Theta2: core.Theta{Mean: f[5], Sigma: f[6], Skew: f[7]}}
-	n := int(binary.LittleEndian.Uint32(b[unitFloats*8:]))
+	n := binary.LittleEndian.Uint32(b[unitFloats*8:])
 	rest := b[unitFloats*8+4:]
-	if n != len(rest) {
+	if uint64(n) != uint64(len(rest)) {
 		return 0, core.Model{}, "", fmt.Errorf("note length %d does not match %d remaining bytes", n, len(rest))
 	}
 	return nom, m, string(rest), nil

@@ -324,6 +324,14 @@ func (cv *CounterVec) Value(values ...string) int64 {
 // Inc adds one to the child for the given label values.
 func (cv *CounterVec) Inc(values ...string) { cv.child(values).v.Add(1) }
 
+// Add adds n to the child for the given label values (negative deltas
+// are ignored to keep the series monotone).
+func (cv *CounterVec) Add(n int64, values ...string) {
+	if n > 0 {
+		cv.child(values).v.Add(n)
+	}
+}
+
 func (cv *CounterVec) metricName() string { return cv.name }
 func (cv *CounterVec) metricType() string { return "counter" }
 func (cv *CounterVec) write(w io.Writer) {
@@ -336,6 +344,82 @@ func (cv *CounterVec) write(w io.Writer) {
 	sort.Slice(kids, func(a, b int) bool { return kids[a].labelStr < kids[b].labelStr })
 	for _, k := range kids {
 		fmt.Fprintf(w, "%s%s %d\n", cv.name, k.labelStr, k.v.Load())
+	}
+}
+
+// FloatGaugeVec is a family of float gauges distinguished by label
+// values — e.g. per-journal resume ratios, where a single unlabelled
+// gauge would be silently overwritten by whichever journal reported
+// last.
+type FloatGaugeVec struct {
+	name   string
+	labels []string
+	mu     sync.Mutex
+	kids   map[string]*floatVecChild
+}
+
+type floatVecChild struct {
+	labelStr string
+	bits     atomic.Uint64
+}
+
+// NewFloatGaugeVec registers (or fetches) a float gauge family.
+func NewFloatGaugeVec(r *Registry, name, help string, labels ...string) *FloatGaugeVec {
+	gv := &FloatGaugeVec{name: name, labels: labels, kids: map[string]*floatVecChild{}}
+	got := r.register(name, help, gv).(*FloatGaugeVec)
+	if len(got.labels) != len(labels) {
+		panic(fmt.Sprintf("obs: gauge vec %q re-registered with different labels", name))
+	}
+	return got
+}
+
+func (gv *FloatGaugeVec) child(values []string) *floatVecChild {
+	if len(values) != len(gv.labels) {
+		panic(fmt.Sprintf("obs: %q wants %d label values, got %d", gv.name, len(gv.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	if k, ok := gv.kids[key]; ok {
+		return k
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range gv.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l, values[i])
+	}
+	b.WriteByte('}')
+	k := &floatVecChild{labelStr: b.String()}
+	gv.kids[key] = k
+	return k
+}
+
+// Set replaces the level for one label combination.
+func (gv *FloatGaugeVec) Set(v float64, values ...string) {
+	gv.child(values).bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current level for one label combination (0 when the
+// combination has never been set).
+func (gv *FloatGaugeVec) Value(values ...string) float64 {
+	return math.Float64frombits(gv.child(values).bits.Load())
+}
+
+func (gv *FloatGaugeVec) metricName() string { return gv.name }
+func (gv *FloatGaugeVec) metricType() string { return "gauge" }
+func (gv *FloatGaugeVec) write(w io.Writer) {
+	gv.mu.Lock()
+	kids := make([]*floatVecChild, 0, len(gv.kids))
+	for _, k := range gv.kids {
+		kids = append(kids, k)
+	}
+	gv.mu.Unlock()
+	sort.Slice(kids, func(a, b int) bool { return kids[a].labelStr < kids[b].labelStr })
+	for _, k := range kids {
+		fmt.Fprintf(w, "%s%s %s\n", gv.name, k.labelStr, formatFloat(math.Float64frombits(k.bits.Load())))
 	}
 }
 
