@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check chaos chaos-ckpt chaos-dist fuzz bench bench-tables bench-server bench-charwork allocbudget determinism clean
+.PHONY: all build test vet race check chaos chaos-ckpt chaos-dist fuzz bench bench-tables bench-server bench-charwork bench-charlib bench-smoke allocbudget determinism clean
 
 all: build
 
@@ -21,10 +21,12 @@ race:
 allocbudget:
 	$(GO) test -run 'AllocBudget' -count 1 ./internal/fit/
 
-# Bit-identical serial-vs-parallel multi-start, under the race detector and
-# several GOMAXPROCS values so the concurrent path actually engages.
+# Bit-identical serial-vs-parallel multi-start — and bit-identical
+# warm-started library builds across worker counts — under the race
+# detector and several GOMAXPROCS values so the concurrent paths engage.
 determinism:
-	$(GO) test -race -cpu 1,4,8 -run 'TestFitLVF2ParallelDeterminism|TestFitLVF2Golden' -count 1 ./internal/fit/
+	$(GO) test -race -cpu 1,4,8 -run 'TestFitLVF2ParallelDeterminism|TestFitLVF2Golden|TestFitLVF2SeededDeterminism' -count 1 ./internal/fit/
+	$(GO) test -race -cpu 1,4,8 -run 'TestBuildWarmDeterminismAcrossWorkers' -count 1 -timeout 15m ./internal/libbuild/
 
 # Crash-safety chaos suite: randomized seeded fault scripts (disk faults,
 # fit outages, snapshot corruption, kill-and-restart) against lvf2d under
@@ -60,9 +62,15 @@ chaos-dist:
 		$(GO) test -race -run TestChaosDistributedBuild -count 1 -timeout 15m \
 		./internal/dist/ -distchaos.seeds $(CHAOS_SEEDS)
 
+# One iteration of every benchmark in -short mode: benchmark code cannot
+# rot between perf PRs (heavy benches shrink their workload under -short;
+# this smokes the code paths, it does not measure).
+bench-smoke:
+	$(GO) test -short -run '^$$' -bench . -benchtime 1x -timeout 20m ./...
+
 # The gate: vet + build + full suite under the race detector + perf and
-# crash-safety guards.
-check: vet build race allocbudget determinism chaos chaos-ckpt chaos-dist
+# crash-safety guards + the benchmark smoke pass.
+check: vet build race allocbudget determinism chaos chaos-ckpt chaos-dist bench-smoke
 
 # Short fuzz pass over the Liberty/netlist parsers and the journaled
 # work-unit payload decoder.
@@ -90,6 +98,12 @@ bench-server:
 bench-charwork:
 	$(GO) test -bench 'BenchmarkCharWork' -benchmem -benchtime 3x -count 3 -run '^$$' -timeout 10m ./internal/dist/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_charwork.json
+
+# Library characterisation throughput, warm-started vs cold (acceptance:
+# warm cells/sec >= 2x cold), exported as BENCH_charlib.json.
+bench-charlib:
+	$(GO) test -bench 'BenchmarkCharLib' -benchmem -benchtime 1x -count 3 -run '^$$' -timeout 60m ./internal/libbuild/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_charlib.json
 
 # Paper artefact regeneration benchmarks (tables, figures, ablations).
 bench-tables:

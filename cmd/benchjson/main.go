@@ -1,12 +1,26 @@
-// Command benchjson converts `go test -bench` output on stdin into a JSON
-// benchmark report. It echoes every input line to stdout unchanged (so it
-// can sit at the end of a pipe without hiding the run) and writes the
-// parsed results to the -out file:
+// Command benchjson converts `go test -bench` output into a JSON
+// benchmark report. With no arguments it reads one stream from stdin,
+// echoing every input line to stdout unchanged (so it can sit at the end
+// of a pipe without hiding the run); with file arguments it merges the
+// saved streams instead:
 //
 //	go test -bench . -benchmem -count 3 -run '^$' . | go run ./cmd/benchjson -out BENCH_fit.json
+//	go run ./cmd/benchjson -out BENCH_all.json fit.txt charlib.txt
 //
-// Repeated -count runs of the same benchmark are kept as separate entries;
-// consumers aggregate as they see fit.
+// A stream may span several packages (`go test -bench . ./...`): each
+// `pkg:` header starts a new section and the results that follow are
+// tagged with that package, so nothing is lost when streams are merged.
+// Repeated -count runs of the same benchmark are kept as separate
+// entries; consumers aggregate as they see fit.
+//
+// Report files follow the BENCH_<area>.json naming convention — one
+// area per file so regenerating one never clobbers another:
+//
+//	BENCH_fit.json      fit-layer micro benchmarks (make bench)
+//	BENCH_server.json   lvf2d serving latency (make bench-server)
+//	BENCH_charwork.json distributed build scaling (make bench-charwork)
+//	BENCH_charlib.json  library characterisation throughput, warm vs
+//	                    cold cells/sec (make bench-charlib)
 package main
 
 import (
@@ -14,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,6 +37,7 @@ import (
 // Result is one parsed benchmark line.
 type Result struct {
 	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`   // pkg: header of the stream section
 	Procs       int     `json:"procs,omitempty"` // GOMAXPROCS suffix (-cpu), 1 if absent
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -37,7 +53,6 @@ type Result struct {
 type Report struct {
 	Goos    string   `json:"goos,omitempty"`
 	Goarch  string   `json:"goarch,omitempty"`
-	Pkg     string   `json:"pkg,omitempty"`
 	CPU     string   `json:"cpu,omitempty"`
 	Results []Result `json:"results"`
 }
@@ -51,27 +66,21 @@ func main() {
 	}
 
 	var rep Report
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Println(line)
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			rep.Goos = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "pkg: "):
-			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
-		case strings.HasPrefix(line, "cpu: "):
-			rep.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "Benchmark"):
-			if r, ok := parseBenchLine(line); ok {
-				rep.Results = append(rep.Results, r)
+	if args := flag.Args(); len(args) > 0 {
+		for _, path := range args {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			err = parseStream(f, &rep, false)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: reading %s: %v\n", path, err)
+				os.Exit(1)
 			}
 		}
-	}
-	if err := sc.Err(); err != nil {
+	} else if err := parseStream(os.Stdin, &rep, true); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
 		os.Exit(1)
 	}
@@ -87,6 +96,39 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+// parseStream folds one `go test -bench` stream into the report,
+// optionally echoing each line to stdout. Header lines (goos/goarch/cpu)
+// fill the report-level fields — last writer wins, which only matters
+// when merging streams from different machines — while each pkg: header
+// tags the results that follow it.
+func parseStream(r io.Reader, rep *Report, echo bool) error {
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo {
+			fmt.Println(line)
+		}
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseBenchLine(line); ok {
+				res.Pkg = pkg
+				rep.Results = append(rep.Results, res)
+			}
+		}
+	}
+	return sc.Err()
 }
 
 // parseBenchLine parses one `BenchmarkName-P  N  V unit  V unit ...` line.

@@ -56,6 +56,7 @@ func main() {
 		samples  = flag.Int("samples", 4000, "MC samples per distribution")
 		stride   = flag.Int("stride", 1, "grid stride (1 = full 8x8)")
 		format   = flag.String("format", "lvf2", "output format: lvf | lvf2")
+		cold     = flag.Bool("cold", false, "disable warm-start seeding (every fit multi-starts from scratch)")
 		seed     = flag.Uint64("seed", 1, "RNG seed")
 		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget, e.g. 5m (0 = unlimited)")
 		ckptDir  = flag.String("checkpoint", "", "journal directory for resumable runs (empty = no journal)")
@@ -111,11 +112,12 @@ func main() {
 	}
 
 	cfg := libbuild.Config{
-		Types:   types,
-		ArcsPer: *arcs,
-		Char:    cells.CharConfig{Samples: *samples, Seed: *seed, GridStride: *stride},
-		LVF2:    *format == "lvf2",
-		Log:     os.Stderr,
+		Types:     types,
+		ArcsPer:   *arcs,
+		Char:      cells.CharConfig{Samples: *samples, Seed: *seed, GridStride: *stride},
+		LVF2:      *format == "lvf2",
+		ColdStart: *cold,
+		Log:       os.Stderr,
 	}
 	if *ckptDir != "" {
 		cfg.Journal = openJournal(*ckptDir, cfg.Fingerprint(), *resume)
@@ -151,6 +153,9 @@ func main() {
 	}
 	if stats.Restored > 0 {
 		fmt.Fprintf(os.Stderr, "libgen: resumed: %d/%d units restored from the journal\n", stats.Restored, stats.Units)
+	}
+	if stats.WarmHits+stats.WarmRejected > 0 {
+		fmt.Fprintf(os.Stderr, "libgen: warm-start: %d seeded fit(s) accepted, %d rejected to cold\n", stats.WarmHits, stats.WarmRejected)
 	}
 	if stats.Quarantined > 0 {
 		fmt.Fprintf(os.Stderr, "libgen: %d poison unit(s) quarantined (see ocv_fallback_note_* attributes)\n", stats.Quarantined)

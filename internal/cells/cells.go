@@ -201,7 +201,11 @@ type CharConfig struct {
 	// ArcTimeout bounds the wall time of a single arc's characterisation
 	// (0 = none). Enforcement is cooperative at grid-point boundaries.
 	ArcTimeout time.Duration
-	// Eval overrides the Monte-Carlo evaluator (default DefaultEval).
+	// Eval overrides the Monte-Carlo evaluator. When nil the arc's own
+	// electrical model is streamed through one reusable sample plan per
+	// arc (bit-identical to DefaultEval, without the per-point matrix
+	// pool round-trips); fault-injection harnesses substitute
+	// contaminated or panicking evaluators here.
 	Eval EvalFunc
 	// Skip elides grid points before their Monte-Carlo evaluation runs.
 	// It is the checkpoint-resume seam: a resumed run installs a filter
@@ -228,10 +232,44 @@ func (c CharConfig) WithDefaults() CharConfig {
 	if c.Seed == 0 {
 		c.Seed = 0x5eed
 	}
-	if c.Eval == nil {
-		c.Eval = DefaultEval
-	}
 	return c
+}
+
+// GridPoint is one visited coordinate of the characterisation sweep: the
+// raw grid indices (the checkpoint-key and RNG-seed domain) and the
+// dense matrix indices (raw index / stride — the emitted table domain).
+type GridPoint struct {
+	SlewIdx, LoadIdx int
+	Row, Col         int
+}
+
+// SweepPoints enumerates the visited (slew, load) coordinates of the
+// characterisation grid in the fixed deterministic sweep order: row-major
+// from the nominal corner (lowest slew, lowest load), load index varying
+// fastest, honouring GridStride. Every layer — characterisation, fitting,
+// checkpoint planning and distributed leasing — iterates exactly this
+// sequence; a single shared order is what lets warm-started fits seed
+// from an already-visited neighbour and still produce bit-identical
+// libraries across Workers counts, resume, and distribution.
+func (c CharConfig) SweepPoints() []GridPoint {
+	stride := c.GridStride
+	if stride <= 0 {
+		stride = 1
+	}
+	grid := c.Grid
+	if len(grid.Slews) == 0 {
+		grid = DefaultGrid()
+	}
+	var pts []GridPoint
+	for si := 0; si < len(grid.Slews); si += stride {
+		for li := 0; li < len(grid.Loads); li += stride {
+			pts = append(pts, GridPoint{
+				SlewIdx: si, LoadIdx: li,
+				Row: si / stride, Col: li / stride,
+			})
+		}
+	}
+	return pts
 }
 
 // CharacterizeArc runs the MC characterisation of one arc over the grid,
@@ -247,28 +285,33 @@ func CharacterizeArc(cfg CharConfig, arc Arc) []Distribution {
 func CharacterizeArcCtx(ctx context.Context, cfg CharConfig, arc Arc) ([]Distribution, error) {
 	cfg = cfg.WithDefaults()
 	var out []Distribution
-	for si := 0; si < len(cfg.Grid.Slews); si += cfg.GridStride {
-		for li := 0; li < len(cfg.Grid.Loads); li += cfg.GridStride {
-			if err := ctx.Err(); err != nil {
-				return out, err
-			}
-			if cfg.Skip != nil && cfg.Skip(arc, si, li) {
-				continue
-			}
-			slew, load := cfg.Grid.Slews[si], cfg.Grid.Loads[li]
-			rng := mc.NewRNG(cfg.Seed ^ arcSeed(arc.Label, si*8+li))
-			res := cfg.Eval(arc, cfg.Corner, rng, cfg.Samples, slew, load, cfg.Sampler)
-			nd, nt := arc.Elec.NominalEval(cfg.Corner, slew, load)
-			out = append(out,
-				Distribution{
-					Arc: arc, SlewIdx: si, LoadIdx: li, Slew: slew, Load: load,
-					Kind: Delay, Samples: res.Delays, NomDelay: nd,
-				},
-				Distribution{
-					Arc: arc, SlewIdx: si, LoadIdx: li, Slew: slew, Load: load,
-					Kind: Transition, Samples: res.Transitions, NomDelay: nt,
-				})
+	var stream spice.ArcStream
+	for _, p := range cfg.SweepPoints() {
+		si, li := p.SlewIdx, p.LoadIdx
+		if err := ctx.Err(); err != nil {
+			return out, err
 		}
+		if cfg.Skip != nil && cfg.Skip(arc, si, li) {
+			continue
+		}
+		slew, load := cfg.Grid.Slews[si], cfg.Grid.Loads[li]
+		rng := mc.NewRNG(cfg.Seed ^ arcSeed(arc.Label, si*8+li))
+		var res spice.MCResult
+		if cfg.Eval != nil {
+			res = cfg.Eval(arc, cfg.Corner, rng, cfg.Samples, slew, load, cfg.Sampler)
+		} else {
+			res = arc.Elec.CharacterizeStream(cfg.Corner, rng, cfg.Samples, slew, load, cfg.Sampler, &stream)
+		}
+		nd, nt := arc.Elec.NominalEval(cfg.Corner, slew, load)
+		out = append(out,
+			Distribution{
+				Arc: arc, SlewIdx: si, LoadIdx: li, Slew: slew, Load: load,
+				Kind: Delay, Samples: res.Delays, NomDelay: nd,
+			},
+			Distribution{
+				Arc: arc, SlewIdx: si, LoadIdx: li, Slew: slew, Load: load,
+				Kind: Transition, Samples: res.Transitions, NomDelay: nt,
+			})
 	}
 	return out, nil
 }

@@ -62,6 +62,18 @@ type Runner struct {
 // Context cancellation is not a unit fault: Do returns the context
 // error without journaling a failure, leaving the unit runnable after
 // resume.
+//
+// Payload purity. The no-recompute guarantee only yields bit-identical
+// resumes if run is a pure function of the unit key and the
+// fingerprinted configuration. A run callback MAY derive state from
+// *other units' journaled payloads* — libbuild's warm-start seeds are
+// decoded from the anchor unit's payload bytes — provided the
+// derivation itself is deterministic and the dependency always resolves
+// through the payload (never a richer in-memory value a fresh process
+// would not have), so a unit computed after a restore is byte-equal to
+// one computed in the original run. Anything that would make payloads
+// depend on scheduling, wall clock or process identity must instead go
+// into the config fingerprint, the key, or a payload field.
 func (r *Runner) Do(ctx context.Context, k Key, run func(context.Context) ([]byte, error), salvage func(lastErr error) (payload []byte, rung string, err error)) (Unit, error) {
 	if rec, ok := r.Journal.Lookup(k); ok {
 		switch rec.Status {

@@ -69,6 +69,7 @@ type BuildSpec struct {
 	Seed       uint64   `json:"seed"`
 	GridStride int      `json:"grid_stride"`
 	LVF2       bool     `json:"lvf2"`
+	ColdStart  bool     `json:"cold_start,omitempty"`
 }
 
 // SpecFromConfig extracts the portable spec of a build configuration.
@@ -85,6 +86,7 @@ func SpecFromConfig(cfg libbuild.Config) BuildSpec {
 		Seed:       ch.Seed,
 		GridStride: ch.GridStride,
 		LVF2:       cfg.LVF2,
+		ColdStart:  cfg.ColdStart,
 	}
 }
 
@@ -99,10 +101,11 @@ func (s BuildSpec) Config() (libbuild.Config, error) {
 		types = append(types, ct)
 	}
 	return libbuild.Config{
-		Types:   types,
-		ArcsPer: s.ArcsPer,
-		Char:    cells.CharConfig{Samples: s.Samples, Seed: s.Seed, GridStride: s.GridStride},
-		LVF2:    s.LVF2,
+		Types:     types,
+		ArcsPer:   s.ArcsPer,
+		Char:      cells.CharConfig{Samples: s.Samples, Seed: s.Seed, GridStride: s.GridStride},
+		LVF2:      s.LVF2,
+		ColdStart: s.ColdStart,
 	}, nil
 }
 

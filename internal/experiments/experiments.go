@@ -444,21 +444,19 @@ produce:
 			for _, d := range dists {
 				byPoint[[3]int{d.SlewIdx, d.LoadIdx, int(d.Kind)}] = d
 			}
-			for si := 0; si < len(charCfg.Grid.Slews); si += charCfg.GridStride {
-				for li := 0; li < len(charCfg.Grid.Loads); li += charCfg.GridStride {
-					for _, kind := range [...]cells.Kind{cells.Delay, cells.Transition} {
-						k := unitKey(arc, si, li, kind)
-						s := &slot{typeIdx: ti}
-						if kind == cells.Delay {
-							s.binIdx, s.yieldIdx = 0, 2
-						} else {
-							s.binIdx, s.yieldIdx = 1, 3
-						}
-						slots = append(slots, s)
-						d, have := byPoint[[3]int{si, li, int(kind)}]
-						if p.Submit(k.String(), fitJob(s, k, d, have)) != nil {
-							break produce // pool refused: context cancelled
-						}
+			for _, gp := range charCfg.SweepPoints() {
+				for _, kind := range [...]cells.Kind{cells.Delay, cells.Transition} {
+					k := unitKey(arc, gp.SlewIdx, gp.LoadIdx, kind)
+					s := &slot{typeIdx: ti}
+					if kind == cells.Delay {
+						s.binIdx, s.yieldIdx = 0, 2
+					} else {
+						s.binIdx, s.yieldIdx = 1, 3
+					}
+					slots = append(slots, s)
+					d, have := byPoint[[3]int{gp.SlewIdx, gp.LoadIdx, int(kind)}]
+					if p.Submit(k.String(), fitJob(s, k, d, have)) != nil {
+						break produce // pool refused: context cancelled
 					}
 				}
 			}

@@ -20,6 +20,10 @@ type LVF2Result struct {
 	C1, C2 stats.SkewNormal
 	LogLik float64
 	Iters  int
+	// Warm reports whether this fit was produced by an accepted warm
+	// start (WarmHit), a rejected warm start that fell back to the cold
+	// multi-start (WarmRejected), or an unseeded cold fit (WarmCold).
+	Warm WarmOutcome
 }
 
 // Dist returns the fitted mixture.
@@ -82,6 +86,11 @@ func FitLVF2(xs []float64, o Options) (LVF2Result, error) {
 // FitLVF2Ws is FitLVF2 fitting through caller-owned workspace buffers; a
 // steady-state call allocates nothing. fw must not be shared between
 // concurrent fits (nil falls back to a private workspace).
+//
+// With Options.Seed set, the warm-start path runs first (see
+// FitLVF2Seeded); its validation gate falls back to the cold multi-start
+// below, and the resolved outcome is recorded in LVF2Result.Warm and the
+// lvf2_fit_warmstart_total counter.
 func FitLVF2Ws(xs []float64, o Options, fw *Workspace) (LVF2Result, error) {
 	o = o.withDefaults()
 	n := len(xs)
@@ -95,6 +104,30 @@ func FitLVF2Ws(xs []float64, o Options, fw *Workspace) (LVF2Result, error) {
 		fw = &Workspace{}
 	}
 	fw.grow(n)
+
+	start := nowFit()
+	outcome := WarmCold
+	if o.Seed != nil {
+		seed := *o.Seed
+		o.Seed = nil // the cold fallback below must not recurse
+		if warm, ok := fitLVF2Seeded(xs, seed, o, fw); ok {
+			observeFit(WarmHit, start)
+			return warm, nil
+		}
+		outcome = WarmRejected
+	}
+	r, err := fitLVF2Cold(xs, o, fw)
+	r.Warm = outcome
+	if err == nil {
+		observeFit(outcome, start)
+	}
+	return r, err
+}
+
+// fitLVF2Cold is the full multi-start EM pipeline (the pre-warm-start
+// FitLVF2Ws body). xs and fw have been validated and grown by the caller.
+func fitLVF2Cold(xs []float64, o Options, fw *Workspace) (LVF2Result, error) {
+	n := len(xs)
 	all := stats.Moments(xs)
 	sdFloor := math.Max(all.Std()*1e-3, 1e-300)
 

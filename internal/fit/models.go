@@ -78,6 +78,12 @@ type Options struct {
 	// callers that must not spawn goroutines (and for the determinism
 	// tests that compare the two paths).
 	Serial bool
+	// Seed, when non-nil, warm-starts FitLVF2 from a neighbouring fit's
+	// converged parameters: the exploratory multi-start is skipped and
+	// the transported seed refined by ECM, falling back to the full cold
+	// multi-start when the refinement fails the validation gate. Only
+	// FitLVF2 consults it; every other fitter ignores it.
+	Seed *Seed
 }
 
 func (o Options) withDefaults() Options {
@@ -97,6 +103,9 @@ type Result struct {
 	Dist   stats.Dist
 	LogLik float64
 	Iters  int
+	// Warm is the warm-start outcome for LVF² fits (WarmCold for every
+	// other model and for unseeded fits).
+	Warm WarmOutcome
 }
 
 // ErrNotEnoughData is returned when a fitter needs more samples.
@@ -126,7 +135,9 @@ func Fit(model Model, xs []float64, o Options) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return r.Result(), nil
+		res := r.Result()
+		res.Warm = r.Warm
+		return res, nil
 	case ModelLN:
 		return FitLN(xs)
 	case ModelLSN:

@@ -1,0 +1,47 @@
+package fit
+
+import (
+	"time"
+
+	"lvf2/internal/obs"
+)
+
+// Warm-start observability. The counters live in the process-wide
+// default registry, so every fitting path — cells/libbuild library
+// characterisation, the experiment drivers, and the lvf2d refit path —
+// reports warm-start effectiveness and per-entry fit latency through the
+// same two series without any per-caller wiring. The children are
+// pre-resolved: one fit costs three atomic operations, keeping the
+// steady-state allocation budget of FitLVF2Ws at zero.
+var (
+	warmstartVec = obs.NewCounterVec(obs.Default(),
+		"lvf2_fit_warmstart_total",
+		"LVF² fits by warm-start outcome (hit = seed accepted, rejected = gate fell back to cold, cold = unseeded)",
+		"outcome")
+	warmstartHit      = warmstartVec.With(WarmHit.String())
+	warmstartRejected = warmstartVec.With(WarmRejected.String())
+	warmstartCold     = warmstartVec.With(WarmCold.String())
+
+	fitDuration = obs.NewHistogram(obs.Default(),
+		"lvf2_fit_duration_seconds",
+		"wall time of one LVF² fit (one characterised table entry)",
+		[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5})
+)
+
+// nowFit stamps the start of one fit (a seam name so the hot path reads
+// as instrumentation, not as time arithmetic).
+func nowFit() time.Time { return time.Now() }
+
+// observeFit records one resolved fit: its outcome counter and its
+// duration bucket.
+func observeFit(outcome WarmOutcome, start time.Time) {
+	switch outcome {
+	case WarmHit:
+		warmstartHit.Inc()
+	case WarmRejected:
+		warmstartRejected.Inc()
+	default:
+		warmstartCold.Inc()
+	}
+	fitDuration.Observe(time.Since(start).Seconds())
+}

@@ -45,6 +45,9 @@ type FitReport struct {
 	Degenerate bool
 	// Dropped counts non-finite samples removed before fitting.
 	Dropped int
+	// Warm is the warm-start outcome of the accepted fit (meaningful for
+	// the LVF² rung; every other rung reports WarmCold).
+	Warm WarmOutcome
 	// Attempts lists every try in ladder order (the last one succeeded
 	// unless the whole ladder failed).
 	Attempts []Attempt
@@ -141,6 +144,13 @@ func FitRobust(model Model, xs []float64, o RobustOptions) (Result, FitReport, e
 				opts.PerturbInit = 0.08 * float64(retry)
 				opts.PerturbSeed = o.Seed + uint64(retry)*0x9e3779b97f4a7c15
 			}
+			// A warm-start seed is consulted on the first LVF² attempt
+			// only: a validation failure there means the seeded basin is
+			// suspect, so perturbed restarts and degradation rungs must
+			// explore cold exactly as an unseeded robust fit would.
+			if rung != ModelLVF2 || retry > 0 {
+				opts.Seed = nil
+			}
 			r, err := Fit(rung, clean, opts)
 			if err == nil {
 				err = ValidateResult(r, clean, opts)
@@ -149,6 +159,7 @@ func FitRobust(model Model, xs []float64, o RobustOptions) (Result, FitReport, e
 			if err == nil {
 				rep.Used = rung
 				rep.Fallback = rung != model
+				rep.Warm = r.Warm
 				return r, rep, nil
 			}
 			failures = append(failures, fmt.Errorf("%s retry %d: %w", rung, retry, err))

@@ -1,0 +1,180 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"lvf2/internal/stats"
+)
+
+// seedTruth is a clearly bimodal skew-normal mixture, the shape the
+// warm-start scheme is built for.
+func seedTruth(shift, scale float64) stats.Mixture {
+	m, _ := stats.NewMixture(
+		[]float64{0.65, 0.35},
+		[]stats.Dist{
+			stats.SkewNormal{Xi: shift, Omega: 0.4 * scale, Alpha: 3},
+			stats.SkewNormal{Xi: shift + 2.5*scale, Omega: 0.3 * scale, Alpha: -1},
+		})
+	return m
+}
+
+// cdfRMSE compares two fitted distributions over an evenly spaced grid
+// spanning both supports — the metric of the warm-vs-cold accuracy gate.
+func cdfRMSE(a, b stats.Dist, lo, hi float64) float64 {
+	const pts = 201
+	var sum float64
+	for i := 0; i < pts; i++ {
+		x := lo + (hi-lo)*float64(i)/(pts-1)
+		d := a.CDF(x) - b.CDF(x)
+		sum += d * d
+	}
+	return math.Sqrt(sum / pts)
+}
+
+func TestFitLVF2SeededHit(t *testing.T) {
+	// Neighbouring grid entries: same mixture shape, shifted and scaled —
+	// exactly what adjacent slew–load points look like.
+	xsA := sampleDist(seedTruth(1.0, 1.0), 4000, 11)
+	xsB := sampleDist(seedTruth(1.3, 1.15), 4000, 12)
+
+	coldA, err := FitLVF2(xsA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldB, err := FitLVF2(xsB, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warmB, outcome, err := FitLVF2Seeded(xsB, SeedOf(coldA), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != WarmHit {
+		t.Fatalf("neighbour seed outcome = %v, want hit", outcome)
+	}
+	if warmB.Warm != WarmHit {
+		t.Errorf("result.Warm = %v, want WarmHit", warmB.Warm)
+	}
+
+	// The warm fit must describe the sample essentially as well as the
+	// cold fit: close in log-likelihood and in CDF.
+	if warmB.LogLik < coldB.LogLik-0.01*math.Abs(coldB.LogLik) {
+		t.Errorf("warm loglik %v well below cold %v", warmB.LogLik, coldB.LogLik)
+	}
+	if rmse := cdfRMSE(warmB.Dist(), coldB.Dist(), -1, 6); rmse > 0.01 {
+		t.Errorf("warm-vs-cold CDF RMSE = %v, want <= 0.01", rmse)
+	}
+}
+
+func TestFitLVF2SeededRejectedFallsBackCold(t *testing.T) {
+	xs := sampleDist(seedTruth(0, 1), 2000, 21)
+	cold, err := FitLVF2(xs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, seed := range map[string]Seed{
+		"nan-xi":      {Lambda: 0.4, C1: stats.SkewNormal{Xi: math.NaN(), Omega: 1}},
+		"bad-lambda":  {Lambda: math.Inf(1), C1: stats.SkewNormal{Omega: 1}},
+		"zero-omega":  {Lambda: 0.4, C1: stats.SkewNormal{Xi: 1, Omega: 0}},
+		"swapped-bad": {Lambda: 0.9, C1: stats.SkewNormal{Xi: 1, Omega: 1}, C2: stats.SkewNormal{Xi: math.Inf(-1), Omega: 1}},
+	} {
+		warm, outcome, err := FitLVF2Seeded(xs, seed, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if outcome != WarmRejected {
+			t.Errorf("%s: outcome = %v, want rejected", name, outcome)
+		}
+		// The fallback is the cold multi-start itself: identical parameters
+		// bit for bit, only the provenance label differs.
+		if warm.Lambda != cold.Lambda || warm.C1 != cold.C1 || warm.C2 != cold.C2 {
+			t.Errorf("%s: fallback fit differs from cold fit", name)
+		}
+		if warm.Warm != WarmRejected {
+			t.Errorf("%s: result.Warm = %v, want WarmRejected", name, warm.Warm)
+		}
+	}
+}
+
+// TestFitLVF2SeededDeterminism pins the bit-identity contract: the
+// seeded path must produce the same parameters through the serial and
+// the concurrent refinement, and across repeated runs.
+func TestFitLVF2SeededDeterminism(t *testing.T) {
+	xsA := sampleDist(seedTruth(2, 0.8), 4000, 31)
+	xsB := sampleDist(seedTruth(2.2, 0.9), 4000, 32)
+	coldA, err := FitLVF2(xsA, Options{Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := SeedOf(coldA)
+
+	serial, so, err := FitLVF2Seeded(xsB, seed, Options{Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		par, po, err := FitLVF2Seeded(xsB, seed, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if so != po {
+			t.Fatalf("serial outcome %v != parallel outcome %v", so, po)
+		}
+		if serial != par {
+			t.Fatalf("run %d: parallel seeded fit differs from serial:\n%+v\n%+v", i, par, serial)
+		}
+	}
+}
+
+// TestSeedIgnoredByOtherModels: Options.Seed is an LVF²-only contract.
+func TestSeedIgnoredByOtherModels(t *testing.T) {
+	xs := sampleDist(seedTruth(0, 1), 1000, 41)
+	seed := Seed{Lambda: 0.3, C1: stats.SkewNormal{Xi: 0, Omega: 1}, C2: stats.SkewNormal{Xi: 2, Omega: 1}}
+	o := Options{Seed: &seed}
+	for _, m := range []Model{ModelLVF, ModelNorm2, ModelGaussian} {
+		r, err := Fit(m, xs, o)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if r.Warm != WarmCold {
+			t.Errorf("%s: Warm = %v, want WarmCold", m, r.Warm)
+		}
+	}
+}
+
+// TestWarmstartCounterWiring: every resolved LVF² fit lands in exactly
+// one bucket of lvf2_fit_warmstart_total.
+func TestWarmstartCounterWiring(t *testing.T) {
+	xsA := sampleDist(seedTruth(1, 1), 3000, 51)
+	xsB := sampleDist(seedTruth(1.1, 1.05), 3000, 52)
+	coldA, err := FitLVF2(xsA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hit0, rej0, cold0 := warmstartHit.Value(), warmstartRejected.Value(), warmstartCold.Value()
+	if _, outcome, err := FitLVF2Seeded(xsB, SeedOf(coldA), Options{}); err != nil || outcome != WarmHit {
+		t.Fatalf("seeded fit: outcome %v, err %v", outcome, err)
+	}
+	bad := Seed{Lambda: 0.4, C1: stats.SkewNormal{Xi: math.NaN(), Omega: 1}}
+	if _, outcome, err := FitLVF2Seeded(xsB, bad, Options{}); err != nil || outcome != WarmRejected {
+		t.Fatalf("rejected fit: outcome %v, err %v", outcome, err)
+	}
+	if _, err := FitLVF2(xsB, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Other fit tests may run concurrently against the same process-wide
+	// counters, so assert monotone growth, not exact deltas.
+	if d := warmstartHit.Value() - hit0; d < 1 {
+		t.Errorf("hit counter grew by %d, want >= 1", d)
+	}
+	if d := warmstartRejected.Value() - rej0; d < 1 {
+		t.Errorf("rejected counter grew by %d, want >= 1", d)
+	}
+	if d := warmstartCold.Value() - cold0; d < 1 {
+		t.Errorf("cold counter grew by %d, want >= 1", d)
+	}
+}

@@ -1,0 +1,71 @@
+package libbuild
+
+import (
+	"context"
+	"testing"
+
+	"lvf2/internal/cells"
+)
+
+// benchConfig is the library-scale workload of the cells/sec benchmark:
+// four cell types on a 4×4 subsampled grid — 128 grid points, 256 LVF²
+// fits per build — enough rows for the warm-start scheme to amortise its
+// per-row cold anchors.
+func benchConfig(short bool) Config {
+	names := []string{"INV", "BUFF", "NAND2", "NOR2"}
+	cfg := Config{
+		ArcsPer: 2,
+		Char: cells.CharConfig{
+			Samples:    1500,
+			Seed:       42,
+			GridStride: 2,
+		},
+		LVF2: true,
+	}
+	if short {
+		// The -short smoke pass only guards against bench-code rot; a
+		// two-cell 2×2 sweep exercises every path in seconds.
+		names = names[:2]
+		cfg.ArcsPer = 1
+		cfg.Char.Samples = 400
+		cfg.Char.GridStride = 4
+	}
+	for _, n := range names {
+		ct, _ := cells.CellByName(n)
+		cfg.Types = append(cfg.Types, ct)
+	}
+	return cfg
+}
+
+// runCharLib measures full library builds — characterise, fit, assemble —
+// and reports throughput as cells/sec, the tracked metric of the
+// warm-start optimisation (acceptance: warm ≥2× cold).
+func runCharLib(b *testing.B, coldStart bool) {
+	cfg := benchConfig(testing.Short())
+	cfg.ColdStart = coldStart
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var warmHits int
+	for i := 0; i < b.N; i++ {
+		_, stats, err := Build(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmHits = stats.WarmHits
+	}
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(len(cfg.Types)*b.N)/secs, "cells/sec")
+	}
+	b.ReportMetric(float64(warmHits), "warm-hits")
+}
+
+// BenchmarkCharLibWarm is the optimised path: neighbour-seeded fits over
+// the deterministic sweep order.
+func BenchmarkCharLibWarm(b *testing.B) { runCharLib(b, false) }
+
+// BenchmarkCharLibCold is the baseline: every fit multi-starts from
+// scratch, as every build did before warm-start characterisation.
+func BenchmarkCharLibCold(b *testing.B) { runCharLib(b, true) }

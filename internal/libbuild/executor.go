@@ -7,6 +7,7 @@ import (
 
 	"lvf2/internal/cells"
 	"lvf2/internal/checkpoint"
+	"lvf2/internal/fit"
 )
 
 // UnitRef locates one work unit in the deterministic build plan: its
@@ -72,8 +73,17 @@ type Executor struct {
 	cfg  Config
 	jobs map[arcCoord]arcJob
 
-	mu    sync.Mutex
-	cache []pointSamples
+	mu      sync.Mutex
+	cache   []pointSamples
+	anchors map[anchorCoord]*fit.Seed
+}
+
+// anchorCoord names one row anchor of the warm-start scheme: the arc,
+// the row's slew index and the fitted kind.
+type anchorCoord struct {
+	coord arcCoord
+	si    int
+	kind  string
 }
 
 // executorCachePoints bounds the characterised-point cache. Leases
@@ -169,8 +179,92 @@ func (e *Executor) Execute(ctx context.Context, k checkpoint.Key) ([]byte, error
 	if !have {
 		return nil, fmt.Errorf("libbuild: executor: no samples for unit %s", k)
 	}
+	seed, err := e.anchorSeed(ctx, job, coord, k)
+	if err != nil {
+		return nil, err
+	}
 	requested := requestedModel(e.cfg)
-	return fitUnitPayload(requested, e.cfg.Char.GridStride, k, d)
+	return fitUnitPayload(requested, e.cfg.Char.GridStride, k, d, seed)
+}
+
+// anchorSeedCacheRows bounds the anchor-seed cache. Leases arrive in
+// plan order, so a worker only ever revisits the last few rows; the
+// bound just keeps a long-lived worker from accumulating every row it
+// has ever fitted.
+const anchorSeedCacheRows = 64
+
+// anchorSeed derives the warm-start seed for unit k. A worker cannot
+// read the coordinator's journal, so it recomputes what the in-process
+// build would have journaled: every fit along the way is a pure function
+// of the arc configuration and the point's deterministic samples, which
+// makes the recomputed seed — and therefore the submitted payload —
+// bit-identical to what an in-process build derives from its own
+// journal. A non-anchor unit is seeded by the decoded fit of its row
+// anchor (same kind, lowest load index); an anchor unit is seeded by the
+// previous row's anchor, the column-0 chain walked from the arc's first
+// row, which always fits cold. Non-LVF² builds and ColdStart builds seed
+// nil; so does any chain link whose anchor fit fails or degrades (the
+// in-process build cold-starts past those links too).
+func (e *Executor) anchorSeed(ctx context.Context, job arcJob, coord arcCoord, k checkpoint.Key) (*fit.Seed, error) {
+	if requestedModel(e.cfg) != fit.ModelLVF2 || e.cfg.ColdStart {
+		return nil, nil
+	}
+	if k.Load == 0 {
+		// Anchor unit: its seed is the previous row's anchor (nil on the
+		// first row, where the chain starts cold).
+		return e.rowAnchor(ctx, job, coord, k, k.Slew-e.gridStride())
+	}
+	return e.rowAnchor(ctx, job, coord, k, k.Slew)
+}
+
+// gridStride is the slew/load index step between swept grid rows.
+func (e *Executor) gridStride() int {
+	if s := e.cfg.Char.GridStride; s > 0 {
+		return s
+	}
+	return 1
+}
+
+// rowAnchor returns the seed the anchor payload of row si derives — nil
+// when si is before the first row, or when the anchor fit of si (or of
+// an earlier broken link the build recovered from) degrades. It walks
+// the anchor chain up from the first swept row, reusing cached links.
+func (e *Executor) rowAnchor(ctx context.Context, job arcJob, coord arcCoord, k checkpoint.Key, si int) (*fit.Seed, error) {
+	if si < 0 {
+		return nil, nil
+	}
+	ck := anchorCoord{coord: coord, si: si, kind: k.Kind}
+	e.mu.Lock()
+	seed, cached := e.anchors[ck]
+	e.mu.Unlock()
+	if cached {
+		return seed, nil
+	}
+
+	prev, err := e.rowAnchor(ctx, job, coord, k, si-e.gridStride())
+	if err != nil {
+		return nil, err
+	}
+	byKind, err := e.point(ctx, job, coord, si, 0)
+	if err != nil {
+		return nil, err
+	}
+	if d, have := byKind[k.Kind]; have {
+		ak := checkpoint.Key{Cell: k.Cell, Pin: k.Pin, Arc: k.Arc, Slew: si, Load: 0, Kind: k.Kind}
+		if payload, ferr := fitUnitPayload(fit.ModelLVF2, e.cfg.Char.GridStride, ak, d, prev); ferr == nil {
+			if _, m, note, _, derr := decodeUnit(payload); derr == nil && note == "" {
+				seed = seedFromModel(m)
+			}
+		}
+	}
+
+	e.mu.Lock()
+	if e.anchors == nil || len(e.anchors) >= anchorSeedCacheRows {
+		e.anchors = make(map[anchorCoord]*fit.Seed, 8)
+	}
+	e.anchors[ck] = seed
+	e.mu.Unlock()
+	return seed, nil
 }
 
 // Salvage runs the quarantine ladder for a poison unit, returning the

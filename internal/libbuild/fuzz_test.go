@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"lvf2/internal/core"
+	"lvf2/internal/fit"
 )
 
 // FuzzDecodeUnit hardens the unit-payload decoder against malformed
@@ -20,18 +21,22 @@ func FuzzDecodeUnit(f *testing.F) {
 	m := core.Model{Lambda: 0.4,
 		Theta1: core.Theta{Mean: 1.2e-2, Sigma: 4e-4, Skew: -0.3},
 		Theta2: core.Theta{Mean: 1.9e-2, Sigma: 7e-4, Skew: 0.9}}
-	valid := encodeUnit(0.0123, m, "INV/arc00 (1,2): LVF2→Gaussian")
+	valid := encodeUnit(0.0123, m, "INV/arc00 (1,2): LVF2→Gaussian", fit.WarmHit)
 	f.Add(valid)
-	f.Add(encodeUnit(math.NaN(), m, ""))
+	f.Add(encodeUnit(math.NaN(), m, "", fit.WarmCold))
+	f.Add(valid[:len(valid)-1])                       // provenance byte stripped (pre-warm-start layout)
 	f.Add(valid[:len(valid)-3])                       // truncated note
 	f.Add(valid[:unitFloats*8])                       // missing length word
 	f.Add([]byte{})                                   // empty
 	f.Add(bytes.Repeat([]byte{0xff}, unitFloats*8+4)) // note length 2^32-1, no note bytes
+	invalidWarm := append([]byte{}, valid...)
+	invalidWarm[len(invalidWarm)-1] = 0x7f
+	f.Add(invalidWarm) // out-of-range warm-start outcome
 	tooLong := append(append([]byte{}, valid...), bytes.Repeat([]byte{0}, maxUnitPayload)...)
 	f.Add(tooLong) // oversized payload past the cap
 
 	f.Fuzz(func(t *testing.T, b []byte) {
-		nom, model, note, err := decodeUnit(b)
+		nom, model, note, warm, err := decodeUnit(b)
 		if err != nil {
 			return
 		}
@@ -40,7 +45,7 @@ func FuzzDecodeUnit(f *testing.F) {
 		}
 		// Canonical: an accepted payload round-trips bit-exactly, so a
 		// journaled record and its re-encoding are interchangeable.
-		if re := encodeUnit(nom, model, note); !bytes.Equal(re, b) {
+		if re := encodeUnit(nom, model, note, warm); !bytes.Equal(re, b) {
 			t.Fatalf("accepted payload is not canonical:\n in  %x\n out %x", b, re)
 		}
 	})

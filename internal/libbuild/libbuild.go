@@ -52,6 +52,14 @@ type Config struct {
 	// LVF2 selects the paper's LVF² attribute set; false emits classic
 	// LVF only.
 	LVF2 bool
+	// ColdStart disables warm-start seeding: every LVF² fit runs the full
+	// exploratory multi-start. Warm and cold libraries agree to the
+	// accuracy tolerance (the warm gate enforces it) but are not
+	// byte-identical; the determinism guarantee — same bytes across
+	// Workers counts, resume and distribution — holds separately within
+	// each mode. This knob exists for the cells/sec baseline benchmark
+	// and for bisecting fit regressions.
+	ColdStart bool
 	// Journal, when non-nil, makes the build resumable: every unit
 	// outcome is journaled and terminal units are restored on the next
 	// run instead of recomputed.
@@ -79,12 +87,18 @@ func (c Config) Fingerprint() checkpoint.Fingerprint {
 	if c.LVF2 {
 		format = "lvf2"
 	}
+	start := "warm"
+	if c.ColdStart {
+		start = "cold"
+	}
 	return checkpoint.Fingerprint{
 		Library:    fmt.Sprintf("%s/%s/arcs=%d", LibraryName, strings.Join(names, ","), c.ArcsPer),
 		Seed:       ch.Seed,
 		Samples:    ch.Samples,
 		GridStride: ch.GridStride,
-		Options:    fmt.Sprintf("format=%s", format),
+		// start matters because warm and cold payloads differ: a journal
+		// written in one mode must not be resumed in the other.
+		Options: fmt.Sprintf("format=%s,start=%s", format, start),
 	}
 }
 
@@ -94,6 +108,12 @@ type Stats struct {
 	Restored    int // units restored from the journal, not recomputed
 	Quarantined int // units emitted by a quarantine salvage rung
 	Fallbacks   int // units carrying a fallback/quarantine note
+	// Warm-start outcomes of the fresh (non-restored) fits: a hit skipped
+	// the exploratory multi-start, a rejection paid one gate check on top
+	// of the cold fit it fell back to. Fresh fits minus the two are
+	// unseeded cold fits (row anchors, non-LVF² rungs, ColdStart builds).
+	WarmHits     int
+	WarmRejected int
 }
 
 // arcJob is one arc's slot in deterministic library order.
@@ -173,6 +193,8 @@ func Build(ctx context.Context, cfg Config) (*liberty.Group, Stats, error) {
 		stats.Restored += r.stats.Restored
 		stats.Quarantined += r.stats.Quarantined
 		stats.Fallbacks += r.stats.Fallbacks
+		stats.WarmHits += r.stats.WarmHits
+		stats.WarmRejected += r.stats.WarmRejected
 	}
 	cfg.Journal.SetResumeSkipRatio(stats.Restored, stats.Units)
 	if err != nil {
@@ -279,12 +301,40 @@ func buildArc(ctx context.Context, cfg Config, runner *checkpoint.Runner, arc ce
 	var notesD, notesT []string
 
 	requested := requestedModel(cfg)
+	warmable := requested == fit.ModelLVF2 && !cfg.ColdStart
+	// anchors holds the current row's warm-start seeds, one per kind. The
+	// first point of a row (lowest load) is the row anchor: it seeds the
+	// rest of the row whenever its fit is clean, and is itself seeded from
+	// the previous row's anchor — a column-0 chain down the slew axis, so
+	// only the very first row of an arc pays a cold multi-start. A broken
+	// link (quarantined or degraded anchor) cold-starts the next anchor
+	// and the chain self-heals on the following row. Seeds are derived
+	// from the *decoded payload* model, never the in-memory fit result, so
+	// a resumed or distributed build derives bit-identical seeds from the
+	// journal and the assembled library does not depend on which process
+	// fitted the anchor.
+	anchors := make(map[cells.Kind]*fit.Seed, 2)
+	prevAnchors := make(map[cells.Kind]*fit.Seed, 2)
+	row := -1
 	var stats Stats
 	for _, p := range points {
+		if p.mi != row {
+			row = p.mi
+			prevAnchors[cells.Delay], prevAnchors[cells.Transition] = anchors[cells.Delay], anchors[cells.Transition]
+			anchors[cells.Delay], anchors[cells.Transition] = nil, nil
+		}
 		for _, kind := range [...]cells.Kind{cells.Delay, cells.Transition} {
 			k := key(p, kind)
 			d, haveDist := byPoint[distKey{si: p.si, li: p.li, kind: kind}]
-			unit, uerr := resolveUnit(ctx, cfg, runner, k, requested, d, haveDist)
+			var seed *fit.Seed
+			if warmable {
+				if p.mj != 0 {
+					seed = anchors[kind]
+				} else {
+					seed = prevAnchors[kind]
+				}
+			}
+			unit, uerr := resolveUnit(ctx, cfg, runner, k, requested, d, haveDist, seed)
 			if uerr != nil && !errors.Is(uerr, checkpoint.ErrUnitDropped) {
 				return arcTables{}, uerr
 			}
@@ -295,9 +345,27 @@ func buildArc(ctx context.Context, cfg Config, runner *checkpoint.Runner, arc ce
 			if unit.Quarantined {
 				stats.Quarantined++
 			}
-			nom, model, note, perr := unitResult(cfg, unit, arc, p, kind)
+			nom, model, note, warm, perr := unitResult(cfg, unit, arc, p, kind)
 			if perr != nil {
 				return arcTables{}, perr
+			}
+			if !unit.Restored {
+				switch warm {
+				case fit.WarmHit:
+					stats.WarmHits++
+				case fit.WarmRejected:
+					stats.WarmRejected++
+				}
+			}
+			if warmable && p.mj == 0 {
+				// A quarantined, dropped or fallback-noted anchor cannot
+				// seed: its model is a salvage rung, not a converged LVF²
+				// neighbour. The rest of the row cold-starts.
+				if unit.Payload != nil && !unit.Quarantined && note == "" {
+					anchors[kind] = seedFromModel(model)
+				} else {
+					anchors[kind] = nil
+				}
 			}
 			if note != "" {
 				stats.Fallbacks++
@@ -331,12 +399,25 @@ func requestedModel(cfg Config) fit.Model {
 	return fit.ModelLVF
 }
 
-// fitUnitPayload fits one unit's samples with the requested model and
-// encodes the journal payload. The in-process build path and the
-// distributed worker executor share it, so a payload computed remotely
-// is bit-identical to one computed locally.
-func fitUnitPayload(requested fit.Model, gridStride int, k checkpoint.Key, d cells.Distribution) ([]byte, error) {
-	m, rep, err := core.FitKindRobust(requested, d.Samples, fit.RobustOptions{})
+// seedFromModel transports a decoded unit payload into a warm-start
+// seed. Deriving the seed from the payload's raw IEEE-754 floats (rather
+// than the fitter's in-memory result, whose SkewNormal → Theta → SN
+// round-trip is not bit-exact) is what makes warm-started fits a pure
+// function of the journal: resume and distribution reproduce them
+// bit for bit.
+func seedFromModel(m core.Model) *fit.Seed {
+	return &fit.Seed{Lambda: m.Lambda, C1: m.Theta1.SN(), C2: m.Theta2.SN()}
+}
+
+// fitUnitPayload fits one unit's samples with the requested model —
+// warm-started from seed when non-nil — and encodes the journal payload.
+// The in-process build path and the distributed worker executor share
+// it, so a payload computed remotely is bit-identical to one computed
+// locally.
+func fitUnitPayload(requested fit.Model, gridStride int, k checkpoint.Key, d cells.Distribution, seed *fit.Seed) ([]byte, error) {
+	o := fit.RobustOptions{}
+	o.Options.Seed = seed
+	m, rep, err := core.FitKindRobust(requested, d.Samples, o)
 	if err != nil {
 		return nil, fmt.Errorf("fit %s: %w", k, err)
 	}
@@ -344,7 +425,7 @@ func fitUnitPayload(requested fit.Model, gridStride int, k checkpoint.Key, d cel
 	if rep.Fallback || rep.Degenerate || rep.Dropped > 0 {
 		note = fmt.Sprintf("%s (%d,%d): %s", k.Arc, k.Slew/gridStride, k.Load/gridStride, rep)
 	}
-	return encodeUnit(d.NomDelay, m, note), nil
+	return encodeUnit(d.NomDelay, m, note, rep.Warm), nil
 }
 
 // salvageUnitPayload is the quarantine ladder shared by the build path
@@ -355,17 +436,17 @@ func fitUnitPayload(requested fit.Model, gridStride int, k checkpoint.Key, d cel
 func salvageUnitPayload(d cells.Distribution, haveDist bool) (payload []byte, rung string) {
 	if haveDist {
 		if m, rep, err := core.FitKindRobust(fit.ModelGaussian, d.Samples, fit.RobustOptions{}); err == nil {
-			return encodeUnit(d.NomDelay, m, ""), rep.Used.String()
+			return encodeUnit(d.NomDelay, m, "", fit.WarmCold), rep.Used.String()
 		}
 	}
 	nom := d.NomDelay
 	m := core.FromLVF(core.Theta{Mean: nom, Sigma: math.Max(math.Abs(nom)*1e-9, 1e-12)})
-	return encodeUnit(nom, m, ""), "floored-gaussian"
+	return encodeUnit(nom, m, "", fit.WarmCold), "floored-gaussian"
 }
 
 // resolveUnit runs one work unit through the checkpoint runner: restore
 // if terminal, otherwise fit with retry and quarantine salvage.
-func resolveUnit(ctx context.Context, cfg Config, runner *checkpoint.Runner, k checkpoint.Key, requested fit.Model, d cells.Distribution, haveDist bool) (checkpoint.Unit, error) {
+func resolveUnit(ctx context.Context, cfg Config, runner *checkpoint.Runner, k checkpoint.Key, requested fit.Model, d cells.Distribution, haveDist bool, seed *fit.Seed) (checkpoint.Unit, error) {
 	run := func(context.Context) ([]byte, error) {
 		if cfg.fitHook != nil {
 			cfg.fitHook(k)
@@ -380,7 +461,7 @@ func resolveUnit(ctx context.Context, cfg Config, runner *checkpoint.Runner, k c
 			// terminal, and terminal units are restored before run is called.
 			return nil, fmt.Errorf("libbuild: no samples for unit %s", k)
 		}
-		return fitUnitPayload(requested, cfg.Char.GridStride, k, d)
+		return fitUnitPayload(requested, cfg.Char.GridStride, k, d, seed)
 	}
 	salvage := func(error) ([]byte, string, error) {
 		payload, rung := salvageUnitPayload(d, haveDist)
@@ -389,9 +470,9 @@ func resolveUnit(ctx context.Context, cfg Config, runner *checkpoint.Runner, k c
 	return runner.Do(ctx, k, run, salvage)
 }
 
-// unitResult turns a resolved unit into the (nominal, model, note)
-// triple the table assembly consumes.
-func unitResult(cfg Config, unit checkpoint.Unit, arc cells.Arc, p gridPoint, kind cells.Kind) (float64, core.Model, string, error) {
+// unitResult turns a resolved unit into the (nominal, model, note, warm
+// outcome) tuple the table assembly consumes.
+func unitResult(cfg Config, unit checkpoint.Unit, arc cells.Arc, p gridPoint, kind cells.Kind) (float64, core.Model, string, fit.WarmOutcome, error) {
 	if unit.Payload == nil {
 		// A dropped unit (quarantined with no salvage payload) still needs
 		// a finite table entry; reconstruct the nominal deterministically.
@@ -402,34 +483,38 @@ func unitResult(cfg Config, unit checkpoint.Unit, arc cells.Arc, p gridPoint, ki
 		}
 		m := core.FromLVF(core.Theta{Mean: nom, Sigma: math.Max(math.Abs(nom)*1e-9, 1e-12)})
 		note := fmt.Sprintf("%s (%d,%d): %s [dropped]", arc.Label, p.mi, p.mj, unit.Note)
-		return nom, m, note, nil
+		return nom, m, note, fit.WarmCold, nil
 	}
-	nom, model, note, err := decodeUnit(unit.Payload)
+	nom, model, note, warm, err := decodeUnit(unit.Payload)
 	if err != nil {
-		return 0, core.Model{}, "", fmt.Errorf("libbuild: unit %s payload: %w", unit.Key, err)
+		return 0, core.Model{}, "", fit.WarmCold, fmt.Errorf("libbuild: unit %s payload: %w", unit.Key, err)
 	}
 	if unit.Quarantined {
 		note = fmt.Sprintf("%s (%d,%d): %s [%s]", arc.Label, p.mi, p.mj, unit.Note, unit.Rung)
 	}
-	return nom, model, note, nil
+	return nom, model, note, warm, nil
 }
 
 // -------------------------------------------------- unit payload codec
 
 // unitFloats is the fixed numeric prefix of a unit payload: the nominal
 // value followed by the seven model parameters, each as raw IEEE-754
-// bits so a restored model is bit-identical to the fitted one.
+// bits so a restored model is bit-identical to the fitted one. The
+// prefix is followed by a length-framed fallback note and one trailing
+// warm-start provenance byte; the byte is mandatory, so pre-warm-start
+// journals fail decoding loudly instead of silently dropping provenance.
 const unitFloats = 8
 
-func encodeUnit(nom float64, m core.Model, note string) []byte {
-	b := make([]byte, 0, unitFloats*8+4+len(note))
+func encodeUnit(nom float64, m core.Model, note string, warm fit.WarmOutcome) []byte {
+	b := make([]byte, 0, unitFloats*8+4+len(note)+1)
 	for _, v := range [...]float64{nom, m.Lambda,
 		m.Theta1.Mean, m.Theta1.Sigma, m.Theta1.Skew,
 		m.Theta2.Mean, m.Theta2.Sigma, m.Theta2.Skew} {
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(note)))
-	return append(b, note...)
+	b = append(b, note...)
+	return append(b, byte(warm))
 }
 
 // maxUnitPayload bounds a decodable unit payload. encodeUnit only ever
@@ -440,12 +525,12 @@ func encodeUnit(nom float64, m core.Model, note string) []byte {
 // protocol, where no CRC vouches for it at all).
 const maxUnitPayload = 1 << 16
 
-func decodeUnit(b []byte) (nom float64, m core.Model, note string, err error) {
+func decodeUnit(b []byte) (nom float64, m core.Model, note string, warm fit.WarmOutcome, err error) {
 	if len(b) < unitFloats*8+4 {
-		return 0, core.Model{}, "", fmt.Errorf("short payload (%d bytes)", len(b))
+		return 0, core.Model{}, "", fit.WarmCold, fmt.Errorf("short payload (%d bytes)", len(b))
 	}
 	if len(b) > maxUnitPayload {
-		return 0, core.Model{}, "", fmt.Errorf("oversized payload (%d bytes exceeds cap %d)", len(b), maxUnitPayload)
+		return 0, core.Model{}, "", fit.WarmCold, fmt.Errorf("oversized payload (%d bytes exceeds cap %d)", len(b), maxUnitPayload)
 	}
 	var f [unitFloats]float64
 	for i := range f {
@@ -457,10 +542,13 @@ func decodeUnit(b []byte) (nom float64, m core.Model, note string, err error) {
 		Theta2: core.Theta{Mean: f[5], Sigma: f[6], Skew: f[7]}}
 	n := binary.LittleEndian.Uint32(b[unitFloats*8:])
 	rest := b[unitFloats*8+4:]
-	if uint64(n) != uint64(len(rest)) {
-		return 0, core.Model{}, "", fmt.Errorf("note length %d does not match %d remaining bytes", n, len(rest))
+	if uint64(len(rest)) != uint64(n)+1 {
+		return 0, core.Model{}, "", fit.WarmCold, fmt.Errorf("note length %d does not match %d remaining bytes", n, len(rest))
 	}
-	return nom, m, string(rest), nil
+	if warm = fit.WarmOutcome(rest[n]); warm > fit.WarmRejected {
+		return 0, core.Model{}, "", fit.WarmCold, fmt.Errorf("invalid warm-start outcome %d", rest[n])
+	}
+	return nom, m, string(rest[:n]), warm, nil
 }
 
 // InputPins names a cell's input pins A, B, C, ... (at most six).

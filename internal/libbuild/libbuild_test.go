@@ -15,6 +15,7 @@ import (
 	"lvf2/internal/checkpoint"
 	"lvf2/internal/core"
 	"lvf2/internal/faultinject"
+	"lvf2/internal/fit"
 	"lvf2/internal/liberty"
 )
 
@@ -297,24 +298,33 @@ func TestUnitCodecRoundtrip(t *testing.T) {
 		Theta1: core.Theta{Mean: 1.25e-2, Sigma: 3.5e-4, Skew: -0.7},
 		Theta2: core.Theta{Mean: 1.75e-2, Sigma: 9e-4, Skew: 1.1}}
 	for _, note := range []string{"", "INV/arc00 (0,1): LVF2→Gaussian"} {
-		b := encodeUnit(0.0123, m, note)
-		nom, got, gotNote, err := decodeUnit(b)
-		if err != nil {
-			t.Fatalf("decodeUnit: %v", err)
-		}
-		if nom != 0.0123 || got != m || gotNote != note {
-			t.Errorf("roundtrip mismatch: %v %+v %q", nom, got, gotNote)
+		for _, warm := range []fit.WarmOutcome{fit.WarmCold, fit.WarmHit, fit.WarmRejected} {
+			b := encodeUnit(0.0123, m, note, warm)
+			nom, got, gotNote, gotWarm, err := decodeUnit(b)
+			if err != nil {
+				t.Fatalf("decodeUnit: %v", err)
+			}
+			if nom != 0.0123 || got != m || gotNote != note || gotWarm != warm {
+				t.Errorf("roundtrip mismatch: %v %+v %q %v", nom, got, gotNote, gotWarm)
+			}
 		}
 	}
-	if _, _, _, err := decodeUnit([]byte{1, 2, 3}); err == nil {
+	if _, _, _, _, err := decodeUnit([]byte{1, 2, 3}); err == nil {
 		t.Error("short payload accepted")
 	}
-	long := encodeUnit(1, m, "note")
-	if _, _, _, err := decodeUnit(long[:len(long)-1]); err == nil {
+	long := encodeUnit(1, m, "note", fit.WarmCold)
+	if _, _, _, _, err := decodeUnit(long[:len(long)-2]); err == nil {
 		t.Error("truncated note accepted")
 	}
+	if _, _, _, _, err := decodeUnit(long[:len(long)-1]); err == nil {
+		t.Error("payload without provenance byte accepted")
+	}
+	bad := encodeUnit(1, m, "", 99)
+	if _, _, _, _, err := decodeUnit(bad); err == nil {
+		t.Error("out-of-range warm outcome accepted")
+	}
 	if !math.IsNaN(func() float64 {
-		nom, _, _, _ := decodeUnit(encodeUnit(math.NaN(), m, ""))
+		nom, _, _, _, _ := decodeUnit(encodeUnit(math.NaN(), m, "", fit.WarmHit))
 		return nom
 	}()) {
 		t.Error("NaN nominal not bit-preserved")

@@ -11,15 +11,23 @@ type Matrix struct {
 	flat  []float64
 	perm  []int
 	shift []float64
+	// Cached shape of rows: a grid sweep draws hundreds of same-shaped
+	// blocks through one matrix, so re-slicing n row headers per block is
+	// planned once and skipped on every subsequent call.
+	shapedN, shapedD int
 }
 
 // Rows returns the matrix shaped to n rows of d columns, reusing the
 // backing storage when it is large enough. Row contents are unspecified on
 // return (callers overwrite every cell). Rows are capacity-capped, so
-// appending to one cannot clobber its neighbour.
+// appending to one cannot clobber its neighbour. Repeated calls with the
+// same shape return the cached row headers without re-slicing.
 func (m *Matrix) Rows(n, d int) [][]float64 {
 	if n <= 0 || d <= 0 {
 		return nil
+	}
+	if n == m.shapedN && d == m.shapedD {
+		return m.rows
 	}
 	if cap(m.flat) < n*d {
 		m.flat = make([]float64, n*d)
@@ -32,6 +40,7 @@ func (m *Matrix) Rows(n, d int) [][]float64 {
 	for i := range m.rows {
 		m.rows[i], flat = flat[:d:d], flat[d:]
 	}
+	m.shapedN, m.shapedD = n, d
 	return m.rows
 }
 

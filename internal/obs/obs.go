@@ -321,6 +321,31 @@ func (cv *CounterVec) Value(values ...string) int64 {
 	return cv.child(values).v.Load()
 }
 
+// BoundCounter is one pre-resolved child of a CounterVec. Inc and Add are
+// single atomic operations — no variadic slice, no label-key join, no map
+// lookup — so hot paths (one event per fit) can count without allocating.
+type BoundCounter struct{ c *vecChild }
+
+// With resolves the child for the given label values once; the returned
+// handle is safe for concurrent use and remains valid for the life of the
+// process.
+func (cv *CounterVec) With(values ...string) *BoundCounter {
+	return &BoundCounter{c: cv.child(values)}
+}
+
+// Inc adds one.
+func (b *BoundCounter) Inc() { b.c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored to keep the series monotone).
+func (b *BoundCounter) Add(n int64) {
+	if n > 0 {
+		b.c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (b *BoundCounter) Value() int64 { return b.c.v.Load() }
+
 // Inc adds one to the child for the given label values.
 func (cv *CounterVec) Inc(values ...string) { cv.child(values).v.Add(1) }
 

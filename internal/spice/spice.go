@@ -236,6 +236,29 @@ var samplePool = sync.Pool{New: func() any { return new(mc.Matrix) }}
 func (e CellElectrical) CharacterizeWith(c Corner, rng *mc.RNG, n int, slewNS, loadPF float64, s Sampler) MCResult {
 	m := samplePool.Get().(*mc.Matrix)
 	defer samplePool.Put(m)
+	return e.characterizeInto(c, rng, n, slewNS, loadPF, s, m)
+}
+
+// ArcStream plans one arc's grid sweep: a single reusable sample matrix
+// streams every (slew, load) entry of the arc through one shaped plan,
+// instead of re-planning (pool round-trip, row re-slicing) at each of
+// the 64 grid points. The zero value is ready. Not safe for concurrent
+// use — each characterisation worker owns one per arc.
+type ArcStream struct{ m mc.Matrix }
+
+// CharacterizeStream evaluates one grid entry of an arc sweep through
+// the stream's plan. The drawn samples — and therefore the resulting
+// delay/transition vectors — are bit-identical to CharacterizeWith with
+// the same RNG state: only the buffer recycling differs.
+func (e CellElectrical) CharacterizeStream(c Corner, rng *mc.RNG, n int, slewNS, loadPF float64, s Sampler, st *ArcStream) MCResult {
+	return e.characterizeInto(c, rng, n, slewNS, loadPF, s, &st.m)
+}
+
+// characterizeInto draws the process-sample block into m and evaluates
+// the arc at every sample. Only the output vectors are freshly
+// allocated; they are retained by the caller as the characterised
+// distribution.
+func (e CellElectrical) characterizeInto(c Corner, rng *mc.RNG, n int, slewNS, loadPF float64, s Sampler, m *mc.Matrix) MCResult {
 	var pts [][]float64
 	switch s {
 	case SamplerSobol:
