@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check chaos chaos-ckpt chaos-dist fuzz bench bench-tables bench-server bench-charwork bench-charlib bench-smoke allocbudget determinism clean
+.PHONY: all build test vet race check chaos chaos-ckpt chaos-dist fuzz bench bench-tables bench-server bench-charwork bench-charlib bench-yield bench-smoke allocbudget determinism clean
 
 all: build
 
@@ -27,6 +27,7 @@ allocbudget:
 determinism:
 	$(GO) test -race -cpu 1,4,8 -run 'TestFitLVF2ParallelDeterminism|TestFitLVF2Golden|TestFitLVF2SeededDeterminism' -count 1 ./internal/fit/
 	$(GO) test -race -cpu 1,4,8 -run 'TestBuildWarmDeterminismAcrossWorkers' -count 1 -timeout 15m ./internal/libbuild/
+	$(GO) test -race -cpu 1,4,8 -run 'TestYieldEstimatorDeterminism' -count 1 ./internal/yield/
 
 # Crash-safety chaos suite: randomized seeded fault scripts (disk faults,
 # fit outages, snapshot corruption, kill-and-restart) against lvf2d under
@@ -104,6 +105,14 @@ bench-charwork:
 bench-charlib:
 	$(GO) test -bench 'BenchmarkCharLib' -benchmem -benchtime 1x -count 3 -run '^$$' -timeout 60m ./internal/libbuild/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_charlib.json
+
+# Rare-event yield estimator ladder: samples-to-±1%-CI for MC/MNIS/AIS
+# at 3σ/4σ/5σ (acceptance: MNIS and AIS close the 4σ contract with ≥50x
+# fewer samples than plain MC needs, and produce a converged 5σ estimate
+# inside a budget where plain MC cannot), exported as BENCH_yield.json.
+bench-yield:
+	$(GO) test -bench 'BenchmarkYield' -benchmem -benchtime 1x -count 3 -run '^$$' -timeout 60m ./internal/yield/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_yield.json
 
 # Paper artefact regeneration benchmarks (tables, figures, ablations).
 bench-tables:

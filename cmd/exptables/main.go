@@ -8,6 +8,7 @@
 //	exptables -exp fig3  > fig3.csv  # fitted PDF curves (Fig. 3)
 //	exptables -exp fig4              # slew-load accuracy pattern (Fig. 4)
 //	exptables -exp fig5              # path SSTA study (Fig. 5, both paths)
+//	exptables -exp yield             # rare-event yield vs sigma (estimator ladder)
 //	exptables -exp all -samples 50000 -arcs 0 -stride 1   # paper scale
 //
 // With -checkpoint the table1/fig3/table2 drivers journal every work
@@ -30,6 +31,7 @@ import (
 	"lvf2/internal/experiments"
 	"lvf2/internal/fit"
 	"lvf2/internal/spice"
+	"lvf2/internal/yield"
 )
 
 // openJournal opens (or cold-starts) one driver's checkpoint journal.
@@ -72,7 +74,7 @@ func writeSVG(dir, name, svg string) error {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|fig3|fig4|fig5|clt|vsweep|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|fig3|fig4|fig5|clt|vsweep|yield|all")
 		samples = flag.Int("samples", 0, "MC samples per distribution (0 = reduced default; paper uses 50000)")
 		seed    = flag.Uint64("seed", 0, "base RNG seed (0 = default)")
 		arcs    = flag.Int("arcs", 2, "arcs per cell type for table2 (0 = all arcs, paper scale)")
@@ -201,6 +203,15 @@ func main() {
 				return err
 			}
 		}
+		return nil
+	})
+	run("yield", func() error {
+		res, err := experiments.YieldVsSigma(ctx, cfg, nil, yield.Contract{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderYieldTable(res))
+		fmt.Println()
 		return nil
 	})
 	run("vsweep", func() error {

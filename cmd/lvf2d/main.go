@@ -44,6 +44,8 @@ func main() {
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		snapshot    = flag.String("snapshot", "", "model-cache snapshot file: restored on boot, saved periodically and on drain")
 		snapEvery   = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot cadence (with -snapshot)")
+		yieldMax    = flag.Int("yield-max-samples", 1<<22, "sample budget cap per /v1/yield estimator run")
+		yieldBatch  = flag.Int("yield-batch", 4096, "estimator batch size between CI-contract checks")
 	)
 	flag.Var(&libs, "lib", "Liberty library to preload: path or name=path (repeatable)")
 	flag.Usage = func() {
@@ -71,6 +73,8 @@ func main() {
 		EnablePprof:          *enablePprof,
 		SnapshotPath:         *snapshot,
 		SnapshotInterval:     *snapEvery,
+		YieldMaxSamples:      *yieldMax,
+		YieldBatch:           *yieldBatch,
 	})
 	for _, l := range libs {
 		name := l.name

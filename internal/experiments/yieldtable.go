@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"lvf2/internal/cells"
+	"lvf2/internal/mc"
+	"lvf2/internal/spice"
+	"lvf2/internal/stats"
+	"lvf2/internal/yield"
+)
+
+// Yield-vs-sigma study: the paper's headline use of the timing model is
+// yield estimation, but the interesting clocks sit 4σ–5σ out where plain
+// Monte Carlo stops resolving anything. This table runs the whole
+// estimator ladder of internal/yield at each sigma target on one
+// golden-model arc and reports what each rung achieved under the same CI
+// contract — the narrative companion to BENCH_yield.json.
+
+// YieldRow is one (sigma, estimator) cell of the study.
+type YieldRow struct {
+	Sigma     float64
+	Estimator string
+	Result    yield.Result
+	// Projected is the estimated sample count needed to close the CI
+	// contract (equal to Result.Samples when it actually closed).
+	Projected float64
+}
+
+// YieldTableResult is the full sweep for one arc.
+type YieldTableResult struct {
+	ArcLabel  string
+	Slew      float64
+	Load      float64
+	GoldenMu  float64
+	GoldenStd float64
+	Contract  yield.Contract
+	Rows      []YieldRow
+}
+
+// YieldVsSigma characterises one INV arc at a mid-grid point to fix the
+// golden delay moments, then runs every estimator at each sigma target.
+// The context bounds each individual estimate (a cancelled run reports
+// its partial answer with Converged=false, like the serving path).
+func YieldVsSigma(ctx context.Context, cfg Config, sigmas []float64, contract yield.Contract) (YieldTableResult, error) {
+	cfg = cfg.WithDefaults()
+	if len(sigmas) == 0 {
+		sigmas = []float64{3, 4, 5}
+	}
+	ct, ok := cells.CellByName("INV")
+	if !ok {
+		return YieldTableResult{}, fmt.Errorf("experiments: INV missing")
+	}
+	arc := ct.Arcs()[0]
+	grid := cells.DefaultGrid()
+	slew, load := grid.Slews[3], grid.Loads[3]
+	corner := spice.TTCorner()
+
+	res := arc.Elec.Characterize(corner, mc.NewRNG(cfg.Seed+0xfeed), cfg.Samples, slew, load)
+	m := stats.Moments(res.Delays)
+	std := math.Sqrt(m.Variance)
+
+	out := YieldTableResult{
+		ArcLabel: arc.Label, Slew: slew, Load: load,
+		GoldenMu: m.Mean, GoldenStd: std, Contract: contract.WithDefaults(),
+	}
+	for _, sigma := range sigmas {
+		spec := yield.FromArc(arc.Elec, corner, yield.MetricDelay, slew, load, m.Mean+sigma*std)
+		for _, name := range yield.Names {
+			est, err := yield.New(name)
+			if err != nil {
+				return out, err
+			}
+			r, err := est.Estimate(ctx, spec, contract)
+			if err != nil {
+				return out, fmt.Errorf("experiments: %s at %gσ: %w", name, sigma, err)
+			}
+			out.Rows = append(out.Rows, YieldRow{
+				Sigma: sigma, Estimator: name, Result: r,
+				Projected: yield.ProjectedSamples(r, contract),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderYieldTable prints the sweep with a speedup column against the
+// plain-MC row of the same sigma (projected when MC's budget capped it).
+func RenderYieldTable(r YieldTableResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Rare-event yield vs sigma (%s, slew %.5f ns, load %.5f pF; golden μ=%.4f σ=%.5f)\n",
+		r.ArcLabel, r.Slew, r.Load, r.GoldenMu, r.GoldenStd)
+	fmt.Fprintf(&b, "CI contract: ±%.3g relative at %.0f%% confidence, budget %d samples\n",
+		r.Contract.RelErr, 100*r.Contract.Level, r.Contract.MaxSamples)
+	fmt.Fprintf(&b, "%5s %5s %12s %9s %10s %12s %5s %8s\n",
+		"sigma", "est", "failprob", "ci-rel", "samples", "to-target", "conv", "speedup")
+	mcProjected := map[float64]float64{}
+	for _, row := range r.Rows {
+		if row.Estimator == "mc" {
+			mcProjected[row.Sigma] = row.Projected
+		}
+	}
+	for _, row := range r.Rows {
+		rel := "-"
+		if !math.IsInf(row.Result.RelHalfWidth, 1) {
+			rel = fmt.Sprintf("%.4f", row.Result.RelHalfWidth)
+		}
+		speedup := "-"
+		if base := mcProjected[row.Sigma]; row.Estimator != "mc" && base > 0 && row.Projected > 0 {
+			speedup = fmt.Sprintf("%.0fx", base/row.Projected)
+		}
+		fmt.Fprintf(&b, "%5.1f %5s %12.4g %9s %10d %12.3g %5v %8s\n",
+			row.Sigma, row.Estimator, row.Result.FailProb, rel,
+			row.Result.Samples, row.Projected, row.Result.Converged, speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"lvf2/internal/yield"
+)
+
+func TestYieldVsSigma(t *testing.T) {
+	if testing.Short() {
+		t.Skip("estimator sweep is seconds-scale")
+	}
+	cfg := Config{Samples: 4000}
+	contract := yield.Contract{RelErr: 0.1, MaxSamples: 1 << 18}
+	res, err := YieldVsSigma(context.Background(), cfg, []float64{3}, contract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(yield.Names) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(yield.Names))
+	}
+	var mcRow, mnisRow *YieldRow
+	for i := range res.Rows {
+		r := &res.Rows[i]
+		if r.Result.Samples <= 0 {
+			t.Fatalf("%s spent no samples", r.Estimator)
+		}
+		switch r.Estimator {
+		case "mc":
+			mcRow = r
+		case "mnis":
+			mnisRow = r
+		}
+	}
+	if mcRow == nil || mnisRow == nil {
+		t.Fatal("missing estimator rows")
+	}
+	if !mnisRow.Result.Converged {
+		t.Fatalf("mnis should close a 10%% contract at 3σ: %+v", mnisRow.Result)
+	}
+	// The two rungs must agree on the tail they are both measuring.
+	lo, hi := mnisRow.Result.CI.Lo/3, mnisRow.Result.CI.Hi*3
+	if p := mcRow.Result.FailProb; mcRow.Result.Converged && (p < lo || p > hi) {
+		t.Fatalf("mc %g vs mnis CI [%g, %g]", p, mnisRow.Result.CI.Lo, mnisRow.Result.CI.Hi)
+	}
+	table := RenderYieldTable(res)
+	for _, frag := range []string{"sigma", "mnis", "speedup", "CI contract"} {
+		if !strings.Contains(table, frag) {
+			t.Fatalf("rendered table missing %q:\n%s", frag, table)
+		}
+	}
+}

@@ -47,19 +47,20 @@ func runCharLib(b *testing.B, coldStart bool) {
 
 	b.ReportAllocs()
 	b.ResetTimer()
-	var warmHits int
+	var warmHits, warmRejected int
 	for i := 0; i < b.N; i++ {
 		_, stats, err := Build(ctx, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		warmHits = stats.WarmHits
+		warmHits, warmRejected = stats.WarmHits, stats.WarmRejected
 	}
 	secs := b.Elapsed().Seconds()
 	if secs > 0 {
 		b.ReportMetric(float64(len(cfg.Types)*b.N)/secs, "cells/sec")
 	}
 	b.ReportMetric(float64(warmHits), "warm-hits")
+	b.ReportMetric(float64(warmRejected), "warm-rejected")
 }
 
 // BenchmarkCharLibWarm is the optimised path: neighbour-seeded fits over

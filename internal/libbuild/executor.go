@@ -73,17 +73,17 @@ type Executor struct {
 	cfg  Config
 	jobs map[arcCoord]arcJob
 
-	mu      sync.Mutex
-	cache   []pointSamples
-	anchors map[anchorCoord]*fit.Seed
+	mu    sync.Mutex
+	cache []pointSamples
+	seeds map[seedCoord]*fit.Seed
 }
 
-// anchorCoord names one row anchor of the warm-start scheme: the arc,
-// the row's slew index and the fitted kind.
-type anchorCoord struct {
-	coord arcCoord
-	si    int
-	kind  string
+// seedCoord names one link of the warm-start seed chains: the arc, the
+// grid point and the fitted kind.
+type seedCoord struct {
+	coord  arcCoord
+	si, li int
+	kind   string
 }
 
 // executorCachePoints bounds the characterised-point cache. Leases
@@ -179,7 +179,7 @@ func (e *Executor) Execute(ctx context.Context, k checkpoint.Key) ([]byte, error
 	if !have {
 		return nil, fmt.Errorf("libbuild: executor: no samples for unit %s", k)
 	}
-	seed, err := e.anchorSeed(ctx, job, coord, k)
+	seed, err := e.unitSeed(ctx, job, coord, k)
 	if err != nil {
 		return nil, err
 	}
@@ -187,37 +187,33 @@ func (e *Executor) Execute(ctx context.Context, k checkpoint.Key) ([]byte, error
 	return fitUnitPayload(requested, e.cfg.Char.GridStride, k, d, seed)
 }
 
-// anchorSeedCacheRows bounds the anchor-seed cache. Leases arrive in
-// plan order, so a worker only ever revisits the last few rows; the
-// bound just keeps a long-lived worker from accumulating every row it
-// has ever fitted.
-const anchorSeedCacheRows = 64
+// seedCacheEntries bounds the seed-chain cache. Leases arrive in plan
+// order, so a worker only ever revisits the last few rows; the bound
+// just keeps a long-lived worker from accumulating every link it has
+// ever fitted.
+const seedCacheEntries = 512
 
-// anchorSeed derives the warm-start seed for unit k. A worker cannot
-// read the coordinator's journal, so it recomputes what the in-process
-// build would have journaled: every fit along the way is a pure function
-// of the arc configuration and the point's deterministic samples, which
+// unitSeed derives the warm-start seed for unit k. A worker cannot read
+// the coordinator's journal, so it recomputes what the in-process build
+// would have journaled: every fit along the way is a pure function of
+// the arc configuration and the point's deterministic samples, which
 // makes the recomputed seed — and therefore the submitted payload —
 // bit-identical to what an in-process build derives from its own
-// journal. A non-anchor unit is seeded by the decoded fit of its row
-// anchor (same kind, lowest load index); an anchor unit is seeded by the
-// previous row's anchor, the column-0 chain walked from the arc's first
-// row, which always fits cold. Non-LVF² builds and ColdStart builds seed
-// nil; so does any chain link whose anchor fit fails or degrades (the
-// in-process build cold-starts past those links too).
-func (e *Executor) anchorSeed(ctx context.Context, job arcJob, coord arcCoord, k checkpoint.Key) (*fit.Seed, error) {
+// journal. A column-0 (anchor) unit is seeded by the previous row's
+// anchor, the column-0 chain walked from the arc's first row, which
+// always fits cold; any other unit is seeded by its nearest fitted left
+// neighbour in the row. Non-LVF² builds and ColdStart builds seed nil.
+func (e *Executor) unitSeed(ctx context.Context, job arcJob, coord arcCoord, k checkpoint.Key) (*fit.Seed, error) {
 	if requestedModel(e.cfg) != fit.ModelLVF2 || e.cfg.ColdStart {
 		return nil, nil
 	}
 	if k.Load == 0 {
-		// Anchor unit: its seed is the previous row's anchor (nil on the
-		// first row, where the chain starts cold).
-		return e.rowAnchor(ctx, job, coord, k, k.Slew-e.gridStride())
+		return e.seedAfter(ctx, job, coord, k, k.Slew-e.gridStride(), 0)
 	}
-	return e.rowAnchor(ctx, job, coord, k, k.Slew)
+	return e.seedAfter(ctx, job, coord, k, k.Slew, k.Load-e.gridStride())
 }
 
-// gridStride is the slew/load index step between swept grid rows.
+// gridStride is the slew/load index step between swept grid points.
 func (e *Executor) gridStride() int {
 	if s := e.cfg.Char.GridStride; s > 0 {
 		return s
@@ -225,33 +221,43 @@ func (e *Executor) gridStride() int {
 	return 1
 }
 
-// rowAnchor returns the seed the anchor payload of row si derives — nil
-// when si is before the first row, or when the anchor fit of si (or of
-// an earlier broken link the build recovered from) degrades. It walks
-// the anchor chain up from the first swept row, reusing cached links.
-func (e *Executor) rowAnchor(ctx context.Context, job arcJob, coord arcCoord, k checkpoint.Key, si int) (*fit.Seed, error) {
+// seedAfter returns the seed available after the fit of point (si, li)
+// of k's arc and kind — i.e. what the in-process build's rowSeed (or,
+// at li == 0, its column-0 anchor) holds once that unit resolves: the
+// unit's own decoded model when the fit is clean; past a dirty mid-row
+// unit, the nearest clean left neighbour passes through; a dirty anchor
+// yields nil (both chains cold-start). It recurses left along the row
+// and up the column-0 chain, reusing cached links.
+func (e *Executor) seedAfter(ctx context.Context, job arcJob, coord arcCoord, k checkpoint.Key, si, li int) (*fit.Seed, error) {
 	if si < 0 {
 		return nil, nil
 	}
-	ck := anchorCoord{coord: coord, si: si, kind: k.Kind}
+	ck := seedCoord{coord: coord, si: si, li: li, kind: k.Kind}
 	e.mu.Lock()
-	seed, cached := e.anchors[ck]
+	seed, cached := e.seeds[ck]
 	e.mu.Unlock()
 	if cached {
 		return seed, nil
 	}
 
-	prev, err := e.rowAnchor(ctx, job, coord, k, si-e.gridStride())
+	var prior *fit.Seed
+	var err error
+	if li == 0 {
+		prior, err = e.seedAfter(ctx, job, coord, k, si-e.gridStride(), 0)
+	} else {
+		prior, err = e.seedAfter(ctx, job, coord, k, si, li-e.gridStride())
+		seed = prior // a dirty mid-row fit passes its left neighbour through
+	}
 	if err != nil {
 		return nil, err
 	}
-	byKind, err := e.point(ctx, job, coord, si, 0)
+	byKind, err := e.point(ctx, job, coord, si, li)
 	if err != nil {
 		return nil, err
 	}
 	if d, have := byKind[k.Kind]; have {
-		ak := checkpoint.Key{Cell: k.Cell, Pin: k.Pin, Arc: k.Arc, Slew: si, Load: 0, Kind: k.Kind}
-		if payload, ferr := fitUnitPayload(fit.ModelLVF2, e.cfg.Char.GridStride, ak, d, prev); ferr == nil {
+		uk := checkpoint.Key{Cell: k.Cell, Pin: k.Pin, Arc: k.Arc, Slew: si, Load: li, Kind: k.Kind}
+		if payload, ferr := fitUnitPayload(fit.ModelLVF2, e.cfg.Char.GridStride, uk, d, prior); ferr == nil {
 			if _, m, note, _, derr := decodeUnit(payload); derr == nil && note == "" {
 				seed = seedFromModel(m)
 			}
@@ -259,10 +265,10 @@ func (e *Executor) rowAnchor(ctx context.Context, job arcJob, coord arcCoord, k 
 	}
 
 	e.mu.Lock()
-	if e.anchors == nil || len(e.anchors) >= anchorSeedCacheRows {
-		e.anchors = make(map[anchorCoord]*fit.Seed, 8)
+	if e.seeds == nil || len(e.seeds) >= seedCacheEntries {
+		e.seeds = make(map[seedCoord]*fit.Seed, 16)
 	}
-	e.anchors[ck] = seed
+	e.seeds[ck] = seed
 	e.mu.Unlock()
 	return seed, nil
 }

@@ -87,7 +87,10 @@ func (c Config) Fingerprint() checkpoint.Fingerprint {
 	if c.LVF2 {
 		format = "lvf2"
 	}
-	start := "warm"
+	// warm-nn names the nearest-left-neighbour seeding scheme; journals
+	// written by the older row-anchor scheme ("warm") fit different
+	// payload bits mid-row and must not resume under this one.
+	start := "warm-nn"
 	if c.ColdStart {
 		start = "cold"
 	}
@@ -111,7 +114,8 @@ type Stats struct {
 	// Warm-start outcomes of the fresh (non-restored) fits: a hit skipped
 	// the exploratory multi-start, a rejection paid one gate check on top
 	// of the cold fit it fell back to. Fresh fits minus the two are
-	// unseeded cold fits (row anchors, non-LVF² rungs, ColdStart builds).
+	// unseeded cold fits (first-row anchors, units downstream of a broken
+	// seed chain, non-LVF² rungs, ColdStart builds).
 	WarmHits     int
 	WarmRejected int
 }
@@ -302,19 +306,25 @@ func buildArc(ctx context.Context, cfg Config, runner *checkpoint.Runner, arc ce
 
 	requested := requestedModel(cfg)
 	warmable := requested == fit.ModelLVF2 && !cfg.ColdStart
-	// anchors holds the current row's warm-start seeds, one per kind. The
-	// first point of a row (lowest load) is the row anchor: it seeds the
-	// rest of the row whenever its fit is clean, and is itself seeded from
-	// the previous row's anchor — a column-0 chain down the slew axis, so
-	// only the very first row of an arc pays a cold multi-start. A broken
-	// link (quarantined or degraded anchor) cold-starts the next anchor
-	// and the chain self-heals on the following row. Seeds are derived
-	// from the *decoded payload* model, never the in-memory fit result, so
-	// a resumed or distributed build derives bit-identical seeds from the
-	// journal and the assembled library does not depend on which process
-	// fitted the anchor.
+	// anchors holds the column-0 warm-start seeds, one per kind. The
+	// first point of a row (lowest load) is the row anchor: it is seeded
+	// from the previous row's anchor — a column-0 chain down the slew
+	// axis, so only the very first row of an arc pays a cold multi-start.
+	// Within a row, every other entry is seeded by its *nearest fitted
+	// left neighbour* (rowSeed): a clean fit anywhere in the row becomes
+	// the seed for the next column, so the seed tracks the slow drift of
+	// the delay surface along the load axis instead of stretching one
+	// row-anchor seed across far columns — which is what turned the far
+	// columns' gate checks into rejections. A broken link (quarantined or
+	// degraded unit) is skipped over mid-row and cold-starts the next
+	// anchor at column 0; the chains self-heal on the next clean fit.
+	// Seeds are derived from the *decoded payload* model, never the
+	// in-memory fit result, so a resumed or distributed build derives
+	// bit-identical seeds from the journal and the assembled library does
+	// not depend on which process fitted the neighbour.
 	anchors := make(map[cells.Kind]*fit.Seed, 2)
 	prevAnchors := make(map[cells.Kind]*fit.Seed, 2)
+	rowSeed := make(map[cells.Kind]*fit.Seed, 2)
 	row := -1
 	var stats Stats
 	for _, p := range points {
@@ -322,6 +332,7 @@ func buildArc(ctx context.Context, cfg Config, runner *checkpoint.Runner, arc ce
 			row = p.mi
 			prevAnchors[cells.Delay], prevAnchors[cells.Transition] = anchors[cells.Delay], anchors[cells.Transition]
 			anchors[cells.Delay], anchors[cells.Transition] = nil, nil
+			rowSeed[cells.Delay], rowSeed[cells.Transition] = nil, nil
 		}
 		for _, kind := range [...]cells.Kind{cells.Delay, cells.Transition} {
 			k := key(p, kind)
@@ -329,7 +340,7 @@ func buildArc(ctx context.Context, cfg Config, runner *checkpoint.Runner, arc ce
 			var seed *fit.Seed
 			if warmable {
 				if p.mj != 0 {
-					seed = anchors[kind]
+					seed = rowSeed[kind]
 				} else {
 					seed = prevAnchors[kind]
 				}
@@ -357,14 +368,23 @@ func buildArc(ctx context.Context, cfg Config, runner *checkpoint.Runner, arc ce
 					stats.WarmRejected++
 				}
 			}
-			if warmable && p.mj == 0 {
-				// A quarantined, dropped or fallback-noted anchor cannot
+			if warmable {
+				// A quarantined, dropped or fallback-noted unit cannot
 				// seed: its model is a salvage rung, not a converged LVF²
-				// neighbour. The rest of the row cold-starts.
-				if unit.Payload != nil && !unit.Quarantined && note == "" {
-					anchors[kind] = seedFromModel(model)
-				} else {
-					anchors[kind] = nil
+				// neighbour. Mid-row the previous clean neighbour keeps
+				// seeding past it; a dirty anchor breaks the column-0
+				// chain (and, since rowSeed was just reset, cold-starts
+				// the next column too).
+				clean := unit.Payload != nil && !unit.Quarantined && note == ""
+				if clean {
+					rowSeed[kind] = seedFromModel(model)
+				}
+				if p.mj == 0 {
+					if clean {
+						anchors[kind] = rowSeed[kind]
+					} else {
+						anchors[kind] = nil
+					}
 				}
 			}
 			if note != "" {

@@ -1,5 +1,26 @@
 package mc
 
+import "sync"
+
+// MatrixPool recycles Matrix buffers across goroutines. Every consumer of
+// the Into sampler variants that draws sample blocks on demand — the
+// spice characterisation workers, the rare-event yield estimators — used
+// to carry its own sync.Pool of matrices; this is that pattern, named.
+// The zero value is ready.
+type MatrixPool struct{ p sync.Pool }
+
+// Get returns a Matrix, allocating one only when the pool is empty.
+func (mp *MatrixPool) Get() *Matrix {
+	if m, ok := mp.p.Get().(*Matrix); ok {
+		return m
+	}
+	return new(Matrix)
+}
+
+// Put returns a Matrix to the pool. The caller must not touch m (or rows
+// returned from it) afterwards.
+func (mp *MatrixPool) Put(m *Matrix) { mp.p.Put(m) }
+
 // Matrix is a reusable n×d sample buffer for the Into sampler variants.
 // The row slices and their flat backing array, the per-dimension
 // permutation and the Sobol shift vector are all recycled across calls, so

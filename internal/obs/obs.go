@@ -208,6 +208,15 @@ var DefaultLatencyBuckets = []float64{
 	0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100,
 }
 
+// DefaultRatioBuckets spans 0.1% .. 100% in roughly 2–3× steps, sized for
+// dimensionless fractions such as confidence-interval half-widths and
+// relative errors. The 0.01 boundary sits exactly on the yield engine's
+// default ±1% CI contract, so "converged within contract" is one bucket
+// lookup away.
+var DefaultRatioBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+}
+
 // Histogram is a fixed-bucket cumulative histogram (Prometheus
 // semantics: bucket counts are cumulative, +Inf is implicit).
 type Histogram struct {

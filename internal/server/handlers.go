@@ -596,22 +596,35 @@ func (s *Server) handleArcBinning(w http.ResponseWriter, r *http.Request) {
 // --------------------------------------------------------------- /v1/yield
 
 type yieldResponse struct {
-	Arc      *arcDTO            `json:"arc,omitempty"`
-	Model    *modelDTO          `json:"model,omitempty"`
-	Degraded *degradedDTO       `json:"degraded,omitempty"`
-	Clock    float64            `json:"clock"`
-	Yield    map[string]float64 `json:"yield"`
+	Arc      *arcDTO      `json:"arc,omitempty"`
+	Model    *modelDTO    `json:"model,omitempty"`
+	Degraded *degradedDTO `json:"degraded,omitempty"`
+	Clock    float64      `json:"clock"`
+	// Yield is the analytic fitted-model answer (per model family); when
+	// an estimator is requested Estimate/Estimates carry the sampled
+	// rare-event answer with its confidence interval alongside it.
+	Yield     map[string]float64           `json:"yield"`
+	Estimate  *yieldEstimateDTO            `json:"estimate,omitempty"`
+	Estimates map[string]*yieldEstimateDTO `json:"estimates,omitempty"`
 }
 
 // handleYield answers GET for per-arc yield at a clock target (default
 // μ+3σ of the model — the paper's 3σ-yield) and POST for path-level
-// yield over a netlist (product of per-output CDFs at the clock).
+// yield over a netlist (product of per-output CDFs at the clock). With
+// estimator=mc|mnis|ais the response additionally carries a sampled
+// rare-event estimate run under the CI contract (relative half-width
+// target from ci=, server-capped sample budget, request deadline).
 func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodPost {
 		s.handleNetlistYield(w, r)
 		return
 	}
 	aq, err := parseArcQuery(r)
+	if err != nil {
+		fail(w, r, err)
+		return
+	}
+	yp, err := parseYieldParams(r.URL.Query())
 	if err != nil {
 		fail(w, r, err)
 		return
@@ -626,23 +639,30 @@ func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
 		fail(w, r, err)
 		return
 	}
+	d := m.Dist()
+	sigma := defaultYieldSigma
+	if yp.hasSigma {
+		sigma = yp.sigma
+	}
+	clock := d.Mean() + sigma*stats.Std(d)
+	if yp.hasClock {
+		clock = yp.clock
+	}
+	resp := yieldResponse{Degraded: deg, Clock: clock,
+		Yield: map[string]float64{used.String(): d.CDF(clock)}}
+	arc := dtoFromArc(ra, aq)
+	model := dtoFromModel(used, m)
+	resp.Arc, resp.Model = &arc, &model
+	if yp.estimator != "" {
+		resp.Estimate = s.estimateArcYield(r.Context(), ra, aq, d, clock, yp)
+		if deg == nil && resp.Estimate.Degraded != nil {
+			deg = resp.Estimate.Degraded
+		}
+	}
 	if deg != nil {
 		w.Header().Set(degradedHeader, deg.Rung)
 	}
-	d := m.Dist()
-	clock := d.Mean() + 3*stats.Std(d)
-	if v := r.URL.Query().Get("clock"); v != "" {
-		if clock, err = strconv.ParseFloat(v, 64); err != nil {
-			fail(w, r, badRequest("bad clock %q", v))
-			return
-		}
-	}
-	arc := dtoFromArc(ra, aq)
-	model := dtoFromModel(used, m)
-	writeJSON(w, http.StatusOK, yieldResponse{
-		Arc: &arc, Model: &model, Degraded: deg, Clock: clock,
-		Yield: map[string]float64{used.String(): d.CDF(clock)},
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleNetlistYield(w http.ResponseWriter, r *http.Request) {
@@ -651,8 +671,17 @@ func (s *Server) handleNetlistYield(w http.ResponseWriter, r *http.Request) {
 		fail(w, r, err)
 		return
 	}
-	if req.Clock <= 0 {
-		fail(w, r, badRequest("netlist yield needs a positive clock"))
+	yp := yieldParams{
+		sigma: req.Sigma, hasSigma: req.Sigma != 0,
+		clock: req.Clock, hasClock: req.Clock > 0,
+		estimator: req.Estimator, ci: req.CI,
+	}
+	if err := yp.validate(); err != nil {
+		fail(w, r, err)
+		return
+	}
+	if !yp.hasClock && !yp.hasSigma {
+		fail(w, r, badRequest("netlist yield needs a positive clock (or sigma)"))
 		return
 	}
 	fams, err := parseFamilies(req.Families)
@@ -665,16 +694,60 @@ func (s *Server) handleNetlistYield(w http.ResponseWriter, r *http.Request) {
 		fail(w, r, err)
 		return
 	}
-	yields := make(map[string]float64, len(fams))
+	clock := req.Clock
+	if !yp.hasClock {
+		// sigma target: clock = critical-output μ+sσ under the first
+		// requested family, shared by every family so the answers compare.
+		if clock, err = criticalClock(res, mod, fams[0], yp.sigma); err != nil {
+			fail(w, r, err)
+			return
+		}
+	}
+	resp := yieldResponse{Clock: clock, Yield: make(map[string]float64, len(fams))}
 	for _, fam := range fams {
-		y, err := res.YieldAtClock(mod, fam, req.Clock)
+		y, err := res.YieldAtClock(mod, fam, clock)
 		if err != nil {
 			fail(w, r, err)
 			return
 		}
-		yields[fam.String()] = y
+		resp.Yield[fam.String()] = y
 	}
-	writeJSON(w, http.StatusOK, yieldResponse{Clock: req.Clock, Yield: yields})
+	if yp.estimator != "" {
+		resp.Estimates = make(map[string]*yieldEstimateDTO, len(fams))
+		for _, fam := range fams {
+			est, err := s.estimateNetlistYield(r.Context(), res, mod, fam, clock, yp)
+			if err != nil {
+				fail(w, r, err)
+				return
+			}
+			resp.Estimates[fam.String()] = est
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// criticalClock is the μ+sσ clock of the latest-arriving primary output
+// under one model family — the sigma-target clock of POST /v1/yield.
+func criticalClock(res *sta.Result, mod *netlist.Module, fam fit.Model, sigma float64) (float64, error) {
+	clock, found := 0.0, false
+	for _, out := range mod.Outputs() {
+		a, ok := res.Arrivals[out]
+		if !ok {
+			continue
+		}
+		v, ok := a.Vars[fam]
+		if !ok || v == nil {
+			return 0, badRequest("output %q has no %v arrival", out, fam)
+		}
+		d := v.Dist()
+		if t := d.Mean() + sigma*stats.Std(d); !found || t > clock {
+			clock, found = t, true
+		}
+	}
+	if !found {
+		return 0, badRequest("no primary output arrivals")
+	}
+	return clock, nil
 }
 
 // ---------------------------------------------------------------- /v1/ssta
@@ -691,6 +764,14 @@ type netlistRequest struct {
 	Families []string `json:"families,omitempty"`
 	Clock    float64  `json:"clock,omitempty"`
 	AllNets  bool     `json:"all_nets,omitempty"`
+
+	// Rare-event estimator selection (POST /v1/yield only). Sigma sets
+	// the clock at the critical output's μ+sσ when Clock is absent;
+	// Estimator picks the ladder rung (mc|mnis|ais); CI overrides the
+	// ±1% relative half-width contract.
+	Sigma     float64 `json:"sigma,omitempty"`
+	Estimator string  `json:"estimator,omitempty"`
+	CI        float64 `json:"ci,omitempty"`
 }
 
 func (s *Server) decodeNetlistRequest(r *http.Request) (netlistRequest, *netlist.Module, *liberty.Library, error) {

@@ -58,6 +58,12 @@ type Config struct {
 	FitSamples int
 	// MaxUploadedLibraries bounds the uploaded-source table (default 32).
 	MaxUploadedLibraries int
+	// YieldMaxSamples caps the sample budget of one /v1/yield estimator
+	// run (default 1<<22); the CI contract stops earlier when it closes.
+	YieldMaxSamples int
+	// YieldBatch is the estimator batch size between CI checks
+	// (default 4096).
+	YieldBatch int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 	// Registry receives the daemon's metrics (default a fresh registry;
@@ -106,6 +112,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxUploadedLibraries <= 0 {
 		c.MaxUploadedLibraries = 32
+	}
+	if c.YieldMaxSamples <= 0 {
+		c.YieldMaxSamples = 1 << 22
+	}
+	if c.YieldBatch <= 0 {
+		c.YieldBatch = 4096
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// latentTestServer uploads a library whose filler cell (BUF_X1) has no
+// synthetic electrical model, forcing the estimator onto the
+// fitted-model latent space.
+func latentTestServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	s := newTestServer(t, mutate)
+	if _, err := s.AddLibrary("latlib", libText(t, "latlib", 1,
+		[]float64{0.01, 0.05}, []float64{0.002, 0.008})); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestYieldEstimatorLatent(t *testing.T) {
+	s := latentTestServer(t, nil)
+	h := s.Handler()
+	rec, body := get(t, h,
+		"/v1/yield?lib=latlib&cell=BUF_X1&sigma=4&estimator=mnis&ci=0.05")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d: %s", rec.Code, body)
+	}
+	resp := decode[yieldResponse](t, body)
+	if len(resp.Yield) == 0 {
+		t.Fatal("analytic yield map missing")
+	}
+	est := resp.Estimate
+	if est == nil {
+		t.Fatal("estimator requested but estimate missing")
+	}
+	if est.Estimator != "mnis" || est.Space != "latent" {
+		t.Fatalf("estimator/space = %s/%s, want mnis/latent", est.Estimator, est.Space)
+	}
+	if !est.Converged {
+		t.Fatalf("latent 4σ contract should close: %+v", est)
+	}
+	if est.RelHalfWidth == nil || *est.RelHalfWidth > 0.05 {
+		t.Fatalf("rel half-width = %v, want ≤ 0.05", est.RelHalfWidth)
+	}
+	if est.CILo > est.FailProb || est.FailProb > est.CIHi {
+		t.Fatalf("CI [%g, %g] does not bracket %g", est.CILo, est.CIHi, est.FailProb)
+	}
+	if est.ESS <= 0 || est.Samples <= 0 || est.Failures <= 0 {
+		t.Fatalf("empty estimate: %+v", est)
+	}
+	if got := est.Yield + est.FailProb; got < 0.999 || got > 1.001 {
+		t.Fatalf("yield + fail_prob = %g, want 1", got)
+	}
+	if est.Degraded != nil {
+		t.Fatalf("unexpected degradation: %+v", est.Degraded)
+	}
+	if rec.Header().Get(degradedHeader) != "" {
+		t.Fatalf("unexpected degraded header %q", rec.Header().Get(degradedHeader))
+	}
+}
+
+func TestYieldParamValidation(t *testing.T) {
+	s := newTestServer(t, nil)
+	h := s.Handler()
+	bad := []struct{ query, wantFrag string }{
+		{"sigma=9", "out of range"},
+		{"sigma=0.1", "out of range"},
+		{"sigma=abc", "bad sigma"},
+		{"sigma=3&clock=1", "mutually exclusive"},
+		{"estimator=bogus", "unknown estimator"},
+		{"estimator=mc&ci=0.7", "out of range"},
+		{"estimator=mc&ci=-1", "out of range"},
+		{"ci=0.01", "pass estimator"},
+	}
+	for _, tc := range bad {
+		rec, body := get(t, h, "/v1/yield?lib=testlib&cell=INV&"+tc.query)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: code = %d, want 400: %s", tc.query, rec.Code, body)
+		}
+		if !strings.Contains(string(body), tc.wantFrag) {
+			t.Fatalf("%s: body %q missing %q", tc.query, body, tc.wantFrag)
+		}
+	}
+	// sigma alone (no estimator) stays a pure analytic answer.
+	rec, body := get(t, h, "/v1/yield?lib=testlib&cell=INV&sigma=2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sigma-only: code = %d: %s", rec.Code, body)
+	}
+	if resp := decode[yieldResponse](t, body); resp.Estimate != nil {
+		t.Fatal("sigma-only query should not run an estimator")
+	}
+}
+
+// TestYieldEstimatorDegraded forces the failure-region search to come up
+// empty: the synthetic INV electrical model cannot reach a 10 ns delay
+// inside the searchable radius, so MNIS must degrade to the plain-MC
+// partial answer, tagged in both body and header.
+func TestYieldEstimatorDegraded(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.YieldMaxSamples = 1 << 16 })
+	h := s.Handler()
+	rec, body := get(t, h, "/v1/yield?lib=testlib&cell=INV&clock=10&estimator=mnis")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d: %s", rec.Code, body)
+	}
+	resp := decode[yieldResponse](t, body)
+	est := resp.Estimate
+	if est == nil || est.Degraded == nil {
+		t.Fatalf("expected degraded estimate, got %+v", est)
+	}
+	if est.Degraded.Rung != "mc" || est.Degraded.Requested != "mnis" {
+		t.Fatalf("degraded = %+v, want mc for mnis", est.Degraded)
+	}
+	if est.Estimator != "mc" || est.Space != "process" {
+		t.Fatalf("estimator/space = %s/%s, want mc/process", est.Estimator, est.Space)
+	}
+	if rec.Header().Get(degradedHeader) != "mc" {
+		t.Fatalf("degraded header = %q, want mc", rec.Header().Get(degradedHeader))
+	}
+	// Zero observed failures: honest widened CI, no finite relative width.
+	if est.Converged || est.FailProb != 0 || est.CIHi <= 0 || est.RelHalfWidth != nil {
+		t.Fatalf("degraded zero-failure answer malformed: %+v", est)
+	}
+}
+
+func TestNetlistYieldEstimator(t *testing.T) {
+	s := newTestServer(t, nil)
+	h := s.Handler()
+	rec, body := post(t, h, "/v1/yield",
+		`{"lib":"testlib","builtin":"chain","n":2,"families":["lvf2"],"sigma":4,"estimator":"ais","ci":0.05}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d: %s", rec.Code, body)
+	}
+	resp := decode[yieldResponse](t, body)
+	if resp.Clock <= 0 {
+		t.Fatalf("sigma target should resolve a clock, got %g", resp.Clock)
+	}
+	est := resp.Estimates["LVF2"]
+	if est == nil {
+		t.Fatalf("missing LVF2 estimate: %s", body)
+	}
+	if est.Outputs != 1 || est.Space != "latent" || est.Estimator != "ais" {
+		t.Fatalf("estimate = %+v", est)
+	}
+	if !est.Converged || est.Yield <= 0 || est.Yield >= 1 {
+		t.Fatalf("estimate did not converge sensibly: %+v", est)
+	}
+	if est.CILo > est.FailProb || est.FailProb > est.CIHi {
+		t.Fatalf("CI [%g, %g] does not bracket %g", est.CILo, est.CIHi, est.FailProb)
+	}
+	// The sampled answer must agree with the analytic CDF product to CI
+	// order (same fitted model, same clock).
+	if analytic, ok := resp.Yield["LVF2"]; ok {
+		if diff := est.Yield - analytic; diff > 0.01 || diff < -0.01 {
+			t.Fatalf("sampled yield %g vs analytic %g", est.Yield, analytic)
+		}
+	}
+
+	for _, tc := range []string{
+		`{"lib":"testlib","builtin":"chain","estimator":"bogus","clock":1}`,
+		`{"lib":"testlib","builtin":"chain","sigma":3,"clock":1}`,
+		`{"lib":"testlib","builtin":"chain","estimator":"mc"}`,
+	} {
+		if rec, body := post(t, h, "/v1/yield", tc); rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: code = %d, want 400: %s", tc, rec.Code, body)
+		}
+	}
+}
+
+// TestYieldEstimatorBudget pins the degraded-mode CI-contract story: a
+// request whose budget runs out mid-estimate still answers 200 with the
+// partial estimate and Converged=false rather than erroring.
+func TestYieldEstimatorBudget(t *testing.T) {
+	s := latentTestServer(t, func(c *Config) { c.YieldMaxSamples = 1 << 14 })
+	h := s.Handler()
+	// Plain MC cannot close a ±1% contract at 7.5σ inside a 16k budget.
+	rec, body := get(t, h, fmt.Sprintf(
+		"/v1/yield?lib=latlib&cell=BUF_X1&sigma=7.5&estimator=mc&ci=%g", 0.01))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d: %s", rec.Code, body)
+	}
+	resp := decode[yieldResponse](t, body)
+	if resp.Estimate == nil || resp.Estimate.Converged {
+		t.Fatalf("expected unconverged partial estimate, got %+v", resp.Estimate)
+	}
+}

@@ -26,7 +26,6 @@ package spice
 
 import (
 	"math"
-	"sync"
 
 	"lvf2/internal/mc"
 )
@@ -191,6 +190,15 @@ func (e CellElectrical) Eval(c Corner, p Params, slewNS, loadPF float64) (delay,
 	return delay, trans
 }
 
+// EvalVec evaluates the arc at one standardised process vector — the raw
+// row form the mc samplers produce — without the caller spelling out the
+// Params mapping. This is the seam the rare-event yield estimators drive:
+// they walk the N(0,1)^NumParams space directly (shifted proposals,
+// likelihood ratios) and only need "delay at this vector".
+func (e CellElectrical) EvalVec(c Corner, x []float64, slewNS, loadPF float64) (delay, trans float64) {
+	return e.Eval(c, ParamsFromVector(x), slewNS, loadPF)
+}
+
 // NominalEval evaluates the arc at the process nominal (all deviations 0).
 func (e CellElectrical) NominalEval(c Corner, slewNS, loadPF float64) (delay, trans float64) {
 	return e.Eval(c, Params{}, slewNS, loadPF)
@@ -229,12 +237,12 @@ func (e CellElectrical) Characterize(c Corner, rng *mc.RNG, n int, slewNS, loadP
 // points, each drawing an n×NumParams block that is dead as soon as the
 // delays are computed. Each pool worker grabs its own matrix, so the
 // concurrent CharacterizeLibrary path reuses one buffer per worker.
-var samplePool = sync.Pool{New: func() any { return new(mc.Matrix) }}
+var samplePool mc.MatrixPool
 
 // CharacterizeWith runs the characterisation with an explicit sampling
 // scheme.
 func (e CellElectrical) CharacterizeWith(c Corner, rng *mc.RNG, n int, slewNS, loadPF float64, s Sampler) MCResult {
-	m := samplePool.Get().(*mc.Matrix)
+	m := samplePool.Get()
 	defer samplePool.Put(m)
 	return e.characterizeInto(c, rng, n, slewNS, loadPF, s, m)
 }

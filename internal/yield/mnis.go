@@ -1,0 +1,182 @@
+package yield
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"lvf2/internal/mc"
+)
+
+// ErrNoFailureRegion reports that the failure-point search exhausted its
+// budget without ever observing Eval > Threshold — either the event is
+// beyond the searched radius (deep sub-ppb territory) or the region is
+// disconnected from every probed ray. Callers degrade to plain MC, whose
+// zero-failure answer at least bounds the probability.
+var ErrNoFailureRegion = errors.New("yield: no failure region found within the search budget")
+
+// searchRadius bounds the radial search at 9σ: a spherical failure region
+// beyond it has probability below ~1e-19, outside any contract this
+// engine serves.
+const searchRadius = 9.0
+
+// mnis is mean-shift (minimum-norm) importance sampling: locate the
+// most-probable failure point x* — the failure point of smallest norm,
+// FORM's "design point" — shift the proposal to N(x*, I), and unweight by
+// the likelihood ratio. One search, one fixed proposal, then the shared
+// CI-contract loop.
+type mnis struct{}
+
+func (mnis) Name() string { return "mnis" }
+
+func (mnis) Estimate(ctx context.Context, spec Spec, c Contract) (Result, error) {
+	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	c = c.WithDefaults()
+	rng := mc.NewRNG(c.Seed)
+	center, evals, ok := minNormFailure(spec, rng, searchBudget(c))
+	if !ok {
+		return Result{}, fmt.Errorf("%w (estimator mnis, %d evals)", ErrNoFailureRegion, evals)
+	}
+	return sampleLoop(ctx, spec, c, rng, center, evals, "mnis"), nil
+}
+
+// searchBudget caps the failure-point search at a quarter of the total
+// budget so at least three quarters remain for actual sampling.
+func searchBudget(c Contract) int {
+	b := c.MaxSamples / 4
+	if b > 16384 {
+		b = 16384
+	}
+	if b < 256 {
+		b = 256
+	}
+	return b
+}
+
+// minNormFailure searches for the minimum-norm failure point of the spec.
+// Rays from the origin are probed with an exponential bracket followed by
+// bisection — treating the failure indicator as monotone along a ray,
+// which holds for delay metrics that degrade monotonically away from
+// nominal and is only a search heuristic otherwise — first along the
+// coordinate axes, then along seeded random directions, and finally the
+// best direction is polished by perturbation. Returns the point, the
+// evaluations spent, and whether any failure was found at all.
+func minNormFailure(spec Spec, rng *mc.RNG, budget int) (pt []float64, evals int, ok bool) {
+	fail := func(x []float64) bool {
+		evals++
+		return spec.Eval(x) > spec.Threshold
+	}
+
+	d := spec.Dim
+	x := make([]float64, d)
+	// The origin failing means P(fail) > ½ under any monotone metric:
+	// no shift is needed and MNIS degenerates gracefully to plain MC.
+	if fail(x) {
+		return make([]float64, d), evals, true
+	}
+
+	at := func(u []float64, r float64) []float64 {
+		for j := range x {
+			x[j] = r * u[j]
+		}
+		return x
+	}
+	// rayMin returns the minimal failing radius along unit direction u,
+	// or NaN when the ray never fails within searchRadius.
+	rayMin := func(u []float64) float64 {
+		lo, hi := 0.0, math.NaN()
+		for r := 1.0; r <= searchRadius; r *= 1.7 {
+			if fail(at(u, r)) {
+				hi = r
+				break
+			}
+			lo = r
+		}
+		if math.IsNaN(hi) {
+			if !fail(at(u, searchRadius)) {
+				return math.NaN()
+			}
+			hi = searchRadius
+		}
+		for i := 0; i < 26; i++ {
+			mid := (lo + hi) / 2
+			if fail(at(u, mid)) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		return hi
+	}
+
+	best := math.Inf(1)
+	bestU := make([]float64, d)
+	consider := func(u []float64) {
+		if r := rayMin(u); r < best {
+			best = r
+			copy(bestU, u)
+		}
+	}
+
+	u := make([]float64, d)
+	for j := 0; j < d && evals < budget/2; j++ {
+		for _, sign := range [...]float64{1, -1} {
+			for k := range u {
+				u[k] = 0
+			}
+			u[j] = sign
+			consider(u)
+		}
+	}
+	for evals < budget/2 {
+		var norm float64
+		for j := range u {
+			u[j] = rng.NormFloat64()
+			norm += u[j] * u[j]
+		}
+		if norm == 0 {
+			continue
+		}
+		norm = math.Sqrt(norm)
+		for j := range u {
+			u[j] /= norm
+		}
+		consider(u)
+	}
+	if math.IsInf(best, 1) {
+		return nil, evals, false
+	}
+
+	// Polish: perturb the best direction with shrinking Gaussian noise,
+	// keeping any direction whose minimal failing radius improves.
+	sigma := 0.3
+	for evals < budget {
+		var norm float64
+		for j := range u {
+			u[j] = bestU[j] + sigma*rng.NormFloat64()
+			norm += u[j] * u[j]
+		}
+		if norm == 0 {
+			continue
+		}
+		norm = math.Sqrt(norm)
+		for j := range u {
+			u[j] /= norm
+		}
+		if r := rayMin(u); r < best {
+			best = r
+			copy(bestU, u)
+		} else {
+			sigma *= 0.95
+		}
+	}
+
+	pt = make([]float64, d)
+	for j := range pt {
+		pt[j] = best * bestU[j]
+	}
+	return pt, evals, true
+}

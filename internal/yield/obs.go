@@ -1,0 +1,45 @@
+package yield
+
+import (
+	"math"
+
+	"lvf2/internal/obs"
+)
+
+// Estimator observability. Like the fit warm-start counters, the series
+// live in the process-wide default registry so every caller — the lvf2d
+// /v1/yield fast path, the experiment tables, the benchmarks — reports
+// through the same two series without per-caller wiring.
+var (
+	samplesVec = obs.NewCounterVec(obs.Default(),
+		"lvf2_yield_samples_total",
+		"process-space evaluations spent by the rare-event yield estimators (failure-point search included)",
+		"estimator")
+	samplesMC   = samplesVec.With("mc")
+	samplesMNIS = samplesVec.With("mnis")
+	samplesAIS  = samplesVec.With("ais")
+
+	ciHalfWidth = obs.NewHistogram(obs.Default(),
+		"lvf2_yield_ci_rel_halfwidth",
+		"relative confidence-interval half-width achieved by finished yield estimates",
+		obs.DefaultRatioBuckets)
+)
+
+// observeEstimate records one finished estimate: its sample spend and
+// the CI width it achieved (zero-failure runs have no finite width and
+// skip the histogram).
+func observeEstimate(r Result) {
+	switch r.Estimator {
+	case "mc":
+		samplesMC.Add(int64(r.Samples))
+	case "mnis":
+		samplesMNIS.Add(int64(r.Samples))
+	case "ais":
+		samplesAIS.Add(int64(r.Samples))
+	default:
+		samplesVec.Add(int64(r.Samples), r.Estimator)
+	}
+	if !math.IsInf(r.RelHalfWidth, 1) {
+		ciHalfWidth.Observe(r.RelHalfWidth)
+	}
+}
