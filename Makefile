@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check chaos chaos-ckpt chaos-dist fuzz bench bench-tables bench-server bench-charwork bench-charlib bench-yield bench-smoke allocbudget determinism clean
+.PHONY: all build test vet race check chaos chaos-ckpt chaos-dist chaos-replica fuzz bench bench-tables bench-server bench-charwork bench-charlib bench-yield bench-smoke allocbudget determinism clean
 
 all: build
 
@@ -63,6 +63,19 @@ chaos-dist:
 		$(GO) test -race -run TestChaosDistributedBuild -count 1 -timeout 15m \
 		./internal/dist/ -distchaos.seeds $(CHAOS_SEEDS)
 
+# Replicated-serving chaos suite: seeded scripts drive a three-replica
+# in-process lvf2d fleet through peer-link faults (refused connections,
+# dropped/corrupt/truncated responses, stalls, asymmetric partitions)
+# plus kill-and-restart, asserting every client response is a 200
+# bit-identical to a single-process oracle and that a restarted replica
+# warm-seeds ≥90% of its owned keys from its peers. Failing scripts land
+# in CHAOS_ARTIFACT_DIR as replchaos-failure-seed-<seed>.json; replay
+# with -replchaos.seed=<seed>.
+chaos-replica:
+	CHAOS_ARTIFACT_DIR=$(CHAOS_ARTIFACT_DIR) \
+		$(GO) test -race -run TestChaosReplicatedServing -count 1 -timeout 15m \
+		./internal/server/ -replchaos.seeds $(CHAOS_SEEDS)
+
 # One iteration of every benchmark in -short mode: benchmark code cannot
 # rot between perf PRs (heavy benches shrink their workload under -short;
 # this smokes the code paths, it does not measure).
@@ -71,7 +84,7 @@ bench-smoke:
 
 # The gate: vet + build + full suite under the race detector + perf and
 # crash-safety guards + the benchmark smoke pass.
-check: vet build race allocbudget determinism chaos chaos-ckpt chaos-dist bench-smoke
+check: vet build race allocbudget determinism chaos chaos-ckpt chaos-dist chaos-replica bench-smoke
 
 # Short fuzz pass over the Liberty/netlist parsers and the journaled
 # work-unit payload decoder.

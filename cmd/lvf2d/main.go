@@ -8,7 +8,15 @@
 //
 //	lvf2d -addr :8080 -lib synth.lib
 //	lvf2d -lib fast=fast.lib -lib slow=slow.lib -pprof
+//	lvf2d -lib synth.lib -peer-id a -peers 'b=http://host2:8080,c=http://host3:8080'
 //	curl 'localhost:8080/v1/arc/binning?lib=synth&cell=INV&slew=0.02&load=0.004'
+//
+// With -peer-id/-peers the daemon serves as one replica of a fleet: the
+// model cache is sharded over a consistent-hash ring, non-owned queries
+// forward to their owner (falling back to a local compute if the owner
+// is down), and a restarting replica warm-seeds its owned keys from its
+// peers. Every replica lists every other replica; the fleet membership
+// is validated before the listener starts.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections and drains
 // in-flight requests for up to -drain before exiting.
@@ -46,8 +54,12 @@ func main() {
 		snapEvery   = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot cadence (with -snapshot)")
 		yieldMax    = flag.Int("yield-max-samples", 1<<22, "sample budget cap per /v1/yield estimator run")
 		yieldBatch  = flag.Int("yield-batch", 4096, "estimator batch size between CI-contract checks")
+		peerID      = flag.String("peer-id", "", "this replica's id in the fleet (requires -peers)")
+		vnodes      = flag.Int("ring-vnodes", 0, "virtual nodes per replica on the consistent-hash ring (0 = default)")
 	)
+	var peerSpecs peerFlags
 	flag.Var(&libs, "lib", "Liberty library to preload: path or name=path (repeatable)")
+	flag.Var(&peerSpecs, "peers", "fleet peers as comma-separated id=url entries (repeatable, requires -peer-id)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"Usage: lvf2d [flags]\n\nServe LVF/LVF² timing queries over HTTP.\n\nFlags:\n")
@@ -56,6 +68,24 @@ func main() {
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "lvf2d: unexpected arguments: %s\n\n", strings.Join(flag.Args(), " "))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Fleet membership is validated before anything listens: a typo in
+	// -peers must be an exit-2 usage error, not a replica that silently
+	// serves standalone.
+	peers, err := server.ParsePeers(peerSpecs)
+	if err == nil {
+		if len(peers) > 0 || *peerID != "" {
+			err = server.ValidatePeerFleet(*peerID, peers)
+		}
+		if err == nil && *peerID != "" && len(peers) == 0 {
+			err = fmt.Errorf("-peer-id %q given without -peers", *peerID)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lvf2d: %v\n\n", err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -75,6 +105,11 @@ func main() {
 		SnapshotInterval:     *snapEvery,
 		YieldMaxSamples:      *yieldMax,
 		YieldBatch:           *yieldBatch,
+		Replication: server.ReplicationOptions{
+			SelfID:       *peerID,
+			Peers:        peers,
+			VirtualNodes: *vnodes,
+		},
 	})
 	for _, l := range libs {
 		name := l.name
@@ -92,6 +127,17 @@ func main() {
 	// Restore the snapshot (if any) and flip /readyz to ready. A corrupt
 	// or version-skewed snapshot is logged and counted but never fatal.
 	srv.Bootstrap()
+
+	// In a fleet, pull this replica's owned slice of the model cache
+	// back from whichever peers absorbed it while we were down. Best
+	// effort: dead peers just contribute nothing.
+	if len(peers) > 0 {
+		wctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		n := srv.WarmSeedFromPeers(wctx)
+		cancel()
+		fmt.Fprintf(os.Stderr, "lvf2d: replica %q in a %d-replica fleet, warm-seeded %d models\n",
+			*peerID, len(peers)+1, n)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -122,6 +168,20 @@ func (l *libFlags) Set(v string) error {
 		return fmt.Errorf("empty library path")
 	}
 	*l = append(*l, struct{ name, path string }{name, path})
+	return nil
+}
+
+// peerFlags collects repeated -peers values; each value is itself a
+// comma-separated list of id=url entries, so one flag or many both work.
+type peerFlags []string
+
+func (p *peerFlags) String() string { return strings.Join(*p, ",") }
+
+func (p *peerFlags) Set(v string) error {
+	if strings.TrimSpace(v) == "" {
+		return fmt.Errorf("empty -peers value")
+	}
+	*p = append(*p, v)
 	return nil
 }
 

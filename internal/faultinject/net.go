@@ -45,9 +45,10 @@ type FaultTransport struct {
 	Inner  http.RoundTripper
 	Faults NetFaults
 
-	mu       sync.Mutex
-	rng      *mc.RNG
-	injected atomic.Int64
+	mu          sync.Mutex
+	rng         *mc.RNG
+	partitioned map[string]bool
+	injected    atomic.Int64
 }
 
 // NewFaultTransport wraps inner (nil = http.DefaultTransport) with
@@ -66,6 +67,33 @@ func NewFaultTransport(inner http.RoundTripper, faults NetFaults, seed uint64) *
 // it to confirm a round actually exercised the fault paths.
 func (t *FaultTransport) Injected() int64 { return t.injected.Load() }
 
+// SetPartition replaces the set of partitioned hosts: every subsequent
+// request whose URL host is listed fails with a connection error before
+// delivery, while requests to other hosts proceed normally — an
+// asymmetric partition (A cannot reach B, but B can still reach A if
+// B's transport is not partitioned). Pass no hosts to heal. Partition
+// checks happen before any probability draw, so toggling a partition
+// never shifts the seeded fault sequence of the surviving hosts.
+func (t *FaultTransport) SetPartition(hosts ...string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(hosts) == 0 {
+		t.partitioned = nil
+		return
+	}
+	t.partitioned = make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		t.partitioned[h] = true
+	}
+}
+
+// Partitioned reports whether host is currently unreachable.
+func (t *FaultTransport) Partitioned(host string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.partitioned[host]
+}
+
 // draw samples the per-request fault decisions under one lock so
 // concurrent requests never interleave within a single draw.
 func (t *FaultTransport) draw() (errBefore, dropAfter, corrupt, short, stall bool) {
@@ -82,6 +110,13 @@ func (t *FaultTransport) draw() (errBefore, dropAfter, corrupt, short, stall boo
 
 // RoundTrip implements http.RoundTripper.
 func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Partitioned(req.URL.Host) {
+		t.injected.Add(1)
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("faultinject: host %s partitioned (%s %s)", req.URL.Host, req.Method, req.URL.Path)
+	}
 	errBefore, dropAfter, corrupt, short, stall := t.draw()
 	if errBefore {
 		t.injected.Add(1)

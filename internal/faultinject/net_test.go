@@ -1,0 +1,98 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// okTransport answers every request with a 200 and the host name as the
+// body, so a test can tell which requests got through.
+type okTransport struct{ served int }
+
+func (s *okTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	s.served++
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader(req.URL.Host)),
+		Header:     http.Header{},
+		Request:    req,
+	}, nil
+}
+
+func get(t *testing.T, rt http.RoundTripper, rawURL string) (*http.Response, error) {
+	t.Helper()
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(&http.Request{Method: http.MethodGet, URL: u, Header: http.Header{}})
+}
+
+// TestFaultTransportPartition pins the asymmetric-partition contract:
+// requests to a partitioned host fail before delivery while requests to
+// every other host succeed, healing restores traffic, and the partition
+// check never consumes a seeded probability draw.
+func TestFaultTransportPartition(t *testing.T) {
+	inner := &okTransport{}
+	ft := NewFaultTransport(inner, NetFaults{}, 42)
+
+	ft.SetPartition("replica-b")
+	if !ft.Partitioned("replica-b") || ft.Partitioned("replica-a") {
+		t.Fatal("Partitioned() does not reflect SetPartition")
+	}
+
+	if _, err := get(t, ft, "http://replica-b/v1/arc/cdf"); err == nil {
+		t.Fatal("request to partitioned host succeeded")
+	} else if !strings.Contains(err.Error(), "partitioned") {
+		t.Fatalf("partition error = %v, want a partition-tagged error", err)
+	}
+	if inner.served != 0 {
+		t.Fatal("partitioned request reached the inner transport")
+	}
+	resp, err := get(t, ft, "http://replica-a/v1/arc/cdf")
+	if err != nil {
+		t.Fatalf("request to healthy host failed: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "replica-a" || inner.served != 1 {
+		t.Fatalf("healthy host response = %q (served %d)", body, inner.served)
+	}
+	if got := ft.Injected(); got != 1 {
+		t.Fatalf("Injected() = %d after one partition drop, want 1", got)
+	}
+
+	// Healing restores the blocked host.
+	ft.SetPartition()
+	if _, err := get(t, ft, "http://replica-b/v1/arc/cdf"); err != nil {
+		t.Fatalf("request after heal failed: %v", err)
+	}
+}
+
+// TestFaultTransportPartitionPreservesDrawSequence proves toggling a
+// partition does not shift the seeded fault sequence seen by surviving
+// hosts: two transports with the same seed, one of which also serves
+// (blocked) partitioned traffic, inject faults on the same requests.
+func TestFaultTransportPartitionPreservesDrawSequence(t *testing.T) {
+	faults := NetFaults{PErrBefore: 0.5}
+	const seed = 7
+	plain := NewFaultTransport(&okTransport{}, faults, seed)
+	parted := NewFaultTransport(&okTransport{}, faults, seed)
+	parted.SetPartition("replica-x")
+
+	for i := 0; i < 50; i++ {
+		_, errPlain := get(t, plain, "http://replica-a/v1/arc/cdf")
+		// Interleave partitioned traffic before the matching request.
+		if _, err := get(t, parted, "http://replica-x/v1/peer/snapshot"); err == nil {
+			t.Fatal("partitioned request succeeded")
+		}
+		_, errParted := get(t, parted, "http://replica-a/v1/arc/cdf")
+		if (errPlain == nil) != (errParted == nil) {
+			t.Fatalf("request %d: fault sequences diverged (plain err=%v, parted err=%v)",
+				i, errPlain, errParted)
+		}
+	}
+}

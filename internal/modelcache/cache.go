@@ -17,7 +17,9 @@ package modelcache
 import (
 	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
+	"math"
 	"sync"
 
 	"lvf2/internal/core"
@@ -36,6 +38,24 @@ type ModelKey struct {
 	Base       string    // base quantity (cell_rise, ...)
 	Slew, Load float64   // operating point
 	Kind       fit.Model // requested model kind
+}
+
+// RingKey renders the full arc coordinate as a canonical byte string
+// for consistent-hash placement. The five name fields are NUL-separated
+// (Liberty identifiers never contain NUL) and the operating point is
+// encoded as raw IEEE-754 bits, so two keys map to the same ring point
+// iff they are the same ModelKey — every replica of a fleet derives the
+// same owner for the same query.
+func (k ModelKey) RingKey() string {
+	b := make([]byte, 0, len(k.LibHash)+len(k.Cell)+len(k.OutputPin)+len(k.RelatedPin)+len(k.Base)+5+20)
+	for _, s := range [...]string{k.LibHash, k.Cell, k.OutputPin, k.RelatedPin, k.Base} {
+		b = append(b, s...)
+		b = append(b, 0)
+	}
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(k.Slew))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(k.Load))
+	b = binary.LittleEndian.AppendUint32(b, uint32(k.Kind))
+	return string(b)
 }
 
 // Stats is a point-in-time snapshot of one LRU's counters.

@@ -71,10 +71,23 @@ type SnapshotEntry struct {
 // checksum trailer. Libraries are not snapshotted: their sources live on
 // disk and re-parse on demand.
 func (c *Cache) SnapshotModels() []byte {
+	return c.SnapshotModelsFiltered(nil)
+}
+
+// SnapshotModelsFiltered serialises the subset of the model LRU whose
+// keys satisfy keep (nil keeps everything), preserving oldest→newest
+// recency order among the kept entries. The replicated serving layer
+// uses it to export exactly the slice of warm state a restarting peer
+// owns under the consistent-hash ring, without shipping the rest of the
+// cache over the wire.
+func (c *Cache) SnapshotModelsFiltered(keep func(ModelKey) bool) []byte {
 	c.mu.Lock()
 	entries := make([]SnapshotEntry, 0, c.models.len())
 	for el := c.models.ll.Back(); el != nil; el = el.Prev() {
 		e := el.Value.(*lruEntry[ModelKey, core.Model])
+		if keep != nil && !keep(e.key) {
+			continue
+		}
 		entries = append(entries, SnapshotEntry{Key: e.key, Model: e.val})
 	}
 	c.mu.Unlock()

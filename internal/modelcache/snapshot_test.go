@@ -208,6 +208,146 @@ func FuzzSnapshotDecode(f *testing.F) {
 	})
 }
 
+// TestSnapshotFilteredExport is the property test behind peer
+// warm-seeding: export∘import of an owner-filtered slice is
+// bit-identical to the source entries, contains nothing outside the
+// filter, and never resurrects keys the source cache already evicted.
+func TestSnapshotFilteredExport(t *testing.T) {
+	src := New(Options{MaxModels: 8})
+	// Insert 12 keys into an 8-entry cache: keys 0..3 are evicted.
+	for i := 0; i < 12; i++ {
+		if _, err := src.Model(key(i), func() (core.Model, error) { return constModel(float64(i)), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := src.ModelStats().Evictions; got != 4 {
+		t.Fatalf("setup: %d evictions, want 4", got)
+	}
+	// "Owned" keys are the even ones — the shape of a ring-owner filter.
+	owned := func(k ModelKey) bool { return int(k.Slew)%2 == 0 }
+
+	slice := src.SnapshotModelsFiltered(owned)
+	entries, err := DecodeSnapshot(slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 6, 8, 10} // surviving ∩ owned, oldest→newest
+	if len(entries) != len(want) {
+		t.Fatalf("filtered export has %d entries, want %d", len(entries), len(want))
+	}
+	for i, idx := range want {
+		if entries[i].Key != key(idx) {
+			t.Fatalf("entry %d key = %+v, want key(%d)", i, entries[i].Key, idx)
+		}
+		srcModel, ok := src.Peek(key(idx))
+		if !ok || !modelsBitIdentical(entries[i].Model, srcModel) {
+			t.Fatalf("entry %d model not bit-identical to source", i)
+		}
+	}
+
+	dst := New(Options{})
+	if n, err := dst.RestoreModels(slice); err != nil || n != len(want) {
+		t.Fatalf("import: n=%d err=%v", n, err)
+	}
+	for i := 0; i < 12; i++ {
+		m, ok := dst.Peek(key(i))
+		wantPresent := i >= 4 && i%2 == 0
+		if ok != wantPresent {
+			t.Fatalf("key %d present=%v after import, want %v (evicted or unowned keys must not resurrect)", i, ok, wantPresent)
+		}
+		if ok && !modelsBitIdentical(m, constModel(float64(i))) {
+			t.Fatalf("key %d model changed across export∘import", i)
+		}
+	}
+
+	// A nil filter is the full snapshot.
+	full, err := DecodeSnapshot(src.SnapshotModelsFiltered(nil))
+	if err != nil || len(full) != 8 {
+		t.Fatalf("nil filter: %d entries err=%v, want all 8 survivors", len(full), err)
+	}
+	// A filter matching nothing yields a valid empty snapshot.
+	empty, err := DecodeSnapshot(src.SnapshotModelsFiltered(func(ModelKey) bool { return false }))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty filter: %d entries err=%v", len(empty), err)
+	}
+}
+
+// TestPeek pins Peek's contract: no fit, no hit/miss counting, but a
+// recency bump — the degraded path and the forwarding owner-check both
+// rely on peeks being statistically invisible yet LRU-visible.
+func TestPeek(t *testing.T) {
+	c := New(Options{MaxModels: 2})
+	if _, ok := c.Peek(key(0)); ok {
+		t.Fatal("Peek on an empty cache reported a hit")
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Model(key(i), func() (core.Model, error) { return constModel(float64(i)), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.ModelStats()
+	if m, ok := c.Peek(key(0)); !ok || !modelsBitIdentical(m, constModel(0)) {
+		t.Fatalf("Peek(key 0) = %+v, %v", m, ok)
+	}
+	if _, ok := c.Peek(key(7)); ok {
+		t.Fatal("Peek reported a hit for an absent key")
+	}
+	after := c.ModelStats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("Peek moved counters: hits %d→%d misses %d→%d",
+			before.Hits, after.Hits, before.Misses, after.Misses)
+	}
+	// The peek of key 0 made key 1 the LRU entry: one insert evicts it.
+	if _, err := c.Model(key(2), func() (core.Model, error) { return constModel(2), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Peek(key(1)); ok {
+		t.Fatal("key 1 survived; Peek did not bump recency of key 0")
+	}
+	if _, ok := c.Peek(key(0)); !ok {
+		t.Fatal("key 0 evicted despite its Peek recency bump")
+	}
+}
+
+// TestRingKeyCanonical proves RingKey is injective across field
+// boundaries: shuffling bytes between adjacent name fields, or between
+// a name and the operating point, must change the encoding.
+func TestRingKeyCanonical(t *testing.T) {
+	base := key(1)
+	variants := []ModelKey{}
+	{
+		k := base
+		k.Cell, k.OutputPin = "INVZ", "N" // move a byte across the field boundary
+		variants = append(variants, k)
+	}
+	{
+		k := base
+		k.Slew, k.Load = base.Load, base.Slew // swap the operating point
+		variants = append(variants, k)
+	}
+	{
+		k := base
+		k.Kind = fit.ModelGaussian
+		variants = append(variants, k)
+	}
+	{
+		k := base
+		k.LibHash = "lib2"
+		variants = append(variants, k)
+	}
+	seen := map[string]ModelKey{base.RingKey(): base}
+	for _, v := range variants {
+		rk := v.RingKey()
+		if prev, dup := seen[rk]; dup {
+			t.Fatalf("RingKey collision between %+v and %+v", prev, v)
+		}
+		seen[rk] = v
+	}
+	if base.RingKey() != key(1).RingKey() {
+		t.Fatal("RingKey is not deterministic")
+	}
+}
+
 // TestSnapshotRestoreBitIdenticalToFresh extends the cache's core
 // property test across persistence: a model that went through
 // snapshot→restore is bit-for-bit the model a fresh fit produces.

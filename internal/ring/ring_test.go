@@ -1,0 +1,144 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mustRing(t *testing.T, members []string, opts Options) *Ring {
+	t.Helper()
+	r, err := New(members, opts)
+	if err != nil {
+		t.Fatalf("New(%v): %v", members, err)
+	}
+	return r
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := New(nil, Options{}); err != ErrNoMembers {
+		t.Fatalf("empty membership: got %v, want ErrNoMembers", err)
+	}
+	if _, err := New([]string{"a", ""}, Options{}); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+	if _, err := New([]string{"a", "b", "a"}, Options{}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+// Placement is a pure function of (members, seed, vnodes): member order
+// must not matter, and rebuilding must agree point for point.
+func TestRingDeterministicAndOrderIndependent(t *testing.T) {
+	keys := testKeys(2000)
+	a := mustRing(t, []string{"a", "b", "c"}, Options{Seed: 42})
+	b := mustRing(t, []string{"c", "a", "b"}, Options{Seed: 42})
+	c := mustRing(t, []string{"b", "c", "a"}, Options{Seed: 42})
+	for _, k := range keys {
+		if o := a.Owner(k); o != b.Owner(k) || o != c.Owner(k) {
+			t.Fatalf("owner of %q depends on member order: %q / %q / %q",
+				k, o, b.Owner(k), c.Owner(k))
+		}
+	}
+	// Different seed must actually move keys.
+	d := mustRing(t, []string{"a", "b", "c"}, Options{Seed: 43})
+	moved := 0
+	for _, k := range keys {
+		if a.Owner(k) != d.Owner(k) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("changing the seed moved zero keys")
+	}
+}
+
+// Balance: with default vnodes no member's share strays further than
+// 25% from fair over a large key population.
+func TestRingBalance(t *testing.T) {
+	members := []string{"replica-a", "replica-b", "replica-c"}
+	r := mustRing(t, members, Options{Seed: 7})
+	keys := testKeys(30000)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := float64(len(keys)) / float64(len(members))
+	for _, m := range members {
+		share := float64(counts[m]) / fair
+		if share < 0.75 || share > 1.25 {
+			t.Errorf("member %s owns %.0f%% of fair share (count %d)", m, share*100, counts[m])
+		}
+	}
+}
+
+// Minimal movement: removing one member only reassigns keys that member
+// owned; every key owned by a survivor keeps its owner.
+func TestRingMinimalMovementOnMemberLoss(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	full := mustRing(t, members, Options{Seed: 99})
+	keys := testKeys(10000)
+	for _, gone := range members {
+		var rest []string
+		for _, m := range members {
+			if m != gone {
+				rest = append(rest, m)
+			}
+		}
+		shrunk := mustRing(t, rest, Options{Seed: 99})
+		for _, k := range keys {
+			before, after := full.Owner(k), shrunk.Owner(k)
+			if before != gone && before != after {
+				t.Fatalf("removing %s moved key %q from survivor %s to %s", gone, k, before, after)
+			}
+			if before == gone && after == gone {
+				t.Fatalf("removed member %s still owns key %q", gone, k)
+			}
+		}
+	}
+}
+
+// Adding a member back restores exactly the original assignment
+// (membership + seed fully determine placement).
+func TestRingMemberRejoinRestoresAssignment(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	orig := mustRing(t, members, Options{Seed: 5})
+	rejoined := mustRing(t, []string{"c", "b", "a"}, Options{Seed: 5})
+	for _, k := range testKeys(5000) {
+		if orig.Owner(k) != rejoined.Owner(k) {
+			t.Fatalf("rejoin changed owner of %q: %s → %s", k, orig.Owner(k), rejoined.Owner(k))
+		}
+	}
+}
+
+func TestRingAccessors(t *testing.T) {
+	r := mustRing(t, []string{"b", "a"}, Options{VirtualNodes: 16, Seed: 3})
+	if got := r.Members(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Members() = %v, want sorted [a b]", got)
+	}
+	if r.VirtualNodes() != 16 {
+		t.Fatalf("VirtualNodes() = %d, want 16", r.VirtualNodes())
+	}
+	if r.Seed() != 3 {
+		t.Fatalf("Seed() = %d, want 3", r.Seed())
+	}
+	one := mustRing(t, []string{"solo"}, Options{})
+	if one.VirtualNodes() != DefaultVirtualNodes {
+		t.Fatalf("default vnodes = %d, want %d", one.VirtualNodes(), DefaultVirtualNodes)
+	}
+	for _, k := range testKeys(100) {
+		if one.Owner(k) != "solo" {
+			t.Fatal("single-member ring must own every key")
+		}
+	}
+}
+
+// testKeys mimics the shape of real ring keys (arc coordinates with
+// shared prefixes and binary suffixes) without depending on modelcache.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	cells := []string{"INV", "NAND2", "NOR2", "XOR2", "DFF"}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("libhash\x00%s\x00ZN\x00A\x00cell_rise\x00%d", cells[i%len(cells)], i)
+	}
+	return keys
+}

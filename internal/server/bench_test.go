@@ -112,3 +112,37 @@ func TestWarmCacheSpeedup(t *testing.T) {
 		t.Errorf("warm p50 %.3fms not 10x faster than cold p50 %.3fms", wp, cp)
 	}
 }
+
+// BenchmarkServerBinningForwardedWarm measures the replicated hot path a
+// non-owner pays: one checksum-verified forward hop to an owner whose
+// model LRU is warm. Read it against BenchmarkServerBinningWarm (the
+// owner's local lookup) and BenchmarkServerBinningCold (a full refit) —
+// the gap between the three streams is the price of the hop versus the
+// price of losing the fleet's warm state.
+func BenchmarkServerBinningForwardedWarm(b *testing.B) {
+	ft := newFleetTransport()
+	f := newTestFleet(b, []string{"a", "b"}, ft, ft, nil)
+	a := f.server("a")
+	url := urlOwnedBy(b, a, "b")
+	h := a.Handler()
+	// One pass warms the owner's cache through the forward path.
+	if rec, body := get(b, h, url); rec.Code != http.StatusOK {
+		b.Fatalf("prime request = %d: %s", rec.Code, body)
+	}
+	durs := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		rec, _ := get(b, h, url)
+		durs = append(durs, time.Since(t0))
+		if rec.Code != http.StatusOK || rec.Header().Get(forwardHeader) != forwardOutcomeForwarded {
+			b.Fatalf("iteration %d: code %d, %s=%q (stream must stay forwarded)",
+				i, rec.Code, forwardHeader, rec.Header().Get(forwardHeader))
+		}
+	}
+	b.StopTimer()
+	if st := f.server("b").Cache().ModelStats(); st.Misses != 1 {
+		b.Fatalf("owner saw %d model misses, want 1 (forwarded stream must stay warm)", st.Misses)
+	}
+	b.ReportMetric(p50(durs), "p50-ms")
+}

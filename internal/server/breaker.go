@@ -94,10 +94,12 @@ type breaker struct {
 }
 
 // breakerSet owns every breaker plus the shared clock, jitter RNG and
-// transition metrics.
-type breakerSet struct {
+// transition metrics. It is generic over the breaker key: the fit path
+// keys breakers by (library hash, cell), the replication layer by peer
+// ID — same state machine, different failure domain.
+type breakerSet[K comparable] struct {
 	mu    sync.Mutex
-	byKey map[breakerKey]*breaker
+	byKey map[K]*breaker
 	opts  BreakerOptions
 	now   func() time.Time
 	rng   *mc.RNG
@@ -107,22 +109,25 @@ type breakerSet struct {
 
 type breakerKey struct{ libHash, cell string }
 
-func newBreakerSet(opts BreakerOptions, now func() time.Time, reg *obs.Registry) *breakerSet {
+// newBreakerSet builds a breaker set registering metrics under
+// <prefix>_transitions_total and <prefix>_open; what names one breaker's
+// failure domain (a fit path, a peer link).
+func newBreakerSet[K comparable](opts BreakerOptions, now func() time.Time, reg *obs.Registry, prefix, what string) *breakerSet[K] {
 	opts = opts.withDefaults()
-	bs := &breakerSet{
-		byKey: map[breakerKey]*breaker{},
+	bs := &breakerSet[K]{
+		byKey: map[K]*breaker{},
 		opts:  opts,
 		now:   now,
 		rng:   mc.NewRNG(opts.JitterSeed | 1),
-		transitions: obs.NewCounterVec(reg, "lvf2d_breaker_transitions_total",
-			"fit circuit breaker transitions by target state", "state"),
+		transitions: obs.NewCounterVec(reg, prefix+"_transitions_total",
+			what+" circuit breaker transitions by target state", "state"),
 	}
-	obs.NewGaugeFunc(reg, "lvf2d_breaker_open", "fit breakers currently open or half-open",
+	obs.NewGaugeFunc(reg, prefix+"_open", what+" breakers currently open or half-open",
 		func() float64 { return float64(bs.openCount()) })
 	return bs
 }
 
-func (bs *breakerSet) openCount() int {
+func (bs *breakerSet[K]) openCount() int {
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
 	n := 0
@@ -136,7 +141,7 @@ func (bs *breakerSet) openCount() int {
 
 // get returns the breaker for a (library, cell), creating it closed.
 // Caller holds bs.mu.
-func (bs *breakerSet) get(k breakerKey) *breaker {
+func (bs *breakerSet[K]) get(k K) *breaker {
 	b, ok := bs.byKey[k]
 	if !ok {
 		b = &breaker{backoff: bs.opts.OpenBase}
@@ -147,14 +152,14 @@ func (bs *breakerSet) get(k breakerKey) *breaker {
 
 // jittered spreads an interval over [d, 1.5d) so a herd of breakers
 // opened by one outage does not re-probe in lockstep. Caller holds bs.mu.
-func (bs *breakerSet) jittered(d time.Duration) time.Duration {
+func (bs *breakerSet[K]) jittered(d time.Duration) time.Duration {
 	return d + time.Duration(bs.rng.Float64()*0.5*float64(d))
 }
 
 // allow reports whether a fit may run for key right now. probe is true
 // when the admitted fit is the single half-open probe; the caller must
 // report its outcome via done so the probe slot is released.
-func (bs *breakerSet) allow(k breakerKey) (ok, probe bool) {
+func (bs *breakerSet[K]) allow(k K) (ok, probe bool) {
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
 	b := bs.get(k)
@@ -185,7 +190,7 @@ func (bs *breakerSet) allow(k breakerKey) (ok, probe bool) {
 // client simply went away is neutral — it neither heals nor damns the
 // fit path — but a deadline expiry counts as a failure: slow fits are
 // exactly what the breaker exists to shed.
-func (bs *breakerSet) done(k breakerKey, probe bool, err error) {
+func (bs *breakerSet[K]) done(k K, probe bool, err error) {
 	neutral := errors.Is(err, context.Canceled)
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
@@ -221,11 +226,28 @@ func (bs *breakerSet) done(k breakerKey, probe bool, err error) {
 }
 
 // stateOf snapshots one breaker's state (tests and /metrics helpers).
-func (bs *breakerSet) stateOf(k breakerKey) breakerState {
+func (bs *breakerSet[K]) stateOf(k K) breakerState {
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
 	if b, ok := bs.byKey[k]; ok {
 		return b.state
 	}
 	return breakerClosed
+}
+
+// heal force-closes the breaker for k. The replication layer calls it
+// when a background /readyz probe finds a peer alive again, so recovery
+// latency is one probe interval rather than a full backoff window.
+func (bs *breakerSet[K]) heal(k K) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b, ok := bs.byKey[k]
+	if !ok || b.state == breakerClosed {
+		return
+	}
+	b.state = breakerClosed
+	b.consecFails = 0
+	b.backoff = bs.opts.OpenBase
+	b.probing = false
+	bs.transitions.Inc(breakerClosed.String())
 }

@@ -10,9 +10,9 @@ import (
 	"lvf2/internal/obs"
 )
 
-func newTestBreakers(opts BreakerOptions) (*breakerSet, *faultinject.Clock) {
+func newTestBreakers(opts BreakerOptions) (*breakerSet[breakerKey], *faultinject.Clock) {
 	clk := faultinject.NewClock(time.Time{})
-	return newBreakerSet(opts, clk.Now, obs.NewRegistry()), clk
+	return newBreakerSet[breakerKey](opts, clk.Now, obs.NewRegistry(), "lvf2d_breaker", "fit"), clk
 }
 
 func TestBreakerOpensAtThreshold(t *testing.T) {

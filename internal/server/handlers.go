@@ -244,16 +244,7 @@ const degradedHeader = "X-LVF2-Degraded"
 //     in the cache for the next caller — work already paid for is not
 //     discarded.
 func (s *Server) modelFor(r *http.Request, ra *resolvedArc, aq arcQuery) (core.Model, fit.Model, *degradedDTO, error) {
-	key := modelcache.ModelKey{
-		LibHash:    ra.src.hash,
-		Cell:       ra.cell.Name,
-		OutputPin:  ra.out.Name,
-		RelatedPin: ra.arc.RelatedPin,
-		Base:       aq.base,
-		Slew:       aq.slew,
-		Load:       aq.load,
-		Kind:       aq.kind,
-	}
+	key := cacheKeyFor(ra, aq)
 	if aq.kind == fit.ModelLVF || aq.kind == fit.ModelLVF2 {
 		// Table interpolation: cheap, deterministic, no fitting — the
 		// breaker and ladder never apply.
@@ -263,6 +254,22 @@ func (s *Server) modelFor(r *http.Request, ra *resolvedArc, aq arcQuery) (core.M
 		return m, aq.kind, nil, err
 	}
 	return s.refitModel(r, ra, aq, key)
+}
+
+// cacheKeyFor is the full arc coordinate of a resolved query — the
+// model-cache key and, via ModelKey.RingKey, the consistent-hash
+// sharding key of the replicated serving layer.
+func cacheKeyFor(ra *resolvedArc, aq arcQuery) modelcache.ModelKey {
+	return modelcache.ModelKey{
+		LibHash:    ra.src.hash,
+		Cell:       ra.cell.Name,
+		OutputPin:  ra.out.Name,
+		RelatedPin: ra.arc.RelatedPin,
+		Base:       aq.base,
+		Slew:       aq.slew,
+		Load:       aq.load,
+		Kind:       aq.kind,
+	}
 }
 
 // tableModel is the fit-free path: LVF/LVF² straight from the Liberty
@@ -490,6 +497,9 @@ func (s *Server) handleArcCDF(w http.ResponseWriter, r *http.Request) {
 		fail(w, r, err)
 		return
 	}
+	if s.maybeForward(w, r, ra, aq) {
+		return
+	}
 	m, used, deg, err := s.modelFor(r, ra, aq)
 	if err != nil {
 		fail(w, r, err)
@@ -556,6 +566,9 @@ func (s *Server) handleArcBinning(w http.ResponseWriter, r *http.Request) {
 	ra, err := s.resolveArc(aq)
 	if err != nil {
 		fail(w, r, err)
+		return
+	}
+	if s.maybeForward(w, r, ra, aq) {
 		return
 	}
 	m, used, deg, err := s.modelFor(r, ra, aq)
@@ -632,6 +645,9 @@ func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
 	ra, err := s.resolveArc(aq)
 	if err != nil {
 		fail(w, r, err)
+		return
+	}
+	if s.maybeForward(w, r, ra, aq) {
 		return
 	}
 	m, used, deg, err := s.modelFor(r, ra, aq)

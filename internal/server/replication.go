@@ -1,0 +1,650 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lvf2/internal/mc"
+	"lvf2/internal/modelcache"
+	"lvf2/internal/obs"
+	"lvf2/internal/ring"
+)
+
+// Replicated serving (DESIGN.md §16). A fleet of lvf2d replicas shards
+// the fitted-model cache with a consistent-hash ring over the full arc
+// coordinate: every replica builds the same ring from the same static
+// -peers list, so all of them agree on which replica owns which key
+// without coordination traffic. A request landing on a non-owner
+// forwards to the owner (per-peer deadline, capped jittered retry,
+// per-peer circuit breaker); when the owner is unreachable the replica
+// computes the answer locally instead. The fitters are deterministic,
+// so a local fallback is bit-identical to the owner's answer — just
+// cold. A replica death therefore costs latency, never correctness.
+//
+// Forwarding headers:
+//
+//	X-LVF2-Forwarded-From  request: sender's peer ID; owners never
+//	                       re-forward a marked request (single hop)
+//	X-LVF2-Forward         response: "forwarded" | "local-fallback"
+//	X-LVF2-Forward-Peer    response: the owner the request mapped to
+//	X-LVF2-Body-SHA256     response: owner-computed body checksum; the
+//	                       forwarding side re-verifies it so a corrupted
+//	                       peer link degrades to local compute instead
+//	                       of relaying garbage
+const (
+	forwardedFromHeader = "X-LVF2-Forwarded-From"
+	forwardHeader       = "X-LVF2-Forward"
+	forwardPeerHeader   = "X-LVF2-Forward-Peer"
+	bodySumHeader       = "X-LVF2-Body-SHA256"
+
+	forwardOutcomeForwarded = "forwarded"
+	forwardOutcomeFallback  = "local-fallback"
+)
+
+// Peer identifies one remote replica.
+type Peer struct {
+	ID  string
+	URL string // base URL, e.g. http://replica-b:8080
+}
+
+// PeerConfigError reports an invalid -peers / -peer-id configuration
+// entry. It is typed so cmd/lvf2d can reject bad fleets before listen.
+type PeerConfigError struct {
+	Entry  string
+	Reason string
+}
+
+func (e *PeerConfigError) Error() string {
+	return fmt.Sprintf("peer config %q: %s", e.Entry, e.Reason)
+}
+
+// ParsePeers parses repeated -peers values. Each value holds one or
+// more comma-separated id=url entries; URLs must be absolute http(s)
+// with no path, query or fragment (forwarding appends request URIs).
+func ParsePeers(specs []string) ([]Peer, error) {
+	var peers []Peer
+	for _, spec := range specs {
+		for _, entry := range strings.Split(spec, ",") {
+			entry = strings.TrimSpace(entry)
+			if entry == "" {
+				continue
+			}
+			id, rawURL, ok := strings.Cut(entry, "=")
+			if !ok || id == "" {
+				return nil, &PeerConfigError{Entry: entry, Reason: "want id=url"}
+			}
+			u, err := url.Parse(rawURL)
+			if err != nil {
+				return nil, &PeerConfigError{Entry: entry, Reason: fmt.Sprintf("bad URL: %v", err)}
+			}
+			if u.Scheme != "http" && u.Scheme != "https" {
+				return nil, &PeerConfigError{Entry: entry, Reason: fmt.Sprintf("unsupported scheme %q (want http or https)", u.Scheme)}
+			}
+			if u.Host == "" {
+				return nil, &PeerConfigError{Entry: entry, Reason: "missing host"}
+			}
+			if (u.Path != "" && u.Path != "/") || u.RawQuery != "" || u.Fragment != "" {
+				return nil, &PeerConfigError{Entry: entry, Reason: "URL must be a bare base (no path, query or fragment)"}
+			}
+			peers = append(peers, Peer{ID: id, URL: strings.TrimSuffix(rawURL, "/")})
+		}
+	}
+	return peers, nil
+}
+
+// ValidatePeerFleet vets a (self, peers) fleet: peers require an
+// identity, self must not appear in its own peer list, and IDs and URLs
+// must be unique. Returns a *PeerConfigError on the first violation.
+func ValidatePeerFleet(selfID string, peers []Peer) error {
+	if len(peers) == 0 {
+		return nil
+	}
+	if selfID == "" {
+		return &PeerConfigError{Entry: "-peer-id", Reason: "required when -peers is set"}
+	}
+	ids := map[string]bool{selfID: true}
+	urls := map[string]bool{}
+	for _, p := range peers {
+		if p.ID == selfID {
+			return &PeerConfigError{Entry: p.ID, Reason: "a replica must not list itself as a peer"}
+		}
+		if ids[p.ID] {
+			return &PeerConfigError{Entry: p.ID, Reason: "duplicate peer ID"}
+		}
+		if urls[p.URL] {
+			return &PeerConfigError{Entry: p.URL, Reason: "duplicate peer URL"}
+		}
+		ids[p.ID], urls[p.URL] = true, true
+	}
+	return nil
+}
+
+// ReplicationOptions configures the sharded-serving layer. The zero
+// value (no peers) disables it: the server behaves exactly like a
+// standalone lvf2d.
+type ReplicationOptions struct {
+	// SelfID is this replica's identity on the ring. Required when
+	// Peers is non-empty.
+	SelfID string
+	// Peers is the static remote-replica list. The ring members are
+	// SelfID plus every peer ID; all replicas must agree on the set.
+	Peers []Peer
+	// VirtualNodes and RingSeed tune ring placement (defaults
+	// ring.DefaultVirtualNodes, 0). All replicas must agree.
+	VirtualNodes int
+	RingSeed     uint64
+	// ForwardTimeout is the per-attempt deadline of one forwarded
+	// request or probe (default 2s).
+	ForwardTimeout time.Duration
+	// ForwardAttempts bounds forward tries per request (default 3).
+	ForwardAttempts int
+	// RetryBase is the first retry backoff; each retry doubles it and
+	// jitters over [d, 1.5d) (default 20ms).
+	RetryBase time.Duration
+	// ProbeInterval is the background /readyz probe cadence
+	// (default 2s).
+	ProbeInterval time.Duration
+	// Breaker tunes the per-peer circuit breaker (defaults as
+	// BreakerOptions; JitterSeed also seeds the retry jitter).
+	Breaker BreakerOptions
+	// Client issues forwarded requests and probes (default a dedicated
+	// http.Client; the chaos suite injects a FaultTransport here).
+	Client *http.Client
+}
+
+func (o ReplicationOptions) withDefaults() ReplicationOptions {
+	if o.ForwardTimeout <= 0 {
+		o.ForwardTimeout = 2 * time.Second
+	}
+	if o.ForwardAttempts <= 0 {
+		o.ForwardAttempts = 3
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 20 * time.Millisecond
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// replication is the per-server sharding state.
+type replication struct {
+	self  string
+	ring  *ring.Ring
+	peers map[string]Peer
+	order []string // sorted peer IDs, for deterministic iteration
+	opts  ReplicationOptions
+
+	breakers *breakerSet[string]
+
+	mu      sync.Mutex
+	rng     *mc.RNG         // retry-backoff jitter
+	healthy map[string]bool // probe-driven liveness; true until proven dead
+
+	reqs           *obs.CounterVec // by peer, outcome
+	forwardSeconds *obs.Histogram
+	warmSeeded     *obs.Counter
+}
+
+// newReplication builds the sharding state, or nil when cfg carries no
+// peers. An invalid fleet (duplicate IDs etc.) disables replication and
+// logs the reason rather than failing New — cmd/lvf2d validates the
+// same fleet up front and exits 2, so this path only triggers for
+// programmatic misconfiguration.
+func newReplication(cfg Config) *replication {
+	o := cfg.Replication
+	if len(o.Peers) == 0 {
+		return nil
+	}
+	if err := ValidatePeerFleet(o.SelfID, o.Peers); err != nil {
+		cfg.Logger.Error("lvf2d: replication disabled", "reason", err.Error())
+		return nil
+	}
+	o = o.withDefaults()
+	members := make([]string, 0, len(o.Peers)+1)
+	members = append(members, o.SelfID)
+	peers := make(map[string]Peer, len(o.Peers))
+	healthy := make(map[string]bool, len(o.Peers))
+	for _, p := range o.Peers {
+		members = append(members, p.ID)
+		peers[p.ID] = p
+		healthy[p.ID] = true
+	}
+	rg, err := ring.New(members, ring.Options{VirtualNodes: o.VirtualNodes, Seed: o.RingSeed})
+	if err != nil {
+		cfg.Logger.Error("lvf2d: replication disabled", "reason", err.Error())
+		return nil
+	}
+	order := make([]string, 0, len(peers))
+	for id := range peers {
+		order = append(order, id)
+	}
+	sort.Strings(order)
+	r := cfg.Registry
+	opts := o.Breaker
+	if opts.JitterSeed == 0 {
+		opts.JitterSeed = 1
+	}
+	return &replication{
+		self:     o.SelfID,
+		ring:     rg,
+		peers:    peers,
+		order:    order,
+		opts:     o,
+		breakers: newBreakerSet[string](opts, cfg.now, r, "lvf2d_peer_breaker", "peer"),
+		rng:      mc.NewRNG(opts.JitterSeed | 1),
+		healthy:  healthy,
+		reqs: obs.NewCounterVec(r, "lvf2d_peer_requests_total",
+			"peer forwarding attempts by peer and outcome", "peer", "outcome"),
+		forwardSeconds: obs.NewHistogram(r, "lvf2d_peer_forward_seconds",
+			"latency of successful forwarded requests", nil),
+		warmSeeded: obs.NewCounter(r, "lvf2d_peer_warm_seeded_models_total",
+			"owned models warm-seeded from peer snapshot slices on boot"),
+	}
+}
+
+func (p *replication) isHealthy(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healthy[id]
+}
+
+func (p *replication) setHealthy(id string, alive bool) {
+	p.mu.Lock()
+	p.healthy[id] = alive
+	p.mu.Unlock()
+}
+
+// retryDelay is the capped jittered backoff before retry attempt n≥1:
+// RetryBase·2^(n-1) spread over [d, 1.5d), capped at 16×RetryBase.
+func (p *replication) retryDelay(attempt int) time.Duration {
+	d := p.opts.RetryBase << (attempt - 1)
+	if max := 16 * p.opts.RetryBase; d > max {
+		d = max
+	}
+	p.mu.Lock()
+	j := p.rng.Float64()
+	p.mu.Unlock()
+	return d + time.Duration(j*0.5*float64(d))
+}
+
+// maybeForward routes a resolved arc query to its ring owner. It
+// returns true when the response has been fully written (a successful
+// forward). Returning false means the caller must answer locally —
+// either because this replica owns the key (or already has it warm),
+// or because the owner is unreachable and the request degrades to a
+// local-fallback compute (tagged via X-LVF2-Forward).
+func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, ra *resolvedArc, aq arcQuery) bool {
+	p := s.repl
+	if p == nil || r.Header.Get(forwardedFromHeader) != "" {
+		return false
+	}
+	key := cacheKeyFor(ra, aq)
+	owner := p.ring.Owner(key.RingKey())
+	if owner == p.self {
+		return false
+	}
+	// A locally warm key answers in a map lookup; a forward hop could
+	// only be slower. Determinism makes the local copy just as correct.
+	if _, ok := s.cache.Peek(key); ok {
+		return false
+	}
+	if p.forward(w, r, owner) {
+		return true
+	}
+	p.reqs.Inc(owner, "local_fallback")
+	w.Header().Set(forwardHeader, forwardOutcomeFallback)
+	w.Header().Set(forwardPeerHeader, owner)
+	return false
+}
+
+// forward relays r to owner, returning true once the owner's verified
+// response has been written to w. Any failure mode — probe-dead peer,
+// open breaker, exhausted retries, checksum mismatch, request deadline
+// — returns false and leaves w untouched.
+func (p *replication) forward(w http.ResponseWriter, r *http.Request, owner string) bool {
+	if !p.isHealthy(owner) {
+		return false
+	}
+	ok, probe := p.breakers.allow(owner)
+	if !ok {
+		p.reqs.Inc(owner, "breaker_open")
+		return false
+	}
+	var lastErr error = fmt.Errorf("no forward attempts")
+	for attempt := 0; attempt < p.opts.ForwardAttempts; attempt++ {
+		if attempt > 0 {
+			p.reqs.Inc(owner, "retry")
+			select {
+			case <-r.Context().Done():
+				p.breakers.done(owner, probe, r.Context().Err())
+				return false
+			case <-time.After(p.retryDelay(attempt)):
+			}
+		}
+		status, header, body, err := p.forwardOnce(r, owner)
+		if err == nil {
+			p.breakers.done(owner, probe, nil)
+			p.reqs.Inc(owner, "ok")
+			relayResponse(w, status, header, body, owner)
+			return true
+		}
+		lastErr = err
+		if r.Context().Err() != nil {
+			break
+		}
+	}
+	p.breakers.done(owner, probe, lastErr)
+	return false
+}
+
+// forwardOnce issues one forwarded request under the per-peer deadline
+// and verifies the owner's body checksum, so a corrupted or truncated
+// peer response surfaces as a retryable error instead of reaching the
+// client.
+func (p *replication) forwardOnce(r *http.Request, owner string) (int, http.Header, []byte, error) {
+	ctx, cancel := context.WithTimeout(r.Context(), p.opts.ForwardTimeout)
+	defer cancel()
+	u := p.peers[owner].URL + r.URL.RequestURI()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set(forwardedFromHeader, p.self)
+	start := time.Now()
+	resp, err := p.opts.Client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	// Only verified 200s relay. Anything else (the owner shedding,
+	// degraded handling of our own bug, a proxy error page) answers
+	// better from the local compute path.
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, nil, fmt.Errorf("owner %s answered %d", owner, resp.StatusCode)
+	}
+	sum := sha256.Sum256(body)
+	if got := resp.Header.Get(bodySumHeader); got != hex.EncodeToString(sum[:]) {
+		return 0, nil, nil, fmt.Errorf("owner %s body checksum mismatch (len %d)", owner, len(body))
+	}
+	p.forwardSeconds.Observe(time.Since(start).Seconds())
+	return resp.StatusCode, resp.Header, body, nil
+}
+
+// relayResponse writes a verified owner response to the client,
+// preserving the content type and degraded tag and stamping the
+// forwarding headers.
+func relayResponse(w http.ResponseWriter, status int, header http.Header, body []byte, owner string) {
+	for _, h := range [...]string{"Content-Type", degradedHeader} {
+		if v := header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set(forwardHeader, forwardOutcomeForwarded)
+	w.Header().Set(forwardPeerHeader, owner)
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// peerIntegrity stamps X-LVF2-Body-SHA256 on responses to forwarded
+// requests: the owner buffers the response, checksums it and sends the
+// sum as a header, so the forwarding side can detect a corrupted link.
+// Non-forwarded traffic streams through untouched.
+func peerIntegrity(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(forwardedFromHeader) == "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		bw := &bufferedResponse{header: make(http.Header)}
+		next.ServeHTTP(bw, r)
+		for k, vs := range bw.header {
+			w.Header()[k] = vs
+		}
+		sum := sha256.Sum256(bw.buf.Bytes())
+		w.Header().Set(bodySumHeader, hex.EncodeToString(sum[:]))
+		if bw.status == 0 {
+			bw.status = http.StatusOK
+		}
+		w.WriteHeader(bw.status)
+		w.Write(bw.buf.Bytes())
+	})
+}
+
+// bufferedResponse captures a handler's response so a checksum header
+// can precede the body on the wire.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.status == 0 {
+		b.status = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	return b.buf.Write(p)
+}
+
+// handlePeerSnapshot serves GET /v1/peer/snapshot?owner=ID: the slice
+// of this replica's model cache owned by ID under the ring, in the
+// snapshot wire format (which carries its own checksum trailer). A
+// restarting replica pulls this from every live peer to warm-seed the
+// keys it owns.
+func (s *Server) handlePeerSnapshot(w http.ResponseWriter, r *http.Request) {
+	p := s.repl
+	if p == nil {
+		fail(w, r, &httpError{code: http.StatusNotFound, msg: "replication is not configured"})
+		return
+	}
+	owner := r.URL.Query().Get("owner")
+	member := owner == p.self
+	for _, m := range p.ring.Members() {
+		member = member || m == owner
+	}
+	if owner == "" || !member {
+		fail(w, r, badRequest("owner %q is not a ring member (members: %s)",
+			owner, strings.Join(p.ring.Members(), ", ")))
+		return
+	}
+	slice := s.cache.SnapshotModelsFiltered(func(k modelcache.ModelKey) bool {
+		return p.ring.Owner(k.RingKey()) == owner
+	})
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(slice)
+}
+
+// WarmSeedFromPeers pulls this replica's owned-key snapshot slice from
+// every peer and merges the entries into the model cache, returning the
+// total restored. Entries are bit-identical across replicas (the
+// fitters are deterministic), so merging overlapping slices is
+// harmless. Peers that are down, partitioned or serving corrupt bytes
+// are skipped after ForwardAttempts tries each; warm-seeding is an
+// optimisation, never a boot dependency.
+func (s *Server) WarmSeedFromPeers(ctx context.Context) int {
+	p := s.repl
+	if p == nil {
+		return 0
+	}
+	total := 0
+	for _, id := range p.order {
+		slice, err := p.fetchSnapshotSlice(ctx, id)
+		if err != nil {
+			s.cfg.Logger.Warn("lvf2d: warm-seed skipped peer", "peer", id, "reason", err.Error())
+			continue
+		}
+		n, err := s.cache.RestoreModels(slice)
+		if err != nil {
+			s.cfg.Logger.Warn("lvf2d: warm-seed slice rejected", "peer", id, "reason", err.Error())
+			continue
+		}
+		total += n
+	}
+	if total > 0 {
+		p.warmSeeded.Add(int64(total))
+		s.cfg.Logger.Info("lvf2d: warm-seeded owned keys from peers", "models", total)
+	}
+	return total
+}
+
+// fetchSnapshotSlice retrieves one peer's owned-key export, retrying
+// transport errors and corrupt payloads (the snapshot's own checksum
+// catches those) under the usual per-attempt deadline.
+func (p *replication) fetchSnapshotSlice(ctx context.Context, id string) ([]byte, error) {
+	u := p.peers[id].URL + "/v1/peer/snapshot?owner=" + url.QueryEscape(p.self)
+	var lastErr error
+	for attempt := 0; attempt < p.opts.ForwardAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(p.retryDelay(attempt)):
+			}
+		}
+		slice, err := p.fetchSnapshotOnce(ctx, u)
+		if err == nil {
+			return slice, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+func (p *replication) fetchSnapshotOnce(ctx context.Context, u string) ([]byte, error) {
+	rctx, cancel := context.WithTimeout(ctx, p.opts.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer answered %d", resp.StatusCode)
+	}
+	// Validate before accepting so a corrupted body retries here rather
+	// than surfacing from RestoreModels after the retry budget is gone.
+	if _, err := modelcache.DecodeSnapshot(body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// ProbePeersOnce probes every peer's /readyz once, updating the
+// probe-driven health map. A 200 also force-closes the peer's breaker,
+// so recovery latency after a restart is one probe interval instead of
+// a full backoff window. RunListener drives this on ProbeInterval; the
+// chaos suite calls it directly.
+func (s *Server) ProbePeersOnce(ctx context.Context) {
+	p := s.repl
+	if p == nil {
+		return
+	}
+	for _, id := range p.order {
+		alive := p.probeOne(ctx, id)
+		p.setHealthy(id, alive)
+		if alive {
+			p.breakers.heal(id)
+		}
+	}
+}
+
+func (p *replication) probeOne(ctx context.Context, id string) bool {
+	rctx, cancel := context.WithTimeout(ctx, p.opts.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, p.peers[id].URL+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.opts.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// ------------------------------------------------------------- readyz DTO
+
+// readyzRing and readyzPeer extend the /readyz body with ring
+// membership and per-peer link state when replication is configured.
+type readyzRing struct {
+	Self         string   `json:"self"`
+	Members      []string `json:"members"`
+	VirtualNodes int      `json:"virtual_nodes"`
+	Seed         uint64   `json:"seed"`
+}
+
+type readyzPeer struct {
+	ID      string `json:"id"`
+	URL     string `json:"url"`
+	Breaker string `json:"breaker"`
+	Healthy bool   `json:"healthy"`
+}
+
+type readyzResponse struct {
+	Status string       `json:"status"`
+	Ring   *readyzRing  `json:"ring,omitempty"`
+	Peers  []readyzPeer `json:"peers,omitempty"`
+}
+
+// readyzBody assembles the /readyz JSON for the current state.
+func (s *Server) readyzBody(status string) readyzResponse {
+	resp := readyzResponse{Status: status}
+	p := s.repl
+	if p == nil {
+		return resp
+	}
+	resp.Ring = &readyzRing{
+		Self:         p.self,
+		Members:      p.ring.Members(),
+		VirtualNodes: p.ring.VirtualNodes(),
+		Seed:         p.ring.Seed(),
+	}
+	for _, id := range p.order {
+		resp.Peers = append(resp.Peers, readyzPeer{
+			ID:      id,
+			URL:     p.peers[id].URL,
+			Breaker: p.breakers.stateOf(id).String(),
+			Healthy: p.isHealthy(id),
+		})
+	}
+	return resp
+}

@@ -82,6 +82,10 @@ type Config struct {
 	FS modelcache.FS
 	// Breaker tunes the per-(library,cell) fit circuit breaker.
 	Breaker BreakerOptions
+	// Replication configures consistent-hash sharded serving across a
+	// static replica fleet (see DESIGN.md §16). The zero value (no
+	// peers) serves standalone.
+	Replication ReplicationOptions
 	// Logger receives startup/snapshot/degradation events (default
 	// slog.Default()).
 	Logger *slog.Logger
@@ -151,9 +155,10 @@ type Server struct {
 	cfg      Config
 	cache    *modelcache.Cache
 	metrics  *obs.HTTPMetrics
-	breakers *breakerSet
-	fitCost  ewma        // observed fit latency, drives early shedding
-	ready    atomic.Bool // set by Bootstrap: library parsed + restore decided
+	breakers *breakerSet[breakerKey]
+	repl     *replication // nil when serving standalone
+	fitCost  ewma         // observed fit latency, drives early shedding
+	ready    atomic.Bool  // set by Bootstrap: library parsed + restore decided
 
 	// Resilience counters (see DESIGN.md §11).
 	shedTotal           *obs.Counter
@@ -180,7 +185,8 @@ func New(cfg Config) *Server {
 		byName:  map[string]*libSource{},
 		byHash:  map[string]*libSource{},
 	}
-	s.breakers = newBreakerSet(cfg.Breaker, cfg.now, cfg.Registry)
+	s.breakers = newBreakerSet[breakerKey](cfg.Breaker, cfg.now, cfg.Registry, "lvf2d_breaker", "fit")
+	s.repl = newReplication(cfg)
 	r := cfg.Registry
 	s.shedTotal = obs.NewCounter(r, "lvf2d_requests_shed_total",
 		"requests shed early because the remaining deadline could not cover a fit")
@@ -356,6 +362,11 @@ func (s *Server) Handler() http.Handler {
 		wrapped = obs.Timeout(s.cfg.RequestTimeout, s.metrics.Timeouts, wrapped)
 		wrapped = obs.Limit(s.cfg.MaxInFlight, s.metrics.Rejected, wrapped)
 		wrapped = obs.Recover(s.metrics.Panics, wrapped)
+		if s.repl != nil {
+			// Checksum responses to forwarded requests so the sending
+			// replica can detect a corrupted peer link.
+			wrapped = peerIntegrity(wrapped)
+		}
 		mux.Handle(route, s.metrics.Wrap(route, wrapped))
 	}
 	api("/v1/arc/cdf", s.handleArcCDF)
@@ -363,6 +374,13 @@ func (s *Server) Handler() http.Handler {
 	api("/v1/yield", s.handleYield)
 	api("/v1/ssta", s.handleSSTA)
 	api("/v1/libraries", s.handleLibraries)
+	if s.repl != nil {
+		// Peer-only surface: the snapshot export bypasses the limiter
+		// (its payload carries its own checksum; a restarting peer must
+		// be able to warm-seed from a replica that is busy serving).
+		mux.Handle("/v1/peer/snapshot", s.metrics.Wrap("/v1/peer/snapshot",
+			obs.Recover(s.metrics.Panics, http.HandlerFunc(s.handlePeerSnapshot))))
+	}
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -371,14 +389,14 @@ func (s *Server) Handler() http.Handler {
 	// Readiness is distinct from liveness: the process can be alive but
 	// not yet serving (libraries unparsed, snapshot restore undecided).
 	// Load balancers gate traffic on /readyz and restarts on /healthz.
+	// The body is JSON carrying ring membership and per-peer link state
+	// when replication is configured.
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if !s.ready.Load() {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, "starting")
+			writeJSON(w, http.StatusServiceUnavailable, s.readyzBody("starting"))
 			return
 		}
-		fmt.Fprintln(w, "ready")
+		writeJSON(w, http.StatusOK, s.readyzBody("ready"))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -428,6 +446,22 @@ func (s *Server) RunListener(ctx context.Context, ln net.Listener, drain time.Du
 				case <-t.C:
 					_ = s.SaveSnapshot() // failure logged + counted; previous snapshot survives
 				case <-snapCtx.Done():
+					return
+				}
+			}
+		}()
+	}
+	if s.repl != nil {
+		probeCtx, stopProbe := context.WithCancel(ctx)
+		defer stopProbe()
+		go func() {
+			t := time.NewTicker(s.repl.opts.ProbeInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.ProbePeersOnce(probeCtx)
+				case <-probeCtx.Done():
 					return
 				}
 			}
