@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check chaos chaos-ckpt chaos-dist chaos-replica fuzz bench bench-tables bench-server bench-charwork bench-charlib bench-yield bench-smoke allocbudget determinism clean
+.PHONY: all build test vet race check chaos chaos-ckpt chaos-dist chaos-replica chaos-churn fuzz bench bench-tables bench-server bench-charwork bench-charlib bench-yield bench-smoke allocbudget determinism clean
 
 all: build
 
@@ -76,6 +76,20 @@ chaos-replica:
 		$(GO) test -race -run TestChaosReplicatedServing -count 1 -timeout 15m \
 		./internal/server/ -replchaos.seeds $(CHAOS_SEEDS)
 
+# Fleet-churn chaos suite: seeded scripts reshape a live lvf2d fleet —
+# graceful joins, graceful drains with key handoff, crash-leaves with an
+# operator epoch bump, kill-and-restart — while client traffic flows over
+# faulty peer links. Asserts every response across every epoch is a 200
+# bit-identical to a single-process oracle, that every live replica
+# serves ≥90% of its owned keys warm within one anti-entropy round of
+# each rebalance, and that the fleet converges on one epoch. Failing
+# scripts land in CHAOS_ARTIFACT_DIR as
+# churnchaos-failure-seed-<seed>.json; replay with -churnchaos.seed.
+chaos-churn:
+	CHAOS_ARTIFACT_DIR=$(CHAOS_ARTIFACT_DIR) \
+		$(GO) test -race -run TestChaosFleetChurn -count 1 -timeout 15m \
+		./internal/server/ -churnchaos.seeds $(CHAOS_SEEDS)
+
 # One iteration of every benchmark in -short mode: benchmark code cannot
 # rot between perf PRs (heavy benches shrink their workload under -short;
 # this smokes the code paths, it does not measure).
@@ -84,7 +98,7 @@ bench-smoke:
 
 # The gate: vet + build + full suite under the race detector + perf and
 # crash-safety guards + the benchmark smoke pass.
-check: vet build race allocbudget determinism chaos chaos-ckpt chaos-dist chaos-replica bench-smoke
+check: vet build race allocbudget determinism chaos chaos-ckpt chaos-dist chaos-replica chaos-churn bench-smoke
 
 # Short fuzz pass over the Liberty/netlist parsers and the journaled
 # work-unit payload decoder.

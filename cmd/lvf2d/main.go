@@ -54,7 +54,11 @@ func main() {
 		snapEvery   = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot cadence (with -snapshot)")
 		yieldMax    = flag.Int("yield-max-samples", 1<<22, "sample budget cap per /v1/yield estimator run")
 		yieldBatch  = flag.Int("yield-batch", 4096, "estimator batch size between CI-contract checks")
-		peerID      = flag.String("peer-id", "", "this replica's id in the fleet (requires -peers)")
+		peerID      = flag.String("peer-id", "", "this replica's id in the fleet (requires -peers or -membership)")
+		selfURL     = flag.String("self-url", "", "this replica's own base URL as peers reach it (embedded in membership documents)")
+		membership  = flag.String("membership", "", "epoch-versioned fleet membership JSON file; watched for changes and updated on adopted epochs")
+		memberPoll  = flag.Duration("membership-poll", 2*time.Second, "membership file poll cadence (with -membership)")
+		aeEvery     = flag.Duration("antientropy-interval", 30*time.Second, "anti-entropy digest-exchange cadence in a fleet")
 		vnodes      = flag.Int("ring-vnodes", 0, "virtual nodes per replica on the consistent-hash ring (0 = default)")
 	)
 	var peerSpecs peerFlags
@@ -73,15 +77,33 @@ func main() {
 	}
 
 	// Fleet membership is validated before anything listens: a typo in
-	// -peers must be an exit-2 usage error, not a replica that silently
-	// serves standalone.
+	// -peers or the membership file must be an exit-2 usage error, not a
+	// replica that silently serves standalone.
 	peers, err := server.ParsePeers(peerSpecs)
+	var bootMembership *server.Membership
 	if err == nil {
 		if len(peers) > 0 || *peerID != "" {
 			err = server.ValidatePeerFleet(*peerID, peers)
 		}
-		if err == nil && *peerID != "" && len(peers) == 0 {
-			err = fmt.Errorf("-peer-id %q given without -peers", *peerID)
+		if err == nil && *peerID != "" && len(peers) == 0 && *membership == "" {
+			err = fmt.Errorf("-peer-id %q given without -peers or -membership", *peerID)
+		}
+	}
+	if err == nil && *membership != "" {
+		switch {
+		case len(peers) > 0:
+			err = fmt.Errorf("-membership and -peers are mutually exclusive")
+		case *peerID == "":
+			err = fmt.Errorf("-membership requires -peer-id")
+		default:
+			var m server.Membership
+			if m, err = server.LoadMembershipFile(*membership); err == nil {
+				if !m.Has(*peerID) {
+					err = fmt.Errorf("membership file %s does not list this replica (%q)", *membership, *peerID)
+				} else {
+					bootMembership = &m
+				}
+			}
 		}
 	}
 	if err != nil {
@@ -106,9 +128,14 @@ func main() {
 		YieldMaxSamples:      *yieldMax,
 		YieldBatch:           *yieldBatch,
 		Replication: server.ReplicationOptions{
-			SelfID:       *peerID,
-			Peers:        peers,
-			VirtualNodes: *vnodes,
+			SelfID:                 *peerID,
+			SelfURL:                *selfURL,
+			Peers:                  peers,
+			Membership:             bootMembership,
+			MembershipPath:         *membership,
+			MembershipPollInterval: *memberPoll,
+			AntiEntropyInterval:    *aeEvery,
+			VirtualNodes:           *vnodes,
 		},
 	})
 	for _, l := range libs {
@@ -130,8 +157,18 @@ func main() {
 
 	// In a fleet, pull this replica's owned slice of the model cache
 	// back from whichever peers absorbed it while we were down. Best
-	// effort: dead peers just contribute nothing.
-	if len(peers) > 0 {
+	// effort: dead peers just contribute nothing. Booting from a
+	// membership document runs the full graceful-join sequence instead:
+	// announce the document to the incumbents (a no-op when they already
+	// have it), then warm-seed — /readyz answers "warming" throughout.
+	switch {
+	case bootMembership != nil:
+		wctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		n := srv.JoinFleet(wctx)
+		cancel()
+		fmt.Fprintf(os.Stderr, "lvf2d: replica %q joined a %d-replica fleet at epoch %d, warm-seeded %d models\n",
+			*peerID, len(bootMembership.Members), bootMembership.Epoch, n)
+	case len(peers) > 0:
 		wctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		n := srv.WarmSeedFromPeers(wctx)
 		cancel()

@@ -94,9 +94,25 @@ func (t *FaultTransport) Partitioned(host string) bool {
 	return t.partitioned[host]
 }
 
+// SetFaults replaces the fault probabilities under the transport lock,
+// so a chaos script can reshape the fault mix while requests are in
+// flight (the churn suite flips between faulty and quiet phases this
+// way). The draw RNG keeps its position: changing probabilities does
+// not replay past draws.
+func (t *FaultTransport) SetFaults(f NetFaults) {
+	if f.Stall <= 0 {
+		f.Stall = 50 * time.Millisecond
+	}
+	t.mu.Lock()
+	t.Faults = f
+	t.mu.Unlock()
+}
+
 // draw samples the per-request fault decisions under one lock so
-// concurrent requests never interleave within a single draw.
-func (t *FaultTransport) draw() (errBefore, dropAfter, corrupt, short, stall bool) {
+// concurrent requests never interleave within a single draw, and
+// returns the stall duration alongside so RoundTrip never reads
+// t.Faults unguarded.
+func (t *FaultTransport) draw() (errBefore, dropAfter, corrupt, short bool, stall time.Duration) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	f := t.Faults
@@ -104,7 +120,9 @@ func (t *FaultTransport) draw() (errBefore, dropAfter, corrupt, short, stall boo
 	dropAfter = t.rng.Float64() < f.PDropAfter
 	corrupt = t.rng.Float64() < f.PCorruptBody
 	short = t.rng.Float64() < f.PShortBody
-	stall = t.rng.Float64() < f.PStall
+	if t.rng.Float64() < f.PStall {
+		stall = f.Stall
+	}
 	return
 }
 
@@ -125,7 +143,7 @@ func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		}
 		return nil, fmt.Errorf("faultinject: connection refused before delivery (%s %s)", req.Method, req.URL.Path)
 	}
-	if stall {
+	if stall > 0 {
 		t.injected.Add(1)
 		select {
 		case <-req.Context().Done():
@@ -133,7 +151,7 @@ func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 				req.Body.Close()
 			}
 			return nil, req.Context().Err()
-		case <-time.After(t.Faults.Stall):
+		case <-time.After(stall):
 		}
 	}
 	resp, err := t.Inner.RoundTrip(req)

@@ -30,6 +30,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"os"
@@ -81,6 +82,17 @@ func (c *Cache) SnapshotModels() []byte {
 // owns under the consistent-hash ring, without shipping the rest of the
 // cache over the wire.
 func (c *Cache) SnapshotModelsFiltered(keep func(ModelKey) bool) []byte {
+	b, _ := c.SnapshotModelsCapped(keep, 0)
+	return b
+}
+
+// SnapshotModelsCapped is SnapshotModelsFiltered with a byte budget:
+// when the full export would exceed maxBytes (0 = unlimited), the
+// oldest entries are dropped first so the newest — the ones most likely
+// to be re-queried — survive the cut. The second result reports whether
+// anything was dropped. The 48-byte header+trailer envelope is always
+// emitted, so the effective floor for maxBytes is 48.
+func (c *Cache) SnapshotModelsCapped(keep func(ModelKey) bool, maxBytes int) ([]byte, bool) {
 	c.mu.Lock()
 	entries := make([]SnapshotEntry, 0, c.models.len())
 	for el := c.models.ll.Back(); el != nil; el = el.Prev() {
@@ -91,7 +103,36 @@ func (c *Cache) SnapshotModelsFiltered(keep func(ModelKey) bool) []byte {
 		entries = append(entries, SnapshotEntry{Key: e.key, Model: e.val})
 	}
 	c.mu.Unlock()
-	return EncodeSnapshot(entries)
+	truncated := false
+	if maxBytes > 0 {
+		budget := maxBytes - snapshotOverhead
+		// entries is oldest→newest; walk from the newest end accumulating
+		// encoded sizes and cut off the oldest prefix that no longer fits.
+		total, cut := 0, len(entries)
+		for i := len(entries) - 1; i >= 0; i-- {
+			sz := encodedEntrySize(entries[i])
+			if total+sz > budget {
+				break
+			}
+			total += sz
+			cut = i
+		}
+		if cut > 0 {
+			truncated = true
+			entries = entries[cut:]
+		}
+	}
+	return EncodeSnapshot(entries), truncated
+}
+
+// snapshotOverhead is the byte cost of the snapshot envelope: the
+// 16-byte header plus the SHA-256 trailer.
+const snapshotOverhead = 16 + sha256.Size
+
+// encodedEntrySize returns the exact wire size of one entry.
+func encodedEntrySize(e SnapshotEntry) int {
+	return 5*4 + len(e.Key.LibHash) + len(e.Key.Cell) + len(e.Key.OutputPin) +
+		len(e.Key.RelatedPin) + len(e.Key.Base) + 2*8 + 4 + 7*8
 }
 
 // EncodeSnapshot renders entries in the snapshot wire format.
@@ -101,19 +142,52 @@ func EncodeSnapshot(entries []SnapshotEntry) []byte {
 	b = binary.LittleEndian.AppendUint32(b, SnapshotVersion)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(entries)))
 	for _, e := range entries {
-		for _, s := range [...]string{e.Key.LibHash, e.Key.Cell, e.Key.OutputPin, e.Key.RelatedPin, e.Key.Base} {
-			b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
-			b = append(b, s...)
-		}
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Key.Slew))
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Key.Load))
-		b = binary.LittleEndian.AppendUint32(b, uint32(e.Key.Kind))
-		for _, f := range modelFields(e.Model) {
-			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
-		}
+		b = appendSnapshotEntry(b, e)
 	}
 	sum := sha256.Sum256(b)
 	return append(b, sum[:]...)
+}
+
+func appendSnapshotEntry(b []byte, e SnapshotEntry) []byte {
+	for _, s := range [...]string{e.Key.LibHash, e.Key.Cell, e.Key.OutputPin, e.Key.RelatedPin, e.Key.Base} {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+		b = append(b, s...)
+	}
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Key.Slew))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Key.Load))
+	b = binary.LittleEndian.AppendUint32(b, uint32(e.Key.Kind))
+	for _, f := range modelFields(e.Model) {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	return b
+}
+
+// DigestModels returns how many cached models satisfy keep (nil keeps
+// everything) and an order-independent digest over their full
+// (key, model-bits) wire encoding: the XOR of each entry's FNV-64a
+// hash. Two caches hold bit-identical model sets for the filtered keys
+// iff count and digest agree — the cheap comparison the anti-entropy
+// loop exchanges before deciding to ship a snapshot slice.
+func (c *Cache) DigestModels(keep func(ModelKey) bool) (int, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var (
+		n      int
+		digest uint64
+		buf    []byte
+	)
+	for el := c.models.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*lruEntry[ModelKey, core.Model])
+		if keep != nil && !keep(e.key) {
+			continue
+		}
+		buf = appendSnapshotEntry(buf[:0], SnapshotEntry{Key: e.key, Model: e.val})
+		h := fnv.New64a()
+		h.Write(buf)
+		digest ^= h.Sum64()
+		n++
+	}
+	return n, digest
 }
 
 func modelFields(m core.Model) [7]float64 {

@@ -388,3 +388,134 @@ func TestSnapshotRestoreBitIdenticalToFresh(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotCappedNewestFirst pins the ?max_bytes= satellite: a capped
+// export keeps the newest entries, drops the oldest first, reports
+// truncation, and always yields a decodable snapshot.
+func TestSnapshotCappedNewestFirst(t *testing.T) {
+	src := New(Options{MaxModels: 16})
+	for i := 0; i < 6; i++ {
+		if _, err := src.Model(key(i), func() (core.Model, error) { return constModel(float64(i)), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, truncated := src.SnapshotModelsCapped(nil, 0)
+	if truncated {
+		t.Fatal("uncapped export reported truncation")
+	}
+	entrySize := encodedEntrySize(SnapshotEntry{Key: key(0)})
+	if want := snapshotOverhead + 6*entrySize; len(full) != want {
+		t.Fatalf("full export is %d bytes, want %d", len(full), want)
+	}
+
+	// Budget for exactly two entries: the two newest survive.
+	capped, truncated := src.SnapshotModelsCapped(nil, snapshotOverhead+2*entrySize)
+	if !truncated {
+		t.Fatal("capped export did not report truncation")
+	}
+	entries, err := DecodeSnapshot(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Key != key(4) || entries[1].Key != key(5) {
+		t.Fatalf("capped export kept wrong entries: %+v", entries)
+	}
+
+	// One byte short of two entries keeps only the newest.
+	capped, _ = src.SnapshotModelsCapped(nil, snapshotOverhead+2*entrySize-1)
+	if entries, err = DecodeSnapshot(capped); err != nil || len(entries) != 1 || entries[0].Key != key(5) {
+		t.Fatalf("tight cap: %d entries err=%v", len(entries), err)
+	}
+
+	// A cap below the envelope still emits a valid empty snapshot.
+	capped, truncated = src.SnapshotModelsCapped(nil, 1)
+	if !truncated {
+		t.Fatal("sub-envelope cap did not report truncation")
+	}
+	if entries, err = DecodeSnapshot(capped); err != nil || len(entries) != 0 {
+		t.Fatalf("sub-envelope cap: %d entries err=%v", len(entries), err)
+	}
+
+	// A generous cap equals the uncapped export bit for bit.
+	capped, truncated = src.SnapshotModelsCapped(nil, len(full))
+	if truncated || string(capped) != string(full) {
+		t.Fatal("cap == full size must not truncate")
+	}
+
+	// The cap composes with an owner filter: budget counts kept entries only.
+	even := func(k ModelKey) bool { return int(k.Slew)%2 == 0 }
+	capped, truncated = src.SnapshotModelsCapped(even, snapshotOverhead+2*entrySize)
+	if !truncated {
+		t.Fatal("filtered capped export did not report truncation")
+	}
+	if entries, err = DecodeSnapshot(capped); err != nil || len(entries) != 2 ||
+		entries[0].Key != key(2) || entries[1].Key != key(4) {
+		t.Fatalf("filtered capped export kept wrong entries: %+v (err=%v)", entries, err)
+	}
+}
+
+// TestDigestModels pins the anti-entropy comparison: equal model sets
+// agree on (count, digest) regardless of insertion order; any missing
+// key or differing model bits changes the digest; the filter scopes it.
+func TestDigestModels(t *testing.T) {
+	a, b := New(Options{}), New(Options{})
+	for i := 0; i < 5; i++ {
+		if _, err := a.Model(key(i), func() (core.Model, error) { return constModel(float64(i)), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 4; i >= 0; i-- { // reverse order: digest must not care
+		if _, err := b.Model(key(i), func() (core.Model, error) { return constModel(float64(i)), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	an, ad := a.DigestModels(nil)
+	bn, bd := b.DigestModels(nil)
+	if an != 5 || bn != 5 || ad != bd {
+		t.Fatalf("equal sets disagree: (%d,%x) vs (%d,%x)", an, ad, bn, bd)
+	}
+
+	// A missing key changes the digest.
+	c := New(Options{})
+	for i := 0; i < 4; i++ {
+		if _, err := c.Model(key(i), func() (core.Model, error) { return constModel(float64(i)), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cn, cd := c.DigestModels(nil); cn == an && cd == ad {
+		t.Fatal("subset produced the same (count, digest)")
+	}
+
+	// Same keys, one model's bits changed: digest must differ.
+	d := New(Options{})
+	for i := 0; i < 5; i++ {
+		mean := float64(i)
+		if i == 2 {
+			mean = math.Nextafter(mean, 3)
+		}
+		if _, err := d.Model(key(i), func() (core.Model, error) { return constModel(mean), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dn, dd := d.DigestModels(nil); dn != 5 || dd == ad {
+		t.Fatalf("one-ulp model change not visible in digest (n=%d)", dn)
+	}
+
+	// The keep filter scopes the digest to owned keys.
+	even := func(k ModelKey) bool { return int(k.Slew)%2 == 0 }
+	en, ed := a.DigestModels(even)
+	if en != 3 {
+		t.Fatalf("filtered count = %d, want 3", en)
+	}
+	if fn, fd := b.DigestModels(even); fn != en || fd != ed {
+		t.Fatal("filtered digests of equal sets disagree")
+	}
+
+	// Empty cache and nothing-matches filter are (0, 0).
+	if n, dg := New(Options{}).DigestModels(nil); n != 0 || dg != 0 {
+		t.Fatalf("empty cache digest = (%d, %x)", n, dg)
+	}
+	if n, dg := a.DigestModels(func(ModelKey) bool { return false }); n != 0 || dg != 0 {
+		t.Fatalf("empty filter digest = (%d, %x)", n, dg)
+	}
+}

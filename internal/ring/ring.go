@@ -38,6 +38,11 @@ type Options struct {
 	// Seed perturbs every virtual-node position. All replicas of a
 	// fleet must agree on it; changing it reshuffles the whole ring.
 	Seed uint64
+	// Epoch is the membership version this ring belongs to. It does
+	// not affect placement — only (members, seed, vnodes) do — but a
+	// fleet advances it by exactly one per reconfiguration so replicas
+	// can order membership documents.
+	Epoch uint64
 }
 
 // Ring is an immutable consistent-hash ring. It is safe for concurrent
@@ -47,6 +52,7 @@ type Ring struct {
 	points  []point  // sorted by (hash, member, vnode)
 	vnodes  int
 	seed    uint64
+	epoch   uint64
 }
 
 type point struct {
@@ -82,6 +88,7 @@ func New(members []string, opts Options) (*Ring, error) {
 		points:  make([]point, 0, len(sorted)*vnodes),
 		vnodes:  vnodes,
 		seed:    opts.Seed,
+		epoch:   opts.Epoch,
 	}
 	var buf [8]byte
 	for mi, m := range sorted {
@@ -112,14 +119,114 @@ func New(members []string, opts Options) (*Ring, error) {
 // Owner returns the member that owns key: the member of the first
 // virtual node clockwise from the key's hash, wrapping at the top.
 func (r *Ring) Owner(key string) string {
+	return r.ownerAtHash(KeyHash(key))
+}
+
+// KeyHash returns the position a key occupies on the ring. Exposed so
+// callers can relate keys to the hash ranges reported by Derive.
+func KeyHash(key string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(key))
-	kh := mix64(h.Sum64())
+	return mix64(h.Sum64())
+}
+
+// ownerAtHash resolves a raw ring position to its owning member.
+func (r *Ring) ownerAtHash(kh uint64) string {
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
 	if i == len(r.points) {
 		i = 0
 	}
 	return r.members[r.points[i].member]
+}
+
+// RangeDesc describes one arc of the hash circle whose owner changes
+// between two consecutive ring epochs. The arc is the half-open
+// interval (Lo, Hi]; Lo > Hi means it wraps past the top of the hash
+// space, and Lo == Hi means the entire circle.
+type RangeDesc struct {
+	Lo   uint64 // exclusive lower bound
+	Hi   uint64 // inclusive upper bound
+	From string // owner in the ring Derive was called on
+	To   string // owner in the derived ring
+}
+
+// Contains reports whether a ring position falls inside the arc.
+func (d RangeDesc) Contains(kh uint64) bool {
+	switch {
+	case d.Lo < d.Hi:
+		return kh > d.Lo && kh <= d.Hi
+	case d.Lo > d.Hi: // wraps past the top of the hash space
+		return kh > d.Lo || kh <= d.Hi
+	default: // Lo == Hi: the whole circle
+		return true
+	}
+}
+
+// Derive builds the next-epoch ring over members — same seed and
+// virtual-node count, epoch advanced by one — and reports exactly which
+// hash ranges change owner. Keys outside every returned range keep
+// their owner (see TestRingDeriveOwnerStableOutsideMoved); for keys
+// inside a range, From is the owner under r and To the owner under the
+// derived ring.
+func (r *Ring) Derive(members []string) (*Ring, []RangeDesc, error) {
+	next, err := New(members, Options{
+		VirtualNodes: r.vnodes,
+		Seed:         r.seed,
+		Epoch:        r.epoch + 1,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return next, movedRanges(r, next), nil
+}
+
+// movedRanges computes the arcs whose owner differs between two rings.
+// The sorted union of both rings' virtual-node positions cuts the
+// circle into elementary arcs with no interior point, so each ring's
+// owner is constant across an arc and equals ownerAtHash(arc upper
+// bound). Adjacent arcs with the same (From, To) pair are coalesced.
+func movedRanges(old, next *Ring) []RangeDesc {
+	bounds := make([]uint64, 0, len(old.points)+len(next.points))
+	for _, p := range old.points {
+		bounds = append(bounds, p.hash)
+	}
+	for _, p := range next.points {
+		bounds = append(bounds, p.hash)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != bounds[i-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	bounds = uniq
+
+	var moved []RangeDesc
+	for i, hi := range bounds {
+		lo := bounds[(i+len(bounds)-1)%len(bounds)] // wrap arc when i == 0
+		from, to := old.ownerAtHash(hi), next.ownerAtHash(hi)
+		if from == to {
+			continue
+		}
+		if n := len(moved); n > 0 && moved[n-1].Hi == lo &&
+			moved[n-1].From == from && moved[n-1].To == to {
+			moved[n-1].Hi = hi
+			continue
+		}
+		moved = append(moved, RangeDesc{Lo: lo, Hi: hi, From: from, To: to})
+	}
+	// The first emitted arc may be the wrap arc (Lo = top boundary);
+	// if the last arc abuts it with the same owners, merge across the
+	// wrap by extending the wrap arc downward.
+	if n := len(moved); n > 1 {
+		first, last := &moved[0], &moved[n-1]
+		if first.Lo == last.Hi && first.From == last.From && first.To == last.To {
+			first.Lo = last.Lo
+			moved = moved[:n-1]
+		}
+	}
+	return moved
 }
 
 // mix64 is the splitmix64 finalizer. FNV-64a alone leaves correlated
@@ -144,3 +251,6 @@ func (r *Ring) VirtualNodes() int { return r.vnodes }
 
 // Seed returns the placement seed the ring was built with.
 func (r *Ring) Seed() uint64 { return r.seed }
+
+// Epoch returns the membership epoch the ring was built at.
+func (r *Ring) Epoch() uint64 { return r.epoch }

@@ -110,6 +110,157 @@ func TestRingMemberRejoinRestoresAssignment(t *testing.T) {
 	}
 }
 
+// Derive advances the epoch by exactly one and keeps placement inputs
+// (seed, vnodes) fixed, so the derived ring equals a fresh ring over the
+// same members.
+func TestRingDeriveEpochAndPlacement(t *testing.T) {
+	r := mustRing(t, []string{"a", "b", "c"}, Options{Seed: 11, Epoch: 4})
+	if r.Epoch() != 4 {
+		t.Fatalf("Epoch() = %d, want 4", r.Epoch())
+	}
+	next, _, err := r.Derive([]string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if next.Epoch() != 5 {
+		t.Fatalf("derived epoch = %d, want 5", next.Epoch())
+	}
+	if next.Seed() != r.Seed() || next.VirtualNodes() != r.VirtualNodes() {
+		t.Fatal("Derive changed seed or vnodes")
+	}
+	fresh := mustRing(t, []string{"d", "c", "b", "a"}, Options{Seed: 11})
+	for _, k := range testKeys(3000) {
+		if next.Owner(k) != fresh.Owner(k) {
+			t.Fatalf("derived ring disagrees with fresh ring on %q", k)
+		}
+	}
+	if _, _, err := r.Derive(nil); err != ErrNoMembers {
+		t.Fatalf("Derive(nil): got %v, want ErrNoMembers", err)
+	}
+}
+
+// The moved ranges returned by Derive are exact: a key changes owner iff
+// its hash falls inside a moved range, and the range's From/To match the
+// two rings' owners. Owner is stable for every key outside the ranges.
+func TestRingDeriveMovedRangesExact(t *testing.T) {
+	cases := []struct{ before, after []string }{
+		{[]string{"a", "b", "c", "d"}, []string{"a", "b", "c"}}, // drain d
+		{[]string{"a", "b", "c"}, []string{"a", "b", "c", "d"}}, // join d
+		{[]string{"a", "b", "c"}, []string{"a", "b", "e"}},      // replace c with e
+		{[]string{"a"}, []string{"b"}},                          // full-circle handoff
+		{[]string{"a", "b"}, []string{"a", "b"}},                // no-op
+	}
+	keys := testKeys(8000)
+	for _, tc := range cases {
+		old := mustRing(t, tc.before, Options{Seed: 23})
+		next, moved, err := old.Derive(tc.after)
+		if err != nil {
+			t.Fatalf("Derive(%v → %v): %v", tc.before, tc.after, err)
+		}
+		inMoved := func(kh uint64) (RangeDesc, bool) {
+			for _, d := range moved {
+				if d.Contains(kh) {
+					return d, true
+				}
+			}
+			return RangeDesc{}, false
+		}
+		for _, k := range keys {
+			kh := KeyHash(k)
+			before, after := old.Owner(k), next.Owner(k)
+			d, hit := inMoved(kh)
+			if (before != after) != hit {
+				t.Fatalf("%v → %v: key %q moved=%v but range hit=%v",
+					tc.before, tc.after, k, before != after, hit)
+			}
+			if hit && (d.From != before || d.To != after) {
+				t.Fatalf("%v → %v: key %q range says %s→%s, owners are %s→%s",
+					tc.before, tc.after, k, d.From, d.To, before, after)
+			}
+		}
+	}
+}
+
+// Minimal movement through Derive: draining one member must only report
+// ranges moving away from it, and joining one member only ranges moving
+// toward it.
+func TestRingDeriveMinimalMovement(t *testing.T) {
+	old := mustRing(t, []string{"a", "b", "c", "d"}, Options{Seed: 99})
+	_, moved, err := old.Derive([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if len(moved) == 0 {
+		t.Fatal("draining a member moved zero ranges")
+	}
+	for _, d := range moved {
+		if d.From != "d" {
+			t.Fatalf("draining d moved range owned by survivor %s", d.From)
+		}
+		if d.To == "d" {
+			t.Fatal("draining d assigned a range back to d")
+		}
+	}
+	_, moved, err = old.Derive([]string{"a", "b", "c", "d", "e"})
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	for _, d := range moved {
+		if d.To != "e" {
+			t.Fatalf("joining e moved a range to incumbent %s", d.To)
+		}
+	}
+}
+
+// Satellite: a two-epoch round trip (remove a member, re-add it)
+// restores the exact original ownership map, two epochs later.
+func TestRingDeriveRoundTripRestoresOwnership(t *testing.T) {
+	orig := mustRing(t, []string{"a", "b", "c"}, Options{Seed: 5, Epoch: 7})
+	shrunk, _, err := orig.Derive([]string{"a", "c"})
+	if err != nil {
+		t.Fatalf("Derive shrink: %v", err)
+	}
+	restored, backMoved, err := shrunk.Derive([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatalf("Derive re-add: %v", err)
+	}
+	if restored.Epoch() != 9 {
+		t.Fatalf("round-trip epoch = %d, want 9", restored.Epoch())
+	}
+	for _, k := range testKeys(8000) {
+		if orig.Owner(k) != restored.Owner(k) {
+			t.Fatalf("round trip changed owner of %q: %s → %s",
+				k, orig.Owner(k), restored.Owner(k))
+		}
+	}
+	for _, d := range backMoved {
+		if d.To != "b" {
+			t.Fatalf("re-adding b moved a range to %s", d.To)
+		}
+	}
+}
+
+func TestRangeDescContains(t *testing.T) {
+	plain := RangeDesc{Lo: 100, Hi: 200}
+	for kh, want := range map[uint64]bool{100: false, 101: true, 200: true, 201: false, 50: false} {
+		if plain.Contains(kh) != want {
+			t.Fatalf("plain.Contains(%d) = %v, want %v", kh, !want, want)
+		}
+	}
+	wrap := RangeDesc{Lo: ^uint64(0) - 10, Hi: 5}
+	for kh, want := range map[uint64]bool{^uint64(0): true, 0: true, 5: true, 6: false, ^uint64(0) - 10: false} {
+		if wrap.Contains(kh) != want {
+			t.Fatalf("wrap.Contains(%d) = %v, want %v", kh, !want, want)
+		}
+	}
+	full := RangeDesc{Lo: 42, Hi: 42}
+	for _, kh := range []uint64{0, 41, 42, 43, ^uint64(0)} {
+		if !full.Contains(kh) {
+			t.Fatalf("full-circle range must contain %d", kh)
+		}
+	}
+}
+
 func TestRingAccessors(t *testing.T) {
 	r := mustRing(t, []string{"b", "a"}, Options{VirtualNodes: 16, Seed: 3})
 	if got := r.Members(); len(got) != 2 || got[0] != "a" || got[1] != "b" {

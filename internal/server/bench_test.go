@@ -1,12 +1,63 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"sort"
 	"testing"
 	"time"
 )
+
+// BenchmarkServerBinningPostRebalance measures the serving path for a key
+// that changed owner in a graceful drain: the previous owner handed its
+// models to the next-epoch owners before leaving, so the new owner
+// answers from its LRU — no refit. Read it against
+// BenchmarkServerBinningWarm: a rebalance that preserves warmth should
+// keep this stream at local-lookup cost, not cold-fit cost.
+func BenchmarkServerBinningPostRebalance(b *testing.B) {
+	ft := newFleetTransport()
+	f := newTestFleet(b, []string{"a", "b", "c"}, ft, ft, nil)
+	a := f.server("a")
+	// Warm the whole fleet, note which grid keys c owns, then drain c so
+	// its keys hand off to the epoch-1 owners.
+	moved := []string{}
+	for _, u := range replGridURLs() {
+		if rec, body := get(b, a.Handler(), u); rec.Code != http.StatusOK {
+			b.Fatalf("warm pass %s = %d: %s", u, rec.Code, body)
+		}
+		if ownerOf(b, a, u) == "c" {
+			moved = append(moved, u)
+		}
+	}
+	if rec, body := postJSON(b, f.server("c").Handler(), "/v1/fleet/drain", nil); rec.Code != http.StatusOK {
+		b.Fatalf("drain = %d: %s", rec.Code, body)
+	}
+	a.ProbePeersOnce(context.Background())
+	if len(moved) == 0 {
+		b.Fatal("no grid keys owned by the drained replica")
+	}
+	url := moved[0]
+	owner := f.server(ownerOf(b, a, url))
+	before := owner.Cache().ModelStats()
+	h := owner.Handler()
+	durs := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		rec, _ := get(b, h, url)
+		durs = append(durs, time.Since(t0))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("iteration %d: code %d", i, rec.Code)
+		}
+	}
+	b.StopTimer()
+	if after := owner.Cache().ModelStats(); after.Misses != before.Misses {
+		b.Fatalf("post-rebalance stream refitted %d models, want 0 (handoff must preserve warmth)",
+			after.Misses-before.Misses)
+	}
+	b.ReportMetric(p50(durs), "p50-ms")
+}
 
 // benchURL is the acceptance-criteria query: a warm hit resolves entirely
 // from the model LRU; a cold hit pays Liberty parse + load + model fit.

@@ -5,13 +5,17 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lvf2/internal/mc"
@@ -41,20 +45,27 @@ import (
 //	                       forwarding side re-verifies it so a corrupted
 //	                       peer link degrades to local compute instead
 //	                       of relaying garbage
+//	X-LVF2-Ring-Epoch      request and response: the sender's membership
+//	                       epoch; a mismatch makes the lagging side pull
+//	                       the newer membership from the other (epoch
+//	                       propagation piggybacked on forwarding, no new
+//	                       protocol)
 const (
 	forwardedFromHeader = "X-LVF2-Forwarded-From"
 	forwardHeader       = "X-LVF2-Forward"
 	forwardPeerHeader   = "X-LVF2-Forward-Peer"
 	bodySumHeader       = "X-LVF2-Body-SHA256"
+	ringEpochHeader     = "X-LVF2-Ring-Epoch"
 
 	forwardOutcomeForwarded = "forwarded"
 	forwardOutcomeFallback  = "local-fallback"
 )
 
-// Peer identifies one remote replica.
+// Peer identifies one remote replica. The JSON tags are the membership
+// document's wire format.
 type Peer struct {
-	ID  string
-	URL string // base URL, e.g. http://replica-b:8080
+	ID  string `json:"id"`
+	URL string `json:"url"` // base URL, e.g. http://replica-b:8080
 }
 
 // PeerConfigError reports an invalid -peers / -peer-id configuration
@@ -136,9 +147,26 @@ type ReplicationOptions struct {
 	// SelfID is this replica's identity on the ring. Required when
 	// Peers is non-empty.
 	SelfID string
-	// Peers is the static remote-replica list. The ring members are
-	// SelfID plus every peer ID; all replicas must agree on the set.
+	// SelfURL is this replica's own base URL as peers reach it. It is
+	// embedded in membership documents so joins and drains can be
+	// announced; optional for a static fleet that never reconfigures.
+	SelfURL string
+	// Peers is the boot-time remote-replica list. The initial ring
+	// members are SelfID plus every peer ID at epoch 0; membership may
+	// change afterwards (see Membership and /v1/fleet/membership).
 	Peers []Peer
+	// Membership, when non-nil, is the boot-time membership document
+	// and overrides Peers: the ring members are the document's members
+	// at its epoch, and SelfID must still be set. cmd/lvf2d loads it
+	// from -membership.
+	Membership *Membership
+	// MembershipPath, when non-empty, enables the config-watch seam:
+	// the file is polled (mtime, then SHA-256) and a strictly newer
+	// membership document found there is adopted and announced to the
+	// fleet; adopted memberships are persisted back to it.
+	MembershipPath string
+	// MembershipPollInterval is the file-watch cadence (default 2s).
+	MembershipPollInterval time.Duration
 	// VirtualNodes and RingSeed tune ring placement (defaults
 	// ring.DefaultVirtualNodes, 0). All replicas must agree.
 	VirtualNodes int
@@ -154,6 +182,13 @@ type ReplicationOptions struct {
 	// ProbeInterval is the background /readyz probe cadence
 	// (default 2s).
 	ProbeInterval time.Duration
+	// AntiEntropyInterval is the background digest-exchange cadence
+	// (default 30s).
+	AntiEntropyInterval time.Duration
+	// SnapshotMaxBytes caps one /v1/peer/snapshot transfer in both
+	// directions: the server truncates its export (newest entries
+	// kept) and the client refuses to read past it (default 64 MiB).
+	SnapshotMaxBytes int64
 	// Breaker tunes the per-peer circuit breaker (defaults as
 	// BreakerOptions; JitterSeed also seeds the retry jitter).
 	Breaker BreakerOptions
@@ -163,6 +198,9 @@ type ReplicationOptions struct {
 }
 
 func (o ReplicationOptions) withDefaults() ReplicationOptions {
+	if o.MembershipPollInterval <= 0 {
+		o.MembershipPollInterval = 2 * time.Second
+	}
 	if o.ForwardTimeout <= 0 {
 		o.ForwardTimeout = 2 * time.Second
 	}
@@ -175,86 +213,213 @@ func (o ReplicationOptions) withDefaults() ReplicationOptions {
 	if o.ProbeInterval <= 0 {
 		o.ProbeInterval = 2 * time.Second
 	}
+	if o.AntiEntropyInterval <= 0 {
+		o.AntiEntropyInterval = 30 * time.Second
+	}
+	if o.SnapshotMaxBytes <= 0 {
+		o.SnapshotMaxBytes = 64 << 20
+	}
 	if o.Client == nil {
 		o.Client = &http.Client{}
 	}
 	return o
 }
 
+// fleetView is one consistent read of the mutable membership state: the
+// current ring, the previous-epoch ring while a transition window is
+// open, and the remote members of the current epoch. The maps and
+// slices it carries are copy-on-write — adoption installs fresh ones —
+// so a view taken under the lock stays coherent without holding it.
+type fleetView struct {
+	epoch      uint64
+	ring       *ring.Ring
+	prev       *ring.Ring      // nil outside a transition window
+	prevPeers  map[string]Peer // remote members of the previous epoch
+	peers      map[string]Peer // remote members of the current epoch
+	order      []string        // sorted remote member IDs
+	membership Membership      // the installed document
+	drained    bool            // self is not a member of the current epoch
+}
+
 // replication is the per-server sharding state.
 type replication struct {
-	self  string
-	ring  *ring.Ring
-	peers map[string]Peer
-	order []string // sorted peer IDs, for deterministic iteration
-	opts  ReplicationOptions
+	self    string
+	opts    ReplicationOptions
+	logger  *slog.Logger
+	warming atomic.Bool // joining replica: alive but not yet taking traffic
 
 	breakers *breakerSet[string]
 
-	mu      sync.Mutex
-	rng     *mc.RNG         // retry-backoff jitter
-	healthy map[string]bool // probe-driven liveness; true until proven dead
+	mu         sync.Mutex
+	rng        *mc.RNG         // retry-backoff jitter
+	healthy    map[string]bool // probe-driven liveness; true until proven dead
+	fleet      fleetView
+	lastMerged map[string]uint64 // anti-entropy: last peer digest merged
+	watchMod   time.Time         // config watcher: last seen mtime
+	watchSum   [sha256.Size]byte // config watcher: last seen content hash
 
 	reqs           *obs.CounterVec // by peer, outcome
 	forwardSeconds *obs.Histogram
 	warmSeeded     *obs.Counter
+	transitions    *obs.Counter
+	snapTruncated  *obs.Counter
+	aeRounds       *obs.Counter
+	aeRepaired     *obs.Counter
+	handoffModels  *obs.Counter
+}
+
+// view returns a consistent snapshot of the fleet state.
+func (p *replication) view() fleetView {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fleet
+}
+
+// epoch returns the current membership epoch.
+func (p *replication) epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fleet.epoch
 }
 
 // newReplication builds the sharding state, or nil when cfg carries no
-// peers. An invalid fleet (duplicate IDs etc.) disables replication and
+// fleet. An invalid fleet (duplicate IDs etc.) disables replication and
 // logs the reason rather than failing New — cmd/lvf2d validates the
 // same fleet up front and exits 2, so this path only triggers for
 // programmatic misconfiguration.
 func newReplication(cfg Config) *replication {
 	o := cfg.Replication
-	if len(o.Peers) == 0 {
+	if len(o.Peers) == 0 && o.Membership == nil {
 		return nil
 	}
-	if err := ValidatePeerFleet(o.SelfID, o.Peers); err != nil {
+	var boot Membership
+	if o.Membership != nil {
+		boot = *o.Membership
+		if o.SelfID == "" {
+			cfg.Logger.Error("lvf2d: replication disabled", "reason", "SelfID required with a membership document")
+			return nil
+		}
+	} else {
+		if err := ValidatePeerFleet(o.SelfID, o.Peers); err != nil {
+			cfg.Logger.Error("lvf2d: replication disabled", "reason", err.Error())
+			return nil
+		}
+		boot = Membership{
+			Epoch:   0,
+			Members: append([]Peer{{ID: o.SelfID, URL: o.SelfURL}}, o.Peers...),
+		}
+	}
+	if err := boot.Validate(); err != nil {
 		cfg.Logger.Error("lvf2d: replication disabled", "reason", err.Error())
 		return nil
 	}
 	o = o.withDefaults()
-	members := make([]string, 0, len(o.Peers)+1)
-	members = append(members, o.SelfID)
-	peers := make(map[string]Peer, len(o.Peers))
-	healthy := make(map[string]bool, len(o.Peers))
-	for _, p := range o.Peers {
-		members = append(members, p.ID)
-		peers[p.ID] = p
-		healthy[p.ID] = true
-	}
-	rg, err := ring.New(members, ring.Options{VirtualNodes: o.VirtualNodes, Seed: o.RingSeed})
-	if err != nil {
-		cfg.Logger.Error("lvf2d: replication disabled", "reason", err.Error())
-		return nil
-	}
-	order := make([]string, 0, len(peers))
-	for id := range peers {
-		order = append(order, id)
-	}
-	sort.Strings(order)
 	r := cfg.Registry
 	opts := o.Breaker
 	if opts.JitterSeed == 0 {
 		opts.JitterSeed = 1
 	}
-	return &replication{
-		self:     o.SelfID,
-		ring:     rg,
-		peers:    peers,
-		order:    order,
-		opts:     o,
-		breakers: newBreakerSet[string](opts, cfg.now, r, "lvf2d_peer_breaker", "peer"),
-		rng:      mc.NewRNG(opts.JitterSeed | 1),
-		healthy:  healthy,
+	p := &replication{
+		self:       o.SelfID,
+		opts:       o,
+		logger:     cfg.Logger,
+		breakers:   newBreakerSet[string](opts, cfg.now, r, "lvf2d_peer_breaker", "peer"),
+		rng:        mc.NewRNG(opts.JitterSeed | 1),
+		healthy:    map[string]bool{},
+		lastMerged: map[string]uint64{},
 		reqs: obs.NewCounterVec(r, "lvf2d_peer_requests_total",
 			"peer forwarding attempts by peer and outcome", "peer", "outcome"),
 		forwardSeconds: obs.NewHistogram(r, "lvf2d_peer_forward_seconds",
 			"latency of successful forwarded requests", nil),
 		warmSeeded: obs.NewCounter(r, "lvf2d_peer_warm_seeded_models_total",
 			"owned models warm-seeded from peer snapshot slices on boot"),
+		transitions: obs.NewCounter(r, "lvf2d_membership_transitions_total",
+			"membership epochs adopted after boot"),
+		snapTruncated: obs.NewCounter(r, "lvf2d_peer_snapshot_truncated_total",
+			"peer snapshot exports truncated by the max_bytes cap (newest entries kept)"),
+		aeRounds: obs.NewCounter(r, "lvf2d_antientropy_rounds_total",
+			"anti-entropy digest-exchange rounds completed"),
+		aeRepaired: obs.NewCounter(r, "lvf2d_antientropy_models_repaired_total",
+			"models re-seeded from peers by anti-entropy repair"),
+		handoffModels: obs.NewCounter(r, "lvf2d_handoff_models_total",
+			"models pushed to next-epoch owners during a graceful drain"),
 	}
+	if err := p.install(boot, false); err != nil {
+		cfg.Logger.Error("lvf2d: replication disabled", "reason", err.Error())
+		return nil
+	}
+	obs.NewGaugeFunc(r, "lvf2d_ring_epoch", "current membership epoch",
+		func() float64 { return float64(p.epoch()) })
+	return p
+}
+
+// install builds and swaps in the fleet state for membership m. With
+// transition set, the outgoing ring is retained as the previous-epoch
+// ring (opening the dual-read window) and the transition counter moves;
+// boot installs pass false. Callers must not hold p.mu.
+func (p *replication) install(m Membership, transition bool) error {
+	ids := make([]string, 0, len(m.Members))
+	peers := make(map[string]Peer, len(m.Members))
+	order := make([]string, 0, len(m.Members))
+	selfIn := false
+	for _, mem := range m.Members {
+		ids = append(ids, mem.ID)
+		if mem.ID == p.self {
+			selfIn = true
+			continue
+		}
+		peers[mem.ID] = mem
+		order = append(order, mem.ID)
+	}
+	sort.Strings(order)
+	rg, err := ring.New(ids, ring.Options{
+		VirtualNodes: p.opts.VirtualNodes,
+		Seed:         p.opts.RingSeed,
+		Epoch:        m.Epoch,
+	})
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Epoch-guarded swap: two concurrent adoptions (CAS post racing a
+	// probe sync, say) serialise here, and the loser can never regress
+	// the fleet to an older epoch.
+	if transition && m.Epoch <= p.fleet.epoch {
+		return fmt.Errorf("membership epoch %d is not newer than installed epoch %d", m.Epoch, p.fleet.epoch)
+	}
+	next := fleetView{
+		epoch:      m.Epoch,
+		ring:       rg,
+		peers:      peers,
+		order:      order,
+		membership: m.clone(),
+		drained:    !selfIn,
+	}
+	if transition {
+		next.prev = p.fleet.ring
+		next.prevPeers = p.fleet.peers
+	}
+	for id := range peers {
+		if _, known := p.healthy[id]; !known {
+			p.healthy[id] = true // new peers start presumed alive
+		}
+	}
+	p.fleet = next
+	if transition {
+		p.transitions.Inc()
+	}
+	return nil
+}
+
+// clearTransition closes the dual-read window: after one anti-entropy
+// round the current owners hold their ranges warm, so the
+// previous-epoch ring is no longer worth consulting.
+func (p *replication) clearTransition() {
+	p.mu.Lock()
+	p.fleet.prev = nil
+	p.fleet.prevPeers = nil
+	p.mu.Unlock()
 }
 
 func (p *replication) isHealthy(id string) bool {
@@ -286,15 +451,23 @@ func (p *replication) retryDelay(attempt int) time.Duration {
 // returns true when the response has been fully written (a successful
 // forward). Returning false means the caller must answer locally —
 // either because this replica owns the key (or already has it warm),
-// or because the owner is unreachable and the request degrades to a
+// or because no owner is reachable and the request degrades to a
 // local-fallback compute (tagged via X-LVF2-Forward).
+//
+// During a membership transition window the miss dual-reads: the
+// current-epoch owner first, then the previous-epoch owner (which still
+// holds the range warm until anti-entropy re-seeds the new owner), then
+// the deterministic local compute — every failure mode degrades to a
+// bit-identical answer, at worst a cold one.
 func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, ra *resolvedArc, aq arcQuery) bool {
 	p := s.repl
 	if p == nil || r.Header.Get(forwardedFromHeader) != "" {
 		return false
 	}
+	v := p.view()
 	key := cacheKeyFor(ra, aq)
-	owner := p.ring.Owner(key.RingKey())
+	rk := key.RingKey()
+	owner := v.ring.Owner(rk)
 	if owner == p.self {
 		return false
 	}
@@ -303,8 +476,22 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, ra *resolv
 	if _, ok := s.cache.Peek(key); ok {
 		return false
 	}
-	if p.forward(w, r, owner) {
+	if peer, ok := v.peers[owner]; ok && p.forward(w, r, peer) {
 		return true
+	}
+	if v.prev != nil {
+		if prevOwner := v.prev.Owner(rk); prevOwner != owner && prevOwner != p.self {
+			// The previous owner may already have left the current
+			// membership (a drain), so resolve its URL against the
+			// previous epoch's peer set as well.
+			peer, ok := v.peers[prevOwner]
+			if !ok {
+				peer, ok = v.prevPeers[prevOwner]
+			}
+			if ok && p.forward(w, r, peer) {
+				return true
+			}
+		}
 	}
 	p.reqs.Inc(owner, "local_fallback")
 	w.Header().Set(forwardHeader, forwardOutcomeFallback)
@@ -312,11 +499,12 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, ra *resolv
 	return false
 }
 
-// forward relays r to owner, returning true once the owner's verified
-// response has been written to w. Any failure mode — probe-dead peer,
-// open breaker, exhausted retries, checksum mismatch, request deadline
-// — returns false and leaves w untouched.
-func (p *replication) forward(w http.ResponseWriter, r *http.Request, owner string) bool {
+// forward relays r to the owner peer, returning true once the owner's
+// verified response has been written to w. Any failure mode —
+// probe-dead peer, open breaker, exhausted retries, checksum mismatch,
+// request deadline — returns false and leaves w untouched.
+func (p *replication) forward(w http.ResponseWriter, r *http.Request, peer Peer) bool {
+	owner := peer.ID
 	if !p.isHealthy(owner) {
 		return false
 	}
@@ -336,11 +524,12 @@ func (p *replication) forward(w http.ResponseWriter, r *http.Request, owner stri
 			case <-time.After(p.retryDelay(attempt)):
 			}
 		}
-		status, header, body, err := p.forwardOnce(r, owner)
+		status, header, body, err := p.forwardOnce(r, peer)
 		if err == nil {
 			p.breakers.done(owner, probe, nil)
 			p.reqs.Inc(owner, "ok")
 			relayResponse(w, status, header, body, owner)
+			p.noteEpochHeader(header.Get(ringEpochHeader), peer)
 			return true
 		}
 		lastErr = err
@@ -356,15 +545,16 @@ func (p *replication) forward(w http.ResponseWriter, r *http.Request, owner stri
 // and verifies the owner's body checksum, so a corrupted or truncated
 // peer response surfaces as a retryable error instead of reaching the
 // client.
-func (p *replication) forwardOnce(r *http.Request, owner string) (int, http.Header, []byte, error) {
+func (p *replication) forwardOnce(r *http.Request, peer Peer) (int, http.Header, []byte, error) {
 	ctx, cancel := context.WithTimeout(r.Context(), p.opts.ForwardTimeout)
 	defer cancel()
-	u := p.peers[owner].URL + r.URL.RequestURI()
+	u := peer.URL + r.URL.RequestURI()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	req.Header.Set(forwardedFromHeader, p.self)
+	req.Header.Set(ringEpochHeader, strconv.FormatUint(p.epoch(), 10))
 	start := time.Now()
 	resp, err := p.opts.Client.Do(req)
 	if err != nil {
@@ -379,14 +569,32 @@ func (p *replication) forwardOnce(r *http.Request, owner string) (int, http.Head
 	// degraded handling of our own bug, a proxy error page) answers
 	// better from the local compute path.
 	if resp.StatusCode != http.StatusOK {
-		return 0, nil, nil, fmt.Errorf("owner %s answered %d", owner, resp.StatusCode)
+		return 0, nil, nil, fmt.Errorf("owner %s answered %d", peer.ID, resp.StatusCode)
 	}
 	sum := sha256.Sum256(body)
 	if got := resp.Header.Get(bodySumHeader); got != hex.EncodeToString(sum[:]) {
-		return 0, nil, nil, fmt.Errorf("owner %s body checksum mismatch (len %d)", owner, len(body))
+		return 0, nil, nil, fmt.Errorf("owner %s body checksum mismatch (len %d)", peer.ID, len(body))
 	}
 	p.forwardSeconds.Observe(time.Since(start).Seconds())
 	return resp.StatusCode, resp.Header, body, nil
+}
+
+// noteEpochHeader reacts to a peer's advertised membership epoch after
+// the client response is already written: when the peer is ahead, this
+// replica pulls the newer membership from it. Lagging the fleet costs
+// only extra forward hops (answers stay bit-identical), so the pull is
+// best-effort and off the client's critical path.
+func (p *replication) noteEpochHeader(value string, peer Peer) {
+	if value == "" {
+		return
+	}
+	theirs, err := strconv.ParseUint(value, 10, 64)
+	if err != nil || theirs <= p.epoch() {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.opts.ForwardTimeout)
+	defer cancel()
+	p.syncMembershipFrom(ctx, peer)
 }
 
 // relayResponse writes a verified owner response to the client,
@@ -407,12 +615,20 @@ func relayResponse(w http.ResponseWriter, status int, header http.Header, body [
 // peerIntegrity stamps X-LVF2-Body-SHA256 on responses to forwarded
 // requests: the owner buffers the response, checksums it and sends the
 // sum as a header, so the forwarding side can detect a corrupted link.
-// Non-forwarded traffic streams through untouched.
-func peerIntegrity(next http.Handler) http.Handler {
+// It also carries both legs of epoch propagation: the response
+// advertises this replica's membership epoch, and a request stamped
+// with a newer epoch makes this replica pull the sender's membership
+// before serving, so the ownership decision below uses the freshest
+// ring it can know. Non-forwarded traffic streams through untouched.
+func (s *Server) peerIntegrity(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Header.Get(forwardedFromHeader) == "" {
 			next.ServeHTTP(w, r)
 			return
+		}
+		if p := s.repl; p != nil {
+			p.noteRequestEpoch(r)
+			w.Header().Set(ringEpochHeader, strconv.FormatUint(p.epoch(), 10))
 		}
 		bw := &bufferedResponse{header: make(http.Header)}
 		next.ServeHTTP(bw, r)
@@ -452,32 +668,78 @@ func (b *bufferedResponse) Write(p []byte) (int, error) {
 	return b.buf.Write(p)
 }
 
-// handlePeerSnapshot serves GET /v1/peer/snapshot?owner=ID: the slice
-// of this replica's model cache owned by ID under the ring, in the
-// snapshot wire format (which carries its own checksum trailer). A
+// handlePeerSnapshot serves the peer warm-state surface.
+//
+// GET ?owner=ID[&max_bytes=N] exports the slice of this replica's model
+// cache owned by ID under the current ring, in the snapshot wire format
+// (which carries its own checksum trailer). The export is capped at
+// min(max_bytes, SnapshotMaxBytes); a truncated export keeps the newest
+// entries and increments lvf2d_peer_snapshot_truncated_total. A
 // restarting replica pulls this from every live peer to warm-seed the
 // keys it owns.
+//
+// POST ingests a snapshot slice pushed by a peer — the key-handoff leg
+// of a graceful drain — and merges it into the model cache.
 func (s *Server) handlePeerSnapshot(w http.ResponseWriter, r *http.Request) {
 	p := s.repl
 	if p == nil {
 		fail(w, r, &httpError{code: http.StatusNotFound, msg: "replication is not configured"})
 		return
 	}
+	if r.Method == http.MethodPost {
+		s.handlePeerSnapshotIngest(w, r)
+		return
+	}
+	v := p.view()
 	owner := r.URL.Query().Get("owner")
-	member := owner == p.self
-	for _, m := range p.ring.Members() {
+	member := false
+	for _, m := range v.ring.Members() {
 		member = member || m == owner
 	}
 	if owner == "" || !member {
 		fail(w, r, badRequest("owner %q is not a ring member (members: %s)",
-			owner, strings.Join(p.ring.Members(), ", ")))
+			owner, strings.Join(v.ring.Members(), ", ")))
 		return
 	}
-	slice := s.cache.SnapshotModelsFiltered(func(k modelcache.ModelKey) bool {
-		return p.ring.Owner(k.RingKey()) == owner
-	})
+	maxBytes := p.opts.SnapshotMaxBytes
+	if raw := r.URL.Query().Get("max_bytes"); raw != "" {
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || n <= 0 {
+			fail(w, r, badRequest("max_bytes %q must be a positive integer", raw))
+			return
+		}
+		if n < maxBytes {
+			maxBytes = n
+		}
+	}
+	slice, truncated := s.cache.SnapshotModelsCapped(func(k modelcache.ModelKey) bool {
+		return v.ring.Owner(k.RingKey()) == owner
+	}, int(maxBytes))
+	if truncated {
+		p.snapTruncated.Inc()
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(slice)))
+	w.Header().Set(ringEpochHeader, strconv.FormatUint(v.epoch, 10))
 	w.Write(slice)
+}
+
+// handlePeerSnapshotIngest merges a pushed snapshot slice (drain
+// handoff) into the local cache. The slice's own checksum plus
+// per-entry validation guard the merge; a bad body changes nothing.
+func (s *Server) handlePeerSnapshotIngest(w http.ResponseWriter, r *http.Request) {
+	p := s.repl
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, p.opts.SnapshotMaxBytes))
+	if err != nil {
+		fail(w, r, badRequest("snapshot body exceeds %d bytes or was cut short: %v", p.opts.SnapshotMaxBytes, err))
+		return
+	}
+	n, err := s.cache.RestoreModels(body)
+	if err != nil {
+		fail(w, r, badRequest("snapshot rejected: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"restored": n})
 }
 
 // WarmSeedFromPeers pulls this replica's owned-key snapshot slice from
@@ -492,9 +754,10 @@ func (s *Server) WarmSeedFromPeers(ctx context.Context) int {
 	if p == nil {
 		return 0
 	}
+	v := p.view()
 	total := 0
-	for _, id := range p.order {
-		slice, err := p.fetchSnapshotSlice(ctx, id)
+	for _, id := range v.order {
+		slice, err := p.fetchSnapshotSlice(ctx, v.peers[id])
 		if err != nil {
 			s.cfg.Logger.Warn("lvf2d: warm-seed skipped peer", "peer", id, "reason", err.Error())
 			continue
@@ -516,8 +779,9 @@ func (s *Server) WarmSeedFromPeers(ctx context.Context) int {
 // fetchSnapshotSlice retrieves one peer's owned-key export, retrying
 // transport errors and corrupt payloads (the snapshot's own checksum
 // catches those) under the usual per-attempt deadline.
-func (p *replication) fetchSnapshotSlice(ctx context.Context, id string) ([]byte, error) {
-	u := p.peers[id].URL + "/v1/peer/snapshot?owner=" + url.QueryEscape(p.self)
+func (p *replication) fetchSnapshotSlice(ctx context.Context, peer Peer) ([]byte, error) {
+	u := peer.URL + "/v1/peer/snapshot?owner=" + url.QueryEscape(p.self) +
+		"&max_bytes=" + strconv.FormatInt(p.opts.SnapshotMaxBytes, 10)
 	var lastErr error
 	for attempt := 0; attempt < p.opts.ForwardAttempts; attempt++ {
 		if attempt > 0 {
@@ -550,10 +814,23 @@ func (p *replication) fetchSnapshotOnce(ctx context.Context, u string) ([]byte, 
 	if err != nil {
 		return nil, err
 	}
-	body, err := io.ReadAll(resp.Body)
+	// Guard the read before it happens: a declared oversize body is
+	// rejected on the Content-Length alone, and an undeclared one is cut
+	// off by the LimitReader — a huge (or lying) donor can never balloon
+	// a booting peer's heap past the configured cap.
+	cap := p.opts.SnapshotMaxBytes
+	if resp.ContentLength > cap {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1))
+		resp.Body.Close()
+		return nil, fmt.Errorf("peer snapshot declares %d bytes, cap is %d", resp.ContentLength, cap)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, cap+1))
 	resp.Body.Close()
 	if err != nil {
 		return nil, err
+	}
+	if int64(len(body)) > cap {
+		return nil, fmt.Errorf("peer snapshot exceeds %d-byte cap", cap)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("peer answered %d", resp.StatusCode)
@@ -569,36 +846,54 @@ func (p *replication) fetchSnapshotOnce(ctx context.Context, u string) ([]byte, 
 // ProbePeersOnce probes every peer's /readyz once, updating the
 // probe-driven health map. A 200 also force-closes the peer's breaker,
 // so recovery latency after a restart is one probe interval instead of
-// a full backoff window. RunListener drives this on ProbeInterval; the
-// chaos suite calls it directly.
+// a full backoff window. A peer advertising a newer membership epoch in
+// its probe body is synced from — crash-leave confirmations and
+// operator epoch bumps reach partitioned stragglers this way.
+// RunListener drives this on ProbeInterval; the chaos suite calls it
+// directly.
 func (s *Server) ProbePeersOnce(ctx context.Context) {
 	p := s.repl
 	if p == nil {
 		return
 	}
-	for _, id := range p.order {
-		alive := p.probeOne(ctx, id)
+	v := p.view()
+	for _, id := range v.order {
+		alive, theirEpoch := p.probeOne(ctx, v.peers[id])
 		p.setHealthy(id, alive)
 		if alive {
 			p.breakers.heal(id)
 		}
+		if theirEpoch > p.epoch() {
+			p.syncMembershipFrom(ctx, v.peers[id])
+		}
 	}
 }
 
-func (p *replication) probeOne(ctx context.Context, id string) bool {
+// probeOne probes peer's /readyz, reporting liveness (a 200) and the
+// membership epoch the peer advertises. A warming or draining peer
+// answers non-200 — not forwardable — but its epoch still counts.
+func (p *replication) probeOne(ctx context.Context, peer Peer) (bool, uint64) {
 	rctx, cancel := context.WithTimeout(ctx, p.opts.ForwardTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodGet, p.peers[id].URL+"/readyz", nil)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, peer.URL+"/readyz", nil)
 	if err != nil {
-		return false
+		return false, 0
 	}
 	resp, err := p.opts.Client.Do(req)
 	if err != nil {
-		return false
+		return false, 0
 	}
-	io.Copy(io.Discard, resp.Body)
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	if err != nil {
+		return false, 0
+	}
+	var parsed readyzResponse
+	var theirEpoch uint64
+	if json.Unmarshal(body, &parsed) == nil && parsed.Ring != nil {
+		theirEpoch = parsed.Ring.Epoch
+	}
+	return resp.StatusCode == http.StatusOK, theirEpoch
 }
 
 // ------------------------------------------------------------- readyz DTO
@@ -610,6 +905,8 @@ type readyzRing struct {
 	Members      []string `json:"members"`
 	VirtualNodes int      `json:"virtual_nodes"`
 	Seed         uint64   `json:"seed"`
+	Epoch        uint64   `json:"epoch"`
+	Drained      bool     `json:"drained,omitempty"`
 }
 
 type readyzPeer struct {
@@ -632,16 +929,19 @@ func (s *Server) readyzBody(status string) readyzResponse {
 	if p == nil {
 		return resp
 	}
+	v := p.view()
 	resp.Ring = &readyzRing{
 		Self:         p.self,
-		Members:      p.ring.Members(),
-		VirtualNodes: p.ring.VirtualNodes(),
-		Seed:         p.ring.Seed(),
+		Members:      v.ring.Members(),
+		VirtualNodes: v.ring.VirtualNodes(),
+		Seed:         v.ring.Seed(),
+		Epoch:        v.epoch,
+		Drained:      v.drained,
 	}
-	for _, id := range p.order {
+	for _, id := range v.order {
 		resp.Peers = append(resp.Peers, readyzPeer{
 			ID:      id,
-			URL:     p.peers[id].URL,
+			URL:     v.peers[id].URL,
 			Breaker: p.breakers.stateOf(id).String(),
 			Healthy: p.isHealthy(id),
 		})

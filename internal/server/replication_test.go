@@ -201,7 +201,7 @@ func ownerOf(t testing.TB, s *Server, rawURL string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s.repl.ring.Owner(cacheKeyFor(ra, aq).RingKey())
+	return s.repl.view().ring.Owner(cacheKeyFor(ra, aq).RingKey())
 }
 
 // urlOwnedBy finds a grid URL owned by want, as computed on s.
@@ -549,7 +549,7 @@ func TestPeerSnapshotEndpoint(t *testing.T) {
 		t.Fatal("export is empty; expected b-owned keys from the warmed grid")
 	}
 	for _, e := range entries {
-		if owner := a.repl.ring.Owner(e.Key.RingKey()); owner != "b" {
+		if owner := a.repl.view().ring.Owner(e.Key.RingKey()); owner != "b" {
 			t.Fatalf("export leaked a key owned by %s", owner)
 		}
 	}

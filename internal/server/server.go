@@ -365,7 +365,7 @@ func (s *Server) Handler() http.Handler {
 		if s.repl != nil {
 			// Checksum responses to forwarded requests so the sending
 			// replica can detect a corrupted peer link.
-			wrapped = peerIntegrity(wrapped)
+			wrapped = s.peerIntegrity(wrapped)
 		}
 		mux.Handle(route, s.metrics.Wrap(route, wrapped))
 	}
@@ -380,6 +380,15 @@ func (s *Server) Handler() http.Handler {
 		// be able to warm-seed from a replica that is busy serving).
 		mux.Handle("/v1/peer/snapshot", s.metrics.Wrap("/v1/peer/snapshot",
 			obs.Recover(s.metrics.Panics, http.HandlerFunc(s.handlePeerSnapshot))))
+		mux.Handle("/v1/peer/digest", s.metrics.Wrap("/v1/peer/digest",
+			obs.Recover(s.metrics.Panics, http.HandlerFunc(s.handlePeerDigest))))
+		// Fleet admin surface: membership CAS and graceful drain also
+		// bypass the limiter — reconfiguration must work on a saturated
+		// fleet.
+		mux.Handle("/v1/fleet/membership", s.metrics.Wrap("/v1/fleet/membership",
+			obs.Recover(s.metrics.Panics, http.HandlerFunc(s.handleFleetMembership))))
+		mux.Handle("/v1/fleet/drain", s.metrics.Wrap("/v1/fleet/drain",
+			obs.Recover(s.metrics.Panics, http.HandlerFunc(s.handleFleetDrain))))
 	}
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -392,11 +401,21 @@ func (s *Server) Handler() http.Handler {
 	// The body is JSON carrying ring membership and per-peer link state
 	// when replication is configured.
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
-		if !s.ready.Load() {
+		switch {
+		case !s.ready.Load():
 			writeJSON(w, http.StatusServiceUnavailable, s.readyzBody("starting"))
-			return
+		case s.repl != nil && s.repl.warming.Load():
+			// A joining replica is alive but still pulling its newly
+			// owned ranges; load balancers should hold client traffic.
+			writeJSON(w, http.StatusServiceUnavailable, s.readyzBody("warming"))
+		case s.repl != nil && s.repl.view().drained:
+			// Still serving (everything forwards or computes locally),
+			// but no longer a ring member; the status string lets
+			// routing layers retire it at their own pace.
+			writeJSON(w, http.StatusOK, s.readyzBody("drained"))
+		default:
+			writeJSON(w, http.StatusOK, s.readyzBody("ready"))
 		}
-		writeJSON(w, http.StatusOK, s.readyzBody("ready"))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -452,20 +471,18 @@ func (s *Server) RunListener(ctx context.Context, ln net.Listener, drain time.Du
 		}()
 	}
 	if s.repl != nil {
-		probeCtx, stopProbe := context.WithCancel(ctx)
-		defer stopProbe()
-		go func() {
-			t := time.NewTicker(s.repl.opts.ProbeInterval)
-			defer t.Stop()
-			for {
-				select {
-				case <-t.C:
-					s.ProbePeersOnce(probeCtx)
-				case <-probeCtx.Done():
-					return
-				}
-			}
-		}()
+		bgCtx, stopBg := context.WithCancel(ctx)
+		defer stopBg()
+		o := s.repl.opts
+		// Each loop starts after a deterministic per-replica jitter so a
+		// fleet restarted together never probes or digest-sweeps in
+		// lockstep (see loopJitter).
+		go runJittered(bgCtx, s.repl.self, probeJitterSalt, o.ProbeInterval, s.ProbePeersOnce)
+		go runJittered(bgCtx, s.repl.self, antiEntropyJitterSalt, o.AntiEntropyInterval,
+			func(ctx context.Context) { s.AntiEntropyOnce(ctx) })
+		if o.MembershipPath != "" {
+			go runJittered(bgCtx, s.repl.self, membershipJitterSalt, o.MembershipPollInterval, s.CheckMembershipFile)
+		}
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
